@@ -1,0 +1,189 @@
+// Benchmarks regenerating the paper's evaluation (one per table/figure).
+// Each benchmark runs the corresponding experiment at a fixed small scale
+// and reports the paper's headline metrics via b.ReportMetric, so
+// `go test -bench=. -benchmem` prints the whole evaluation. The sspbench
+// command runs the same experiments at larger scales with full rendering.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+	"repro/ssp"
+)
+
+// benchScale keeps every experiment in benchmark-friendly territory; the
+// numbers in EXPERIMENTS.md come from `sspbench -scale full`. The shrunken
+// STLB preserves TLB-pressure effects (consolidation) at small sizes.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Ops: 1200, Keys: 8192, Elems: 1 << 17, Items: 4096, Tuples: 4096, Seed: 0xE0, STLB: 128}
+}
+
+func BenchmarkTable3_Characterisation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(benchScale())
+		for _, r := range rows {
+			b.ReportMetric(r.AvgLines, r.Kind.String()+"_lines/txn")
+		}
+	}
+}
+
+func BenchmarkFig5a_MicroTPS_1Thread(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5(benchScale(), 1)
+		for _, r := range rows {
+			b.ReportMetric(r.TPS[ssp.SSP], r.Kind.String()+"_SSP/UNDO")
+		}
+	}
+}
+
+func BenchmarkFig5b_MicroTPS_4Threads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5(benchScale(), 4)
+		for _, r := range rows {
+			b.ReportMetric(r.TPS[ssp.SSP], r.Kind.String()+"_SSP/UNDO")
+		}
+	}
+}
+
+func BenchmarkFig6_LoggingWrites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(benchScale(), 1)
+		for _, r := range rows {
+			b.ReportMetric(r.Norm[ssp.SSP], r.Kind.String()+"_SSP/UNDO")
+		}
+	}
+}
+
+func BenchmarkFig7a_NVRAMWrites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7(benchScale(), 1)
+		for _, r := range rows {
+			b.ReportMetric(r.Norm[ssp.SSP], r.Kind.String()+"_SSP/UNDO")
+		}
+	}
+}
+
+func BenchmarkFig7b_SSPWriteBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7(benchScale(), 1)
+		for _, r := range rows {
+			b.ReportMetric(r.ConsolidationPct, r.Kind.String()+"_consol%")
+		}
+	}
+}
+
+func BenchmarkFig8_NVRAMLatencySweep(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 600
+	for i := 0; i < b.N; i++ {
+		points := experiments.Fig8(sc)
+		for _, pt := range points {
+			if pt.Kind == workload.BTreeRand {
+				b.ReportMetric(pt.TPS[ssp.SSP]/1e3, "BTree_SSP_kTPS_x"+itoa(pt.Multiple))
+			}
+		}
+	}
+}
+
+func BenchmarkFig9_SSPCacheLatencySweep(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 600
+	for i := 0; i < b.N; i++ {
+		points := experiments.Fig9(sc)
+		for _, pt := range points {
+			if pt.Kind == workload.SPS {
+				b.ReportMetric(pt.Speedup, "SPS_speedup_lat"+itoa(pt.Latency))
+			}
+		}
+	}
+}
+
+func BenchmarkTable4_RealWorkloadSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table45(benchScale())
+		for _, r := range rows {
+			b.ReportMetric(r.SpeedupOver[ssp.UndoLog], r.Kind.String()+"_vsUNDO_%")
+			b.ReportMetric(r.SpeedupOver[ssp.RedoLog], r.Kind.String()+"_vsREDO_%")
+		}
+	}
+}
+
+func BenchmarkTable5_RealWorkloadWriteSaving(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table45(benchScale())
+		for _, r := range rows {
+			b.ReportMetric(r.SavingOver[ssp.UndoLog], r.Kind.String()+"_vsUNDO_%")
+			b.ReportMetric(r.SavingOver[ssp.RedoLog], r.Kind.String()+"_vsREDO_%")
+		}
+	}
+}
+
+func BenchmarkAblation_SubPageGranularity(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 600
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblateSubPage(sc)
+		for _, r := range rows {
+			b.ReportMetric(r.TPS, r.Kind.String()+"_"+r.Name+"_TPS")
+		}
+	}
+}
+
+func BenchmarkAblation_ConsolidationPolicy(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 600
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblateConsolidationPolicy(sc)
+		for _, r := range rows {
+			b.ReportMetric(r.TPS, r.Kind.String()+"_"+r.Name+"_TPS")
+		}
+	}
+}
+
+func BenchmarkRecoveryEffort(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 400
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RecoveryEffort(sc)
+		for _, r := range rows {
+			b.ReportMetric(float64(r.ReplayedRecords), "replayed_j"+itoa(r.JournalKB))
+		}
+	}
+}
+
+// BenchmarkTxnPath measures the raw per-transaction cost of each design on
+// a minimal two-store transaction (the mechanism overhead itself).
+func BenchmarkTxnPath(b *testing.B) {
+	for _, backend := range ssp.Backends() {
+		b.Run(backend.String(), func(b *testing.B) {
+			m := ssp.New(ssp.Config{Backend: backend, Cores: 1})
+			c := m.Core(0)
+			m.Heap().EnsureMapped(1, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				page := ssp.HeapBase + uint64(1+(i&1))*ssp.PageBytes
+				c.Begin()
+				c.Store64(page+uint64(i%32)*64, uint64(i))
+				c.Store64(page+uint64(32+i%32)*64, uint64(i)) // second line, same page
+				c.Commit()
+			}
+			b.ReportMetric(float64(m.MaxClock())/float64(b.N), "simcycles/txn")
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,121 @@
+// Command sspbench regenerates the paper's tables and figures on the
+// simulated machine. Each experiment prints the same rows/series the paper
+// reports (normalised throughput, write traffic, breakdowns, sweeps).
+//
+// Usage:
+//
+//	sspbench -exp all                 # everything, small scale
+//	sspbench -exp fig5a -scale full   # one experiment at full scale
+//	sspbench -list
+//
+// Experiments: table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5
+// ablate all. See DESIGN.md §3 for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list)")
+	scale := flag.String("scale", "small", "run scale: small | full")
+	list := flag.Bool("list", false, "list experiment ids")
+	ops := flag.Int("ops", 0, "override measured transactions per run")
+	seed := flag.Uint64("seed", 0, "override RNG seed")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5 ablate recovery all")
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.SmallScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *ops > 0 {
+		sc.Ops = *ops
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	run := func(id string) {
+		start := time.Now()
+		switch id {
+		case "table3":
+			section("Table 3 — workload write-set characterisation")
+			fmt.Println(experiments.RenderTable3(experiments.Table3(sc)))
+		case "fig5a":
+			section("Figure 5a — microbenchmark TPS, 1 thread (normalised to UNDO-LOG)")
+			fmt.Println(experiments.RenderFig5(experiments.Fig5(sc, 1), 1))
+		case "fig5b":
+			section("Figure 5b — microbenchmark TPS, 4 threads (normalised to UNDO-LOG)")
+			fmt.Println(experiments.RenderFig5(experiments.Fig5(sc, 4), 4))
+		case "fig6":
+			section("Figure 6 — logging writes (normalised to UNDO-LOG, lower is better)")
+			fmt.Println(experiments.RenderFig6(experiments.Fig6(sc, 1)))
+		case "fig7a":
+			section("Figure 7a — NVRAM writes (normalised to UNDO-LOG, lower is better)")
+			fmt.Println(experiments.RenderFig7a(experiments.Fig7(sc, 1)))
+		case "fig7b":
+			section("Figure 7b — breakdown of NVRAM writes for SSP")
+			fmt.Println(experiments.RenderFig7b(experiments.Fig7(sc, 1)))
+		case "fig8":
+			section("Figure 8 — sensitivity to NVRAM latency")
+			fmt.Println(experiments.RenderFig8(experiments.Fig8(sc)))
+		case "fig9":
+			section("Figure 9 — sensitivity to SSP cache latency")
+			fmt.Println(experiments.RenderFig9(experiments.Fig9(sc)))
+		case "table4":
+			section("Table 4 — real-workload performance improvement")
+			fmt.Println(experiments.RenderTable4(experiments.Table45(sc)))
+		case "table5":
+			section("Table 5 — real-workload write-traffic saving")
+			fmt.Println(experiments.RenderTable5(experiments.Table45(sc)))
+		case "ablate":
+			section("Ablations — design-choice knobs (beyond the paper)")
+			fmt.Println(experiments.RenderAblations("sub-page granularity (§4.3)", experiments.AblateSubPage(sc)))
+			fmt.Println(experiments.RenderAblations("write-set buffer capacity (§4.2)", experiments.AblateWSB(sc)))
+			fmt.Println(experiments.RenderAblations("REDO write-back queue bound", experiments.AblateRedoQueue(sc)))
+			fmt.Println(experiments.RenderAblations("SSP-cache L3 residency", experiments.AblateSSPCacheResidency(sc)))
+			fmt.Println(experiments.RenderAblations("consolidation policy (§3.4 eager vs lazy)", experiments.AblateConsolidationPolicy(sc)))
+			fmt.Println(experiments.RenderAblations("flip mechanism (§4.1.1 broadcast vs §4.3 shootdown)", experiments.AblateFlipMechanism(sc)))
+		case "recovery":
+			section("Recovery effort vs journal capacity (§4.1.2 checkpointing)")
+			fmt.Println(experiments.RenderRecovery(experiments.RecoveryEffort(sc)))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("[%s done in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"table3", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "table4", "table5", "ablate", "recovery"} {
+			run(id)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func section(title string) {
+	fmt.Println(title)
+	for range title {
+		fmt.Print("=")
+	}
+	fmt.Println()
+}

@@ -1,0 +1,16 @@
+// Package repro reproduces "SSP: Eliminating Redundant Writes in
+// Failure-Atomic NVRAMs via Shadow Sub-Paging" (Ni, Zhao, Litz, Bittman,
+// Miller — MICRO 2019) as a self-contained Go library.
+//
+// The public API lives in repro/ssp (the simulated machine and durable
+// transactions), repro/ssp/pds (persistent data structures) and
+// repro/ssp/kv (a memcached-like persistent cache). The simulator
+// substrates, the SSP mechanism, the logging baselines and the experiment
+// harness live under internal/. See README.md for a tour, DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation:
+//
+//	go test -bench=. -benchmem .
+package repro

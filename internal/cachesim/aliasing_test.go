@@ -1,0 +1,138 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+)
+
+// Regression test for the install-aliasing bug: Load's L2-hit path passed a
+// pointer into the L2 entry to installL1; installL1's spill could then pick
+// that very entry as its L2 victim when every other way in the set was
+// tx-pinned (the victim policy skips speculative lines), clobbering the
+// source before the copy. With page-frame-aligned SSP traffic, every page's
+// line-0 maps to the same few sets, so red-black-tree workloads hit this
+// reliably at scale (found via the Figure 5b reproduction run).
+func TestLoadL2HitSpillAliasingRegression(t *testing.T) {
+	st := &stats.Stats{}
+	mcfg := memsim.DefaultConfig()
+	mcfg.DRAMBytes = 1 << 20
+	mcfg.NVRAMBytes = 8 << 20
+	mem := memsim.New(mcfg, st)
+	// Tiny single-set caches so the scenario is forced: L1 = 2 ways,
+	// L2 = 4 ways, all lines in one set.
+	h := New(Config{
+		Cores:   1,
+		L1Bytes: 128, L1Ways: 2, L1Lat: 4,
+		L2Bytes: 256, L2Ways: 4, L2Lat: 6,
+		L3Bytes: 1 << 10, L3Ways: 4, L3Lat: 27,
+		CohLat: 20,
+	}, mem, st)
+
+	base := mcfg.NVRAMBase
+	la := func(i int) memsim.PAddr { return base + memsim.PAddr(i)*memsim.LineBytes }
+	val := func(i int) byte { return byte(0x10 + i) }
+	for i := 0; i < 12; i++ {
+		mem.Poke(la(i), []byte{val(i)})
+	}
+
+	// Target line T: load it so it sits in L1+L2, then push it out of L1
+	// (but not L2) with other loads.
+	buf := make([]byte, 1)
+	h.Load(0, la(0), buf, 0)
+
+	// Create tx-pinned dirty lines via Retag (committed pairs 8..11 remap
+	// to 4..7): they fill L1 and spill into L2, pinning its ways.
+	for i := 0; i < 3; i++ {
+		h.Retag(0, la(8+i), la(4+i), 0)
+		h.Store(0, la(4+i), []byte{0xAA}, 0)
+	}
+
+	// Now T is (at most) in L2 with the other ways tx-pinned. The L2-hit
+	// load must still return T's value, and keep returning it.
+	h.Load(0, la(0), buf, 0)
+	if buf[0] != val(0) {
+		t.Fatalf("L2-hit load returned %#x, want %#x (source clobbered by spill)", buf[0], val(0))
+	}
+	h.Load(0, la(0), buf, 0)
+	if buf[0] != val(0) {
+		t.Fatalf("reload returned %#x, want %#x", buf[0], val(0))
+	}
+	// The tx lines must still carry their speculative data.
+	for i := 0; i < 3; i++ {
+		h.Load(0, la(4+i), buf, 0)
+		if buf[0] != 0xAA {
+			t.Fatalf("speculative line %d lost: %#x", i, buf[0])
+		}
+	}
+	if msg := h.DebugValidate(); msg != "" {
+		t.Fatalf("coherence violation: %s", msg)
+	}
+}
+
+// TestRetagChurnTinyCaches hammers the exact traffic shape that exposed the
+// bug: many pages' line-0 addresses (which share cache sets) alternately
+// retagged, stored, flushed and re-read, with a reference model.
+func TestRetagChurnTinyCaches(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 0xE0} {
+		st := &stats.Stats{}
+		mcfg := memsim.DefaultConfig()
+		mcfg.DRAMBytes = 1 << 20
+		mcfg.NVRAMBytes = 8 << 20
+		mem := memsim.New(mcfg, st)
+		h := New(Config{
+			Cores:   1,
+			L1Bytes: 512, L1Ways: 2, L1Lat: 4,
+			L2Bytes: 1 << 10, L2Ways: 4, L2Lat: 6,
+			L3Bytes: 4 << 10, L3Ways: 4, L3Lat: 27,
+			CohLat: 20,
+		}, mem, st)
+		rng := engine.NewRNG(seed)
+		base := mcfg.NVRAMBase
+
+		// 24 "pages": page i has side-0 frame at i*2, side-1 at i*2+1;
+		// only line 0 of each page is used, as the hot-header pattern does.
+		const pages = 24
+		side := make([]int, pages)
+		ref := make([]byte, pages)
+		frame := func(p, s int) memsim.PAddr {
+			return base + memsim.PAddr(p*2+s)*memsim.PageBytes
+		}
+		buf := make([]byte, 1)
+		for op := 0; op < 4000; op++ {
+			p := rng.Intn(pages)
+			switch rng.Intn(3) {
+			case 0: // committed update: read, retag, store, flush
+				h.Load(0, frame(p, side[p]), buf, 0)
+				if buf[0] != ref[p] {
+					t.Fatalf("seed %d op %d: page %d read %#x want %#x", seed, op, p, buf[0], ref[p])
+				}
+				from, to := frame(p, side[p]), frame(p, 1-side[p])
+				h.Retag(0, from, to, 0)
+				v := byte(rng.Intn(255) + 1)
+				h.Store(0, to, []byte{v}, 0)
+				h.Flush(0, to, 0, stats.CatData)
+				ref[p] = v
+				side[p] = 1 - side[p]
+			case 1: // plain read
+				h.Load(0, frame(p, side[p]), buf, 0)
+				if buf[0] != ref[p] {
+					t.Fatalf("seed %d op %d: page %d read %#x want %#x", seed, op, p, buf[0], ref[p])
+				}
+			case 2: // aborted update
+				h.Load(0, frame(p, side[p]), buf, 0)
+				h.Retag(0, frame(p, side[p]), frame(p, 1-side[p]), 0)
+				h.Store(0, frame(p, 1-side[p]), []byte{0xEE}, 0)
+				h.InvalidateLine(frame(p, 1-side[p]))
+			}
+		}
+		for p := 0; p < pages; p++ {
+			h.Load(0, frame(p, side[p]), buf, 0)
+			if buf[0] != ref[p] {
+				t.Fatalf("seed %d final: page %d read %#x want %#x", seed, p, buf[0], ref[p])
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+)
+
+// TestCoherenceInvariantFuzz drives random load/store/flush/retag traffic
+// across three cores and checks after every operation that (a) loads return
+// the reference value, (b) DebugValidate's coherence invariants hold, and
+// (c) the final durable image matches the reference after FlushAll.
+func TestCoherenceInvariantFuzz(t *testing.T) {
+	seeds := []uint64{1, 42, 0x6f821774a8747c9, 0xc30ef0094690e869, 0xdeadbeef}
+	for _, seed := range seeds {
+		h, mem, _ := testSetup(3)
+		rng := engine.NewRNG(seed)
+		const lines = 96
+		ref := make([]byte, lines)
+		base := mem.Config().NVRAMBase
+		for op := 0; op < 1500; op++ {
+			li := rng.Intn(lines)
+			pa := base + memsim.PAddr(li*64)
+			core := rng.Intn(3)
+			switch rng.Intn(4) {
+			case 0:
+				v := byte(rng.Intn(255) + 1)
+				h.Store(core, pa, []byte{v}, 0)
+				ref[li] = v
+			case 1, 2:
+				buf := make([]byte, 1)
+				h.Load(core, pa, buf, 0)
+				if buf[0] != ref[li] {
+					t.Fatalf("seed %#x op %d: load core=%d line=%d got %#x want %#x",
+						seed, op, core, li, buf[0], ref[li])
+				}
+			case 3:
+				h.Flush(core, pa, 0, stats.CatData)
+			}
+			if msg := h.DebugValidate(); msg != "" {
+				t.Fatalf("seed %#x op %d: coherence violation: %s", seed, op, msg)
+			}
+		}
+		h.FlushAll(0, stats.CatData)
+		for li := 0; li < lines; li++ {
+			b := make([]byte, 1)
+			mem.Peek(base+memsim.PAddr(li*64), b)
+			if b[0] != ref[li] {
+				t.Fatalf("seed %#x: durable line %d got %#x want %#x", seed, li, b[0], ref[li])
+			}
+		}
+	}
+}
+
+// TestRetagInvariantFuzz mixes SSP-style retag/flush/invalidate cycles with
+// plain traffic on a disjoint address range and validates coherence
+// invariants throughout. It emulates the atomic-update protocol: a line is
+// alternately remapped between a P0 and P1 address, written, and either
+// flushed (commit) or invalidated (abort).
+func TestRetagInvariantFuzz(t *testing.T) {
+	for _, seed := range []uint64{7, 99, 12345} {
+		h, mem, _ := testSetup(2)
+		rng := engine.NewRNG(seed)
+		base := mem.Config().NVRAMBase
+		const pairs = 16
+		// cur[i] tracks which side (0/1) holds the committed value of pair i.
+		cur := make([]int, pairs)
+		ref := make([]byte, pairs)
+		addr := func(i, side int) memsim.PAddr {
+			return base + memsim.PAddr(i*2+side)*64
+		}
+		for op := 0; op < 600; op++ {
+			i := rng.Intn(pairs)
+			core := rng.Intn(2)
+			from := addr(i, cur[i])
+			to := addr(i, 1-cur[i])
+			switch rng.Intn(3) {
+			case 0: // committed update: retag, store, flush
+				buf := make([]byte, 1)
+				h.Load(core, from, buf, 0)
+				if buf[0] != ref[i] {
+					t.Fatalf("seed %d op %d: pre-retag load got %#x want %#x", seed, op, buf[0], ref[i])
+				}
+				h.Retag(core, from, to, 0)
+				v := byte(rng.Intn(255) + 1)
+				h.Store(core, to, []byte{v}, 0)
+				h.Flush(core, to, 0, stats.CatData)
+				ref[i] = v
+				cur[i] = 1 - cur[i]
+			case 1: // aborted update: retag, store, invalidate
+				h.Load(core, from, make([]byte, 1), 0)
+				h.Retag(core, from, to, 0)
+				h.Store(core, to, []byte{0xEE}, 0)
+				h.InvalidateLine(to)
+			case 2: // read committed
+				buf := make([]byte, 1)
+				h.Load(core, from, buf, 0)
+				if buf[0] != ref[i] {
+					t.Fatalf("seed %d op %d: committed read got %#x want %#x", seed, op, buf[0], ref[i])
+				}
+			}
+			if msg := h.DebugValidate(); msg != "" {
+				t.Fatalf("seed %d op %d: coherence violation: %s", seed, op, msg)
+			}
+		}
+		// Durable check: committed side of every pair holds ref.
+		for i := 0; i < pairs; i++ {
+			b := make([]byte, 1)
+			mem.Peek(addr(i, cur[i]), b)
+			if b[0] != ref[i] {
+				t.Fatalf("seed %d: durable pair %d got %#x want %#x", seed, i, b[0], ref[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/engine"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+	"repro/internal/wal"
+)
+
+// consolidate merges a page's two physical frames into one (§3.4): the side
+// holding fewer committed lines is copied into the other, the flip is
+// journaled atomically, and the page table is repointed at the survivor.
+// It runs off the critical path — NVRAM bank time is charged from `at`, but
+// no core waits on it.
+func (s *SSP) consolidate(meta *pageMeta, at engine.Cycles) {
+	if meta.tlbRef != 0 || meta.coreRef != 0 {
+		panic("core: consolidating an active page")
+	}
+	if meta.current != meta.committed {
+		panic("core: current != committed outside transactions")
+	}
+	if meta.committed == 0 {
+		return // already consolidated
+	}
+	s.env.Stats.Consolidations++
+	t := at
+
+	units := memsim.LinesPerPage / s.cfg.SubPageLines
+	ones := bits.OnesCount64(meta.committed)
+	var survivor, spare memsim.PAddr
+	var copyBit uint64 // units whose committed copy must move
+	if ones*2 <= units {
+		// Minority on P1: copy those units into P0.
+		survivor, spare = meta.ppn0, meta.ppn1
+		copyBit = 1
+	} else {
+		survivor, spare = meta.ppn1, meta.ppn0
+		copyBit = 0
+	}
+	var buf [memsim.LineBytes]byte
+	for unit := 0; unit < units; unit++ {
+		if (meta.committed>>uint(unit))&1 != copyBit {
+			continue
+		}
+		begin, end := s.unitLines(unit)
+		for li := begin; li < end; li++ {
+			src := meta.lineAddr(li, copyBit)
+			dst := meta.lineAddr(li, copyBit^1)
+			// Committed lines are clean (flushed at their commit); only a
+			// non-transactional store can leave the source dirty.
+			if s.env.Caches.DirtyAnywhere(src) {
+				t, _ = s.env.Caches.Flush(0, src, t, stats.CatData)
+			}
+			t = s.env.Mem.ReadLine(src, buf[:], t)
+			t = s.env.Mem.WriteLine(dst, buf[:], t, stats.CatConsolidation)
+			// Cached copies of the destination hold a dead version; the
+			// copy engine updates them in place (cache injection), so the
+			// page's next access after refill hits warm lines.
+			s.env.Caches.InjectLine(dst, buf[:])
+			s.env.Stats.ConsolidatedLines++
+		}
+	}
+
+	// Journal the atomic flip: the slot now maps the page entirely to the
+	// survivor, with the other frame as the slot's spare. The record is
+	// NOT flushed here: until it drains, a crash simply reverts to the
+	// pre-consolidation state (both frames untouched at committed
+	// locations, recovery repairs the PTE). The page's barrier mark makes
+	// the next commit on this page flush first, so durably-flushed
+	// speculative data can never land in a frame the old metadata still
+	// references (§3.4, off-critical-path consolidation).
+	st := slotState{vpn: meta.vpn, ppn0: survivor, ppn1: spare, committed: 0}
+	tid := s.nextTID
+	s.nextTID++
+	t = s.journal.Append(wal.Record{TID: tid, Kind: recConsolidate, Payload: encodeJournalPayload(meta.slot, st, s.env.Layout.FrameIndex)}, t)
+	s.slotShadow[meta.slot] = st
+	s.dirtySlots[meta.slot] = struct{}{}
+	meta.barrier = s.journal.MarkHere()
+
+	// Durable page-table repoint. Safe in either order with the journal
+	// record: recovery trusts the journal-replayed slot state and repairs
+	// the PTE to match.
+	t = s.env.PT.Set(meta.vpn, survivor, t)
+
+	meta.ppn0, meta.ppn1 = survivor, spare
+	meta.committed, meta.current = 0, 0
+	s.clock(t)
+	s.maybeCheckpoint(t)
+}
+
+// maybeCheckpoint applies the journal to the persistent slot array and
+// truncates it once the ring passes its high-water mark (§4.1.2
+// "Checkpointing"). Background work: bank time only.
+func (s *SSP) maybeCheckpoint(at engine.Cycles) {
+	if float64(s.journal.Used()) < s.cfg.JournalHighWater*float64(s.journal.Capacity()) {
+		return
+	}
+	s.checkpoint(at)
+}
+
+// checkpoint writes the final state of every journal-dirtied slot to the
+// persistent SSP cache and resets the journal ("capture the final state of
+// a modified cache entry and only write it back to the persistent cache").
+func (s *SSP) checkpoint(at engine.Cycles) {
+	if len(s.dirtySlots) == 0 {
+		s.journal.Reset()
+		return
+	}
+	t := at
+	sids := make([]int, 0, len(s.dirtySlots))
+	for sid := range s.dirtySlots {
+		sids = append(sids, sid)
+	}
+	sortInts(sids)
+	for _, sid := range sids {
+		t = s.env.Mem.WriteLine(s.slotAddr(sid), encodeSlot(s.slotShadow[sid], s.env.Layout.FrameIndex), t, stats.CatCheckpoint)
+	}
+	s.journal.Reset()
+	clear(s.dirtySlots)
+	s.env.Stats.Checkpoints++
+	s.clock(t)
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

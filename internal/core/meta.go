@@ -1,0 +1,251 @@
+// Package core implements Shadow Sub-Paging (SSP), the paper's primary
+// contribution: failure-atomic durable transactions on NVRAM through
+// cache-line-level remapping between each virtual page and two physical
+// frames, with lightweight metadata journaling (§3.3), page consolidation
+// (§3.4), background checkpointing (§4.1.2) and crash recovery (§4.4).
+//
+// The package realises the architecture of Figure 3 on the simulated
+// hardware of internal/{memsim,cachesim,tlbsim}: the extended TLB caches
+// per-page metadata, the memory controller owns the SSP cache (a transient
+// DRAM/L3-resident part and a persistent NVRAM slot array), and all
+// per-line state lives in three 64-bit bitmaps per active page — current,
+// updated and committed.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/memsim"
+	"repro/internal/wal"
+)
+
+// invalidU32 marks unused slot fields (free slots, absent frames).
+const invalidU32 = ^uint32(0)
+
+// Config tunes the SSP mechanism; see DefaultConfig for the paper's values.
+type Config struct {
+	// Entries is the transient SSP cache capacity. §4.1.2 sizes it as
+	// N·T+O (cores × TLB entries + overprovisioning); §5.1 reserves about
+	// 1K entries. It must not exceed the persistent slot count of
+	// vm.LayoutConfig.SSPSlots.
+	Entries int
+	// ResidentEntries of the SSP cache are modelled as resident in the L3
+	// slice (§4.2); accesses to them cost CacheHitLat, others CacheMissLat.
+	ResidentEntries int
+	// CacheHitLat is the SSP-cache access latency when resident (the L3
+	// latency, 27 cycles); Figure 9 sweeps this.
+	CacheHitLat engine.Cycles
+	// CacheMissLat is charged when the entry is not L3-resident (DRAM).
+	CacheMissLat engine.Cycles
+	// WSBEntries is the per-core write-set buffer capacity in pages
+	// (§4.2); overflowing transactions divert to the software fall-back.
+	WSBEntries int
+	// FlipCycles is charged on a flip-current-bit broadcast (§4.1.1); the
+	// message piggybacks on the coherence network, so it is small.
+	FlipCycles engine.Cycles
+	// JournalHighWater is the journal fill fraction that triggers a
+	// checkpoint.
+	JournalHighWater float64
+	// SubPageLines is the persistence granularity in cache lines (1 = the
+	// paper's default 64 B; 4 models the 256 B Optane granularity of
+	// §4.3). Updated/current/committed bits are maintained per sub-page.
+	SubPageLines int
+	// LazyConsolidation defers consolidation of inactive pages until the
+	// SSP cache needs their slot (the paper's flagged future work, §3.4:
+	// "These inactive pages could be consolidated eagerly ... or lazily
+	// (e.g. when the demands on the memory resources are high)"). A page
+	// touched again before its slot is reclaimed skips consolidation
+	// entirely.
+	LazyConsolidation bool
+	// FlipViaShootdown replaces the flip-current-bit coherence broadcast
+	// with a TLB-shootdown-style synchronisation (§4.3's simpler-hardware
+	// alternative): every first write to a line in a transaction pays
+	// ShootdownCycles instead of FlipCycles.
+	FlipViaShootdown bool
+	// ShootdownCycles is the cost of one TLB shootdown (OS trap + IPIs).
+	ShootdownCycles engine.Cycles
+}
+
+// DefaultConfig returns the paper's SSP parameters.
+func DefaultConfig() Config {
+	return Config{
+		Entries:          1024,
+		ResidentEntries:  1024,
+		CacheHitLat:      27,
+		CacheMissLat:     185,
+		WSBEntries:       64,
+		FlipCycles:       5,
+		JournalHighWater: 0.75,
+		SubPageLines:     1,
+		ShootdownCycles:  4000, // trap + IPI round trip, per [1,48]
+	}
+}
+
+// pageMeta is one transient SSP cache entry (Figure 3): the volatile view
+// of a page that is being actively updated.
+type pageMeta struct {
+	vpn  int
+	slot int // persistent slot index (SID)
+
+	ppn0 memsim.PAddr // original physical page
+	ppn1 memsim.PAddr // shadow physical page (the slot's spare)
+
+	committed uint64 // durable-consistent location of each line (0=P0 1=P1)
+	current   uint64 // most-recent location of each line
+	tlbRef    int    // TLBs caching this page's translation
+	coreRef   int    // cores with the page in an open write set
+
+	// barrier marks the journal position that must be durable before this
+	// page's shadow frame may host durably-flushed speculative data: the
+	// page's last lazily-journaled consolidation/release records (see
+	// consolidate.go). Commits check it before their data flushes.
+	barrier wal.Mark
+}
+
+// lineAddr returns the physical line address of line idx on the side
+// selected by bit (0 → P0, 1 → P1).
+func (m *pageMeta) lineAddr(idx int, bit uint64) memsim.PAddr {
+	base := m.ppn0
+	if bit != 0 {
+		base = m.ppn1
+	}
+	return base + memsim.PAddr(idx*memsim.LineBytes)
+}
+
+// slotState mirrors one persistent SSP slot: what the NVRAM slot array
+// would contain after applying every journaled update.
+type slotState struct {
+	vpn       int // -1 when free
+	ppn0      memsim.PAddr
+	ppn1      memsim.PAddr // the slot's spare frame; owned forever (§4.1.2)
+	committed uint64
+}
+
+// Slot array entry layout (one 64-byte line per slot):
+//
+//	+0  u32 vpn (invalidU32 = free)
+//	+4  u32 ppn0 frame index (invalidU32 = none)
+//	+8  u32 ppn1 frame index (the spare; always valid)
+//	+12 u32 reserved
+//	+16 u64 committed bitmap
+const slotBytes = memsim.LineBytes
+
+func encodeSlot(st slotState, frameIndex func(memsim.PAddr) int) []byte {
+	buf := make([]byte, slotBytes)
+	vpn := invalidU32
+	p0 := invalidU32
+	if st.vpn >= 0 {
+		vpn = uint32(st.vpn)
+		p0 = uint32(frameIndex(st.ppn0))
+	}
+	binary.LittleEndian.PutUint32(buf[0:], vpn)
+	binary.LittleEndian.PutUint32(buf[4:], p0)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(frameIndex(st.ppn1)))
+	binary.LittleEndian.PutUint64(buf[16:], st.committed)
+	return buf
+}
+
+func decodeSlot(buf []byte, frameAddr func(int) memsim.PAddr) slotState {
+	vpn := binary.LittleEndian.Uint32(buf[0:])
+	p0 := binary.LittleEndian.Uint32(buf[4:])
+	p1 := binary.LittleEndian.Uint32(buf[8:])
+	st := slotState{vpn: -1, ppn1: frameAddr(int(p1))}
+	if vpn != invalidU32 {
+		st.vpn = int(vpn)
+		st.ppn0 = frameAddr(int(p0))
+		st.committed = binary.LittleEndian.Uint64(buf[16:])
+	}
+	return st
+}
+
+// Journal record kinds (§3.3 / §4.1.2). Update records commit in batches:
+// a transaction appends recUpdate records for all but its last page and
+// seals the batch with recUpdateEnd (update + end marker in one record, so
+// single-page transactions cost exactly one record). Consolidate and
+// release records are single-record atomic operations applied
+// unconditionally. recEnd remains as a standalone seal (used by tests).
+const (
+	recUpdate      = 1
+	recEnd         = 2
+	recConsolidate = 3
+	recRelease     = 4
+	recUpdateEnd   = 5
+)
+
+// journal record payload: u32 sid, u32 vpn, u32 ppn0Idx, u32 ppn1Idx,
+// u64 committed — 24 bytes ("128 bits of metadata for each modified page",
+// §3.3, plus the slot's frame fields needed for recovery; see DESIGN.md §5).
+const journalPayloadBytes = 24
+
+func encodeJournalPayload(sid int, st slotState, frameIndex func(memsim.PAddr) int) []byte {
+	p := make([]byte, journalPayloadBytes)
+	binary.LittleEndian.PutUint32(p[0:], uint32(sid))
+	vpn := invalidU32
+	p0 := invalidU32
+	if st.vpn >= 0 {
+		vpn = uint32(st.vpn)
+		p0 = uint32(frameIndex(st.ppn0))
+	}
+	binary.LittleEndian.PutUint32(p[4:], vpn)
+	binary.LittleEndian.PutUint32(p[8:], p0)
+	binary.LittleEndian.PutUint32(p[12:], uint32(frameIndex(st.ppn1)))
+	binary.LittleEndian.PutUint64(p[16:], st.committed)
+	return p
+}
+
+func decodeJournalPayload(p []byte, frameAddr func(int) memsim.PAddr) (sid int, st slotState) {
+	if len(p) != journalPayloadBytes {
+		panic(fmt.Sprintf("core: bad journal payload length %d", len(p)))
+	}
+	sid = int(binary.LittleEndian.Uint32(p[0:]))
+	vpn := binary.LittleEndian.Uint32(p[4:])
+	p0 := binary.LittleEndian.Uint32(p[8:])
+	p1 := binary.LittleEndian.Uint32(p[12:])
+	st = slotState{vpn: -1, ppn1: frameAddr(int(p1))}
+	if vpn != invalidU32 {
+		st.vpn = int(vpn)
+		st.ppn0 = frameAddr(int(p0))
+		st.committed = binary.LittleEndian.Uint64(p[16:])
+	}
+	return sid, st
+}
+
+// lruSet models which SSP cache entries currently sit in the L3-resident
+// slice: a bounded recency set over slot IDs.
+type lruSet struct {
+	cap  int
+	tick uint64
+	at   map[int]uint64 // sid -> last access tick
+}
+
+func newLRUSet(capacity int) *lruSet {
+	return &lruSet{cap: capacity, at: make(map[int]uint64)}
+}
+
+// Touch records an access and reports whether it hit the resident set.
+func (l *lruSet) Touch(sid int) bool {
+	l.tick++
+	if _, ok := l.at[sid]; ok {
+		l.at[sid] = l.tick
+		return true
+	}
+	if len(l.at) >= l.cap {
+		oldSid, oldTick := -1, ^uint64(0)
+		for s, tk := range l.at {
+			if tk < oldTick {
+				oldSid, oldTick = s, tk
+			}
+		}
+		delete(l.at, oldSid)
+	}
+	l.at[sid] = l.tick
+	return false
+}
+
+// Reset clears the set (power loss).
+func (l *lruSet) Reset() {
+	l.at = make(map[int]uint64)
+	l.tick = 0
+}

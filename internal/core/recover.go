@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/stats"
+	"repro/internal/wal"
+)
+
+// Crash implements txn.Backend: power loss wipes every volatile structure —
+// transient SSP cache, write-set buffers, journal buffer, residency model.
+// The durable slot array, journal and fall-back logs survive in NVRAM.
+func (s *SSP) Crash() {
+	s.entries = make(map[int]*pageMeta)
+	s.dirtySlots = make(map[int]struct{})
+	s.freeSlots = nil
+	s.resident.Reset()
+	for c := range s.wsb {
+		s.wsb[c] = make(map[int]uint64)
+		s.inTxn[c] = false
+		s.fallback[c] = false
+		s.fbOld[c] = make(map[memsim.PAddr][memsim.LineBytes]byte)
+		s.fbPages[c] = make(map[int]struct{})
+		s.fbLogs[c].Reset()
+	}
+	s.journal.Reset()
+	s.now = 0
+}
+
+// Recover implements txn.Backend (§4.4): rebuild the transient SSP cache
+// from the persistent slot array, replay the metadata journal (skipping
+// transactions without a durable End record), roll back interrupted
+// fall-back transactions, repair the page table, and rebuild the frame
+// allocator.
+func (s *SSP) Recover() error {
+	s.env.Stats.Recoveries++
+
+	// 1. Load the persistent slot array.
+	buf := make([]byte, slotBytes)
+	for sid := range s.slotShadow {
+		s.env.Mem.Peek(s.slotAddr(sid), buf)
+		s.slotShadow[sid] = decodeSlot(buf, s.env.Layout.FrameAddr)
+	}
+
+	// 2. Replay the journal: update batches apply only through their End
+	// record; consolidate/release records apply unconditionally in order.
+	recs := wal.Scan(s.env.Mem, s.env.Layout.JournalBase, s.env.Layout.Cfg.JournalBytes)
+	var batch []wal.Record
+	var batchTID uint32
+	applyBatch := func() {
+		for _, r := range batch {
+			sid, st := decodeJournalPayload(r.Payload, s.env.Layout.FrameAddr)
+			s.slotShadow[sid] = st
+			s.env.Stats.ReplayedRecords++
+		}
+		s.env.Stats.RecoveredTxns++
+		batch = nil
+	}
+	for _, r := range recs {
+		switch r.Kind {
+		case recUpdate:
+			if len(batch) > 0 && r.TID != batchTID {
+				// A new batch started without the previous End: the prior
+				// batch can only be an artifact of a torn tail; drop it.
+				batch = nil
+			}
+			batchTID = r.TID
+			batch = append(batch, r)
+		case recUpdateEnd:
+			if len(batch) > 0 && r.TID != batchTID {
+				batch = nil
+			}
+			batchTID = r.TID
+			batch = append(batch, r)
+			applyBatch()
+		case recEnd:
+			if len(batch) > 0 && r.TID == batchTID {
+				applyBatch()
+			}
+		case recConsolidate, recRelease:
+			sid, st := decodeJournalPayload(r.Payload, s.env.Layout.FrameAddr)
+			s.slotShadow[sid] = st
+			s.env.Stats.ReplayedRecords++
+		default:
+			return fmt.Errorf("core: unknown journal record kind %d", r.Kind)
+		}
+	}
+	if len(batch) > 0 {
+		s.env.Stats.RolledBackTxns++ // speculative updates discarded (§4.1.1)
+	}
+	maxTID := wal.MaxTID(recs)
+
+	// 3. Roll back interrupted software fall-back transactions (their undo
+	// logs live in the per-core log regions).
+	for c := range s.fbLogs {
+		lrecs := wal.Scan(s.env.Mem, s.env.Layout.LogBase[c], s.env.Layout.Cfg.LogBytes)
+		if m := wal.MaxTID(lrecs); m > maxTID {
+			maxTID = m
+		}
+		if len(lrecs) == 0 || lrecs[len(lrecs)-1].Kind == fbKindCommit {
+			continue
+		}
+		for i := len(lrecs) - 1; i >= 0; i-- {
+			if lrecs[i].Kind != fbKindData {
+				continue
+			}
+			pa, img := decodeFBPayload(lrecs[i].Payload)
+			s.env.Mem.WriteLine(pa, img, 0, stats.CatRecovery)
+			s.env.Stats.RecoveryNVWrites++
+		}
+		s.env.Stats.RolledBackTxns++
+	}
+
+	// 4. Rebuild the page table mirror, repair consolidation flips, and
+	// build the transient SSP cache: current := committed, refcounts zero.
+	s.env.PT.Rebuild()
+	s.entries = make(map[int]*pageMeta)
+	s.freeSlots = nil
+	seenVPN := make(map[int]int)
+	for sid := len(s.slotShadow) - 1; sid >= 0; sid-- {
+		st := s.slotShadow[sid]
+		if st.vpn < 0 {
+			s.freeSlots = append(s.freeSlots, sid)
+			continue
+		}
+		if prev, dup := seenVPN[st.vpn]; dup {
+			return fmt.Errorf("core: slots %d and %d both claim vpn %d", prev, sid, st.vpn)
+		}
+		seenVPN[st.vpn] = sid
+		if cur, ok := s.env.PT.Lookup(st.vpn); !ok || cur != st.ppn0 {
+			// The consolidation's PTE write was lost; the journal record is
+			// authoritative.
+			s.env.PT.Set(st.vpn, st.ppn0, 0)
+			s.env.Stats.RecoveryNVWrites++
+		}
+		s.entries[st.vpn] = &pageMeta{
+			vpn:       st.vpn,
+			slot:      sid,
+			ppn0:      st.ppn0,
+			ppn1:      st.ppn1,
+			committed: st.committed,
+			current:   st.committed,
+		}
+	}
+
+	// 5. Rebuild the frame allocator: every PTE-mapped frame plus every
+	// slot's spare is live.
+	s.env.Frames.Reset()
+	for _, m := range s.env.PT.Mapped() {
+		s.env.Frames.Reserve(m.Frame)
+	}
+	for _, st := range s.slotShadow {
+		s.env.Frames.Reserve(st.ppn1)
+	}
+
+	if maxTID >= s.nextTID {
+		s.nextTID = maxTID + 1
+	}
+	s.journal.Reset()
+	s.journal.SetTIDFloor(maxTID)
+	for c := range s.fbLogs {
+		s.fbLogs[c].Reset()
+		s.fbLogs[c].SetTIDFloor(maxTID)
+	}
+	return nil
+}

@@ -1,0 +1,534 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+	"repro/internal/tlbsim"
+	"repro/internal/txn"
+	"repro/internal/vm"
+	"repro/internal/wal"
+)
+
+// SSP is the Shadow Sub-Paging backend; it implements txn.Backend.
+type SSP struct {
+	env *txn.Env
+	cfg Config
+
+	journal  *wal.Stream
+	nextTID  uint32
+	resident *lruSet
+
+	entries    map[int]*pageMeta // by vpn; the transient SSP cache
+	slotShadow []slotState       // journal-consistent view of the slot array
+	dirtySlots map[int]struct{}  // slots needing a checkpoint write
+	freeSlots  []int
+
+	// Per-core transaction state.
+	inTxn []bool
+	wsb   []map[int]uint64 // write-set buffer: vpn -> updated bitmap
+
+	// Software fall-back path (§3.5).
+	fallback []bool
+	fbTID    []uint32
+	fbLogs   []*wal.Stream
+	fbOld    []map[memsim.PAddr][memsim.LineBytes]byte
+	fbPages  []map[int]struct{}
+
+	// now tracks the latest time observed by any operation, so background
+	// work triggered from timeless callbacks (TLB evictions) has a clock.
+	now engine.Cycles
+}
+
+var _ txn.Backend = (*SSP)(nil)
+
+// NewSSP builds the SSP backend over env. When fresh is true the persistent
+// slot array is formatted (every slot assigned its spare frame up front,
+// §4.1.2 "Free Space Management"); otherwise the caller runs Recover to
+// parse the existing image.
+func NewSSP(env *txn.Env, cfg Config, fresh bool) *SSP {
+	if cfg.Entries <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Entries > env.Layout.Cfg.SSPSlots {
+		panic(fmt.Sprintf("core: Entries %d exceeds persistent slots %d", cfg.Entries, env.Layout.Cfg.SSPSlots))
+	}
+	if cfg.SubPageLines <= 0 {
+		cfg.SubPageLines = 1
+	}
+	if memsim.LinesPerPage%cfg.SubPageLines != 0 {
+		panic("core: SubPageLines must divide 64")
+	}
+	s := &SSP{
+		env:        env,
+		cfg:        cfg,
+		journal:    wal.NewStream(env.Mem, env.Layout.JournalBase, env.Layout.Cfg.JournalBytes, stats.CatMetaJournal),
+		nextTID:    1,
+		resident:   newLRUSet(cfg.ResidentEntries),
+		entries:    make(map[int]*pageMeta),
+		slotShadow: make([]slotState, cfg.Entries),
+		dirtySlots: make(map[int]struct{}),
+	}
+	cores := env.Cores()
+	s.inTxn = make([]bool, cores)
+	s.wsb = make([]map[int]uint64, cores)
+	s.fallback = make([]bool, cores)
+	s.fbTID = make([]uint32, cores)
+	s.fbOld = make([]map[memsim.PAddr][memsim.LineBytes]byte, cores)
+	s.fbPages = make([]map[int]struct{}, cores)
+	for c := 0; c < cores; c++ {
+		s.wsb[c] = make(map[int]uint64)
+		s.fbOld[c] = make(map[memsim.PAddr][memsim.LineBytes]byte)
+		s.fbPages[c] = make(map[int]struct{})
+		s.fbLogs = append(s.fbLogs, wal.NewStream(env.Mem, env.Layout.LogBase[c], env.Layout.Cfg.LogBytes, stats.CatUndoLog))
+		core := c
+		env.TLBs[c].OnEvict = func(vpn tlbsim.VPN) { s.onTLBEvict(core, int(vpn)) }
+	}
+	if fresh {
+		s.format()
+	}
+	return s
+}
+
+// format assigns every slot its spare frame and writes the initial slot
+// array (machine initialisation; no timing).
+func (s *SSP) format() {
+	for sid := range s.slotShadow {
+		spare := s.env.Frames.Alloc()
+		s.slotShadow[sid] = slotState{vpn: -1, ppn1: spare}
+		s.env.Mem.Poke(s.slotAddr(sid), encodeSlot(s.slotShadow[sid], s.env.Layout.FrameIndex))
+		s.freeSlots = append(s.freeSlots, sid)
+	}
+	// Reverse so slot 0 is handed out first.
+	for i, j := 0, len(s.freeSlots)-1; i < j; i, j = i+1, j-1 {
+		s.freeSlots[i], s.freeSlots[j] = s.freeSlots[j], s.freeSlots[i]
+	}
+}
+
+func (s *SSP) slotAddr(sid int) memsim.PAddr {
+	return s.env.Layout.SSPSlotsBase + memsim.PAddr(sid*slotBytes)
+}
+
+// Name implements txn.Backend.
+func (s *SSP) Name() string { return "SSP" }
+
+// unitOf maps a line index to its sub-page unit (bit index).
+func (s *SSP) unitOf(lineIdx int) int { return lineIdx / s.cfg.SubPageLines }
+
+// unitLines iterates the line indices of unit u.
+func (s *SSP) unitLines(u int) (int, int) {
+	return u * s.cfg.SubPageLines, (u + 1) * s.cfg.SubPageLines
+}
+
+func (s *SSP) clock(at engine.Cycles) {
+	if at > s.now {
+		s.now = at
+	}
+}
+
+// translate resolves va's page metadata through core's TLB, charging the
+// page walk and the SSP-cache metadata fetch on a miss (§4.1.1).
+func (s *SSP) translate(core int, va uint64, at engine.Cycles) (*pageMeta, engine.Cycles) {
+	vpn := vm.VPNOf(va)
+	if _, level, hit := s.env.TLBs[core].Lookup(tlbsim.VPN(vpn)); hit {
+		meta := s.entries[vpn]
+		if meta == nil {
+			panic("core: TLB-resident page without SSP cache entry")
+		}
+		if level == 2 {
+			// The SSP-extended fields live in the L1 DTLB entries
+			// (§4.1.1); promoting from the STLB refetches the metadata
+			// from the SSP cache — this is the access Figure 9 sweeps.
+			s.env.Stats.SSPCacheHits++
+			at += s.env.STLBCycles + s.accessLat(meta.slot)
+		}
+		return meta, at
+	}
+	ppn, t, ok := s.env.PT.Walk(vpn, at)
+	if !ok {
+		panic("core: access to unmapped persistent page")
+	}
+	meta, t := s.fetchMeta(vpn, ppn, t)
+	s.env.TLBs[core].Insert(tlbsim.VPN(vpn), ppn)
+	meta.tlbRef++
+	return meta, t
+}
+
+// fetchMeta returns the SSP cache entry for vpn, creating one (allocating a
+// slot) on a miss, and charges the SSP-cache access latency according to
+// the L3-residency model (§4.2, Figure 9).
+func (s *SSP) fetchMeta(vpn int, ppn memsim.PAddr, at engine.Cycles) (*pageMeta, engine.Cycles) {
+	if meta, ok := s.entries[vpn]; ok {
+		s.env.Stats.SSPCacheHits++
+		t := at + s.accessLat(meta.slot)
+		return meta, t
+	}
+	s.env.Stats.SSPCacheMisses++
+	sid := s.allocSlot(at)
+	meta := &pageMeta{
+		vpn:     vpn,
+		slot:    sid,
+		ppn0:    ppn,
+		ppn1:    s.slotShadow[sid].ppn1,
+		barrier: s.journal.MarkHere(),
+	}
+	s.entries[vpn] = meta
+	// The slot association becomes journal-visible only at the page's
+	// first commit; until then the page's committed state is entirely in
+	// its PTE frame, which needs no metadata (see DESIGN.md).
+	t := at + s.accessLat(sid)
+	return meta, t
+}
+
+func (s *SSP) accessLat(sid int) engine.Cycles {
+	if s.resident.Touch(sid) {
+		return s.cfg.CacheHitLat
+	}
+	return s.cfg.CacheMissLat
+}
+
+// allocSlot returns a free slot, evicting (and if needed consolidating) an
+// unreferenced entry when the transient cache is full.
+func (s *SSP) allocSlot(at engine.Cycles) int {
+	if len(s.freeSlots) > 0 {
+		sid := s.freeSlots[len(s.freeSlots)-1]
+		s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+		return sid
+	}
+	// Evict a quiescent entry (§4.1.2: "already consolidated ... and not
+	// referenced by any TLB"). Deterministic choice: lowest vpn first.
+	var victims []int
+	for vpn, m := range s.entries {
+		if m.tlbRef == 0 && m.coreRef == 0 {
+			victims = append(victims, vpn)
+		}
+	}
+	if len(victims) == 0 {
+		panic("core: SSP cache exhausted with every entry referenced; raise Config.Entries")
+	}
+	sort.Ints(victims)
+	meta := s.entries[victims[0]]
+	if meta.committed != 0 {
+		s.consolidate(meta, engine.MaxCycles(at, s.now))
+	}
+	s.releaseEntry(meta, engine.MaxCycles(at, s.now))
+	sid := s.freeSlots[len(s.freeSlots)-1]
+	s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+	return sid
+}
+
+// releaseEntry removes a consolidated, unreferenced entry from the
+// transient cache, journaling the slot release so recovery never
+// resurrects a stale association.
+func (s *SSP) releaseEntry(meta *pageMeta, at engine.Cycles) {
+	if meta.committed != 0 || meta.tlbRef != 0 || meta.coreRef != 0 {
+		panic("core: releasing a live SSP entry")
+	}
+	sid := meta.slot
+	st := slotState{vpn: -1, ppn1: meta.ppn1}
+	tid := s.nextTID
+	s.nextTID++
+	s.journal.Append(wal.Record{TID: tid, Kind: recRelease, Payload: encodeJournalPayload(sid, st, s.env.Layout.FrameIndex)}, at)
+	s.slotShadow[sid] = st
+	s.dirtySlots[sid] = struct{}{}
+	delete(s.entries, meta.vpn)
+	s.freeSlots = append(s.freeSlots, sid)
+	s.maybeCheckpoint(at)
+	// The slot's next tenant inherits a barrier at the release record (set
+	// in fetchMeta via MarkHere), so its first commit flushes it.
+}
+
+// onTLBEvict is the extended-TLB eviction hook: it drops the page's TLB
+// reference count and triggers eager consolidation when the page becomes
+// inactive (§3.4).
+func (s *SSP) onTLBEvict(core int, vpn int) {
+	meta := s.entries[vpn]
+	if meta == nil {
+		panic("core: TLB evicted a page without an SSP entry")
+	}
+	_ = core
+	meta.tlbRef--
+	if meta.tlbRef < 0 {
+		panic("core: negative TLB refcount")
+	}
+	if meta.tlbRef == 0 && meta.coreRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation {
+		s.consolidate(meta, s.now)
+	}
+}
+
+// Begin implements txn.Backend (ATOMIC_BEGIN: a full barrier).
+func (s *SSP) Begin(core int, at engine.Cycles) engine.Cycles {
+	if s.inTxn[core] {
+		panic("core: nested transaction")
+	}
+	s.inTxn[core] = true
+	s.clock(at)
+	return at + s.env.BarrierCycles
+}
+
+// Store implements txn.Backend: the atomic-update protocol of Figure 4.
+func (s *SSP) Store(core int, va uint64, data []byte, at engine.Cycles) engine.Cycles {
+	if !s.inTxn[core] {
+		panic("core: Store outside transaction")
+	}
+	if s.fallback[core] {
+		return s.fbStore(core, va, data, at)
+	}
+	meta, t := s.translate(core, va, at)
+	off := int(va & (memsim.PageBytes - 1))
+	lineIdx := off / memsim.LineBytes
+	unit := s.unitOf(lineIdx)
+	bit := uint64(1) << uint(unit)
+
+	bm := s.wsb[core][meta.vpn]
+	if bm == 0 && len(s.wsb[core]) >= s.cfg.WSBEntries {
+		// Write-set buffer overflow: divert the whole transaction to the
+		// software fall-back path (§3.5) and retry this store there.
+		t = s.transitionToFallback(core, t)
+		return s.fbStore(core, va, data, t)
+	}
+
+	if bm&bit == 0 {
+		// First write to this unit in the transaction: remap every line of
+		// the unit to the "other" page, flip the current bit, broadcast.
+		begin, end := s.unitLines(unit)
+		cur := (meta.current >> uint(unit)) & 1
+		for li := begin; li < end; li++ {
+			from := meta.lineAddr(li, cur)
+			to := meta.lineAddr(li, cur^1)
+			t = s.env.Caches.Retag(core, from, to, t)
+		}
+		meta.current ^= bit
+		s.env.Stats.FlipBroadcasts++
+		if s.cfg.FlipViaShootdown {
+			t += s.cfg.ShootdownCycles
+		} else {
+			t += s.cfg.FlipCycles
+		}
+		if bm == 0 {
+			meta.coreRef++
+		}
+		s.wsb[core][meta.vpn] = bm | bit
+	}
+	curBit := (meta.current >> uint(unit)) & 1
+	target := meta.lineAddr(lineIdx, curBit) + memsim.PAddr(off&(memsim.LineBytes-1))
+	t = s.env.Caches.Store(core, target, data, t)
+	s.clock(t)
+	return t
+}
+
+// Load implements txn.Backend: address translation selects P0 or P1 per
+// line according to the current bitmap (§4.1.1 "Memory Read and Write").
+func (s *SSP) Load(core int, va uint64, buf []byte, at engine.Cycles) engine.Cycles {
+	meta, t := s.translate(core, va, at)
+	off := int(va & (memsim.PageBytes - 1))
+	lineIdx := off / memsim.LineBytes
+	unit := s.unitOf(lineIdx)
+	curBit := (meta.current >> uint(unit)) & 1
+	pa := meta.lineAddr(lineIdx, curBit) + memsim.PAddr(off&(memsim.LineBytes-1))
+	t = s.env.Caches.Load(core, pa, buf, t)
+	s.clock(t)
+	return t
+}
+
+// sortedWS returns the write-set pages in vpn order.
+func (s *SSP) sortedWS(core int) []int {
+	out := make([]int, 0, len(s.wsb[core]))
+	for vpn := range s.wsb[core] {
+		out = append(out, vpn)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Commit implements txn.Backend (§4.1.1 "Transaction Commit"): persist the
+// write set, then atomically commit the metadata via the journal.
+func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
+	if !s.inTxn[core] {
+		panic("core: Commit outside transaction")
+	}
+	if s.fallback[core] {
+		return s.fbCommit(core, at)
+	}
+	t := at
+	pages := s.sortedWS(core)
+
+	// Step 0: metadata barrier — if any write-set page carries a pending
+	// consolidation/release record, persist the journal before flushing
+	// data (see consolidate.go). Pages rarely recommit before their
+	// records drain, so this flush is almost always free.
+	for _, vpn := range pages {
+		if !s.journal.Durable(s.entries[vpn].barrier) {
+			t = s.journal.Flush(t)
+			break
+		}
+	}
+
+	// Step 1: data persistence — clwb every write-set line; the fence
+	// waits for the slowest flush (bank-level parallelism applies).
+	fence := t
+	for _, vpn := range pages {
+		meta := s.entries[vpn]
+		bm := s.wsb[core][vpn]
+		for unit := 0; unit < memsim.LinesPerPage/s.cfg.SubPageLines; unit++ {
+			if bm&(1<<uint(unit)) == 0 {
+				continue
+			}
+			cur := (meta.current >> uint(unit)) & 1
+			begin, end := s.unitLines(unit)
+			for li := begin; li < end; li++ {
+				done, _ := s.env.Caches.Flush(core, meta.lineAddr(li, cur), t, stats.CatData)
+				fence = engine.MaxCycles(fence, done)
+			}
+		}
+	}
+	t = fence
+
+	// Step 2: metadata update — one journal record per modified page (the
+	// last one carries the end marker), then a journal flush makes the
+	// transaction durable.
+	if len(pages) > 0 {
+		tid := s.nextTID
+		s.nextTID++
+		for i, vpn := range pages {
+			meta := s.entries[vpn]
+			bm := s.wsb[core][vpn]
+			meta.committed = (meta.committed &^ bm) | (meta.current & bm)
+			st := slotState{vpn: vpn, ppn0: meta.ppn0, ppn1: meta.ppn1, committed: meta.committed}
+			kind := uint8(recUpdate)
+			if i == len(pages)-1 {
+				kind = recUpdateEnd
+			}
+			t = s.journal.Append(wal.Record{TID: tid, Kind: kind, Payload: encodeJournalPayload(meta.slot, st, s.env.Layout.FrameIndex)}, t)
+			s.slotShadow[meta.slot] = st
+			s.dirtySlots[meta.slot] = struct{}{}
+			s.env.Stats.JournalRecords++
+		}
+		t = s.journal.Flush(t)
+	}
+
+	// Step 3: release core references; pages that became inactive
+	// consolidate in the background (off the critical path).
+	for _, vpn := range pages {
+		meta := s.entries[vpn]
+		meta.coreRef--
+		if meta.coreRef == 0 && meta.tlbRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation {
+			s.consolidate(meta, t)
+		}
+	}
+	clear(s.wsb[core])
+	s.inTxn[core] = false
+	s.env.Stats.Commits++
+	s.maybeCheckpoint(t)
+	end := t + s.env.BarrierCycles
+	s.clock(end)
+	return end
+}
+
+// Abort implements txn.Backend: squash speculative lines and flip the
+// current bits back; committed data was never touched.
+func (s *SSP) Abort(core int, at engine.Cycles) engine.Cycles {
+	if !s.inTxn[core] {
+		panic("core: Abort outside transaction")
+	}
+	if s.fallback[core] {
+		return s.fbAbort(core, at)
+	}
+	t := at
+	for _, vpn := range s.sortedWS(core) {
+		meta := s.entries[vpn]
+		bm := s.wsb[core][vpn]
+		for unit := 0; unit < memsim.LinesPerPage/s.cfg.SubPageLines; unit++ {
+			if bm&(1<<uint(unit)) == 0 {
+				continue
+			}
+			cur := (meta.current >> uint(unit)) & 1
+			begin, end := s.unitLines(unit)
+			for li := begin; li < end; li++ {
+				s.env.Caches.InvalidateLine(meta.lineAddr(li, cur))
+			}
+			meta.current ^= 1 << uint(unit)
+			s.env.Stats.FlipBroadcasts++
+		}
+		meta.coreRef--
+		if meta.coreRef == 0 && meta.tlbRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation {
+			s.consolidate(meta, t)
+		}
+	}
+	clear(s.wsb[core])
+	s.inTxn[core] = false
+	s.env.Stats.Aborts++
+	s.clock(t)
+	return t + s.env.BarrierCycles
+}
+
+// StoreNT implements txn.Backend: a plain store to the current location;
+// not failure-atomic (a later transactional remap of the line write-backs
+// the dirty data first — cachesim.Retag's precondition).
+func (s *SSP) StoreNT(core int, va uint64, data []byte, at engine.Cycles) engine.Cycles {
+	meta, t := s.translate(core, va, at)
+	off := int(va & (memsim.PageBytes - 1))
+	lineIdx := off / memsim.LineBytes
+	curBit := (meta.current >> uint(s.unitOf(lineIdx))) & 1
+	pa := meta.lineAddr(lineIdx, curBit) + memsim.PAddr(off&(memsim.LineBytes-1))
+	t = s.env.Caches.Store(core, pa, data, t)
+	s.clock(t)
+	return t
+}
+
+// Drain implements txn.Backend; consolidation and checkpointing run
+// synchronously in simulated time, so nothing is pending.
+func (s *SSP) Drain(at engine.Cycles) engine.Cycles { return engine.MaxCycles(at, s.now) }
+
+// DebugCheckFrames verifies the frame-ownership invariant: every entry's
+// ppn0 matches its PTE, and all entry frames plus free-slot spares are
+// pairwise disjoint. Returns a description of the first violation, or "".
+func (s *SSP) DebugCheckFrames() string {
+	owner := map[memsim.PAddr]string{}
+	claim := func(pa memsim.PAddr, who string) string {
+		if prev, dup := owner[pa]; dup {
+			return fmt.Sprintf("frame %#x claimed by both %s and %s", pa, prev, who)
+		}
+		owner[pa] = who
+		return ""
+	}
+	for vpn, meta := range s.entries {
+		if pte, ok := s.env.PT.Lookup(vpn); !ok || pte != meta.ppn0 {
+			return fmt.Sprintf("vpn %d: meta.ppn0 %#x != PTE %#x", vpn, meta.ppn0, pte)
+		}
+		if msg := claim(meta.ppn0, fmt.Sprintf("vpn%d.p0", vpn)); msg != "" {
+			return msg
+		}
+		if msg := claim(meta.ppn1, fmt.Sprintf("vpn%d.p1", vpn)); msg != "" {
+			return msg
+		}
+	}
+	for _, sid := range s.freeSlots {
+		if msg := claim(s.slotShadow[sid].ppn1, fmt.Sprintf("freeslot%d", sid)); msg != "" {
+			return msg
+		}
+	}
+	for _, e := range s.env.PT.Mapped() {
+		if _, active := s.entries[e.VPN]; active {
+			continue
+		}
+		if msg := claim(e.Frame, fmt.Sprintf("pte%d", e.VPN)); msg != "" {
+			return msg
+		}
+	}
+	return ""
+}
+
+// DebugPage exposes a page's SSP state for tests and forensics: the two
+// frames and the current/committed bitmaps. ok is false when the page has
+// no SSP cache entry.
+func (s *SSP) DebugPage(vpn int) (ppn0, ppn1 memsim.PAddr, current, committed uint64, ok bool) {
+	meta := s.entries[vpn]
+	if meta == nil {
+		return 0, 0, 0, 0, false
+	}
+	return meta.ppn0, meta.ppn1, meta.current, meta.committed, true
+}

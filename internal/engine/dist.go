@@ -1,0 +1,185 @@
+package engine
+
+import "math"
+
+// Dist generates keys in [0, N) under some distribution. The paper's
+// microbenchmarks use a uniform random distribution ("-Rand") and a skewed
+// one ("-Zipf") in which 80% of the updates are applied to 15% of the keys.
+type Dist interface {
+	// Next returns the next key in [0, N).
+	Next() uint64
+	// N returns the size of the key space.
+	N() uint64
+}
+
+// Uniform draws keys uniformly at random from [0, N).
+type Uniform struct {
+	n   uint64
+	rng *RNG
+}
+
+// NewUniform returns a uniform distribution over [0, n).
+func NewUniform(n uint64, rng *RNG) *Uniform {
+	if n == 0 {
+		panic("engine: NewUniform with n == 0")
+	}
+	return &Uniform{n: n, rng: rng}
+}
+
+// Next implements Dist.
+func (u *Uniform) Next() uint64 { return u.rng.Uint64n(u.n) }
+
+// N implements Dist.
+func (u *Uniform) N() uint64 { return u.n }
+
+// TwoClass is the paper's "zipfian" workload distribution (§5.1): a HotProb
+// fraction of accesses go to the first HotFrac fraction of the key space,
+// the rest go to the remaining keys. The paper uses HotProb=0.80,
+// HotFrac=0.15. Hot keys are spread over the key space by a fixed
+// multiplicative hash so that hotness is not correlated with data-structure
+// locality.
+type TwoClass struct {
+	n       uint64
+	hot     uint64 // number of hot keys
+	hotProb float64
+	mult    uint64 // odd multiplier coprime with n, so permute is a bijection
+	rng     *RNG
+}
+
+// NewTwoClass returns a two-class skewed distribution over [0, n).
+func NewTwoClass(n uint64, hotFrac, hotProb float64, rng *RNG) *TwoClass {
+	if n == 0 {
+		panic("engine: NewTwoClass with n == 0")
+	}
+	if n >= 1<<32 {
+		panic("engine: NewTwoClass key spaces above 2^32 are unsupported")
+	}
+	hot := uint64(float64(n) * hotFrac)
+	if hot == 0 {
+		hot = 1
+	}
+	if hot > n {
+		hot = n
+	}
+	mult := uint64(0x9e3779b97f4a7c15)
+	for gcd(mult%n, n) != 1 {
+		mult += 2
+	}
+	return &TwoClass{n: n, hot: hot, hotProb: hotProb, mult: mult, rng: rng}
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// NewPaperZipf returns the distribution used by the paper's "-Zipf"
+// microbenchmarks: 80% of updates to 15% of the keys.
+func NewPaperZipf(n uint64, rng *RNG) *TwoClass {
+	return NewTwoClass(n, 0.15, 0.80, rng)
+}
+
+// permute spreads key k over [0, n) with a fixed odd-multiplier hash, so the
+// "hot" class is not a contiguous key range.
+func (t *TwoClass) permute(k uint64) uint64 {
+	return (k % t.n) * (t.mult % t.n) % t.n
+}
+
+// Next implements Dist.
+func (t *TwoClass) Next() uint64 {
+	if t.rng.Float64() < t.hotProb {
+		return t.permute(t.rng.Uint64n(t.hot))
+	}
+	// Cold keys: the rest of the (permuted) key space.
+	return t.permute(t.hot + t.rng.Uint64n(t.n-t.hot))
+}
+
+// N implements Dist.
+func (t *TwoClass) N() uint64 { return t.n }
+
+// HotCount returns the number of hot keys.
+func (t *TwoClass) HotCount() uint64 { return t.hot }
+
+// HotKey returns the i-th hot key (i < HotCount); test/analysis helper.
+func (t *TwoClass) HotKey(i uint64) uint64 {
+	if i >= t.hot {
+		panic("engine: HotKey index out of range")
+	}
+	return t.permute(i)
+}
+
+// Zipf draws keys under a true Zipf(s) distribution over [0, N) using
+// rejection-inversion (Hörmann & Derflinger). Provided as an extension
+// beyond the paper's two-class skew for sensitivity studies.
+type Zipf struct {
+	n               uint64
+	s               float64
+	rng             *RNG
+	hIntegralX1     float64
+	hIntegralNumber float64
+	sDiv            float64
+}
+
+// NewZipf returns a Zipf distribution with exponent s > 0, s != 1 handled
+// too, over [1, n] mapped to [0, n).
+func NewZipf(n uint64, s float64, rng *RNG) *Zipf {
+	if n == 0 {
+		panic("engine: NewZipf with n == 0")
+	}
+	z := &Zipf{n: n, s: s, rng: rng}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1.0
+	z.hIntegralNumber = z.hIntegral(float64(n) + 0.5)
+	z.sDiv = 2.0 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2.0))
+	return z
+}
+
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.s * math.Log(x)) }
+
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1.0-z.s)*logX) * logX
+}
+
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	t := x * (1.0 - z.s)
+	if t < -1.0 {
+		t = -1.0
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1.0 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1.0 + x*0.5*(1.0+x*(1.0/3.0)*(1.0+0.25*x))
+}
+
+// Next implements Dist.
+func (z *Zipf) Next() uint64 {
+	for {
+		u := z.hIntegralNumber + z.rng.Float64()*(z.hIntegralX1-z.hIntegralNumber)
+		x := z.hIntegralInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if k-x <= z.sDiv || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k) - 1
+		}
+	}
+}
+
+// N implements Dist.
+func (z *Zipf) N() uint64 { return z.n }

@@ -1,0 +1,48 @@
+// Package engine provides the deterministic building blocks shared by the
+// simulator: simulated time in core cycles, a seedable PRNG, and the key
+// distributions used by the paper's workloads.
+//
+// Everything in this package is deterministic: the same seed always produces
+// the same sequence, which in turn makes entire simulation runs reproducible
+// bit-for-bit.
+package engine
+
+// Cycles is a point in (or span of) simulated time, measured in core clock
+// cycles. The simulated machine runs at Config.FreqGHz (3.7 GHz in the
+// paper's Table 2), so 1 ns is about 3.7 cycles.
+type Cycles int64
+
+// NSToCycles converts a latency in nanoseconds to core cycles at the given
+// core frequency, rounding to the nearest cycle.
+func NSToCycles(ns float64, ghz float64) Cycles {
+	c := ns*ghz + 0.5
+	if c < 0 {
+		return 0
+	}
+	return Cycles(c)
+}
+
+// CyclesToNS converts a span of cycles back to nanoseconds at the given
+// frequency.
+func CyclesToNS(c Cycles, ghz float64) float64 {
+	if ghz == 0 {
+		return 0
+	}
+	return float64(c) / ghz
+}
+
+// MaxCycles returns the later of two points in time.
+func MaxCycles(a, b Cycles) Cycles {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinCycles returns the earlier of two points in time.
+func MinCycles(a, b Cycles) Cycles {
+	if a < b {
+		return a
+	}
+	return b
+}

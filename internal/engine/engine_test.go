@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNSToCycles(t *testing.T) {
+	cases := []struct {
+		ns, ghz float64
+		want    Cycles
+	}{
+		{50, 3.7, 185},
+		{200, 3.7, 740},
+		{0, 3.7, 0},
+		{1, 1.0, 1},
+		{50, 1.0, 50},
+		{-5, 3.7, 0},
+	}
+	for _, c := range cases {
+		if got := NSToCycles(c.ns, c.ghz); got != c.want {
+			t.Errorf("NSToCycles(%v, %v) = %d, want %d", c.ns, c.ghz, got, c.want)
+		}
+	}
+}
+
+func TestCyclesToNSRoundTrip(t *testing.T) {
+	for _, ns := range []float64{1, 50, 200, 1000} {
+		c := NSToCycles(ns, 3.7)
+		back := CyclesToNS(c, 3.7)
+		if math.Abs(back-ns) > 0.5 {
+			t.Errorf("round trip %vns -> %d cycles -> %vns", ns, c, back)
+		}
+	}
+	if CyclesToNS(100, 0) != 0 {
+		t.Error("CyclesToNS with zero frequency should be 0")
+	}
+}
+
+func TestMaxMinCycles(t *testing.T) {
+	if MaxCycles(3, 5) != 5 || MaxCycles(5, 3) != 5 {
+		t.Error("MaxCycles wrong")
+	}
+	if MinCycles(3, 5) != 3 || MinCycles(5, 3) != 3 {
+		t.Error("MinCycles wrong")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide too often: %d/1000", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	r := NewRNG(5)
+	child := r.Fork()
+	// Parent and child streams should differ.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("forked stream tracks parent: %d matches", same)
+	}
+}
+
+func TestUniformCoversSpace(t *testing.T) {
+	r := NewRNG(11)
+	u := NewUniform(8, r)
+	seen := make(map[uint64]int)
+	for i := 0; i < 8000; i++ {
+		k := u.Next()
+		if k >= 8 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k]++
+	}
+	for k := uint64(0); k < 8; k++ {
+		if seen[k] < 500 {
+			t.Errorf("key %d drawn only %d times", k, seen[k])
+		}
+	}
+	if u.N() != 8 {
+		t.Errorf("N() = %d", u.N())
+	}
+}
+
+func TestTwoClassSkew(t *testing.T) {
+	r := NewRNG(13)
+	const n = 10000
+	d := NewPaperZipf(n, r)
+	if d.N() != n {
+		t.Fatalf("N() = %d", d.N())
+	}
+	// Count how many draws land in the hot 15%.
+	hotSet := make(map[uint64]bool)
+	for k := uint64(0); k < d.HotCount(); k++ {
+		hotSet[d.HotKey(k)] = true
+	}
+	if len(hotSet) != int(d.HotCount()) {
+		t.Fatalf("hot permutation is not injective: %d distinct of %d", len(hotSet), d.HotCount())
+	}
+	hot := 0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := d.Next()
+		if k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		if hotSet[k] {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	// 80% of draws target the hot set, plus ~15% of the cold 20% land.. no:
+	// cold draws target only cold keys. Expect ~0.80.
+	if math.Abs(frac-0.80) > 0.02 {
+		t.Errorf("hot fraction %v, want ~0.80", frac)
+	}
+}
+
+func TestTwoClassClamps(t *testing.T) {
+	r := NewRNG(1)
+	d := NewTwoClass(10, 0.001, 0.5, r) // hotFrac rounds to at least one key
+	for i := 0; i < 100; i++ {
+		if d.Next() >= 10 {
+			t.Fatal("out of range")
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	r := NewRNG(21)
+	z := NewZipf(1000, 0.99, r)
+	if z.N() != 1000 {
+		t.Fatalf("N() = %d", z.N())
+	}
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		k := z.Next()
+		if k >= 1000 {
+			t.Fatalf("Zipf key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Key 0 must dominate key 999 heavily under s~1.
+	if counts[0] < counts[999]*10 {
+		t.Errorf("Zipf not skewed: head=%d tail=%d", counts[0], counts[999])
+	}
+}
+
+func TestZipfQuickProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		z := NewZipf(64, 1.2, NewRNG(seed))
+		for i := 0; i < 200; i++ {
+			if z.Next() >= 64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

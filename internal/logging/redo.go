@@ -1,0 +1,232 @@
+package logging
+
+import (
+	"repro/internal/engine"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// RedoConfig tunes the REDO-LOG baseline.
+type RedoConfig struct {
+	// QueueLines bounds the post-commit write-back queue; a commit that
+	// finds the queue full stalls until there is room (DHTM's residual
+	// critical-path cost).
+	QueueLines int
+}
+
+// DefaultRedoConfig matches the tuned baseline of §5.1.
+func DefaultRedoConfig() RedoConfig { return RedoConfig{QueueLines: 64} }
+
+// Redo is the REDO-LOG baseline (DHTM-style hardware redo logging).
+type Redo struct {
+	env *txn.Env
+	cfg RedoConfig
+
+	logs []*wal.Stream
+	next uint32
+
+	inTxn []bool
+	tid   []uint32
+	wset  []map[memsim.PAddr]struct{} // speculative lines of the open txn
+
+	// pending holds completion times of in-flight background write-backs,
+	// oldest first.
+	pending []engine.Cycles
+	bgClock engine.Cycles
+}
+
+// NewRedo builds the baseline over env.
+func NewRedo(env *txn.Env, cfg RedoConfig) *Redo {
+	if cfg.QueueLines <= 0 {
+		cfg = DefaultRedoConfig()
+	}
+	r := &Redo{env: env, cfg: cfg, next: 1}
+	for c := 0; c < env.Cores(); c++ {
+		r.logs = append(r.logs, wal.NewStream(env.Mem, env.Layout.LogBase[c], env.Layout.Cfg.LogBytes, stats.CatRedoLog))
+		r.wset = append(r.wset, make(map[memsim.PAddr]struct{}))
+	}
+	r.inTxn = make([]bool, env.Cores())
+	r.tid = make([]uint32, env.Cores())
+	return r
+}
+
+// Name implements txn.Backend.
+func (r *Redo) Name() string { return "REDO-LOG" }
+
+// Begin implements txn.Backend.
+func (r *Redo) Begin(core int, at engine.Cycles) engine.Cycles {
+	if r.inTxn[core] {
+		panic("redo: nested transaction")
+	}
+	r.inTxn[core] = true
+	r.tid[core] = r.next
+	r.next++
+	return at + r.env.BarrierCycles
+}
+
+// Store implements txn.Backend: unblocked store into the cache; the line is
+// pinned as speculative so it cannot reach NVRAM in place before commit.
+func (r *Redo) Store(core int, va uint64, data []byte, at engine.Cycles) engine.Cycles {
+	if !r.inTxn[core] {
+		panic("redo: Store outside transaction")
+	}
+	pa, la, t := lineOf(r.env, core, va, at)
+	t = r.env.Caches.Store(core, pa, data, t)
+	r.env.Caches.MarkTx(core, pa)
+	if _, ok := r.wset[core][la]; !ok {
+		r.wset[core][la] = struct{}{}
+		r.env.Stats.RedoRecords++
+	}
+	return t
+}
+
+// Load implements txn.Backend.
+func (r *Redo) Load(core int, va uint64, buf []byte, at engine.Cycles) engine.Cycles {
+	pa, _, t := lineOf(r.env, core, va, at)
+	return r.env.Caches.Load(core, pa, buf, t)
+}
+
+// Commit implements txn.Backend. Critical path: log persistence (one
+// final-state record per modified line) and the commit record, after
+// waiting for write-back queue space. The data write-back itself runs in
+// the background.
+func (r *Redo) Commit(core int, at engine.Cycles) engine.Cycles {
+	if !r.inTxn[core] {
+		panic("redo: Commit outside transaction")
+	}
+	t := at
+	lines := sortedSet(r.wset[core])
+
+	// Queue admission: wait until the queue has room for this write set.
+	r.reap(t)
+	if len(r.pending)+len(lines) > r.cfg.QueueLines && len(r.pending) > 0 {
+		need := len(r.pending) + len(lines) - r.cfg.QueueLines
+		if need > len(r.pending) {
+			need = len(r.pending)
+		}
+		t = engine.MaxCycles(t, r.pending[need-1])
+		r.reap(t)
+		r.env.Stats.WritebackStalls++
+	}
+
+	// Persist the redo log: predicted final state of each modified line.
+	log := r.logs[core]
+	for _, la := range lines {
+		var img [memsim.LineBytes]byte
+		r.env.Caches.DebugPeek(la, img[:]) // controller sees the final value
+		t = log.Append(wal.Record{TID: r.tid[core], Kind: kindData, Payload: encodeDataPayload(la, img[:])}, t)
+	}
+	t = log.Append(wal.Record{TID: r.tid[core], Kind: kindCommit}, t)
+	t = log.Flush(t)
+	r.env.Stats.NVRAMWriteBytes[stats.CatCommitRecord] += wal.HeaderBytes
+	r.env.Stats.NVRAMWriteBytes[stats.CatRedoLog] -= wal.HeaderBytes
+
+	// Background: write the data back in place, overlapping subsequent
+	// execution. Functionally the lines become durable now (write order is
+	// preserved); only the core's clock ignores the latency.
+	bg := engine.MaxCycles(t, r.bgClock)
+	for _, la := range lines {
+		done, _ := r.env.Caches.Flush(core, la, bg, stats.CatData)
+		bg = done
+		r.pending = append(r.pending, done)
+	}
+	r.bgClock = bg
+
+	// The log can be reused: write-backs are durably ordered after the log
+	// records, so any crash either replays this transaction from the log
+	// or already sees its data in place.
+	log.Reset()
+	clear(r.wset[core])
+	r.inTxn[core] = false
+	r.env.Stats.Commits++
+	return t + r.env.BarrierCycles
+}
+
+// reap removes completed write-backs from the queue head.
+func (r *Redo) reap(now engine.Cycles) {
+	i := 0
+	for i < len(r.pending) && r.pending[i] <= now {
+		i++
+	}
+	r.pending = r.pending[i:]
+}
+
+// Abort implements txn.Backend: speculative lines exist only in the cache,
+// so dropping them restores the committed state.
+func (r *Redo) Abort(core int, at engine.Cycles) engine.Cycles {
+	if !r.inTxn[core] {
+		panic("redo: Abort outside transaction")
+	}
+	for _, la := range sortedSet(r.wset[core]) {
+		r.env.Caches.InvalidateLine(la)
+	}
+	r.logs[core].Reset()
+	clear(r.wset[core])
+	r.inTxn[core] = false
+	r.env.Stats.Aborts++
+	return at + r.env.BarrierCycles
+}
+
+// StoreNT implements txn.Backend.
+func (r *Redo) StoreNT(core int, va uint64, data []byte, at engine.Cycles) engine.Cycles {
+	pa, _, t := lineOf(r.env, core, va, at)
+	return r.env.Caches.Store(core, pa, data, t)
+}
+
+// Crash implements txn.Backend.
+func (r *Redo) Crash() {
+	for c := range r.wset {
+		r.wset[c] = make(map[memsim.PAddr]struct{})
+		r.inTxn[c] = false
+		r.logs[c].Reset()
+	}
+	r.pending = nil
+	r.bgClock = 0
+}
+
+// Recover implements txn.Backend: replay the log of every transaction whose
+// commit record is durable; discard the rest (their in-place data never
+// left the volatile caches).
+func (r *Redo) Recover() error {
+	r.env.Stats.Recoveries++
+	var maxTID uint32
+	for c := range r.logs {
+		recs := wal.Scan(r.env.Mem, r.env.Layout.LogBase[c], r.env.Layout.Cfg.LogBytes)
+		if m := wal.MaxTID(recs); m > maxTID {
+			maxTID = m
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		if recs[len(recs)-1].Kind != kindCommit {
+			r.env.Stats.RolledBackTxns++
+			continue
+		}
+		for _, rec := range recs {
+			if rec.Kind != kindData {
+				continue
+			}
+			pa, img := decodeDataPayload(rec.Payload)
+			r.env.Mem.WriteLine(pa, img, 0, stats.CatRecovery)
+			r.env.Stats.RecoveryNVWrites++
+			r.env.Stats.ReplayedRecords++
+		}
+		r.env.Stats.RecoveredTxns++
+	}
+	if maxTID >= r.next {
+		r.next = maxTID + 1
+	}
+	for c := range r.logs {
+		r.logs[c].SetTIDFloor(maxTID)
+	}
+	return nil
+}
+
+// Drain implements txn.Backend: wait for the write-back queue to empty.
+func (r *Redo) Drain(at engine.Cycles) engine.Cycles {
+	t := engine.MaxCycles(at, r.bgClock)
+	r.pending = nil
+	return t
+}

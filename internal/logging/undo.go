@@ -1,0 +1,176 @@
+package logging
+
+import (
+	"repro/internal/engine"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Undo is the UNDO-LOG baseline: hardware undo logging with in-place data
+// updates. Each first store to a line persists the old value before the
+// store may proceed (the store "will be blocked until the log entry reaches
+// persistent memory"); repeated updates to a logged line are free.
+type Undo struct {
+	env  *txn.Env
+	logs []*wal.Stream
+	next uint32
+
+	inTxn []bool
+	tid   []uint32
+	// old holds the pre-transaction image of every logged line, both the
+	// volatile dedup set and the data needed by Abort.
+	old []map[memsim.PAddr][memsim.LineBytes]byte
+}
+
+// NewUndo builds the baseline over env.
+func NewUndo(env *txn.Env) *Undo {
+	u := &Undo{env: env, next: 1}
+	for c := 0; c < env.Cores(); c++ {
+		u.logs = append(u.logs, wal.NewStream(env.Mem, env.Layout.LogBase[c], env.Layout.Cfg.LogBytes, stats.CatUndoLog))
+		u.old = append(u.old, make(map[memsim.PAddr][memsim.LineBytes]byte))
+	}
+	u.inTxn = make([]bool, env.Cores())
+	u.tid = make([]uint32, env.Cores())
+	return u
+}
+
+// Name implements txn.Backend.
+func (u *Undo) Name() string { return "UNDO-LOG" }
+
+// Begin implements txn.Backend.
+func (u *Undo) Begin(core int, at engine.Cycles) engine.Cycles {
+	if u.inTxn[core] {
+		panic("undo: nested transaction")
+	}
+	u.inTxn[core] = true
+	u.tid[core] = u.next
+	u.next++
+	return at + u.env.BarrierCycles
+}
+
+// Store implements txn.Backend: log-then-update, blocking on the log write.
+func (u *Undo) Store(core int, va uint64, data []byte, at engine.Cycles) engine.Cycles {
+	if !u.inTxn[core] {
+		panic("undo: Store outside transaction")
+	}
+	pa, la, t := lineOf(u.env, core, va, at)
+	if _, logged := u.old[core][la]; !logged {
+		// First store to this line: read the old image and persist an undo
+		// record before the store proceeds.
+		var img [memsim.LineBytes]byte
+		t = u.env.Caches.Load(core, la, img[:], t)
+		u.old[core][la] = img
+		log := u.logs[core]
+		t = log.Append(wal.Record{TID: u.tid[core], Kind: kindData, Payload: encodeDataPayload(la, img[:])}, t)
+		t = log.Flush(t) // the blocking persist
+		u.env.Stats.UndoRecords++
+	}
+	return u.env.Caches.Store(core, pa, data, t)
+}
+
+// Load implements txn.Backend.
+func (u *Undo) Load(core int, va uint64, buf []byte, at engine.Cycles) engine.Cycles {
+	pa, _, t := lineOf(u.env, core, va, at)
+	return u.env.Caches.Load(core, pa, buf, t)
+}
+
+// Commit implements txn.Backend: flush the write set, persist the commit
+// record, truncate.
+func (u *Undo) Commit(core int, at engine.Cycles) engine.Cycles {
+	if !u.inTxn[core] {
+		panic("undo: Commit outside transaction")
+	}
+	t := at
+	fence := t
+	for _, la := range sortedLines(u.old[core]) {
+		done, _ := u.env.Caches.Flush(core, la, t, stats.CatData)
+		fence = engine.MaxCycles(fence, done)
+	}
+	t = fence
+	log := u.logs[core]
+	t = log.Append(wal.Record{TID: u.tid[core], Kind: kindCommit}, t)
+	t = log.Flush(t)
+	u.env.Stats.NVRAMWriteBytes[stats.CatCommitRecord] += wal.HeaderBytes
+	u.env.Stats.NVRAMWriteBytes[stats.CatUndoLog] -= wal.HeaderBytes
+	log.Reset()
+	clear(u.old[core])
+	u.inTxn[core] = false
+	u.env.Stats.Commits++
+	return t + u.env.BarrierCycles
+}
+
+// Abort implements txn.Backend: restore logged old images in cache.
+func (u *Undo) Abort(core int, at engine.Cycles) engine.Cycles {
+	if !u.inTxn[core] {
+		panic("undo: Abort outside transaction")
+	}
+	t := at
+	for _, la := range sortedLines(u.old[core]) {
+		img := u.old[core][la]
+		t = u.env.Caches.Store(core, la, img[:], t)
+	}
+	u.logs[core].Reset()
+	clear(u.old[core])
+	u.inTxn[core] = false
+	u.env.Stats.Aborts++
+	return t + u.env.BarrierCycles
+}
+
+// StoreNT implements txn.Backend.
+func (u *Undo) StoreNT(core int, va uint64, data []byte, at engine.Cycles) engine.Cycles {
+	pa, _, t := lineOf(u.env, core, va, at)
+	return u.env.Caches.Store(core, pa, data, t)
+}
+
+// Crash implements txn.Backend.
+func (u *Undo) Crash() {
+	for c := range u.old {
+		u.old[c] = make(map[memsim.PAddr][memsim.LineBytes]byte)
+		u.inTxn[c] = false
+		u.logs[c].Reset()
+	}
+}
+
+// Recover implements txn.Backend: roll back every transaction without a
+// durable commit record by applying its undo records in reverse.
+func (u *Undo) Recover() error {
+	u.env.Stats.Recoveries++
+	var maxTID uint32
+	for c := range u.logs {
+		recs := wal.Scan(u.env.Mem, u.env.Layout.LogBase[c], u.env.Layout.Cfg.LogBytes)
+		if m := wal.MaxTID(recs); m > maxTID {
+			maxTID = m
+		}
+		committed := len(recs) > 0 && recs[len(recs)-1].Kind == kindCommit
+		if committed {
+			// In-place updates were flushed before the commit record; the
+			// durable state is already the transaction's outcome.
+			u.env.Stats.RecoveredTxns++
+			continue
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		for i := len(recs) - 1; i >= 0; i-- {
+			if recs[i].Kind != kindData {
+				continue
+			}
+			pa, img := decodeDataPayload(recs[i].Payload)
+			u.env.Mem.WriteLine(pa, img, 0, stats.CatRecovery)
+			u.env.Stats.RecoveryNVWrites++
+		}
+		u.env.Stats.RolledBackTxns++
+	}
+	if maxTID >= u.next {
+		u.next = maxTID + 1
+	}
+	for c := range u.logs {
+		u.logs[c].SetTIDFloor(maxTID)
+	}
+	return nil
+}
+
+// Drain implements txn.Backend; UNDO has no background work.
+func (u *Undo) Drain(at engine.Cycles) engine.Cycles { return at }

@@ -1,0 +1,152 @@
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/memsim"
+)
+
+// Core is a simulated core's programming interface: the ISA extension of
+// §3.1 (ATOMIC_BEGIN / ATOMIC_STORE / ATOMIC_END) plus ordinary loads and
+// non-transactional stores, all advancing the core's clock.
+//
+// Core implements pheap.Tx, so the allocator can be called mid-transaction.
+type Core struct {
+	m     *Machine
+	id    int
+	inTxn bool
+
+	// Per-transaction write-set characterisation (virtual lines/pages),
+	// feeding the Table 3 statistics.
+	wsLines map[uint64]struct{}
+	wsPages map[uint64]struct{}
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// Now returns the core's clock.
+func (c *Core) Now() engine.Cycles { return c.m.clocks[c.id] }
+
+// SetNow moves the core's clock forward (drivers use it to align clients);
+// moving backwards panics.
+func (c *Core) SetNow(t engine.Cycles) {
+	if t < c.m.clocks[c.id] {
+		panic("machine: clock moved backwards")
+	}
+	c.m.clocks[c.id] = t
+}
+
+// Compute charges n cycles of pure computation.
+func (c *Core) Compute(n engine.Cycles) {
+	c.m.clocks[c.id] += n
+}
+
+func (c *Core) op() {
+	c.m.clocks[c.id] += c.m.cfg.OpCycles
+}
+
+// Begin opens a failure-atomic section.
+func (c *Core) Begin() {
+	if c.inTxn {
+		panic("machine: nested Begin")
+	}
+	c.op()
+	c.m.clocks[c.id] = c.m.backend.Begin(c.id, c.m.clocks[c.id])
+	c.inTxn = true
+	c.wsLines = make(map[uint64]struct{})
+	c.wsPages = make(map[uint64]struct{})
+}
+
+// Commit closes the section; on return its writes are durable.
+func (c *Core) Commit() {
+	if !c.inTxn {
+		panic("machine: Commit outside transaction")
+	}
+	c.op()
+	c.m.clocks[c.id] = c.m.backend.Commit(c.id, c.m.clocks[c.id])
+	c.inTxn = false
+	c.m.ws.record(len(c.wsLines), len(c.wsPages))
+}
+
+// Abort rolls the open section back.
+func (c *Core) Abort() {
+	if !c.inTxn {
+		panic("machine: Abort outside transaction")
+	}
+	c.op()
+	c.m.clocks[c.id] = c.m.backend.Abort(c.id, c.m.clocks[c.id])
+	c.inTxn = false
+}
+
+// InTxn reports whether a section is open.
+func (c *Core) InTxn() bool { return c.inTxn }
+
+// StoreBytes performs ATOMIC_STOREs of data at va inside a transaction, or
+// plain persistent stores outside one, splitting at cache-line boundaries.
+func (c *Core) StoreBytes(va uint64, data []byte) {
+	for len(data) > 0 {
+		n := memsim.LineBytes - int(va&(memsim.LineBytes-1))
+		if n > len(data) {
+			n = len(data)
+		}
+		c.op()
+		if c.inTxn {
+			c.m.clocks[c.id] = c.m.backend.Store(c.id, va, data[:n], c.m.clocks[c.id])
+			c.wsLines[va>>memsim.LineShift] = struct{}{}
+			c.wsPages[va>>memsim.PageShift] = struct{}{}
+		} else {
+			c.m.clocks[c.id] = c.m.backend.StoreNT(c.id, va, data[:n], c.m.clocks[c.id])
+		}
+		va += uint64(n)
+		data = data[n:]
+	}
+}
+
+// LoadBytes reads len(buf) bytes at va, splitting at line boundaries.
+func (c *Core) LoadBytes(va uint64, buf []byte) {
+	for len(buf) > 0 {
+		n := memsim.LineBytes - int(va&(memsim.LineBytes-1))
+		if n > len(buf) {
+			n = len(buf)
+		}
+		c.op()
+		c.m.clocks[c.id] = c.m.backend.Load(c.id, va, buf[:n], c.m.clocks[c.id])
+		va += uint64(n)
+		buf = buf[n:]
+	}
+}
+
+// Store64 writes an aligned 8-byte word.
+func (c *Core) Store64(va uint64, v uint64) {
+	if va%8 != 0 {
+		panic(fmt.Sprintf("machine: unaligned Store64 at %#x", va))
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.StoreBytes(va, b[:])
+}
+
+// Load64 reads an aligned 8-byte word.
+func (c *Core) Load64(va uint64) uint64 {
+	if va%8 != 0 {
+		panic(fmt.Sprintf("machine: unaligned Load64 at %#x", va))
+	}
+	var b [8]byte
+	c.LoadBytes(va, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Acquire takes the lock, advancing the clock past the current holder and
+// charging the hand-off cost.
+func (c *Core) Acquire(l *Lock) {
+	t := engine.MaxCycles(c.m.clocks[c.id], l.freeAt) + c.m.cfg.LockCycles
+	c.m.clocks[c.id] = t
+}
+
+// Release frees the lock at the core's current time.
+func (c *Core) Release(l *Lock) {
+	l.freeAt = c.m.clocks[c.id]
+}

@@ -1,0 +1,377 @@
+// Package machine assembles the full simulated system of Table 2 — cores,
+// TLBs, cache hierarchy, hybrid memory, page table — around one
+// failure-atomicity backend (SSP or a logging baseline), and exposes the
+// transactional programming model to workloads.
+//
+// Execution model: the simulator is single-goroutine and deterministic.
+// Each simulated core owns a clock; every operation advances it by the
+// modelled latency. Multi-client workloads interleave transactions by
+// always running the client whose clock is lowest (see internal/workload),
+// while memory-bank and lock timelines are shared across cores so
+// contention is modelled (DESIGN.md §5).
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/logging"
+	"repro/internal/memsim"
+	"repro/internal/pheap"
+	"repro/internal/stats"
+	"repro/internal/tlbsim"
+	"repro/internal/txn"
+	"repro/internal/vm"
+)
+
+// BackendKind selects the failure-atomicity design.
+type BackendKind int
+
+// Backends under evaluation (§5.1).
+const (
+	SSP BackendKind = iota
+	UndoLog
+	RedoLog
+)
+
+// String returns the paper's name for the design.
+func (b BackendKind) String() string {
+	switch b {
+	case SSP:
+		return "SSP"
+	case UndoLog:
+		return "UNDO-LOG"
+	case RedoLog:
+		return "REDO-LOG"
+	default:
+		return fmt.Sprintf("BackendKind(%d)", int(b))
+	}
+}
+
+// Backends lists all designs in report order.
+func Backends() []BackendKind { return []BackendKind{UndoLog, RedoLog, SSP} }
+
+// Config describes a whole machine. DefaultConfig returns Table 2.
+type Config struct {
+	Backend BackendKind
+	Cores   int
+
+	Mem         memsim.Config
+	Cache       cachesim.Config
+	TLBEntries  int           // L1 DTLB entries per core (Table 2: 64)
+	STLBEntries int           // L2 STLB entries per core (§4.3: 1024; 0 disables)
+	STLBLat     engine.Cycles // extra latency of an STLB hit
+	Layout      vm.LayoutConfig
+	SSP         core.Config
+	Redo        logging.RedoConfig
+
+	// BarrierCycles is the cost of ATOMIC_BEGIN/ATOMIC_END full barriers.
+	BarrierCycles engine.Cycles
+	// OpCycles is the per-operation front-end cost charged by Compute and
+	// each memory instruction.
+	OpCycles engine.Cycles
+	// LockCycles is the hand-off cost of the simulated lock.
+	LockCycles engine.Cycles
+}
+
+// DefaultConfig returns the paper's system parameters for the given design
+// and core count.
+func DefaultConfig(backend BackendKind, cores int) Config {
+	if cores <= 0 {
+		cores = 1
+	}
+	cfg := Config{
+		Backend:       backend,
+		Cores:         cores,
+		Mem:           memsim.DefaultConfig(),
+		Cache:         cachesim.DefaultConfig(cores),
+		TLBEntries:    64,
+		STLBEntries:   1024,
+		STLBLat:       7,
+		Layout:        vm.DefaultLayoutConfig(cores),
+		SSP:           core.DefaultConfig(),
+		Redo:          logging.DefaultRedoConfig(),
+		BarrierCycles: 30,
+		OpCycles:      2,
+		LockCycles:    40,
+	}
+	// Size the SSP cache as N·T+O (§4.1.2): every TLB-resident page needs
+	// an entry, plus overprovisioning for pages under consolidation.
+	cfg.SSP.Entries = cores*(cfg.TLBEntries+cfg.STLBEntries) + 64
+	cfg.Layout.SSPSlots = cfg.SSP.Entries
+	return cfg
+}
+
+// Machine is one simulated system.
+type Machine struct {
+	cfg    Config
+	st     *stats.Stats
+	mem    *memsim.Memory
+	caches *cachesim.Hierarchy
+	tlbs   []*tlbsim.TLB
+	pt     *vm.PageTable
+	frames *vm.FrameAlloc
+	layout vm.Layout
+	env    *txn.Env
+
+	backend txn.Backend
+	heap    *pheap.Heap
+
+	clocks []engine.Cycles
+	cores  []*Core
+	ws     WriteSetStats
+}
+
+// WriteSetStats accumulates the per-transaction write-set characterisation
+// the paper's Table 3 reports: cache lines and pages modified per durable
+// transaction.
+type WriteSetStats struct {
+	Txns       uint64
+	TotalLines uint64
+	TotalPages uint64
+	MaxPages   int
+	MaxLines   int
+}
+
+func (w *WriteSetStats) record(lines, pages int) {
+	w.Txns++
+	w.TotalLines += uint64(lines)
+	w.TotalPages += uint64(pages)
+	if pages > w.MaxPages {
+		w.MaxPages = pages
+	}
+	if lines > w.MaxLines {
+		w.MaxLines = lines
+	}
+}
+
+// AvgLines returns the mean write-set size in cache lines.
+func (w *WriteSetStats) AvgLines() float64 {
+	if w.Txns == 0 {
+		return 0
+	}
+	return float64(w.TotalLines) / float64(w.Txns)
+}
+
+// AvgPages returns the mean write-set size in pages.
+func (w *WriteSetStats) AvgPages() float64 {
+	if w.Txns == 0 {
+		return 0
+	}
+	return float64(w.TotalPages) / float64(w.Txns)
+}
+
+// New builds and formats a fresh machine.
+func New(cfg Config) *Machine {
+	m := build(cfg, nil)
+	m.format()
+	return m
+}
+
+// Restore boots a machine from a previous machine's durable NVRAM image
+// (post-crash) and runs the backend's recovery.
+func Restore(cfg Config, image []byte) (*Machine, error) {
+	m := build(cfg, image)
+	if !vm.IsFormatted(m.mem, m.layout) {
+		return nil, fmt.Errorf("machine: image is not a formatted persistent heap")
+	}
+	m.pt.Rebuild()
+	if cfg.Backend != SSP {
+		// The logging designs keep no frame metadata beyond the page
+		// table; SSP's Recover rebuilds the allocator itself.
+		m.frames.Reset()
+		for _, e := range m.pt.Mapped() {
+			m.frames.Reserve(e.Frame)
+		}
+	}
+	if err := m.backend.Recover(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func build(cfg Config, image []byte) *Machine {
+	cfg.Cache.Cores = cfg.Cores
+	cfg.Layout.Cores = cfg.Cores
+	st := &stats.Stats{}
+	var mem *memsim.Memory
+	if image != nil {
+		mem = memsim.NewFromImage(cfg.Mem, st, image)
+	} else {
+		mem = memsim.New(cfg.Mem, st)
+	}
+	layout := vm.NewLayout(cfg.Mem, cfg.Layout)
+	m := &Machine{
+		cfg:    cfg,
+		st:     st,
+		mem:    mem,
+		caches: cachesim.New(cfg.Cache, mem, st),
+		pt:     vm.NewPageTable(mem, layout),
+		frames: vm.NewFrameAlloc(layout),
+		layout: layout,
+		clocks: make([]engine.Cycles, cfg.Cores),
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		m.tlbs = append(m.tlbs, tlbsim.NewTwoLevel(cfg.TLBEntries, cfg.STLBEntries, st))
+	}
+	m.env = &txn.Env{
+		Mem:           mem,
+		Caches:        m.caches,
+		TLBs:          m.tlbs,
+		PT:            m.pt,
+		Frames:        m.frames,
+		Layout:        layout,
+		Stats:         st,
+		BarrierCycles: cfg.BarrierCycles,
+		STLBCycles:    cfg.STLBLat,
+	}
+	switch cfg.Backend {
+	case SSP:
+		m.backend = core.NewSSP(m.env, cfg.SSP, image == nil)
+	case UndoLog:
+		m.backend = logging.NewUndo(m.env)
+	case RedoLog:
+		m.backend = logging.NewRedo(m.env, cfg.Redo)
+	default:
+		panic("machine: unknown backend")
+	}
+	m.heap = &pheap.Heap{EnsureMapped: m.ensureMapped}
+	for c := 0; c < cfg.Cores; c++ {
+		m.cores = append(m.cores, &Core{m: m, id: c})
+	}
+	return m
+}
+
+// format initialises the persistent image: superblock, heap page zero, and
+// allocator metadata (via a bootstrap transaction on core 0).
+func (m *Machine) format() {
+	vm.Format(m.mem, m.layout)
+	m.ensureMapped(0, 0)
+	c := m.Core(0)
+	c.Begin()
+	m.heap.Format(c, m.layout.Cfg.MaxHeapPages)
+	c.Commit()
+}
+
+// ensureMapped maps heap VPNs [first,last] to fresh frames with durable
+// PTE writes; already-mapped pages are untouched.
+func (m *Machine) ensureMapped(first, last int) {
+	for vpn := first; vpn <= last; vpn++ {
+		if _, ok := m.pt.Lookup(vpn); ok {
+			continue
+		}
+		frame := m.frames.Alloc()
+		m.pt.Set(vpn, frame, m.clocks[0])
+	}
+}
+
+// Core returns the handle for simulated core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// Cores returns the core count.
+func (m *Machine) Cores() int { return m.cfg.Cores }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Stats returns the machine's counters.
+func (m *Machine) Stats() *stats.Stats { return m.st }
+
+// WriteSet returns the Table 3 write-set characterisation.
+func (m *Machine) WriteSet() *WriteSetStats { return &m.ws }
+
+// ResetStats zeroes all counters (after warm-up, before measurement). Core
+// clocks and durable state are untouched.
+func (m *Machine) ResetStats() {
+	*m.st = stats.Stats{}
+	m.ws = WriteSetStats{}
+}
+
+// Backend exposes the active failure-atomicity mechanism.
+func (m *Machine) Backend() txn.Backend { return m.backend }
+
+// Heap returns the persistent heap allocator.
+func (m *Machine) Heap() *pheap.Heap { return m.heap }
+
+// Mem exposes the memory system (tests, crash tooling).
+func (m *Machine) Mem() *memsim.Memory { return m.mem }
+
+// DebugValidateCaches runs the cache hierarchy's coherence invariant check
+// and returns the first violation, or "" (test helper).
+func (m *Machine) DebugValidateCaches() string { return m.caches.DebugValidate() }
+
+// MaxClock returns the latest core clock — the run's wall-clock in cycles.
+func (m *Machine) MaxClock() engine.Cycles {
+	var mx engine.Cycles
+	for _, c := range m.clocks {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// Drain completes all background work on every core's behalf.
+func (m *Machine) Drain() {
+	t := m.backend.Drain(m.MaxClock())
+	for i := range m.clocks {
+		if m.clocks[i] < t {
+			m.clocks[i] = t
+		}
+	}
+}
+
+// Crash simulates a power failure: all volatile state (caches, TLBs,
+// backend buffers) vanishes; the durable NVRAM image survives. The machine
+// itself becomes unusable; continue via Restore(cfg, image) or in place via
+// Recover.
+func (m *Machine) Crash() []byte {
+	m.mem.PowerOff()
+	m.dropVolatile()
+	return m.mem.NVRAMImage()
+}
+
+// dropVolatile clears every volatile structure.
+func (m *Machine) dropVolatile() {
+	m.caches.DropAll()
+	for _, t := range m.tlbs {
+		t.Drop()
+	}
+	m.backend.Crash()
+	for i := range m.clocks {
+		m.clocks[i] = 0
+	}
+	for _, c := range m.cores {
+		c.inTxn = false
+	}
+}
+
+// Recover performs in-place crash recovery after Crash (or after a write
+// trap fired): volatile state is dropped, power restored, and the backend's
+// recovery runs against the surviving image.
+func (m *Machine) Recover() error {
+	m.dropVolatile()
+	m.mem.PowerOn()
+	m.mem.ResetTiming()
+	m.pt.Rebuild()
+	if m.cfg.Backend != SSP {
+		// The logging designs keep no frame metadata beyond the page
+		// table; SSP's Recover rebuilds the allocator itself.
+		m.frames.Reset()
+		for _, e := range m.pt.Mapped() {
+			m.frames.Reserve(e.Frame)
+		}
+	}
+	return m.backend.Recover()
+}
+
+// Lock is a simulated mutex: acquisition serialises critical sections in
+// simulated time without spinning (DESIGN.md §5).
+type Lock struct {
+	freeAt engine.Cycles
+}
+
+// NewLock returns an unlocked lock.
+func (m *Machine) NewLock() *Lock { return &Lock{} }

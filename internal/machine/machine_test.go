@@ -1,0 +1,406 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/vm"
+)
+
+// testConfig returns a small, fast machine for the given backend.
+func testConfig(b BackendKind, cores int) Config {
+	cfg := DefaultConfig(b, cores)
+	cfg.Mem.DRAMBytes = 1 << 20
+	cfg.Mem.NVRAMBytes = 24 << 20
+	cfg.Layout.MaxHeapPages = 1024
+	cfg.Layout.SSPSlots = 128
+	cfg.Layout.JournalBytes = 16 << 10
+	cfg.Layout.LogBytes = 64 << 10
+	cfg.SSP.Entries = 128
+	cfg.SSP.ResidentEntries = 128
+	return cfg
+}
+
+func allBackends() []BackendKind { return []BackendKind{SSP, UndoLog, RedoLog} }
+
+func heapVA(page, off int) uint64 {
+	return vm.HeapBase + uint64(page)*memsim.PageBytes + uint64(off)
+}
+
+func TestCommitIsDurableAcrossCrash(t *testing.T) {
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := New(testConfig(b, 1))
+			c := m.Core(0)
+			m.Heap().EnsureMapped(1, 2)
+
+			c.Begin()
+			c.Store64(heapVA(1, 0), 0xAAAA)
+			c.Store64(heapVA(2, 64), 0xBBBB)
+			c.Commit()
+
+			if err := m.Recover(); err != nil { // crash immediately
+				t.Fatal(err)
+			}
+			if v := c.Load64(heapVA(1, 0)); v != 0xAAAA {
+				t.Errorf("lost committed value: %#x", v)
+			}
+			if v := c.Load64(heapVA(2, 64)); v != 0xBBBB {
+				t.Errorf("lost committed value: %#x", v)
+			}
+		})
+	}
+}
+
+func TestUncommittedIsInvisibleAfterCrash(t *testing.T) {
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := New(testConfig(b, 1))
+			c := m.Core(0)
+			m.Heap().EnsureMapped(1, 1)
+
+			c.Begin()
+			c.Store64(heapVA(1, 0), 0x1111)
+			c.Commit()
+
+			c.Begin()
+			c.Store64(heapVA(1, 0), 0x2222)
+			c.Store64(heapVA(1, 128), 0x3333)
+			// Crash mid-transaction.
+			if err := m.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if v := c.Load64(heapVA(1, 0)); v != 0x1111 {
+				t.Errorf("uncommitted data visible or committed lost: %#x", v)
+			}
+			if v := c.Load64(heapVA(1, 128)); v != 0 {
+				t.Errorf("uncommitted data visible: %#x", v)
+			}
+		})
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := New(testConfig(b, 1))
+			c := m.Core(0)
+			m.Heap().EnsureMapped(1, 1)
+
+			c.Begin()
+			c.Store64(heapVA(1, 0), 0x7777)
+			c.Commit()
+
+			c.Begin()
+			c.Store64(heapVA(1, 0), 0x8888)
+			c.Store64(heapVA(1, 512), 0x9999)
+			if v := c.Load64(heapVA(1, 0)); v != 0x8888 {
+				t.Fatalf("read-own-write failed: %#x", v)
+			}
+			c.Abort()
+			if v := c.Load64(heapVA(1, 0)); v != 0x7777 {
+				t.Errorf("abort did not roll back: %#x", v)
+			}
+			if v := c.Load64(heapVA(1, 512)); v != 0 {
+				t.Errorf("abort left new data: %#x", v)
+			}
+		})
+	}
+}
+
+func TestRepeatedUpdatesSameLine(t *testing.T) {
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := New(testConfig(b, 1))
+			c := m.Core(0)
+			m.Heap().EnsureMapped(1, 1)
+			for i := uint64(1); i <= 10; i++ {
+				c.Begin()
+				c.Store64(heapVA(1, 0), i)
+				c.Store64(heapVA(1, 0), i*100)
+				c.Commit()
+				if v := c.Load64(heapVA(1, 0)); v != i*100 {
+					t.Fatalf("iteration %d: %#x", i, v)
+				}
+			}
+			if err := m.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if v := c.Load64(heapVA(1, 0)); v != 1000 {
+				t.Errorf("after recovery: %d", v)
+			}
+		})
+	}
+}
+
+func TestRestoreFromImage(t *testing.T) {
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			cfg := testConfig(b, 1)
+			m := New(cfg)
+			c := m.Core(0)
+			m.Heap().EnsureMapped(1, 1)
+			c.Begin()
+			c.Store64(heapVA(1, 8), 0xFEED)
+			c.Commit()
+			img := m.Crash()
+
+			m2, err := Restore(cfg, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := m2.Core(0).Load64(heapVA(1, 8)); v != 0xFEED {
+				t.Errorf("restored image lost data: %#x", v)
+			}
+			// The restored machine must accept new transactions.
+			c2 := m2.Core(0)
+			c2.Begin()
+			c2.Store64(heapVA(1, 16), 0xF00D)
+			c2.Commit()
+			if v := c2.Load64(heapVA(1, 16)); v != 0xF00D {
+				t.Errorf("restored machine broken: %#x", v)
+			}
+		})
+	}
+}
+
+func TestHeapAllocInsideTxn(t *testing.T) {
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := New(testConfig(b, 1))
+			c := m.Core(0)
+			h := m.Heap()
+			c.Begin()
+			p1 := h.Alloc(c, 64)
+			p2 := h.Alloc(c, 64)
+			c.Store64(p1, 1)
+			c.Store64(p2, 2)
+			c.Commit()
+			if p1 == p2 {
+				t.Fatal("duplicate allocation")
+			}
+			c.Begin()
+			h.Free(c, p1, 64)
+			c.Commit()
+			c.Begin()
+			p3 := h.Alloc(c, 64)
+			c.Commit()
+			if p3 != p1 {
+				t.Errorf("free list not reused: %#x vs %#x", p3, p1)
+			}
+		})
+	}
+}
+
+func TestHeapAllocCrashAtomicity(t *testing.T) {
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := New(testConfig(b, 1))
+			c := m.Core(0)
+			h := m.Heap()
+			c.Begin()
+			p := h.Alloc(c, 128)
+			c.Store64(p, 42)
+			c.Commit()
+
+			// Crash mid-allocation: the bump pointer must roll back.
+			c.Begin()
+			_ = h.Alloc(c, 128)
+			if err := m.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			c.Begin()
+			q := h.Alloc(c, 128)
+			c.Commit()
+			if q == p {
+				t.Errorf("post-recovery allocation overlaps live object")
+			}
+			// The aborted allocation's space is reusable (bump rolled back).
+			if v := c.Load64(p); v != 42 {
+				t.Errorf("live object damaged: %d", v)
+			}
+		})
+	}
+}
+
+func TestMultiCoreSharing(t *testing.T) {
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := New(testConfig(b, 4))
+			m.Heap().EnsureMapped(1, 1)
+			lock := m.NewLock()
+			// Four cores increment a shared counter under a lock,
+			// transactionally.
+			for round := 0; round < 5; round++ {
+				for id := 0; id < 4; id++ {
+					c := m.Core(id)
+					c.Acquire(lock)
+					c.Begin()
+					v := c.Load64(heapVA(1, 0))
+					c.Store64(heapVA(1, 0), v+1)
+					c.Commit()
+					c.Release(lock)
+				}
+			}
+			if v := m.Core(0).Load64(heapVA(1, 0)); v != 20 {
+				t.Errorf("counter = %d, want 20", v)
+			}
+			if err := m.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if v := m.Core(0).Load64(heapVA(1, 0)); v != 20 {
+				t.Errorf("counter after crash = %d, want 20", v)
+			}
+		})
+	}
+}
+
+func TestConcurrentOpenTransactionsSamePage(t *testing.T) {
+	// Two cores hold open transactions on different lines of the same page
+	// at the same time (Figure 1: private updated bitmaps, shared current
+	// bitmap), interleaved at operation granularity.
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := New(testConfig(b, 2))
+			m.Heap().EnsureMapped(1, 1)
+			c0, c1 := m.Core(0), m.Core(1)
+
+			c0.Begin()
+			c1.Begin()
+			c0.Store64(heapVA(1, 0), 100)
+			c1.Store64(heapVA(1, 64), 200)
+			c0.Store64(heapVA(1, 128), 101)
+			c1.Store64(heapVA(1, 192), 201)
+			// Reads see own writes before either commits.
+			if c0.Load64(heapVA(1, 0)) != 100 || c1.Load64(heapVA(1, 64)) != 200 {
+				t.Fatal("read-own-write failed with concurrent transactions")
+			}
+			c0.Commit()
+			// c1 still open; crash now must keep c0, drop c1.
+			img := m.Crash()
+			m2, err := Restore(testConfig(b, 2), img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := m2.Core(0)
+			if r.Load64(heapVA(1, 0)) != 100 || r.Load64(heapVA(1, 128)) != 101 {
+				t.Error("committed transaction lost")
+			}
+			if r.Load64(heapVA(1, 64)) != 0 || r.Load64(heapVA(1, 192)) != 0 {
+				t.Error("uncommitted transaction visible")
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			run := func() (uint64, uint64, int64) {
+				m := New(testConfig(b, 2))
+				m.Heap().EnsureMapped(1, 8)
+				for i := 0; i < 50; i++ {
+					c := m.Core(i % 2)
+					c.Begin()
+					c.Store64(heapVA(1+(i%8), (i*8)%4096&^7), uint64(i))
+					c.Commit()
+				}
+				m.Drain()
+				return m.Stats().NVRAMWriteLines, m.Stats().TotalWriteBytes(), int64(m.MaxClock())
+			}
+			l1, b1, c1 := run()
+			l2, b2, c2 := run()
+			if l1 != l2 || b1 != b2 || c1 != c2 {
+				t.Errorf("nondeterministic run: (%d,%d,%d) vs (%d,%d,%d)", l1, b1, c1, l2, b2, c2)
+			}
+		})
+	}
+}
+
+func TestSSPWritesLessLoggingTraffic(t *testing.T) {
+	// The headline claim at miniature scale: SSP's critical-path logging
+	// bytes are far below UNDO/REDO for the same work.
+	traffic := map[BackendKind]uint64{}
+	for _, b := range allBackends() {
+		m := New(testConfig(b, 1))
+		c := m.Core(0)
+		m.Heap().EnsureMapped(1, 4)
+		// Table-3-shaped transactions: 8 distinct lines across 2 pages.
+		for i := 0; i < 200; i++ {
+			c.Begin()
+			for j := 0; j < 8; j++ {
+				page := 1 + (i+j/4)%4
+				line := (i*4 + j%4) % 64
+				c.Store64(heapVA(page, line*64), uint64(i))
+			}
+			c.Commit()
+		}
+		m.Drain()
+		traffic[b] = m.Stats().CriticalPathLoggingBytes()
+	}
+	if traffic[SSP]*2 >= traffic[UndoLog] {
+		t.Errorf("SSP logging bytes %d not well below UNDO %d", traffic[SSP], traffic[UndoLog])
+	}
+	if traffic[SSP]*2 >= traffic[RedoLog] {
+		t.Errorf("SSP logging bytes %d not well below REDO %d", traffic[SSP], traffic[RedoLog])
+	}
+}
+
+func TestStoreBytesCrossesLines(t *testing.T) {
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := New(testConfig(b, 1))
+			c := m.Core(0)
+			m.Heap().EnsureMapped(1, 2)
+			// A 200-byte blob starting 8 bytes before a line boundary,
+			// crossing a page boundary too.
+			va := heapVA(1, 4096-72)
+			blob := make([]byte, 200)
+			for i := range blob {
+				blob[i] = byte(i + 1)
+			}
+			c.Begin()
+			c.StoreBytes(va, blob)
+			c.Commit()
+			got := make([]byte, 200)
+			c.LoadBytes(va, got)
+			for i := range blob {
+				if got[i] != blob[i] {
+					t.Fatalf("byte %d: got %d want %d", i, got[i], blob[i])
+				}
+			}
+			// Survives a crash.
+			if err := m.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			c.LoadBytes(va, got)
+			for i := range blob {
+				if got[i] != blob[i] {
+					t.Fatalf("post-crash byte %d: got %d want %d", i, got[i], blob[i])
+				}
+			}
+		})
+	}
+}
+
+func TestUnalignedWordOpsPanic(t *testing.T) {
+	m := New(testConfig(SSP, 1))
+	c := m.Core(0)
+	m.Heap().EnsureMapped(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned Store64 should panic")
+		}
+	}()
+	c.Begin()
+	c.Store64(heapVA(1, 3), 1)
+}
+
+func TestBackendNames(t *testing.T) {
+	if SSP.String() != "SSP" || UndoLog.String() != "UNDO-LOG" || RedoLog.String() != "REDO-LOG" {
+		t.Error("backend names wrong")
+	}
+	if len(Backends()) != 3 {
+		t.Error("Backends() wrong")
+	}
+}

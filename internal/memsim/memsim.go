@@ -1,0 +1,338 @@
+// Package memsim models the hybrid DRAM + NVRAM main memory of the paper's
+// simulated machine (Table 2): one channel of DRAM and one channel of NVRAM
+// on the same memory bus, with per-bank busy timelines, row-buffer locality
+// and per-line bus occupancy. It stands in for the DRAMSim2 model the paper
+// integrated into MarssX86 (see DESIGN.md §1).
+//
+// Besides timing, the package owns the *durable* byte image of NVRAM: a
+// write becomes durable only when it reaches this package. The cache
+// hierarchy above holds dirty data in volatile arrays, so simulating a power
+// failure is exact — drop the caches, and only what was written back
+// survives. PowerOff and SetWriteTrap make the durable image stop accepting
+// writes, which is how the crash-consistency tests cut the write stream at
+// arbitrary points.
+package memsim
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// PAddr is a physical byte address in the simulated machine.
+type PAddr uint64
+
+// Geometry constants shared by the whole simulator.
+const (
+	LineBytes    = 64
+	LineShift    = 6
+	PageBytes    = 4096
+	PageShift    = 12
+	LinesPerPage = PageBytes / LineBytes
+)
+
+// LineAddr returns the line-aligned base of pa.
+func LineAddr(pa PAddr) PAddr { return pa &^ (LineBytes - 1) }
+
+// PageAddr returns the page-aligned base of pa.
+func PageAddr(pa PAddr) PAddr { return pa &^ (PageBytes - 1) }
+
+// LineIndex returns the index of pa's cache line within its page (0..63).
+func LineIndex(pa PAddr) int { return int(pa>>LineShift) & (LinesPerPage - 1) }
+
+// Config describes the memory system. The zero value is not usable; use
+// DefaultConfig.
+type Config struct {
+	FreqGHz float64 // core frequency used to convert ns to cycles
+
+	DRAMBytes uint64
+	DRAMBanks int
+	DRAMRow   int // row-buffer bytes per bank
+	DRAMRead  float64
+	DRAMWrite float64 // ns
+
+	NVRAMBase  PAddr // start of the NVRAM physical range
+	NVRAMBytes uint64
+	NVRAMBanks int
+	NVRAMRow   int
+	NVRAMRead  float64 // ns
+	NVRAMWrite float64 // ns
+
+	RowHitFrac float64 // latency multiplier applied on a row-buffer hit
+	BusNS      float64 // bus occupancy per 64-byte transfer
+}
+
+// DefaultConfig returns the paper's Table 2 memory parameters, with
+// capacities scaled to simulation-friendly sizes (the paper's 8 GiB DIMMs
+// are configurable but unnecessary for the workloads).
+func DefaultConfig() Config {
+	return Config{
+		FreqGHz:    3.7,
+		DRAMBytes:  32 << 20,
+		DRAMBanks:  64,
+		DRAMRow:    1024,
+		DRAMRead:   50,
+		DRAMWrite:  50,
+		NVRAMBase:  1 << 32,
+		NVRAMBytes: 128 << 20,
+		NVRAMBanks: 32,
+		NVRAMRow:   2048,
+		NVRAMRead:  50,
+		NVRAMWrite: 200,
+		RowHitFrac: 0.6,
+		BusNS:      4,
+	}
+}
+
+type bank struct {
+	busyUntil engine.Cycles
+	openRow   uint64
+	hasOpen   bool
+}
+
+// Memory is the simulated hybrid memory system.
+type Memory struct {
+	cfg Config
+	st  *stats.Stats
+
+	dram  []byte
+	nvram []byte
+
+	dramBanks []bank
+	nvBanks   []bank
+	busBusy   engine.Cycles
+
+	busCycles engine.Cycles
+
+	powerOff   bool
+	trapAfter  int64 // remaining NVRAM writes before power-off; <0 disabled
+	onPowerOff func()
+}
+
+// New allocates a memory system per cfg, with zeroed contents.
+func New(cfg Config, st *stats.Stats) *Memory {
+	if cfg.FreqGHz <= 0 {
+		panic("memsim: FreqGHz must be positive")
+	}
+	m := &Memory{
+		cfg:       cfg,
+		st:        st,
+		dram:      make([]byte, cfg.DRAMBytes),
+		nvram:     make([]byte, cfg.NVRAMBytes),
+		dramBanks: make([]bank, cfg.DRAMBanks),
+		nvBanks:   make([]bank, cfg.NVRAMBanks),
+		busCycles: engine.NSToCycles(cfg.BusNS, cfg.FreqGHz),
+		trapAfter: -1,
+	}
+	return m
+}
+
+// NewFromImage is like New but installs img as the initial NVRAM contents —
+// this is how a post-crash machine boots from a previous machine's durable
+// state. The image is copied.
+func NewFromImage(cfg Config, st *stats.Stats, img []byte) *Memory {
+	m := New(cfg, st)
+	if uint64(len(img)) != cfg.NVRAMBytes {
+		panic(fmt.Sprintf("memsim: image size %d != NVRAMBytes %d", len(img), cfg.NVRAMBytes))
+	}
+	copy(m.nvram, img)
+	return m
+}
+
+// Config returns the configuration the memory was built with.
+func (m *Memory) Config() Config { return m.cfg }
+
+// IsNVRAM reports whether pa falls in the NVRAM physical range.
+func (m *Memory) IsNVRAM(pa PAddr) bool {
+	return pa >= m.cfg.NVRAMBase && pa < m.cfg.NVRAMBase+PAddr(m.cfg.NVRAMBytes)
+}
+
+// Contains reports whether pa is backed by this memory at all.
+func (m *Memory) Contains(pa PAddr) bool {
+	return pa < PAddr(m.cfg.DRAMBytes) || m.IsNVRAM(pa)
+}
+
+func (m *Memory) backing(pa PAddr, n int) []byte {
+	if m.IsNVRAM(pa) {
+		off := pa - m.cfg.NVRAMBase
+		return m.nvram[off : off+PAddr(n)]
+	}
+	if pa+PAddr(n) > PAddr(m.cfg.DRAMBytes) {
+		panic(fmt.Sprintf("memsim: address %#x+%d outside DRAM and NVRAM", pa, n))
+	}
+	return m.dram[pa : pa+PAddr(n)]
+}
+
+// access charges timing for one memory transaction at address pa and
+// returns its completion time.
+func (m *Memory) access(pa PAddr, write bool, at engine.Cycles) engine.Cycles {
+	var banks []bank
+	var rowBytes int
+	var lat float64
+	if m.IsNVRAM(pa) {
+		banks = m.nvBanks
+		rowBytes = m.cfg.NVRAMRow
+		if write {
+			lat = m.cfg.NVRAMWrite
+		} else {
+			lat = m.cfg.NVRAMRead
+		}
+		if write {
+			m.st.NVRAMWriteLines++ // line count maintained here; bytes by caller category
+		} else {
+			m.st.NVRAMReadLines++
+		}
+	} else {
+		banks = m.dramBanks
+		rowBytes = m.cfg.DRAMRow
+		if write {
+			lat = m.cfg.DRAMWrite
+		} else {
+			lat = m.cfg.DRAMRead
+		}
+		if write {
+			m.st.DRAMWriteLines++
+		} else {
+			m.st.DRAMReadLines++
+		}
+	}
+
+	// Address mapping: columns within a row stay in one bank, rows
+	// interleave across banks — sequential streams (logs, consolidation
+	// copies) enjoy row-buffer hits, like DRAMSim2's default mapping.
+	rowGlobal := uint64(pa) / uint64(rowBytes)
+	b := &banks[rowGlobal%uint64(len(banks))]
+	row := rowGlobal / uint64(len(banks))
+
+	latency := engine.NSToCycles(lat, m.cfg.FreqGHz)
+	if b.hasOpen && b.openRow == row {
+		m.st.RowHits++
+		latency = engine.Cycles(float64(latency) * m.cfg.RowHitFrac)
+	} else {
+		m.st.RowMisses++
+		b.openRow = row
+		b.hasOpen = true
+	}
+
+	start := engine.MaxCycles(at, engine.MaxCycles(b.busyUntil, m.busBusy))
+	done := start + latency
+	b.busyUntil = done
+	m.busBusy = start + m.busCycles
+	return done
+}
+
+// ReadLine copies the durable 64-byte line at pa into buf and returns the
+// completion time of the read.
+func (m *Memory) ReadLine(pa PAddr, buf []byte, at engine.Cycles) engine.Cycles {
+	pa = LineAddr(pa)
+	copy(buf[:LineBytes], m.backing(pa, LineBytes))
+	return m.access(pa, false, at)
+}
+
+// WriteLine makes the 64-byte line at pa durable with the given contents
+// (unless power is off) and returns the completion time. cat classifies the
+// write for the Figure 6/7 accounting; classification only applies to NVRAM.
+func (m *Memory) WriteLine(pa PAddr, data []byte, at engine.Cycles, cat stats.WriteCat) engine.Cycles {
+	return m.WriteBytes(LineAddr(pa), data[:LineBytes], at, cat)
+}
+
+// WriteBytes is WriteLine for arbitrary small spans (used for 8-byte atomic
+// pointer updates, partial log records, and page-table entries). The span
+// must not cross a line boundary. A sub-line write still occupies the bank
+// like a full write; only the byte accounting differs.
+func (m *Memory) WriteBytes(pa PAddr, data []byte, at engine.Cycles, cat stats.WriteCat) engine.Cycles {
+	if len(data) == 0 || len(data) > LineBytes {
+		panic(fmt.Sprintf("memsim: WriteBytes of %d bytes", len(data)))
+	}
+	if LineAddr(pa) != LineAddr(pa+PAddr(len(data))-1) {
+		panic(fmt.Sprintf("memsim: WriteBytes spans a line boundary at %#x+%d", pa, len(data)))
+	}
+	nv := m.IsNVRAM(pa)
+	if nv {
+		if m.trapAfter >= 0 {
+			if m.trapAfter == 0 {
+				m.triggerPowerOff()
+			} else {
+				m.trapAfter--
+			}
+		}
+	}
+	if !(m.powerOff && nv) {
+		copy(m.backing(pa, len(data)), data)
+	}
+	done := m.access(pa, true, at)
+	if nv {
+		m.st.NVRAMWriteBytes[cat] += uint64(len(data))
+	}
+	return done
+}
+
+// Peek copies durable bytes without timing or power-failure effects. Used
+// for recovery-time parsing and test verification.
+func (m *Memory) Peek(pa PAddr, buf []byte) {
+	copy(buf, m.backing(pa, len(buf)))
+}
+
+// Poke sets durable bytes without timing; used only for initialisation
+// (formatting persistent regions) and tests. It ignores PowerOff.
+func (m *Memory) Poke(pa PAddr, data []byte) {
+	copy(m.backing(pa, len(data)), data)
+}
+
+// PowerOff makes all subsequent NVRAM writes vanish, simulating the instant
+// of power failure. Timing continues to be charged (the machine does not
+// know power failed); the caller is expected to stop the run and recover.
+func (m *Memory) PowerOff() { m.triggerPowerOff() }
+
+func (m *Memory) triggerPowerOff() {
+	if m.powerOff {
+		return
+	}
+	m.powerOff = true
+	m.trapAfter = -1
+	if m.onPowerOff != nil {
+		m.onPowerOff()
+	}
+}
+
+// PoweredOff reports whether a power failure has been injected.
+func (m *Memory) PoweredOff() bool { return m.powerOff }
+
+// SetWriteTrap arms a power failure after n more durable NVRAM writes: the
+// next n writes land, everything after is lost. n=0 loses the very next
+// write. Pass a negative n to disarm.
+func (m *Memory) SetWriteTrap(n int64) {
+	if n < 0 {
+		m.trapAfter = -1
+		return
+	}
+	m.trapAfter = n
+}
+
+// OnPowerOff registers a callback invoked once when power fails (armed trap
+// or explicit PowerOff). Tests use it to stop workload loops.
+func (m *Memory) OnPowerOff(fn func()) { m.onPowerOff = fn }
+
+// PowerOn clears the power-off state after recovery has rebuilt volatile
+// structures; durable contents are preserved.
+func (m *Memory) PowerOn() { m.powerOff = false }
+
+// NVRAMImage returns a copy of the durable NVRAM contents.
+func (m *Memory) NVRAMImage() []byte {
+	img := make([]byte, len(m.nvram))
+	copy(img, m.nvram)
+	return img
+}
+
+// ResetTiming clears bank/bus timelines and open-row state (a reboot);
+// durable contents and statistics are untouched.
+func (m *Memory) ResetTiming() {
+	for i := range m.dramBanks {
+		m.dramBanks[i] = bank{}
+	}
+	for i := range m.nvBanks {
+		m.nvBanks[i] = bank{}
+	}
+	m.busBusy = 0
+}

@@ -1,0 +1,174 @@
+package pheap
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/vm"
+)
+
+// fakeTx implements Tx over a plain map — the allocator's logic is
+// independent of the simulator.
+type fakeTx struct {
+	mem map[uint64]uint64
+}
+
+func newFakeTx() *fakeTx { return &fakeTx{mem: map[uint64]uint64{}} }
+
+func (f *fakeTx) Load64(va uint64) uint64     { return f.mem[va] }
+func (f *fakeTx) Store64(va uint64, v uint64) { f.mem[va] = v }
+
+func newHeap(t *testing.T) (*Heap, *fakeTx, *[]int) {
+	t.Helper()
+	var mapped []int
+	h := &Heap{EnsureMapped: func(first, last int) {
+		for v := first; v <= last; v++ {
+			mapped = append(mapped, v)
+		}
+	}}
+	tx := newFakeTx()
+	h.Format(tx, 256)
+	return h, tx, &mapped
+}
+
+func TestFormatInitialisesMetadata(t *testing.T) {
+	_, tx, _ := newHeap(t)
+	if tx.Load64(MetaVA(bumpOff)) != vm.HeapBase+memsim.PageBytes {
+		t.Error("bump pointer wrong after format")
+	}
+	if tx.Load64(MetaVA(limitOff)) != vm.HeapBase+256*memsim.PageBytes {
+		t.Error("limit wrong after format")
+	}
+	for i := 0; i < RootSlots; i++ {
+		if tx.Load64(RootVA(i)) != 0 {
+			t.Errorf("root %d not zeroed", i)
+		}
+	}
+}
+
+func TestAllocAlignmentAndDistinctness(t *testing.T) {
+	h, tx, _ := newHeap(t)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		p := h.Alloc(tx, 48) // class 64
+		if p%16 != 0 {
+			t.Fatalf("allocation %#x not 16-aligned", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate allocation %#x", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	h, tx, _ := newHeap(t)
+	a := h.Alloc(tx, 64)
+	b := h.Alloc(tx, 64)
+	h.Free(tx, a, 64)
+	h.Free(tx, b, 64)
+	// LIFO reuse.
+	if got := h.Alloc(tx, 64); got != b {
+		t.Errorf("expected %#x, got %#x", b, got)
+	}
+	if got := h.Alloc(tx, 64); got != a {
+		t.Errorf("expected %#x, got %#x", a, got)
+	}
+}
+
+func TestClassesDoNotMix(t *testing.T) {
+	h, tx, _ := newHeap(t)
+	small := h.Alloc(tx, 16)
+	h.Free(tx, small, 16)
+	big := h.Alloc(tx, 1024)
+	if big == small {
+		t.Error("1024-byte allocation reused a 16-byte block")
+	}
+}
+
+func TestNoPageStraddle(t *testing.T) {
+	h, tx, _ := newHeap(t)
+	for i := 0; i < 500; i++ {
+		p := h.Alloc(tx, 2048)
+		if vm.VPNOf(p) != vm.VPNOf(p+2047) {
+			t.Fatalf("class block %#x straddles a page", p)
+		}
+	}
+}
+
+func TestPageGranularAlloc(t *testing.T) {
+	h, tx, mapped := newHeap(t)
+	p := h.Alloc(tx, 3*memsim.PageBytes)
+	if p%memsim.PageBytes != 0 {
+		t.Errorf("page allocation %#x not page-aligned", p)
+	}
+	// All three pages must be mapped.
+	want := map[int]bool{vm.VPNOf(p): true, vm.VPNOf(p) + 1: true, vm.VPNOf(p) + 2: true}
+	found := 0
+	for _, vpn := range *mapped {
+		if want[vpn] {
+			found++
+			delete(want, vpn)
+		}
+	}
+	if found != 3 {
+		t.Errorf("pages not mapped: %v missing", want)
+	}
+}
+
+func TestFreePageGranularPanics(t *testing.T) {
+	h, tx, _ := newHeap(t)
+	p := h.Alloc(tx, 2*memsim.PageBytes)
+	defer func() {
+		if recover() == nil {
+			t.Error("freeing a page-granular block should panic")
+		}
+	}()
+	h.Free(tx, p, 2*memsim.PageBytes)
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	h, tx, _ := newHeap(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("heap exhaustion should panic")
+		}
+	}()
+	for i := 0; i < 100000; i++ {
+		h.Alloc(tx, 2048)
+	}
+}
+
+func TestRootVABounds(t *testing.T) {
+	if RootVA(0) != MetaVA(rootsOff) {
+		t.Error("root 0 misplaced")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range root should panic")
+		}
+	}()
+	RootVA(RootSlots)
+}
+
+func TestClassSizes(t *testing.T) {
+	sizes := ClassSizes()
+	if len(sizes) == 0 || sizes[0] != 16 || sizes[len(sizes)-1] != 2048 {
+		t.Errorf("unexpected classes: %v", sizes)
+	}
+	// Mutating the copy must not affect the allocator.
+	sizes[0] = 999
+	if ClassSizes()[0] != 16 {
+		t.Error("ClassSizes returned internal slice")
+	}
+}
+
+func TestAllocZeroPanics(t *testing.T) {
+	h, tx, _ := newHeap(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc(0) should panic")
+		}
+	}()
+	h.Alloc(tx, 0)
+}

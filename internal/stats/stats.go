@@ -1,0 +1,296 @@
+// Package stats collects the counters the paper's evaluation reports:
+// NVRAM/DRAM traffic split by purpose, cache and TLB behaviour, coherence
+// messages, and transaction throughput. All figures and tables in the
+// reproduction are derived exclusively from these counters.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WriteCat classifies every NVRAM write by purpose. The paper's Figure 6
+// counts the "logging" categories, Figure 7a counts everything, and
+// Figure 7b breaks SSP's writes into Data / Journaling / Consolidation /
+// Checkpointing.
+type WriteCat int
+
+// Write categories.
+const (
+	// CatData is application data reaching NVRAM: transactional write-set
+	// flushes, cache write-backs of persistent lines, and redo-log style
+	// post-commit write-backs.
+	CatData WriteCat = iota
+	// CatUndoLog is undo-log records (old values) written by UNDO-LOG and by
+	// the software fall-back path.
+	CatUndoLog
+	// CatRedoLog is redo-log records (new values) written by REDO-LOG.
+	CatRedoLog
+	// CatMetaJournal is SSP metadata-journal records (§3.3).
+	CatMetaJournal
+	// CatCommitRecord is per-transaction commit/end markers for the logging
+	// designs.
+	CatCommitRecord
+	// CatConsolidation is line copies performed by SSP page consolidation
+	// (§3.4).
+	CatConsolidation
+	// CatCheckpoint is persistent-SSP-cache updates performed by
+	// checkpointing (§4.1.2).
+	CatCheckpoint
+	// CatControl is small control-plane writes: log head/tail pointers, page
+	// table entries, superblock fields.
+	CatControl
+	// CatRecovery is writes performed during crash recovery (rollback or
+	// replay); excluded from steady-state figures.
+	CatRecovery
+
+	numCats
+)
+
+// String returns the category name used in reports.
+func (c WriteCat) String() string {
+	switch c {
+	case CatData:
+		return "Data"
+	case CatUndoLog:
+		return "UndoLog"
+	case CatRedoLog:
+		return "RedoLog"
+	case CatMetaJournal:
+		return "MetaJournal"
+	case CatCommitRecord:
+		return "CommitRecord"
+	case CatConsolidation:
+		return "Consolidation"
+	case CatCheckpoint:
+		return "Checkpoint"
+	case CatControl:
+		return "Control"
+	case CatRecovery:
+		return "Recovery"
+	default:
+		return fmt.Sprintf("WriteCat(%d)", int(c))
+	}
+}
+
+// Categories lists all write categories in report order.
+func Categories() []WriteCat {
+	cats := make([]WriteCat, numCats)
+	for i := range cats {
+		cats[i] = WriteCat(i)
+	}
+	return cats
+}
+
+// Stats is the full counter set for one simulation run. It is plain data;
+// the zero value is ready to use.
+type Stats struct {
+	// NVRAM traffic.
+	NVRAMReadLines  uint64
+	NVRAMWriteLines uint64
+	NVRAMWriteBytes [numCats]uint64
+
+	// DRAM traffic.
+	DRAMReadLines  uint64
+	DRAMWriteLines uint64
+
+	// Row-buffer behaviour.
+	RowHits   uint64
+	RowMisses uint64
+
+	// Cache behaviour, indexed by level (0=L1, 1=L2, 2=L3).
+	CacheHits   [3]uint64
+	CacheMisses [3]uint64
+
+	// TLB behaviour (persistent-heap accesses only, as in §5.1).
+	TLBHits      uint64 // L1 DTLB hits
+	TLB2Hits     uint64 // L2 STLB hits
+	TLBMisses    uint64
+	TLBEvictions uint64 // departures from the whole hierarchy
+
+	// Coherence traffic.
+	FlipBroadcasts uint64 // SSP flip-current-bit messages (§4.1.1)
+	Invalidations  uint64
+	TxLineSpills   uint64 // speculative lines forced out of L3 to memory
+
+	// SSP mechanism counters.
+	SSPCacheHits      uint64
+	SSPCacheMisses    uint64
+	Consolidations    uint64
+	ConsolidatedLines uint64
+	Checkpoints       uint64
+	JournalRecords    uint64
+	FallbackTxns      uint64 // transactions diverted to the software path
+
+	// Logging mechanism counters.
+	UndoRecords     uint64
+	RedoRecords     uint64
+	WritebackStalls uint64 // commits delayed by a full redo write-back queue
+
+	// Transactions.
+	Commits uint64
+	Aborts  uint64
+
+	// Recovery.
+	Recoveries       uint64
+	RecoveredTxns    uint64
+	RolledBackTxns   uint64
+	ReplayedRecords  uint64
+	RecoveryNVWrites uint64
+}
+
+// AddWrite records one NVRAM line write of n bytes in category c.
+func (s *Stats) AddWrite(c WriteCat, n int) {
+	s.NVRAMWriteLines++
+	s.NVRAMWriteBytes[c] += uint64(n)
+}
+
+// WriteBytes returns the bytes written in category c.
+func (s *Stats) WriteBytes(c WriteCat) uint64 { return s.NVRAMWriteBytes[c] }
+
+// TotalWriteBytes returns NVRAM write bytes summed over all categories.
+func (s *Stats) TotalWriteBytes() uint64 {
+	var t uint64
+	for _, b := range s.NVRAMWriteBytes {
+		t += b
+	}
+	return t
+}
+
+// LoggingBytes returns the "extra" (non-data) write bytes the paper's
+// Figure 6 compares: log records, commit records, SSP journaling,
+// consolidation and checkpointing.
+func (s *Stats) LoggingBytes() uint64 {
+	return s.NVRAMWriteBytes[CatUndoLog] +
+		s.NVRAMWriteBytes[CatRedoLog] +
+		s.NVRAMWriteBytes[CatMetaJournal] +
+		s.NVRAMWriteBytes[CatCommitRecord] +
+		s.NVRAMWriteBytes[CatConsolidation] +
+		s.NVRAMWriteBytes[CatCheckpoint] +
+		s.NVRAMWriteBytes[CatControl]
+}
+
+// CriticalPathLoggingBytes returns the extra bytes written on the commit
+// critical path (excludes SSP's background consolidation/checkpointing).
+func (s *Stats) CriticalPathLoggingBytes() uint64 {
+	return s.NVRAMWriteBytes[CatUndoLog] +
+		s.NVRAMWriteBytes[CatRedoLog] +
+		s.NVRAMWriteBytes[CatMetaJournal] +
+		s.NVRAMWriteBytes[CatCommitRecord]
+}
+
+// Add accumulates o into s field by field.
+func (s *Stats) Add(o *Stats) {
+	s.NVRAMReadLines += o.NVRAMReadLines
+	s.NVRAMWriteLines += o.NVRAMWriteLines
+	for i := range s.NVRAMWriteBytes {
+		s.NVRAMWriteBytes[i] += o.NVRAMWriteBytes[i]
+	}
+	s.DRAMReadLines += o.DRAMReadLines
+	s.DRAMWriteLines += o.DRAMWriteLines
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	for i := range s.CacheHits {
+		s.CacheHits[i] += o.CacheHits[i]
+		s.CacheMisses[i] += o.CacheMisses[i]
+	}
+	s.TLBHits += o.TLBHits
+	s.TLB2Hits += o.TLB2Hits
+	s.TLBMisses += o.TLBMisses
+	s.TLBEvictions += o.TLBEvictions
+	s.FlipBroadcasts += o.FlipBroadcasts
+	s.Invalidations += o.Invalidations
+	s.TxLineSpills += o.TxLineSpills
+	s.SSPCacheHits += o.SSPCacheHits
+	s.SSPCacheMisses += o.SSPCacheMisses
+	s.Consolidations += o.Consolidations
+	s.ConsolidatedLines += o.ConsolidatedLines
+	s.Checkpoints += o.Checkpoints
+	s.JournalRecords += o.JournalRecords
+	s.FallbackTxns += o.FallbackTxns
+	s.UndoRecords += o.UndoRecords
+	s.RedoRecords += o.RedoRecords
+	s.WritebackStalls += o.WritebackStalls
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Recoveries += o.Recoveries
+	s.RecoveredTxns += o.RecoveredTxns
+	s.RolledBackTxns += o.RolledBackTxns
+	s.ReplayedRecords += o.ReplayedRecords
+	s.RecoveryNVWrites += o.RecoveryNVWrites
+}
+
+// Summary renders the counters as a human-readable block, used by cmd/sspsim.
+func (s *Stats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NVRAM reads (lines):  %d\n", s.NVRAMReadLines)
+	fmt.Fprintf(&b, "NVRAM writes (lines): %d\n", s.NVRAMWriteLines)
+	fmt.Fprintf(&b, "NVRAM write bytes by category:\n")
+	for _, c := range Categories() {
+		if s.NVRAMWriteBytes[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-14s %d\n", c.String(), s.NVRAMWriteBytes[c])
+	}
+	fmt.Fprintf(&b, "DRAM reads/writes (lines): %d/%d\n", s.DRAMReadLines, s.DRAMWriteLines)
+	fmt.Fprintf(&b, "row-buffer hits/misses: %d/%d\n", s.RowHits, s.RowMisses)
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, "L%d hits/misses: %d/%d\n", i+1, s.CacheHits[i], s.CacheMisses[i])
+	}
+	fmt.Fprintf(&b, "TLB l1-hits/l2-hits/misses/evictions: %d/%d/%d/%d\n", s.TLBHits, s.TLB2Hits, s.TLBMisses, s.TLBEvictions)
+	fmt.Fprintf(&b, "flip broadcasts: %d, invalidations: %d\n", s.FlipBroadcasts, s.Invalidations)
+	fmt.Fprintf(&b, "SSP cache hits/misses: %d/%d\n", s.SSPCacheHits, s.SSPCacheMisses)
+	fmt.Fprintf(&b, "consolidations: %d (%d lines), checkpoints: %d, journal records: %d\n",
+		s.Consolidations, s.ConsolidatedLines, s.Checkpoints, s.JournalRecords)
+	fmt.Fprintf(&b, "undo/redo records: %d/%d, writeback stalls: %d\n", s.UndoRecords, s.RedoRecords, s.WritebackStalls)
+	fmt.Fprintf(&b, "commits: %d, aborts: %d, fallback txns: %d\n", s.Commits, s.Aborts, s.FallbackTxns)
+	return b.String()
+}
+
+// Table renders rows of (label, columns...) with aligned columns; helper for
+// experiment output.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the keys of m in sorted order; helper for deterministic
+// report iteration.
+func SortedKeys[K ~string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

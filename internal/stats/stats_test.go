@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCategoryNames(t *testing.T) {
+	want := map[WriteCat]string{
+		CatData:          "Data",
+		CatUndoLog:       "UndoLog",
+		CatRedoLog:       "RedoLog",
+		CatMetaJournal:   "MetaJournal",
+		CatCommitRecord:  "CommitRecord",
+		CatConsolidation: "Consolidation",
+		CatCheckpoint:    "Checkpoint",
+		CatControl:       "Control",
+		CatRecovery:      "Recovery",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), name)
+		}
+	}
+	if len(Categories()) != len(want) {
+		t.Errorf("Categories() has %d entries, want %d", len(Categories()), len(want))
+	}
+}
+
+func TestAddWriteAndTotals(t *testing.T) {
+	var s Stats
+	s.AddWrite(CatData, 64)
+	s.AddWrite(CatUndoLog, 64)
+	s.AddWrite(CatMetaJournal, 40)
+	s.AddWrite(CatConsolidation, 64)
+	if s.NVRAMWriteLines != 4 {
+		t.Errorf("lines = %d", s.NVRAMWriteLines)
+	}
+	if s.TotalWriteBytes() != 64+64+40+64 {
+		t.Errorf("total = %d", s.TotalWriteBytes())
+	}
+	if s.WriteBytes(CatData) != 64 {
+		t.Errorf("data bytes = %d", s.WriteBytes(CatData))
+	}
+	// Logging = everything except Data and Recovery.
+	if s.LoggingBytes() != 64+40+64 {
+		t.Errorf("logging = %d", s.LoggingBytes())
+	}
+	// Critical-path logging excludes consolidation/checkpoint/control.
+	if s.CriticalPathLoggingBytes() != 64+40 {
+		t.Errorf("critical-path logging = %d", s.CriticalPathLoggingBytes())
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	var a, b Stats
+	a.AddWrite(CatData, 64)
+	a.Commits = 3
+	a.TLBMisses = 7
+	a.CacheHits[1] = 11
+	b.AddWrite(CatData, 64)
+	b.Commits = 2
+	b.FlipBroadcasts = 5
+	a.Add(&b)
+	if a.Commits != 5 || a.TLBMisses != 7 || a.FlipBroadcasts != 5 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+	if a.WriteBytes(CatData) != 128 || a.NVRAMWriteLines != 2 {
+		t.Errorf("write accumulation wrong")
+	}
+	if a.CacheHits[1] != 11 {
+		t.Errorf("cache hits lost")
+	}
+}
+
+func TestSummaryMentionsKeyCounters(t *testing.T) {
+	var s Stats
+	s.AddWrite(CatMetaJournal, 40)
+	s.Commits = 9
+	s.Consolidations = 2
+	out := s.Summary()
+	for _, want := range []string{"MetaJournal", "commits: 9", "consolidations: 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"Name", "Value"}, [][]string{{"a", "1"}, {"longer", "22"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("separator misaligned with header")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

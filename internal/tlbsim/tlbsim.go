@@ -1,0 +1,260 @@
+// Package tlbsim models the per-core data-TLB hierarchy that SSP extends: a
+// 64-entry L1 DTLB (Table 2) backed by a 1024-entry L2 STLB (§4.3 sizes the
+// SSP metadata cost for exactly this configuration). The two levels are
+// exclusive; a page is TLB-resident while it lives in either. The backend
+// learns about final departures through OnEvict — SSP uses that to maintain
+// the per-page TLB reference counts that drive page consolidation (§3.4),
+// so the STLB's reach is what lets consolidation batch many transactions.
+package tlbsim
+
+import (
+	"repro/internal/memsim"
+	"repro/internal/stats"
+)
+
+// VPN is a virtual page number (virtual address >> 12).
+type VPN uint64
+
+// node is one translation in an intrusive LRU list.
+type node struct {
+	vpn        VPN
+	ppn        memsim.PAddr
+	prev, next *node
+}
+
+// lruCache is an O(1) LRU map of bounded capacity.
+type lruCache struct {
+	cap  int
+	m    map[VPN]*node
+	head *node // most recent
+	tail *node // least recent
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, m: make(map[VPN]*node, capacity)}
+}
+
+func (c *lruCache) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *lruCache) pushFront(n *node) {
+	n.prev, n.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// get returns the node and refreshes its recency.
+func (c *lruCache) get(vpn VPN) *node {
+	n, ok := c.m[vpn]
+	if !ok {
+		return nil
+	}
+	c.unlink(n)
+	c.pushFront(n)
+	return n
+}
+
+// peek returns the node without touching recency.
+func (c *lruCache) peek(vpn VPN) *node { return c.m[vpn] }
+
+// insert adds n (not present); if the cache overflows, the LRU node is
+// removed and returned.
+func (c *lruCache) insert(n *node) *node {
+	c.m[n.vpn] = n
+	c.pushFront(n)
+	if len(c.m) <= c.cap {
+		return nil
+	}
+	victim := c.tail
+	c.unlink(victim)
+	delete(c.m, victim.vpn)
+	return victim
+}
+
+// remove deletes vpn if present, returning the node.
+func (c *lruCache) remove(vpn VPN) *node {
+	n, ok := c.m[vpn]
+	if !ok {
+		return nil
+	}
+	c.unlink(n)
+	delete(c.m, vpn)
+	return n
+}
+
+func (c *lruCache) clear() {
+	c.m = make(map[VPN]*node, c.cap)
+	c.head, c.tail = nil, nil
+}
+
+// TLB is one core's translation hierarchy.
+type TLB struct {
+	l1 *lruCache
+	l2 *lruCache // nil when the STLB is disabled
+	st *stats.Stats
+
+	// OnEvict fires when a translation leaves the hierarchy entirely
+	// (capacity eviction from the last level, or explicit Invalidate).
+	OnEvict func(vpn VPN)
+}
+
+// New returns a single-level TLB with the given entry count (test configs
+// and ablations).
+func New(entries int, st *stats.Stats) *TLB {
+	return NewTwoLevel(entries, 0, st)
+}
+
+// NewTwoLevel returns an L1 DTLB of l1Entries backed by an exclusive L2
+// STLB of l2Entries (0 disables the second level).
+func NewTwoLevel(l1Entries, l2Entries int, st *stats.Stats) *TLB {
+	if l1Entries <= 0 {
+		panic("tlbsim: l1 entries must be positive")
+	}
+	t := &TLB{l1: newLRUCache(l1Entries), st: st}
+	if l2Entries > 0 {
+		t.l2 = newLRUCache(l2Entries)
+	}
+	return t
+}
+
+// Size returns the total entry capacity across levels.
+func (t *TLB) Size() int {
+	if t.l2 == nil {
+		return t.l1.cap
+	}
+	return t.l1.cap + t.l2.cap
+}
+
+// Lookup resolves vpn. level reports where it hit (1 = L1 DTLB, 2 = L2
+// STLB, 0 = miss); an L2 hit promotes the entry to L1, demoting the L1
+// victim into the STLB.
+func (t *TLB) Lookup(vpn VPN) (ppn memsim.PAddr, level int, hit bool) {
+	if n := t.l1.get(vpn); n != nil {
+		t.st.TLBHits++
+		return n.ppn, 1, true
+	}
+	if t.l2 != nil {
+		if n := t.l2.remove(vpn); n != nil {
+			t.st.TLB2Hits++
+			t.promote(n)
+			return n.ppn, 2, true
+		}
+	}
+	t.st.TLBMisses++
+	return 0, 0, false
+}
+
+// promote inserts n into L1, demoting L1's victim to the STLB; an STLB
+// overflow leaves the hierarchy.
+func (t *TLB) promote(n *node) {
+	victim := t.l1.insert(n)
+	if victim == nil {
+		return
+	}
+	if t.l2 == nil {
+		t.evicted(victim.vpn)
+		return
+	}
+	if out := t.l2.insert(victim); out != nil {
+		t.evicted(out.vpn)
+	}
+}
+
+func (t *TLB) evicted(vpn VPN) {
+	t.st.TLBEvictions++
+	if t.OnEvict != nil {
+		t.OnEvict(vpn)
+	}
+}
+
+// Contains reports whether vpn is resident in either level, without
+// touching recency or statistics.
+func (t *TLB) Contains(vpn VPN) bool {
+	if t.l1.peek(vpn) != nil {
+		return true
+	}
+	return t.l2 != nil && t.l2.peek(vpn) != nil
+}
+
+// Insert installs a translation into L1 (refreshing it in place if already
+// resident anywhere).
+func (t *TLB) Insert(vpn VPN, ppn memsim.PAddr) {
+	if n := t.l1.get(vpn); n != nil {
+		n.ppn = ppn
+		return
+	}
+	if t.l2 != nil {
+		if n := t.l2.remove(vpn); n != nil {
+			n.ppn = ppn
+			t.promote(n)
+			return
+		}
+	}
+	t.promote(&node{vpn: vpn, ppn: ppn})
+}
+
+// UpdatePPN rewrites the cached translation for vpn if resident.
+func (t *TLB) UpdatePPN(vpn VPN, ppn memsim.PAddr) {
+	if n := t.l1.peek(vpn); n != nil {
+		n.ppn = ppn
+		return
+	}
+	if t.l2 != nil {
+		if n := t.l2.peek(vpn); n != nil {
+			n.ppn = ppn
+		}
+	}
+}
+
+// Invalidate removes vpn from the hierarchy, firing the eviction callback
+// if it was resident.
+func (t *TLB) Invalidate(vpn VPN) {
+	if n := t.l1.remove(vpn); n != nil {
+		t.evicted(vpn)
+		return
+	}
+	if t.l2 != nil {
+		if n := t.l2.remove(vpn); n != nil {
+			t.evicted(vpn)
+		}
+	}
+}
+
+// Drop clears the hierarchy without firing callbacks — power failure (the
+// refcounts it would maintain are volatile and vanish too).
+func (t *TLB) Drop() {
+	t.l1.clear()
+	if t.l2 != nil {
+		t.l2.clear()
+	}
+}
+
+// Resident returns the set of currently resident VPNs (test helper).
+func (t *TLB) Resident() []VPN {
+	var out []VPN
+	for vpn := range t.l1.m {
+		out = append(out, vpn)
+	}
+	if t.l2 != nil {
+		for vpn := range t.l2.m {
+			out = append(out, vpn)
+		}
+	}
+	return out
+}

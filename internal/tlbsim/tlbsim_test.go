@@ -1,0 +1,210 @@
+package tlbsim
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/stats"
+)
+
+func TestLookupMissThenHit(t *testing.T) {
+	st := &stats.Stats{}
+	tlb := New(4, st)
+	if _, _, ok := tlb.Lookup(5); ok {
+		t.Fatal("empty TLB hit")
+	}
+	if st.TLBMisses != 1 {
+		t.Errorf("misses = %d", st.TLBMisses)
+	}
+	tlb.Insert(5, 0x1000)
+	ppn, level, ok := tlb.Lookup(5)
+	if !ok || ppn != 0x1000 || level != 1 {
+		t.Fatalf("lookup after insert: %v level=%d %v", ppn, level, ok)
+	}
+	if st.TLBHits != 1 {
+		t.Errorf("hits = %d", st.TLBHits)
+	}
+}
+
+func TestLRUEvictionFiresCallback(t *testing.T) {
+	st := &stats.Stats{}
+	tlb := New(2, st)
+	var evicted []VPN
+	tlb.OnEvict = func(v VPN) { evicted = append(evicted, v) }
+	tlb.Insert(1, 0x1000)
+	tlb.Insert(2, 0x2000)
+	tlb.Lookup(1)         // make 2 the LRU
+	tlb.Insert(3, 0x3000) // evicts 2
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted %v, want [2]", evicted)
+	}
+	if st.TLBEvictions != 1 {
+		t.Errorf("evictions = %d", st.TLBEvictions)
+	}
+	if !tlb.Contains(1) || !tlb.Contains(3) || tlb.Contains(2) {
+		t.Errorf("resident set wrong: %v", tlb.Resident())
+	}
+}
+
+func TestTwoLevelDemotionAndPromotion(t *testing.T) {
+	st := &stats.Stats{}
+	tlb := NewTwoLevel(2, 4, st)
+	var evicted []VPN
+	tlb.OnEvict = func(v VPN) { evicted = append(evicted, v) }
+	// Fill beyond L1: victims demote to the STLB, not out.
+	for v := VPN(1); v <= 4; v++ {
+		tlb.Insert(v, memsim.PAddr(0x1000*uint64(v)))
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("demotion fired eviction callback: %v", evicted)
+	}
+	// 1 and 2 should be in the STLB now; a lookup promotes back to L1.
+	_, level, ok := tlb.Lookup(1)
+	if !ok || level != 2 {
+		t.Fatalf("expected STLB hit for vpn 1, got level %d ok=%v", level, ok)
+	}
+	if st.TLB2Hits != 1 {
+		t.Errorf("stlb hits = %d", st.TLB2Hits)
+	}
+	_, level, ok = tlb.Lookup(1)
+	if !ok || level != 1 {
+		t.Fatalf("promotion failed: level %d", level)
+	}
+	if tlb.Size() != 6 {
+		t.Errorf("Size = %d", tlb.Size())
+	}
+}
+
+func TestTwoLevelOverflowEvicts(t *testing.T) {
+	st := &stats.Stats{}
+	tlb := NewTwoLevel(2, 2, st)
+	evictions := 0
+	tlb.OnEvict = func(VPN) { evictions++ }
+	for v := VPN(1); v <= 10; v++ {
+		tlb.Insert(v, 0x1000)
+	}
+	// Capacity 4 total: 6 departures.
+	if evictions != 6 {
+		t.Errorf("evictions = %d, want 6", evictions)
+	}
+	resident := tlb.Resident()
+	if len(resident) != 4 {
+		t.Errorf("resident = %v", resident)
+	}
+}
+
+func TestInsertExistingUpdatesInPlace(t *testing.T) {
+	st := &stats.Stats{}
+	tlb := NewTwoLevel(2, 2, st)
+	tlb.Insert(1, 0x1000)
+	tlb.Insert(1, 0x9000)
+	ppn, _, ok := tlb.Lookup(1)
+	if !ok || ppn != 0x9000 {
+		t.Fatalf("in-place update failed: %#x", ppn)
+	}
+	if len(tlb.Resident()) != 1 {
+		t.Error("duplicate entry created")
+	}
+	// Update an entry residing in the STLB.
+	tlb.Insert(2, 0x2000)
+	tlb.Insert(3, 0x3000)
+	tlb.Insert(4, 0x4000) // 1 may now be in the STLB
+	tlb.Insert(1, 0xA000)
+	ppn, _, _ = tlb.Lookup(1)
+	if ppn != 0xA000 {
+		t.Errorf("STLB-resident update failed: %#x", ppn)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	st := &stats.Stats{}
+	tlb := NewTwoLevel(2, 2, st)
+	fired := 0
+	tlb.OnEvict = func(VPN) { fired++ }
+	tlb.Insert(7, 0x7000)
+	tlb.Invalidate(7)
+	if fired != 1 {
+		t.Errorf("callback fired %d times", fired)
+	}
+	if tlb.Contains(7) {
+		t.Error("entry survived invalidate")
+	}
+	tlb.Invalidate(7) // absent: no-op
+	if fired != 1 {
+		t.Error("invalidate of absent entry fired callback")
+	}
+	// Invalidate an STLB-resident entry.
+	for v := VPN(1); v <= 4; v++ {
+		tlb.Insert(v, 0x1000)
+	}
+	fired = 0
+	tlb.Invalidate(1) // demoted to STLB by now
+	if fired != 1 || tlb.Contains(1) {
+		t.Error("STLB invalidate failed")
+	}
+}
+
+func TestUpdatePPN(t *testing.T) {
+	st := &stats.Stats{}
+	tlb := New(4, st)
+	tlb.Insert(3, 0x3000)
+	tlb.UpdatePPN(3, 0x4000)
+	ppn, _, _ := tlb.Lookup(3)
+	if ppn != 0x4000 {
+		t.Errorf("UpdatePPN did not stick: %#x", ppn)
+	}
+	tlb.UpdatePPN(99, 0x5000) // absent: no-op, no panic
+}
+
+func TestDropFiresNoCallbacks(t *testing.T) {
+	st := &stats.Stats{}
+	tlb := NewTwoLevel(2, 2, st)
+	fired := 0
+	tlb.OnEvict = func(VPN) { fired++ }
+	for v := VPN(1); v <= 4; v++ {
+		tlb.Insert(v, 0x1000)
+	}
+	tlb.Drop()
+	if fired != 0 {
+		t.Error("Drop fired eviction callbacks")
+	}
+	if len(tlb.Resident()) != 0 {
+		t.Error("entries survived Drop")
+	}
+}
+
+func TestFullCapacityChurn(t *testing.T) {
+	st := &stats.Stats{}
+	tlb := NewTwoLevel(64, 256, st)
+	evictions := 0
+	tlb.OnEvict = func(VPN) { evictions++ }
+	for i := 0; i < 1000; i++ {
+		tlb.Insert(VPN(i), 0x1000)
+	}
+	if evictions != 1000-320 {
+		t.Errorf("evictions = %d, want %d", evictions, 1000-320)
+	}
+	// The most recent 320 must be resident.
+	for i := 1000 - 320; i < 1000; i++ {
+		if !tlb.Contains(VPN(i)) {
+			t.Fatalf("recent vpn %d evicted", i)
+		}
+	}
+}
+
+func TestExclusiveLevels(t *testing.T) {
+	st := &stats.Stats{}
+	tlb := NewTwoLevel(2, 4, st)
+	for v := VPN(1); v <= 6; v++ {
+		tlb.Insert(v, 0x1000)
+	}
+	// No vpn may be resident twice (exclusive hierarchy): Resident would
+	// report duplicates.
+	seen := map[VPN]bool{}
+	for _, v := range tlb.Resident() {
+		if seen[v] {
+			t.Fatalf("vpn %d resident in both levels", v)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,102 @@
+// Package txn defines the contract between the simulated machine and the
+// failure-atomicity mechanisms it evaluates: the shared hardware environment
+// (Env) and the Backend interface implemented by SSP (internal/core) and the
+// two hardware-logging baselines (internal/logging).
+//
+// The programming model mirrors the paper's ISA extension (§3.1):
+// Begin/Commit bracket a failure-atomic section (ATOMIC_BEGIN/ATOMIC_END,
+// full memory barriers) and Store is an ATOMIC_STORE whose effects persist
+// all-or-nothing. Isolation is the application's job (locks), exactly as in
+// the paper.
+package txn
+
+import (
+	"repro/internal/cachesim"
+	"repro/internal/engine"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+	"repro/internal/tlbsim"
+	"repro/internal/vm"
+)
+
+// Env bundles the simulated hardware every backend drives.
+type Env struct {
+	Mem    *memsim.Memory
+	Caches *cachesim.Hierarchy
+	TLBs   []*tlbsim.TLB
+	PT     *vm.PageTable
+	Frames *vm.FrameAlloc
+	Layout vm.Layout
+	Stats  *stats.Stats
+
+	// BarrierCycles is the cost of a full memory barrier
+	// (ATOMIC_BEGIN/ATOMIC_END act as full barriers, §3.1).
+	BarrierCycles engine.Cycles
+	// STLBCycles is the extra latency of an L2 STLB hit.
+	STLBCycles engine.Cycles
+}
+
+// Cores returns the number of simulated cores.
+func (e *Env) Cores() int { return len(e.TLBs) }
+
+// Translate resolves va's page through core's TLB, charging a page-table
+// walk on a miss, and returns the page's frame base (PPN0) plus completion
+// time. It panics on unmapped addresses — the heap maps pages at allocation.
+func (e *Env) Translate(core int, va uint64, at engine.Cycles) (memsim.PAddr, engine.Cycles) {
+	vpn := vm.VPNOf(va)
+	if ppn, level, hit := e.TLBs[core].Lookup(tlbsim.VPN(vpn)); hit {
+		if level == 2 {
+			at += e.STLBCycles
+		}
+		return ppn, at
+	}
+	ppn, done, ok := e.PT.Walk(vpn, at)
+	if !ok {
+		panic("txn: access to unmapped persistent page")
+	}
+	e.TLBs[core].Insert(tlbsim.VPN(vpn), ppn)
+	return ppn, done
+}
+
+// Backend is a failure-atomicity mechanism under evaluation. All timing
+// methods take the core's current clock and return its new value. The
+// simulator is single-goroutine; implementations need no locking.
+type Backend interface {
+	// Name identifies the design ("SSP", "UNDO-LOG", "REDO-LOG").
+	Name() string
+
+	// Begin opens a failure-atomic section on core.
+	Begin(core int, at engine.Cycles) engine.Cycles
+
+	// Store performs an ATOMIC_STORE of data (within one cache line) at
+	// virtual address va inside the open section.
+	Store(core int, va uint64, data []byte, at engine.Cycles) engine.Cycles
+
+	// Load reads len(buf) bytes at va through the mechanism's current
+	// mapping; legal inside or outside a section.
+	Load(core int, va uint64, buf []byte, at engine.Cycles) engine.Cycles
+
+	// Commit makes the open section durable; on return the section's
+	// writes survive any crash.
+	Commit(core int, at engine.Cycles) engine.Cycles
+
+	// Abort rolls the open section back.
+	Abort(core int, at engine.Cycles) engine.Cycles
+
+	// StoreNT is a plain (non-failure-atomic) persistent store outside any
+	// section.
+	StoreNT(core int, va uint64, data []byte, at engine.Cycles) engine.Cycles
+
+	// Crash discards the backend's volatile state (power failure). The
+	// caller drops caches and TLBs.
+	Crash()
+
+	// Recover rebuilds volatile state from NVRAM and performs the
+	// mechanism's crash recovery (rollback or replay).
+	Recover() error
+
+	// Drain completes background work (consolidation queues, post-commit
+	// write-backs) — an orderly shutdown, used before comparing durable
+	// state in tests and at the end of measurement runs.
+	Drain(at engine.Cycles) engine.Cycles
+}

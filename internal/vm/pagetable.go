@@ -1,0 +1,174 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+)
+
+// PageTable is the durable flat table mapping heap VPNs to frame base
+// addresses. Updates are 8-byte atomic NVRAM writes (the hardware primitive
+// BPFS-style designs rely on); a volatile mirror makes lookups cheap, and
+// Rebuild reconstructs the mirror from the durable bytes after a crash.
+type PageTable struct {
+	mem    *memsim.Memory
+	layout Layout
+	mirror []memsim.PAddr // 0 = unmapped
+}
+
+// NewPageTable returns a page table over mem; the mirror starts empty
+// (matching a freshly formatted image). Call Rebuild when booting from an
+// existing image.
+func NewPageTable(mem *memsim.Memory, l Layout) *PageTable {
+	return &PageTable{mem: mem, layout: l, mirror: make([]memsim.PAddr, l.Cfg.MaxHeapPages)}
+}
+
+// Lookup returns the frame mapped at vpn, if any. No timing is charged;
+// Walk is the timed variant used on TLB misses.
+func (pt *PageTable) Lookup(vpn int) (memsim.PAddr, bool) {
+	if vpn < 0 || vpn >= len(pt.mirror) {
+		return 0, false
+	}
+	pa := pt.mirror[vpn]
+	return pa, pa != 0
+}
+
+// Walk performs a timed page-table walk for vpn: the PTE's line is read
+// from memory (page walks miss the cache hierarchy in our model, a
+// conservative simplification) and the translation returned.
+func (pt *PageTable) Walk(vpn int, at engine.Cycles) (memsim.PAddr, engine.Cycles, bool) {
+	pa, ok := pt.Lookup(vpn)
+	if !ok {
+		return 0, at, false
+	}
+	var buf [memsim.LineBytes]byte
+	done := pt.mem.ReadLine(pt.layout.PTEAddr(vpn), buf[:], at)
+	return pa, done, true
+}
+
+// Set durably maps vpn to frame pa (0 unmaps) with an 8-byte atomic write
+// and returns its completion time.
+func (pt *PageTable) Set(vpn int, pa memsim.PAddr, at engine.Cycles) engine.Cycles {
+	if vpn < 0 || vpn >= len(pt.mirror) {
+		panic(fmt.Sprintf("vm: Set of out-of-range vpn %d", vpn))
+	}
+	pt.mirror[vpn] = pa
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(pa))
+	return pt.mem.WriteBytes(pt.layout.PTEAddr(vpn), buf[:], at, stats.CatControl)
+}
+
+// SetMirror updates only the volatile mirror; recovery uses it when the
+// durable repair is journaled separately.
+func (pt *PageTable) SetMirror(vpn int, pa memsim.PAddr) {
+	pt.mirror[vpn] = pa
+}
+
+// Rebuild reloads the mirror from the durable PTE array.
+func (pt *PageTable) Rebuild() {
+	buf := make([]byte, len(pt.mirror)*8)
+	pt.mem.Peek(pt.layout.PageTableBase, buf)
+	for i := range pt.mirror {
+		pt.mirror[i] = memsim.PAddr(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+}
+
+// Mapped returns every mapped (vpn, frame) pair in vpn order.
+func (pt *PageTable) Mapped() [](struct {
+	VPN   int
+	Frame memsim.PAddr
+}) {
+	var out [](struct {
+		VPN   int
+		Frame memsim.PAddr
+	})
+	for vpn, pa := range pt.mirror {
+		if pa != 0 {
+			out = append(out, struct {
+				VPN   int
+				Frame memsim.PAddr
+			}{vpn, pa})
+		}
+	}
+	return out
+}
+
+// FrameAlloc hands out physical frames from the pool. Allocation state is
+// volatile: recovery rebuilds it by scanning the page table and SSP slots
+// (frames lost between mapping and commit leak until then — see DESIGN.md
+// §5).
+type FrameAlloc struct {
+	layout Layout
+	free   []int // stack of free frame indices
+	used   []bool
+}
+
+// NewFrameAlloc returns an allocator with every frame free.
+func NewFrameAlloc(l Layout) *FrameAlloc {
+	fa := &FrameAlloc{layout: l, used: make([]bool, l.Frames)}
+	for i := l.Frames - 1; i >= 0; i-- {
+		fa.free = append(fa.free, i)
+	}
+	return fa
+}
+
+// Alloc returns a free frame's base address. It panics when the pool is
+// exhausted (simulated machines are sized for their workloads).
+func (fa *FrameAlloc) Alloc() memsim.PAddr {
+	for len(fa.free) > 0 {
+		idx := fa.free[len(fa.free)-1]
+		fa.free = fa.free[:len(fa.free)-1]
+		if !fa.used[idx] {
+			fa.used[idx] = true
+			return fa.layout.FrameAddr(idx)
+		}
+	}
+	panic("vm: NVRAM frame pool exhausted; raise Config.NVRAMBytes")
+}
+
+// Free returns a frame to the pool.
+func (fa *FrameAlloc) Free(pa memsim.PAddr) {
+	idx := fa.layout.FrameIndex(pa)
+	if !fa.used[idx] {
+		panic(fmt.Sprintf("vm: double free of frame %#x", pa))
+	}
+	fa.used[idx] = false
+	fa.free = append(fa.free, idx)
+}
+
+// Reserve marks a frame used during recovery rebuilds; reserving an
+// already-used frame is an error.
+func (fa *FrameAlloc) Reserve(pa memsim.PAddr) {
+	idx := fa.layout.FrameIndex(pa)
+	if fa.used[idx] {
+		panic(fmt.Sprintf("vm: frame %#x reserved twice", pa))
+	}
+	fa.used[idx] = true
+}
+
+// Reset returns the allocator to the all-free state, then the caller
+// re-reserves live frames (recovery).
+func (fa *FrameAlloc) Reset() {
+	fa.free = fa.free[:0]
+	for i := fa.layout.Frames - 1; i >= 0; i-- {
+		fa.used[i] = false
+		fa.free = append(fa.free, i)
+	}
+}
+
+// InUse returns the number of allocated frames.
+func (fa *FrameAlloc) InUse() int {
+	n := 0
+	for _, u := range fa.used {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeCount returns the number of available frames.
+func (fa *FrameAlloc) FreeCount() int { return fa.layout.Frames - fa.InUse() }

@@ -1,0 +1,216 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/stats"
+)
+
+func testEnv(t *testing.T) (*memsim.Memory, Layout, *stats.Stats) {
+	t.Helper()
+	st := &stats.Stats{}
+	mcfg := memsim.DefaultConfig()
+	mcfg.DRAMBytes = 1 << 20
+	mcfg.NVRAMBytes = 16 << 20
+	lcfg := DefaultLayoutConfig(2)
+	lcfg.MaxHeapPages = 512
+	lcfg.SSPSlots = 64
+	lcfg.JournalBytes = 8 << 10
+	lcfg.LogBytes = 16 << 10
+	mem := memsim.New(mcfg, st)
+	l := NewLayout(mcfg, lcfg)
+	return mem, l, st
+}
+
+func TestLayoutRegionsDisjointAndOrdered(t *testing.T) {
+	_, l, _ := testEnv(t)
+	if l.PageTableBase <= l.SuperblockBase {
+		t.Error("page table overlaps superblock")
+	}
+	if l.SSPSlotsBase < l.PageTableBase+memsim.PAddr(l.Cfg.MaxHeapPages*8) {
+		t.Error("SSP slots overlap page table")
+	}
+	if l.JournalBase < l.SSPSlotsBase+memsim.PAddr(l.Cfg.SSPSlots*64) {
+		t.Error("journal overlaps SSP slots")
+	}
+	if l.LogBase[0] < l.JournalBase+memsim.PAddr(l.Cfg.JournalBytes) {
+		t.Error("log overlaps journal")
+	}
+	if l.LogBase[1] < l.LogBase[0]+memsim.PAddr(l.Cfg.LogBytes) {
+		t.Error("core logs overlap")
+	}
+	if l.FramePoolBase < l.LogBase[1]+memsim.PAddr(l.Cfg.LogBytes) {
+		t.Error("frame pool overlaps logs")
+	}
+	if l.FramePoolBase%memsim.PageBytes != 0 {
+		t.Error("frame pool not page aligned")
+	}
+	if l.Frames <= 0 {
+		t.Error("no frames")
+	}
+}
+
+func TestFrameIndexRoundTrip(t *testing.T) {
+	_, l, _ := testEnv(t)
+	for _, idx := range []int{0, 1, l.Frames - 1} {
+		pa := l.FrameAddr(idx)
+		if l.FrameIndex(pa) != idx {
+			t.Errorf("frame %d round trip failed", idx)
+		}
+	}
+}
+
+func TestVPNHelpers(t *testing.T) {
+	va := uint64(HeapBase + 5*memsim.PageBytes + 123)
+	if VPNOf(va) != 5 {
+		t.Errorf("VPNOf = %d", VPNOf(va))
+	}
+	if VAOf(5) != HeapBase+5*memsim.PageBytes {
+		t.Errorf("VAOf = %#x", VAOf(5))
+	}
+}
+
+func TestFormatAndDetect(t *testing.T) {
+	mem, l, _ := testEnv(t)
+	if IsFormatted(mem, l) {
+		t.Fatal("fresh memory reported formatted")
+	}
+	Format(mem, l)
+	if !IsFormatted(mem, l) {
+		t.Fatal("formatted memory not detected")
+	}
+}
+
+func TestPageTableSetLookupWalk(t *testing.T) {
+	mem, l, _ := testEnv(t)
+	pt := NewPageTable(mem, l)
+	frame := l.FrameAddr(3)
+	pt.Set(7, frame, 0)
+	pa, ok := pt.Lookup(7)
+	if !ok || pa != frame {
+		t.Fatalf("lookup: %#x %v", pa, ok)
+	}
+	pa, done, ok := pt.Walk(7, 100)
+	if !ok || pa != frame || done <= 100 {
+		t.Fatalf("walk: %#x %d %v", pa, done, ok)
+	}
+	if _, ok := pt.Lookup(8); ok {
+		t.Error("unmapped vpn resolved")
+	}
+	if _, ok := pt.Lookup(-1); ok {
+		t.Error("negative vpn resolved")
+	}
+}
+
+func TestPageTableRebuildFromDurable(t *testing.T) {
+	mem, l, _ := testEnv(t)
+	pt := NewPageTable(mem, l)
+	f1, f2 := l.FrameAddr(1), l.FrameAddr(2)
+	pt.Set(0, f1, 0)
+	pt.Set(100, f2, 0)
+
+	// Fresh mirror from the same durable memory.
+	pt2 := NewPageTable(mem, l)
+	if _, ok := pt2.Lookup(0); ok {
+		t.Fatal("fresh mirror should be empty before Rebuild")
+	}
+	pt2.Rebuild()
+	if pa, ok := pt2.Lookup(0); !ok || pa != f1 {
+		t.Error("rebuild lost vpn 0")
+	}
+	if pa, ok := pt2.Lookup(100); !ok || pa != f2 {
+		t.Error("rebuild lost vpn 100")
+	}
+	mapped := pt2.Mapped()
+	if len(mapped) != 2 {
+		t.Errorf("mapped count = %d", len(mapped))
+	}
+}
+
+func TestPageTableSetMirrorIsVolatile(t *testing.T) {
+	mem, l, _ := testEnv(t)
+	pt := NewPageTable(mem, l)
+	pt.SetMirror(4, l.FrameAddr(4))
+	pt2 := NewPageTable(mem, l)
+	pt2.Rebuild()
+	if _, ok := pt2.Lookup(4); ok {
+		t.Error("SetMirror leaked to durable state")
+	}
+}
+
+func TestFrameAllocLifecycle(t *testing.T) {
+	_, l, _ := testEnv(t)
+	fa := NewFrameAlloc(l)
+	total := l.Frames
+	if fa.FreeCount() != total {
+		t.Fatalf("free = %d, want %d", fa.FreeCount(), total)
+	}
+	a := fa.Alloc()
+	b := fa.Alloc()
+	if a == b {
+		t.Fatal("duplicate frame allocation")
+	}
+	if fa.InUse() != 2 {
+		t.Errorf("in use = %d", fa.InUse())
+	}
+	fa.Free(a)
+	if fa.InUse() != 1 {
+		t.Errorf("in use after free = %d", fa.InUse())
+	}
+	c := fa.Alloc()
+	_ = c
+	if fa.InUse() != 2 {
+		t.Errorf("in use after realloc = %d", fa.InUse())
+	}
+}
+
+func TestFrameAllocDoubleFreePanics(t *testing.T) {
+	_, l, _ := testEnv(t)
+	fa := NewFrameAlloc(l)
+	a := fa.Alloc()
+	fa.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free should panic")
+		}
+	}()
+	fa.Free(a)
+}
+
+func TestFrameAllocReserveAndReset(t *testing.T) {
+	_, l, _ := testEnv(t)
+	fa := NewFrameAlloc(l)
+	pa := l.FrameAddr(5)
+	fa.Reserve(pa)
+	// Alloc must never hand out the reserved frame.
+	seen := map[memsim.PAddr]bool{}
+	for i := 0; i < l.Frames-1; i++ {
+		f := fa.Alloc()
+		if f == pa {
+			t.Fatal("reserved frame allocated")
+		}
+		if seen[f] {
+			t.Fatal("duplicate allocation")
+		}
+		seen[f] = true
+	}
+	fa.Reset()
+	if fa.InUse() != 0 || fa.FreeCount() != l.Frames {
+		t.Error("reset did not clear state")
+	}
+}
+
+func TestRootAddrBounds(t *testing.T) {
+	_, l, _ := testEnv(t)
+	a0 := l.RootAddr(0)
+	if a0 != l.SuperblockBase+SBRootsOff {
+		t.Errorf("root 0 at %#x", a0)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range root should panic")
+		}
+	}()
+	l.RootAddr(RootSlots)
+}

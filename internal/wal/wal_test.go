@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+)
+
+func newStream(t *testing.T) (*Stream, *memsim.Memory, *stats.Stats) {
+	t.Helper()
+	st := &stats.Stats{}
+	cfg := memsim.DefaultConfig()
+	cfg.DRAMBytes = 1 << 20
+	cfg.NVRAMBytes = 1 << 20
+	mem := memsim.New(cfg, st)
+	base := cfg.NVRAMBase
+	return NewStream(mem, base, 8<<10, stats.CatUndoLog), mem, st
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	s, mem, _ := newStream(t)
+	recs := []Record{
+		{TID: 1, Kind: 2, Payload: []byte("hello")},
+		{TID: 1, Kind: 3, Payload: nil},
+		{TID: 2, Kind: 2, Payload: bytes.Repeat([]byte{0xAB}, 100)},
+	}
+	for _, r := range recs {
+		s.Append(r, 0)
+	}
+	s.Flush(0)
+	got := Scan(mem, mem.Config().NVRAMBase, 8<<10)
+	if len(got) != len(recs) {
+		t.Fatalf("scan returned %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].TID != recs[i].TID || got[i].Kind != recs[i].Kind || !bytes.Equal(got[i].Payload, recs[i].Payload) {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+	if MaxTID(got) != 2 {
+		t.Errorf("MaxTID = %d", MaxTID(got))
+	}
+}
+
+func TestUnflushedTailInvisible(t *testing.T) {
+	s, mem, _ := newStream(t)
+	s.Append(Record{TID: 1, Kind: 1, Payload: []byte("durable")}, 0)
+	s.Flush(0)
+	s.Append(Record{TID: 2, Kind: 1, Payload: []byte("staged")}, 0)
+	// No flush: the second record must not be visible (power failure would
+	// lose the controller buffer).
+	got := Scan(mem, mem.Config().NVRAMBase, 8<<10)
+	if len(got) != 1 || got[0].TID != 1 {
+		t.Fatalf("staged record leaked: %d records", len(got))
+	}
+}
+
+func TestResetGenerationTIDRegression(t *testing.T) {
+	s, mem, _ := newStream(t)
+	// Generation 1: three records.
+	for tid := uint32(1); tid <= 3; tid++ {
+		s.Append(Record{TID: tid, Kind: 1, Payload: bytes.Repeat([]byte{byte(tid)}, 40)}, 0)
+	}
+	s.Flush(0)
+	// Truncate, then write one newer record over the old bytes.
+	s.Reset()
+	s.SetTIDFloor(3)
+	s.Append(Record{TID: 4, Kind: 1, Payload: []byte("new")}, 0)
+	s.Flush(0)
+	got := Scan(mem, mem.Config().NVRAMBase, 8<<10)
+	if len(got) != 1 || got[0].TID != 4 {
+		t.Fatalf("scan after truncation: got %d records, first TID %d", len(got), got[0].TID)
+	}
+}
+
+func TestScanStopsAtGarbage(t *testing.T) {
+	s, mem, _ := newStream(t)
+	s.Append(Record{TID: 5, Kind: 1, Payload: []byte("ok")}, 0)
+	s.Flush(0)
+	// Corrupt bytes after the record.
+	mem.Poke(mem.Config().NVRAMBase+64, bytes.Repeat([]byte{0xFF}, 64))
+	got := Scan(mem, mem.Config().NVRAMBase, 8<<10)
+	if len(got) != 1 {
+		t.Fatalf("scan did not stop at garbage: %d records", len(got))
+	}
+}
+
+func TestEmptyRegionScansEmpty(t *testing.T) {
+	_, mem, _ := newStream(t)
+	if got := Scan(mem, mem.Config().NVRAMBase, 8<<10); len(got) != 0 {
+		t.Fatalf("zeroed region produced %d records", len(got))
+	}
+}
+
+func TestTIDMonotonicityEnforced(t *testing.T) {
+	s, _, _ := newStream(t)
+	s.Append(Record{TID: 10, Kind: 1}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("TID regression should panic")
+		}
+	}()
+	s.Append(Record{TID: 9, Kind: 1}, 0)
+}
+
+func TestOverflowPanics(t *testing.T) {
+	s, _, _ := newStream(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("region overflow should panic")
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		s.Append(Record{TID: uint32(i + 1), Kind: 1, Payload: bytes.Repeat([]byte{1}, 64)}, 0)
+	}
+}
+
+func TestDurableMarks(t *testing.T) {
+	s, _, _ := newStream(t)
+	if !s.Durable(s.MarkHere()) {
+		t.Error("mark over an empty stream should be durable")
+	}
+	s.Append(Record{TID: 1, Kind: 1, Payload: []byte("x")}, 0)
+	m1 := s.MarkHere()
+	if s.Durable(m1) {
+		t.Error("mark past staged bytes reported durable")
+	}
+	s.Flush(0)
+	if !s.Durable(m1) {
+		t.Error("mark not durable after flush")
+	}
+	// Reset (checkpoint) satisfies all previous marks.
+	s.Append(Record{TID: 2, Kind: 1, Payload: []byte("y")}, 0)
+	m2 := s.MarkHere()
+	s.Reset()
+	if !s.Durable(m2) {
+		t.Error("mark from previous generation not satisfied by Reset")
+	}
+}
+
+func TestByteAccountingMatchesWrites(t *testing.T) {
+	s, _, st := newStream(t)
+	for tid := uint32(1); tid <= 20; tid++ {
+		s.Append(Record{TID: tid, Kind: 1, Payload: bytes.Repeat([]byte{1}, 24)}, 0)
+		s.Flush(0)
+	}
+	if st.NVRAMWriteBytes[stats.CatUndoLog] == 0 {
+		t.Fatal("no bytes accounted")
+	}
+	if st.NVRAMWriteLines == 0 {
+		t.Fatal("no line writes accounted")
+	}
+}
+
+// Property: any flushed prefix of appends scans back exactly.
+func TestScanPrefixProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		st := &stats.Stats{}
+		cfg := memsim.DefaultConfig()
+		cfg.DRAMBytes = 1 << 20
+		cfg.NVRAMBytes = 1 << 20
+		mem := memsim.New(cfg, st)
+		s := NewStream(mem, cfg.NVRAMBase, 16<<10, stats.CatRedoLog)
+		rng := engine.NewRNG(seed)
+		var appended []Record
+		flushedCount := 0
+		for i := 0; i < 60; i++ {
+			p := make([]byte, rng.Intn(60))
+			for j := range p {
+				p[j] = byte(rng.Intn(256))
+			}
+			r := Record{TID: uint32(i + 1), Kind: uint8(1 + rng.Intn(5)), Payload: p}
+			s.Append(r, 0)
+			appended = append(appended, r)
+			if rng.Intn(3) == 0 {
+				s.Flush(0)
+				flushedCount = len(appended)
+			}
+		}
+		got := Scan(mem, cfg.NVRAMBase, 16<<10)
+		if len(got) < flushedCount {
+			return false
+		}
+		for i := 0; i < flushedCount; i++ {
+			if got[i].TID != appended[i].TID || !bytes.Equal(got[i].Payload, appended[i].Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,23 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/ssp"
+)
+
+// TestLargeFootprintRegression replays the configuration that exposed the
+// cache install-aliasing bug: a single-client red-black tree whose node
+// footprint exceeds the TLB and stresses same-set tx-pinned lines.
+func TestLargeFootprintRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, clients := range []int{1, 4} {
+		p := Params{Kind: RBTreeRand, Backend: ssp.SSP, Clients: clients, Ops: 400, Keys: 65536, Seed: 0xE0}
+		res := Run(p)
+		if res.Stats.Commits == 0 {
+			t.Fatalf("clients=%d: no commits", clients)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"repro/internal/engine"
+	"repro/ssp"
+	"repro/ssp/kv"
+)
+
+// buildMemcached sets up the memcached workload: one shared persistent
+// cache, lock striping over buckets, and memslap-like clients issuing 90%
+// SET / 10% GET (§5.1: "Memslap as workload generator; Four clients; 90%
+// SET").
+func buildMemcached(m *ssp.Machine, p Params) []*client {
+	const stripes = 16
+	locks := make([]*ssp.Lock, stripes)
+	for i := range locks {
+		locks[i] = m.NewLock()
+	}
+
+	boot := m.Core(0)
+	boot.Begin()
+	cache := kv.Create(boot, m.Heap(), kv.Config{
+		Buckets:    p.Items / 4,
+		Capacity:   p.Items,
+		ValueBytes: p.ValueBytes,
+	})
+	boot.Commit()
+
+	// Prefill to capacity so steady state includes evictions.
+	rng := engine.NewRNG(p.Seed)
+	fill := make([]byte, p.ValueBytes)
+	for k := 0; k < p.Items; k++ {
+		fill[0] = byte(k)
+		boot.Begin()
+		cache.Set(boot, uint64(k), fill)
+		boot.Commit()
+	}
+
+	keySpace := uint64(p.Items) * 2 // half the keys miss / insert-evict
+	var clients []*client
+	for i := 0; i < p.Clients; i++ {
+		c := m.Core(i)
+		crng := rng.Fork()
+		val := make([]byte, p.ValueBytes)
+		buf := make([]byte, p.ValueBytes)
+		cl := &client{core: c}
+		cl.op = func() {
+			k := crng.Uint64n(keySpace)
+			lock := locks[(k*0x9e3779b97f4a7c15)%stripes]
+			if crng.Intn(10) == 0 { // 10% GET
+				c.Acquire(lock)
+				cache.Get(c, k, buf)
+				c.Release(lock)
+				return
+			}
+			val[0] = byte(k)
+			val[1] = byte(crng.Intn(256))
+			c.Acquire(lock)
+			c.Begin()
+			cache.Set(c, k, val)
+			c.Commit()
+			c.Release(lock)
+		}
+		clients = append(clients, cl)
+	}
+	return clients
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/ssp"
+)
+
+func smallParams(k Kind, b ssp.Backend, clients int) Params {
+	return Params{
+		Kind:    k,
+		Backend: b,
+		Clients: clients,
+		Ops:     300,
+		Keys:    2048,
+		Elems:   1 << 14,
+		Items:   1024,
+		Tuples:  1024,
+		Seed:    42,
+	}
+}
+
+func TestAllWorkloadsRunAllBackends(t *testing.T) {
+	for _, k := range All() {
+		for _, b := range ssp.Backends() {
+			t.Run(k.String()+"/"+b.String(), func(t *testing.T) {
+				res := Run(smallParams(k, b, 1))
+				if res.TPS <= 0 {
+					t.Fatalf("TPS = %v", res.TPS)
+				}
+				if res.Stats.Commits == 0 {
+					t.Fatal("no transactions committed")
+				}
+				if res.Stats.TotalWriteBytes() == 0 {
+					t.Fatal("no NVRAM writes recorded")
+				}
+			})
+		}
+	}
+}
+
+func TestFourClientRuns(t *testing.T) {
+	for _, k := range []Kind{BTreeRand, Memcached, Vacation} {
+		t.Run(k.String(), func(t *testing.T) {
+			res := Run(smallParams(k, ssp.SSP, 4))
+			if res.TPS <= 0 || res.Stats.Commits == 0 {
+				t.Fatalf("bad result: %+v", res.TPS)
+			}
+		})
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := Run(smallParams(RBTreeRand, ssp.SSP, 2))
+	b := Run(smallParams(RBTreeRand, ssp.SSP, 2))
+	if a.Cycles != b.Cycles || a.Stats.NVRAMWriteLines != b.Stats.NVRAMWriteLines {
+		t.Fatalf("nondeterministic workload: %d/%d vs %d/%d",
+			a.Cycles, a.Stats.NVRAMWriteLines, b.Cycles, b.Stats.NVRAMWriteLines)
+	}
+}
+
+func TestWriteSetCharacterisationSane(t *testing.T) {
+	// Table 3 sanity: SPS touches ~2 lines / ~2 pages; trees touch more
+	// lines than hash; every workload touches at least one page.
+	sps := Run(smallParams(SPS, ssp.SSP, 1))
+	if avg := sps.WriteSet.AvgLines(); avg < 1.5 || avg > 3.5 {
+		t.Errorf("SPS avg lines = %.2f, expected ~2", avg)
+	}
+	if avg := sps.WriteSet.AvgPages(); avg < 1.5 || avg > 3.2 {
+		t.Errorf("SPS avg pages = %.2f, expected ~2", avg)
+	}
+	tree := Run(smallParams(RBTreeRand, ssp.SSP, 1))
+	hash := Run(smallParams(HashRand, ssp.SSP, 1))
+	if tree.WriteSet.AvgLines() <= hash.WriteSet.AvgLines() {
+		t.Errorf("RBTree lines (%.2f) should exceed Hash lines (%.2f)",
+			tree.WriteSet.AvgLines(), hash.WriteSet.AvgLines())
+	}
+}
+
+// TestPaperShapeMicro checks the headline ordering at miniature scale:
+// SSP throughput >= REDO >= UNDO, and NVRAM writes SSP < REDO <= UNDO-ish.
+func TestPaperShapeMicro(t *testing.T) {
+	for _, k := range []Kind{BTreeRand, RBTreeRand, HashRand} {
+		t.Run(k.String(), func(t *testing.T) {
+			byB := map[ssp.Backend]Result{}
+			for _, b := range ssp.Backends() {
+				byB[b] = Run(smallParams(k, b, 1))
+			}
+			if byB[ssp.SSP].TPS < byB[ssp.UndoLog].TPS {
+				t.Errorf("SSP TPS (%.0f) below UNDO (%.0f)", byB[ssp.SSP].TPS, byB[ssp.UndoLog].TPS)
+			}
+			sspStats := byB[ssp.SSP].Stats
+			undoStats := byB[ssp.UndoLog].Stats
+			if sspStats.TotalWriteBytes() >= undoStats.TotalWriteBytes() {
+				t.Errorf("SSP writes (%d) not below UNDO (%d)",
+					sspStats.TotalWriteBytes(), undoStats.TotalWriteBytes())
+			}
+			if sspStats.CriticalPathLoggingBytes()*2 >= undoStats.CriticalPathLoggingBytes() {
+				t.Errorf("SSP critical-path logging (%d) not well below UNDO (%d)",
+					sspStats.CriticalPathLoggingBytes(), undoStats.CriticalPathLoggingBytes())
+			}
+		})
+	}
+}

@@ -1,0 +1,208 @@
+// Package kv is a persistent in-memory key/value cache in the style of
+// memcached — the paper's first real workload (§5.1, driven by a
+// memslap-like generator: four clients, 90% SET). It provides SET/GET/
+// DELETE over a chained hash index plus a doubly-linked eviction list
+// (oldest-first), with every mutation a durable transaction.
+//
+// Keys are 64-bit (the workload generator draws them from a key space, as
+// memslap does); values are fixed-capacity byte blocks sized at creation.
+package kv
+
+import (
+	"fmt"
+
+	"repro/ssp"
+)
+
+// Header layout (hdrBytes at head):
+//
+//	+0  bucket array VA
+//	+8  bucket count (power of two)
+//	+16 element count
+//	+24 capacity (evict above this)
+//	+32 eviction-list head (oldest)
+//	+40 eviction-list tail (newest)
+//	+48 value capacity in bytes
+const hdrBytes = 56
+
+// Entry layout (entry block of 40+valCap bytes):
+//
+//	+0  key
+//	+8  chain next
+//	+16 list prev
+//	+24 list next
+//	+32 value length
+//	+40 value bytes
+const entHdr = 40
+
+// Config sizes a cache at creation.
+type Config struct {
+	Buckets    int // hash buckets, rounded up to a power of two
+	Capacity   int // max entries before oldest-first eviction; 0 = unbounded
+	ValueBytes int // value capacity per entry (default 64)
+}
+
+// Cache is a persistent memcached-like KV store.
+type Cache struct {
+	h    *ssp.Heap
+	head uint64
+}
+
+// Create allocates an empty cache inside tx's open transaction.
+func Create(tx *ssp.Core, h *ssp.Heap, cfg Config) *Cache {
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 1024
+	}
+	if cfg.ValueBytes <= 0 {
+		cfg.ValueBytes = 64
+	}
+	n := 1
+	for n < cfg.Buckets {
+		n *= 2
+	}
+	head := h.Alloc(tx, hdrBytes)
+	arr := h.Alloc(tx, n*8)
+	tx.Store64(head+0, arr)
+	tx.Store64(head+8, uint64(n))
+	tx.Store64(head+16, 0)
+	tx.Store64(head+24, uint64(cfg.Capacity))
+	tx.Store64(head+32, 0)
+	tx.Store64(head+40, 0)
+	tx.Store64(head+48, uint64(cfg.ValueBytes))
+	return &Cache{h: h, head: head}
+}
+
+// Open reattaches a cache from its head address.
+func Open(h *ssp.Heap, head uint64) *Cache { return &Cache{h: h, head: head} }
+
+// Head returns the cache's persistent head address.
+func (s *Cache) Head() uint64 { return s.head }
+
+// Len returns the entry count.
+func (s *Cache) Len(tx *ssp.Core) uint64 { return tx.Load64(s.head + 16) }
+
+// ValueBytes returns the per-entry value capacity.
+func (s *Cache) ValueBytes(tx *ssp.Core) int { return int(tx.Load64(s.head + 48)) }
+
+func (s *Cache) bucketVA(tx *ssp.Core, key uint64) uint64 {
+	arr := tx.Load64(s.head)
+	n := tx.Load64(s.head + 8)
+	return arr + ((key*0x9e3779b97f4a7c15)&(n-1))*8
+}
+
+func (s *Cache) entrySize(tx *ssp.Core) int { return entHdr + s.ValueBytes(tx) }
+
+// find returns (entry, chain predecessor) for key, or (0, pred of head).
+func (s *Cache) find(tx *ssp.Core, key uint64) (uint64, uint64) {
+	prev := uint64(0)
+	e := tx.Load64(s.bucketVA(tx, key))
+	for e != 0 {
+		tx.Compute(2)
+		if tx.Load64(e+0) == key {
+			return e, prev
+		}
+		prev = e
+		e = tx.Load64(e + 8)
+	}
+	return 0, prev
+}
+
+// Get copies the value for key into buf, returning its length.
+func (s *Cache) Get(tx *ssp.Core, key uint64, buf []byte) (int, bool) {
+	e, _ := s.find(tx, key)
+	if e == 0 {
+		return 0, false
+	}
+	n := int(tx.Load64(e + 32))
+	if n > len(buf) {
+		n = len(buf)
+	}
+	tx.LoadBytes(e+entHdr, buf[:n])
+	return n, true
+}
+
+// Set stores val under key (insert or in-place update), evicting the
+// oldest entry if the cache exceeds capacity. It reports whether an
+// eviction happened.
+func (s *Cache) Set(tx *ssp.Core, key uint64, val []byte) bool {
+	if len(val) > s.ValueBytes(tx) {
+		panic(fmt.Sprintf("kv: value of %d bytes exceeds capacity %d", len(val), s.ValueBytes(tx)))
+	}
+	if e, _ := s.find(tx, key); e != 0 {
+		tx.Store64(e+32, uint64(len(val)))
+		tx.StoreBytes(e+entHdr, val)
+		return false
+	}
+	e := s.h.Alloc(tx, s.entrySize(tx))
+	tx.Store64(e+0, key)
+	tx.Store64(e+32, uint64(len(val)))
+	tx.StoreBytes(e+entHdr, val)
+	// Chain in.
+	b := s.bucketVA(tx, key)
+	tx.Store64(e+8, tx.Load64(b))
+	tx.Store64(b, e)
+	// Append to the eviction list tail.
+	tail := tx.Load64(s.head + 40)
+	tx.Store64(e+16, tail)
+	tx.Store64(e+24, 0)
+	if tail == 0 {
+		tx.Store64(s.head+32, e)
+	} else {
+		tx.Store64(tail+24, e)
+	}
+	tx.Store64(s.head+40, e)
+	count := tx.Load64(s.head+16) + 1
+	tx.Store64(s.head+16, count)
+
+	capacity := tx.Load64(s.head + 24)
+	if capacity != 0 && count > capacity {
+		s.evictOldest(tx)
+		return true
+	}
+	return false
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Cache) Delete(tx *ssp.Core, key uint64) bool {
+	e, prev := s.find(tx, key)
+	if e == 0 {
+		return false
+	}
+	s.remove(tx, e, prev)
+	return true
+}
+
+func (s *Cache) evictOldest(tx *ssp.Core) {
+	oldest := tx.Load64(s.head + 32)
+	if oldest == 0 {
+		return
+	}
+	key := tx.Load64(oldest + 0)
+	_, prev := s.find(tx, key)
+	s.remove(tx, oldest, prev)
+}
+
+// remove unlinks e (whose chain predecessor is prev) from the chain and
+// the eviction list and frees the block.
+func (s *Cache) remove(tx *ssp.Core, e, prev uint64) {
+	next := tx.Load64(e + 8)
+	if prev == 0 {
+		tx.Store64(s.bucketVA(tx, tx.Load64(e+0)), next)
+	} else {
+		tx.Store64(prev+8, next)
+	}
+	lp := tx.Load64(e + 16)
+	ln := tx.Load64(e + 24)
+	if lp == 0 {
+		tx.Store64(s.head+32, ln)
+	} else {
+		tx.Store64(lp+24, ln)
+	}
+	if ln == 0 {
+		tx.Store64(s.head+40, lp)
+	} else {
+		tx.Store64(ln+16, lp)
+	}
+	tx.Store64(s.head+16, tx.Load64(s.head+16)-1)
+	s.h.Free(tx, e, s.entrySize(tx))
+}

@@ -1,0 +1,187 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/ssp"
+)
+
+func newMachine(b ssp.Backend) *ssp.Machine {
+	return ssp.New(ssp.Config{Backend: b, Cores: 1, NVRAMMB: 48, DRAMMB: 2, MaxHeapPages: 6144})
+}
+
+func val(tag byte, n int) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = tag
+	}
+	return v
+}
+
+func TestSetGetDelete(t *testing.T) {
+	for _, b := range ssp.Backends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := newMachine(b)
+			c := m.Core(0)
+			c.Begin()
+			s := Create(c, m.Heap(), Config{Buckets: 64, ValueBytes: 32})
+			c.Commit()
+
+			c.Begin()
+			s.Set(c, 1, val('a', 10))
+			c.Commit()
+			buf := make([]byte, 32)
+			n, ok := s.Get(c, 1, buf)
+			if !ok || n != 10 || !bytes.Equal(buf[:10], val('a', 10)) {
+				t.Fatalf("get after set: %d %v %q", n, ok, buf[:n])
+			}
+			// In-place update.
+			c.Begin()
+			s.Set(c, 1, val('b', 20))
+			c.Commit()
+			n, ok = s.Get(c, 1, buf)
+			if !ok || n != 20 || buf[0] != 'b' {
+				t.Fatalf("get after update: %d %v", n, ok)
+			}
+			if s.Len(c) != 1 {
+				t.Fatalf("Len = %d", s.Len(c))
+			}
+			c.Begin()
+			if !s.Delete(c, 1) {
+				t.Fatal("delete failed")
+			}
+			c.Commit()
+			if _, ok := s.Get(c, 1, buf); ok {
+				t.Fatal("deleted key still present")
+			}
+			c.Begin()
+			if s.Delete(c, 1) {
+				t.Fatal("double delete reported success")
+			}
+			c.Commit()
+		})
+	}
+}
+
+func TestEvictionOldestFirst(t *testing.T) {
+	m := newMachine(ssp.SSP)
+	c := m.Core(0)
+	c.Begin()
+	s := Create(c, m.Heap(), Config{Buckets: 16, Capacity: 10, ValueBytes: 16})
+	c.Commit()
+	for k := uint64(0); k < 25; k++ {
+		c.Begin()
+		s.Set(c, k, val(byte(k), 8))
+		c.Commit()
+	}
+	if got := s.Len(c); got != 10 {
+		t.Fatalf("Len = %d, want 10", got)
+	}
+	buf := make([]byte, 16)
+	// The oldest 15 must be gone, the newest 10 present.
+	for k := uint64(0); k < 15; k++ {
+		if _, ok := s.Get(c, k, buf); ok {
+			t.Fatalf("old key %d survived eviction", k)
+		}
+	}
+	for k := uint64(15); k < 25; k++ {
+		if _, ok := s.Get(c, k, buf); !ok {
+			t.Fatalf("new key %d evicted", k)
+		}
+	}
+}
+
+func TestAgainstReference(t *testing.T) {
+	m := newMachine(ssp.SSP)
+	c := m.Core(0)
+	c.Begin()
+	s := Create(c, m.Heap(), Config{Buckets: 64, ValueBytes: 16})
+	c.Commit()
+	rng := engine.NewRNG(99)
+	ref := map[uint64][]byte{}
+	buf := make([]byte, 16)
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64n(150)
+		switch rng.Intn(10) {
+		case 0: // delete
+			c.Begin()
+			got := s.Delete(c, k)
+			c.Commit()
+			if _, want := ref[k]; got != want {
+				t.Fatalf("op %d delete mismatch", i)
+			}
+			delete(ref, k)
+		case 1, 2: // get
+			n, ok := s.Get(c, k, buf)
+			want, wok := ref[k]
+			if ok != wok || (ok && !bytes.Equal(buf[:n], want)) {
+				t.Fatalf("op %d get mismatch: %v %v", i, ok, wok)
+			}
+		default: // set
+			v := val(byte(rng.Intn(256)), 1+rng.Intn(16))
+			c.Begin()
+			s.Set(c, k, v)
+			c.Commit()
+			ref[k] = v
+		}
+	}
+	if int(s.Len(c)) != len(ref) {
+		t.Fatalf("Len = %d, want %d", s.Len(c), len(ref))
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	for _, b := range ssp.Backends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := newMachine(b)
+			c := m.Core(0)
+			c.Begin()
+			s := Create(c, m.Heap(), Config{Buckets: 32, ValueBytes: 16})
+			m.SetRoot(c, 0, s.Head())
+			c.Commit()
+			for k := uint64(0); k < 40; k++ {
+				c.Begin()
+				s.Set(c, k, val(byte(k), 8))
+				c.Commit()
+			}
+			// Uncommitted SET, then crash.
+			c.Begin()
+			s.Set(c, 1000, val('X', 8))
+			img := m.Crash()
+
+			m2, err := ssp.Restore(m.ConfigUsed(), img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2 := m2.Core(0)
+			s2 := Open(m2.Heap(), m2.Root(c2, 0))
+			buf := make([]byte, 16)
+			for k := uint64(0); k < 40; k++ {
+				if n, ok := s2.Get(c2, k, buf); !ok || buf[0] != byte(k) || n != 8 {
+					t.Fatalf("lost key %d after crash", k)
+				}
+			}
+			if _, ok := s2.Get(c2, 1000, buf); ok {
+				t.Fatal("uncommitted SET visible after crash")
+			}
+		})
+	}
+}
+
+func TestValueTooLargePanics(t *testing.T) {
+	m := newMachine(ssp.SSP)
+	c := m.Core(0)
+	c.Begin()
+	s := Create(c, m.Heap(), Config{Buckets: 8, ValueBytes: 8})
+	c.Commit()
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized value should panic")
+		}
+		c.Abort()
+	}()
+	c.Begin()
+	s.Set(c, 1, val('x', 64))
+}

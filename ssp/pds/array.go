@@ -1,0 +1,59 @@
+package pds
+
+import (
+	"fmt"
+
+	"repro/ssp"
+)
+
+// Array is a persistent fixed array of uint64, the substrate of the SPS
+// microbenchmark ("swap elements in an array", Table 3: 2 lines / 2 pages
+// per transaction).
+type Array struct {
+	h    *ssp.Heap
+	head uint64 // +0 data VA, +8 length
+}
+
+// CreateArray allocates an array of n zeroed elements inside tx's
+// transaction.
+func CreateArray(tx *ssp.Core, h *ssp.Heap, n int) *Array {
+	if n <= 0 {
+		panic("pds: CreateArray with non-positive length")
+	}
+	head := h.Alloc(tx, 16)
+	data := h.Alloc(tx, n*8)
+	store(tx, head+0, data)
+	store(tx, head+8, uint64(n))
+	return &Array{h: h, head: head}
+}
+
+// OpenArray reattaches an array from its head address.
+func OpenArray(h *ssp.Heap, head uint64) *Array { return &Array{h: h, head: head} }
+
+// Head returns the persistent head address.
+func (a *Array) Head() uint64 { return a.head }
+
+// Len returns the array length.
+func (a *Array) Len(tx *ssp.Core) int { return int(load(tx, a.head+8)) }
+
+func (a *Array) elemVA(tx *ssp.Core, i int) uint64 {
+	n := load(tx, a.head+8)
+	if i < 0 || uint64(i) >= n {
+		panic(fmt.Sprintf("pds: array index %d out of range %d", i, n))
+	}
+	return load(tx, a.head) + uint64(i)*8
+}
+
+// Get returns element i.
+func (a *Array) Get(tx *ssp.Core, i int) uint64 { return load(tx, a.elemVA(tx, i)) }
+
+// Set writes element i.
+func (a *Array) Set(tx *ssp.Core, i int, v uint64) { store(tx, a.elemVA(tx, i), v) }
+
+// Swap exchanges elements i and j — one SPS transaction body.
+func (a *Array) Swap(tx *ssp.Core, i, j int) {
+	vi := a.Get(tx, i)
+	vj := a.Get(tx, j)
+	a.Set(tx, i, vj)
+	a.Set(tx, j, vi)
+}

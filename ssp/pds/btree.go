@@ -1,0 +1,284 @@
+package pds
+
+import (
+	"repro/ssp"
+)
+
+// B+-tree node geometry: 256-byte nodes (4 cache lines), 14 keys.
+//
+// Node layout (offsets in bytes):
+//
+//	+0   flags (1 = leaf)
+//	+8   nkeys
+//	+16  next leaf (leaves) / unused (internals)
+//	+24  keys[14]
+//	+136 values[14] (leaves) / children[15] (internals)
+const (
+	btNodeBytes = 256
+	btMaxKeys   = 14
+
+	btFlagsOff = 0
+	btNKeysOff = 8
+	btNextOff  = 16
+	btKeysOff  = 24
+	btValsOff  = 136
+)
+
+// BTree is a persistent B+-tree mapping uint64 keys to uint64 values.
+// Deletions remove entries from leaves without rebalancing (the
+// write-optimised persistent-memory tree style of NV-Tree/WORT: structural
+// shrink is traded for fewer NVRAM writes).
+type BTree struct {
+	h    *ssp.Heap
+	head uint64 // header block: +0 root, +8 count
+}
+
+// CreateBTree allocates an empty tree inside tx's open transaction.
+func CreateBTree(tx *ssp.Core, h *ssp.Heap) *BTree {
+	head := h.Alloc(tx, 16)
+	root := btNewLeaf(tx, h)
+	store(tx, head+0, root)
+	store(tx, head+8, 0)
+	return &BTree{h: h, head: head}
+}
+
+// OpenBTree reattaches a tree from its head address (e.g. a root slot).
+func OpenBTree(h *ssp.Heap, head uint64) *BTree { return &BTree{h: h, head: head} }
+
+// Head returns the tree's persistent head address for use as a root.
+func (t *BTree) Head() uint64 { return t.head }
+
+// Len returns the number of stored keys.
+func (t *BTree) Len(tx *ssp.Core) uint64 { return load(tx, t.head+8) }
+
+func btNewLeaf(tx *ssp.Core, h *ssp.Heap) uint64 {
+	n := h.Alloc(tx, btNodeBytes)
+	store(tx, n+btFlagsOff, 1)
+	store(tx, n+btNKeysOff, 0)
+	store(tx, n+btNextOff, 0)
+	return n
+}
+
+func btNewInternal(tx *ssp.Core, h *ssp.Heap) uint64 {
+	n := h.Alloc(tx, btNodeBytes)
+	store(tx, n+btFlagsOff, 0)
+	store(tx, n+btNKeysOff, 0)
+	return n
+}
+
+func btIsLeaf(tx *ssp.Core, n uint64) bool { return load(tx, n+btFlagsOff) == 1 }
+func btNKeys(tx *ssp.Core, n uint64) int   { return int(load(tx, n+btNKeysOff)) }
+func btKey(tx *ssp.Core, n uint64, i int) uint64 {
+	return load(tx, n+btKeysOff+uint64(i)*8)
+}
+func btVal(tx *ssp.Core, n uint64, i int) uint64 {
+	return load(tx, n+btValsOff+uint64(i)*8)
+}
+func btChild(tx *ssp.Core, n uint64, i int) uint64 {
+	return load(tx, n+btValsOff+uint64(i)*8)
+}
+
+// btSearch returns the index of the first key >= k.
+func btSearch(tx *ssp.Core, n uint64, k uint64) int {
+	nk := btNKeys(tx, n)
+	lo, hi := 0, nk
+	for lo < hi {
+		mid := (lo + hi) / 2
+		tx.Compute(4)
+		if btKey(tx, n, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under k.
+func (t *BTree) Get(tx *ssp.Core, k uint64) (uint64, bool) {
+	n := load(tx, t.head)
+	for !btIsLeaf(tx, n) {
+		i := btSearch(tx, n, k)
+		if i < btNKeys(tx, n) && btKey(tx, n, i) == k {
+			i++ // keys equal to the separator live in the right subtree
+		}
+		n = btChild(tx, n, i)
+	}
+	i := btSearch(tx, n, k)
+	if i < btNKeys(tx, n) && btKey(tx, n, i) == k {
+		return btVal(tx, n, i), true
+	}
+	return 0, false
+}
+
+// Insert stores v under k, replacing any existing value. It reports
+// whether the key was new.
+func (t *BTree) Insert(tx *ssp.Core, k, v uint64) bool {
+	root := load(tx, t.head)
+	right, sep, split, added := t.insertRec(tx, root, k, v)
+	if split {
+		newRoot := btNewInternal(tx, t.h)
+		store(tx, newRoot+btNKeysOff, 1)
+		store(tx, newRoot+btKeysOff, sep)
+		store(tx, newRoot+btValsOff, root)
+		store(tx, newRoot+btValsOff+8, right)
+		store(tx, t.head, newRoot)
+	}
+	if added {
+		store(tx, t.head+8, load(tx, t.head+8)+1)
+	}
+	return added
+}
+
+// insertRec inserts below n, returning a new right sibling and separator
+// if n split, plus whether a new key was added.
+func (t *BTree) insertRec(tx *ssp.Core, n uint64, k, v uint64) (right uint64, sep uint64, split, added bool) {
+	if btIsLeaf(tx, n) {
+		return t.leafInsert(tx, n, k, v)
+	}
+	i := btSearch(tx, n, k)
+	if i < btNKeys(tx, n) && btKey(tx, n, i) == k {
+		i++
+	}
+	child := btChild(tx, n, i)
+	cRight, cSep, cSplit, added := t.insertRec(tx, child, k, v)
+	if !cSplit {
+		return 0, 0, false, added
+	}
+	// Insert (cSep, cRight) into this internal node at position i.
+	nk := btNKeys(tx, n)
+	if nk < btMaxKeys {
+		for j := nk; j > i; j-- {
+			store(tx, n+btKeysOff+uint64(j)*8, btKey(tx, n, j-1))
+			store(tx, n+btValsOff+uint64(j+1)*8, btChild(tx, n, j))
+		}
+		store(tx, n+btKeysOff+uint64(i)*8, cSep)
+		store(tx, n+btValsOff+uint64(i+1)*8, cRight)
+		store(tx, n+btNKeysOff, uint64(nk+1))
+		return 0, 0, false, added
+	}
+	// Split this internal node: gather into a scratch slice, divide.
+	keys := make([]uint64, 0, nk+1)
+	kids := make([]uint64, 0, nk+2)
+	kids = append(kids, btChild(tx, n, 0))
+	for j := 0; j < nk; j++ {
+		keys = append(keys, btKey(tx, n, j))
+		kids = append(kids, btChild(tx, n, j+1))
+	}
+	keys = append(keys[:i], append([]uint64{cSep}, keys[i:]...)...)
+	kids = append(kids[:i+1], append([]uint64{cRight}, kids[i+1:]...)...)
+	mid := len(keys) / 2
+	sep = keys[mid]
+	rn := btNewInternal(tx, t.h)
+	// Left keeps keys[:mid], right takes keys[mid+1:].
+	store(tx, n+btNKeysOff, uint64(mid))
+	for j := 0; j < mid; j++ {
+		store(tx, n+btKeysOff+uint64(j)*8, keys[j])
+		store(tx, n+btValsOff+uint64(j)*8, kids[j])
+	}
+	store(tx, n+btValsOff+uint64(mid)*8, kids[mid])
+	rcount := len(keys) - mid - 1
+	store(tx, rn+btNKeysOff, uint64(rcount))
+	for j := 0; j < rcount; j++ {
+		store(tx, rn+btKeysOff+uint64(j)*8, keys[mid+1+j])
+		store(tx, rn+btValsOff+uint64(j)*8, kids[mid+1+j])
+	}
+	store(tx, rn+btValsOff+uint64(rcount)*8, kids[len(kids)-1])
+	return rn, sep, true, added
+}
+
+func (t *BTree) leafInsert(tx *ssp.Core, n uint64, k, v uint64) (right uint64, sep uint64, split, added bool) {
+	i := btSearch(tx, n, k)
+	nk := btNKeys(tx, n)
+	if i < nk && btKey(tx, n, i) == k {
+		store(tx, n+btValsOff+uint64(i)*8, v)
+		return 0, 0, false, false
+	}
+	if nk < btMaxKeys {
+		for j := nk; j > i; j-- {
+			store(tx, n+btKeysOff+uint64(j)*8, btKey(tx, n, j-1))
+			store(tx, n+btValsOff+uint64(j)*8, btVal(tx, n, j-1))
+		}
+		store(tx, n+btKeysOff+uint64(i)*8, k)
+		store(tx, n+btValsOff+uint64(i)*8, v)
+		store(tx, n+btNKeysOff, uint64(nk+1))
+		return 0, 0, false, true
+	}
+	// Split the leaf.
+	keys := make([]uint64, 0, nk+1)
+	vals := make([]uint64, 0, nk+1)
+	for j := 0; j < nk; j++ {
+		keys = append(keys, btKey(tx, n, j))
+		vals = append(vals, btVal(tx, n, j))
+	}
+	keys = append(keys[:i], append([]uint64{k}, keys[i:]...)...)
+	vals = append(vals[:i], append([]uint64{v}, vals[i:]...)...)
+	mid := len(keys) / 2
+	rn := btNewLeaf(tx, t.h)
+	store(tx, rn+btNextOff, load(tx, n+btNextOff))
+	store(tx, n+btNextOff, rn)
+	store(tx, n+btNKeysOff, uint64(mid))
+	for j := 0; j < mid; j++ {
+		store(tx, n+btKeysOff+uint64(j)*8, keys[j])
+		store(tx, n+btValsOff+uint64(j)*8, vals[j])
+	}
+	rcount := len(keys) - mid
+	store(tx, rn+btNKeysOff, uint64(rcount))
+	for j := 0; j < rcount; j++ {
+		store(tx, rn+btKeysOff+uint64(j)*8, keys[mid+j])
+		store(tx, rn+btValsOff+uint64(j)*8, vals[mid+j])
+	}
+	return rn, keys[mid], true, true
+}
+
+// Delete removes k, reporting whether it was present. Leaves shrink in
+// place; empty leaves remain linked (no rebalancing).
+func (t *BTree) Delete(tx *ssp.Core, k uint64) bool {
+	n := load(tx, t.head)
+	for !btIsLeaf(tx, n) {
+		i := btSearch(tx, n, k)
+		if i < btNKeys(tx, n) && btKey(tx, n, i) == k {
+			i++
+		}
+		n = btChild(tx, n, i)
+	}
+	i := btSearch(tx, n, k)
+	nk := btNKeys(tx, n)
+	if i >= nk || btKey(tx, n, i) != k {
+		return false
+	}
+	for j := i; j < nk-1; j++ {
+		store(tx, n+btKeysOff+uint64(j)*8, btKey(tx, n, j+1))
+		store(tx, n+btValsOff+uint64(j)*8, btVal(tx, n, j+1))
+	}
+	store(tx, n+btNKeysOff, uint64(nk-1))
+	store(tx, t.head+8, load(tx, t.head+8)-1)
+	return true
+}
+
+// Range calls fn for up to max entries with keys >= from, in key order,
+// returning the number visited.
+func (t *BTree) Range(tx *ssp.Core, from uint64, max int, fn func(k, v uint64) bool) int {
+	n := load(tx, t.head)
+	for !btIsLeaf(tx, n) {
+		i := btSearch(tx, n, from)
+		if i < btNKeys(tx, n) && btKey(tx, n, i) == from {
+			i++
+		}
+		n = btChild(tx, n, i)
+	}
+	seen := 0
+	i := btSearch(tx, n, from)
+	for n != 0 && seen < max {
+		nk := btNKeys(tx, n)
+		for ; i < nk && seen < max; i++ {
+			seen++
+			if !fn(btKey(tx, n, i), btVal(tx, n, i)) {
+				return seen
+			}
+		}
+		n = load(tx, n+btNextOff)
+		i = 0
+	}
+	return seen
+}

@@ -1,0 +1,113 @@
+package pds
+
+import (
+	"repro/ssp"
+)
+
+// Chained hash table node: 32 bytes (key, value, next, padding).
+const (
+	hNodeBytes = 32
+	hKeyOff    = 0
+	hValOff    = 8
+	hNextOff   = 16
+)
+
+// Hash is a persistent chained hash table with a fixed bucket array.
+type Hash struct {
+	h    *ssp.Heap
+	head uint64 // +0 bucket array VA, +8 bucket count, +16 element count
+}
+
+// CreateHash allocates a table with nBuckets (rounded up to a power of
+// two) inside tx's transaction.
+func CreateHash(tx *ssp.Core, h *ssp.Heap, nBuckets int) *Hash {
+	n := 1
+	for n < nBuckets {
+		n *= 2
+	}
+	head := h.Alloc(tx, 24)
+	arr := h.Alloc(tx, n*8)
+	// Bucket array starts zeroed (fresh frames are zero-filled), but the
+	// words must be written transactionally to be recoverable after a
+	// crash mid-create; a page-granular memset via the array's own pages
+	// is unnecessary because Alloc hands out zeroed bump space.
+	store(tx, head+0, arr)
+	store(tx, head+8, uint64(n))
+	store(tx, head+16, 0)
+	return &Hash{h: h, head: head}
+}
+
+// OpenHash reattaches a table from its head address.
+func OpenHash(h *ssp.Heap, head uint64) *Hash { return &Hash{h: h, head: head} }
+
+// Head returns the persistent head address.
+func (t *Hash) Head() uint64 { return t.head }
+
+// Len returns the element count.
+func (t *Hash) Len(tx *ssp.Core) uint64 { return load(tx, t.head+16) }
+
+func (t *Hash) bucketVA(tx *ssp.Core, k uint64) uint64 {
+	arr := load(tx, t.head)
+	n := load(tx, t.head+8)
+	idx := (k * 0x9e3779b97f4a7c15) & (n - 1)
+	return arr + idx*8
+}
+
+// Get returns the value stored under k.
+func (t *Hash) Get(tx *ssp.Core, k uint64) (uint64, bool) {
+	n := load(tx, t.bucketVA(tx, k))
+	for n != 0 {
+		tx.Compute(2)
+		if load(tx, n+hKeyOff) == k {
+			return load(tx, n+hValOff), true
+		}
+		n = load(tx, n+hNextOff)
+	}
+	return 0, false
+}
+
+// Insert stores v under k, replacing any existing value; reports whether
+// the key was new.
+func (t *Hash) Insert(tx *ssp.Core, k, v uint64) bool {
+	bucket := t.bucketVA(tx, k)
+	n := load(tx, bucket)
+	for n != 0 {
+		tx.Compute(2)
+		if load(tx, n+hKeyOff) == k {
+			store(tx, n+hValOff, v)
+			return false
+		}
+		n = load(tx, n+hNextOff)
+	}
+	node := t.h.Alloc(tx, hNodeBytes)
+	store(tx, node+hKeyOff, k)
+	store(tx, node+hValOff, v)
+	store(tx, node+hNextOff, load(tx, bucket))
+	store(tx, bucket, node)
+	store(tx, t.head+16, load(tx, t.head+16)+1)
+	return true
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *Hash) Delete(tx *ssp.Core, k uint64) bool {
+	bucket := t.bucketVA(tx, k)
+	prev := uint64(0)
+	n := load(tx, bucket)
+	for n != 0 {
+		tx.Compute(2)
+		if load(tx, n+hKeyOff) == k {
+			next := load(tx, n+hNextOff)
+			if prev == 0 {
+				store(tx, bucket, next)
+			} else {
+				store(tx, prev+hNextOff, next)
+			}
+			t.h.Free(tx, n, hNodeBytes)
+			store(tx, t.head+16, load(tx, t.head+16)-1)
+			return true
+		}
+		prev = n
+		n = load(tx, n+hNextOff)
+	}
+	return false
+}

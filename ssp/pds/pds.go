@@ -1,0 +1,21 @@
+// Package pds provides the persistent data structures the paper's
+// microbenchmarks exercise (Table 3): a B+-tree, a red-black tree, a
+// chained hash table and a fixed array (for the SPS swap benchmark), all
+// built on the transactional API of package ssp.
+//
+// Every structure stores its state exclusively in the persistent heap and
+// keeps no volatile mirrors, so a structure handle can be reattached to a
+// recovered machine with the Open* constructors and a persistent root.
+// Methods run inside the caller's open transaction: callers bracket each
+// update with Core.Begin/Commit (one durable transaction per operation, as
+// in §5.1) and are responsible for isolation (locks), as in the paper's
+// programming model.
+package pds
+
+import (
+	"repro/ssp"
+)
+
+// kv is the shared field-access helper: all structures store 8-byte words.
+func load(tx *ssp.Core, va uint64) uint64     { return tx.Load64(va) }
+func store(tx *ssp.Core, va uint64, v uint64) { tx.Store64(va, v) }

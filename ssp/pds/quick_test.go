@@ -1,0 +1,159 @@
+package pds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/ssp"
+)
+
+// Property (testing/quick): for any seed, a random op sequence applied to
+// the B+-tree and the red-black tree leaves both structures agreeing with
+// each other and with a reference map, with red-black invariants intact.
+func TestQuickTreesAgreeWithReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := newMachine(ssp.SSP)
+		c := m.Core(0)
+		c.Begin()
+		bt := CreateBTree(c, m.Heap())
+		rb := CreateRBTree(c, m.Heap())
+		c.Commit()
+		rng := engine.NewRNG(seed)
+		ref := map[uint64]uint64{}
+		for i := 0; i < 400; i++ {
+			k := rng.Uint64n(64)
+			if rng.Intn(3) == 0 {
+				c.Begin()
+				db := bt.Delete(c, k)
+				dr := rb.Delete(c, k)
+				c.Commit()
+				_, existed := ref[k]
+				if db != existed || dr != existed {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				v := rng.Uint64()
+				c.Begin()
+				ab := bt.Insert(c, k, v)
+				ar := rb.Insert(c, k, v)
+				c.Commit()
+				_, existed := ref[k]
+				if ab == existed || ar == existed {
+					return false
+				}
+				ref[k] = v
+			}
+		}
+		if rb.CheckInvariants(c) < 0 {
+			return false
+		}
+		for k := uint64(0); k < 64; k++ {
+			want, wok := ref[k]
+			vb, okb := bt.Get(c, k)
+			vr, okr := rb.Get(c, k)
+			if okb != wok || okr != wok {
+				return false
+			}
+			if wok && (vb != want || vr != want) {
+				return false
+			}
+		}
+		return bt.Len(c) == uint64(len(ref)) && rb.Len(c) == uint64(len(ref))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hash-table contents survive a crash for any op sequence — the
+// recovered table equals the reference at the last committed transaction.
+func TestQuickHashCrashConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := newMachine(ssp.SSP)
+		c := m.Core(0)
+		c.Begin()
+		h := CreateHash(c, m.Heap(), 32)
+		m.SetRoot(c, 0, h.Head())
+		c.Commit()
+		rng := engine.NewRNG(seed)
+		ref := map[uint64]uint64{}
+		for i := 0; i < 150; i++ {
+			k := rng.Uint64n(48)
+			c.Begin()
+			if rng.Intn(4) == 0 {
+				h.Delete(c, k)
+				c.Commit()
+				delete(ref, k)
+			} else {
+				v := rng.Uint64()
+				h.Insert(c, k, v)
+				c.Commit()
+				ref[k] = v
+			}
+		}
+		// One uncommitted op, then power failure.
+		c.Begin()
+		h.Insert(c, 1000, 1)
+
+		img := m.Crash()
+		m2, err := ssp.Restore(m.ConfigUsed(), img)
+		if err != nil {
+			return false
+		}
+		c2 := m2.Core(0)
+		h2 := OpenHash(m2.Heap(), m2.Root(c2, 0))
+		if _, ok := h2.Get(c2, 1000); ok {
+			return false
+		}
+		for k := uint64(0); k < 48; k++ {
+			want, wok := ref[k]
+			v, ok := h2.Get(c2, k)
+			if ok != wok || (ok && v != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: array swaps are a permutation — for any swap sequence, the
+// multiset of values is preserved and matches the reference permutation.
+func TestQuickArrayPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := newMachine(ssp.UndoLog)
+		c := m.Core(0)
+		const n = 64
+		c.Begin()
+		a := CreateArray(c, m.Heap(), n)
+		for i := 0; i < n; i++ {
+			a.Set(c, i, uint64(i)+100)
+		}
+		c.Commit()
+		rng := engine.NewRNG(seed)
+		ref := make([]uint64, n)
+		for i := range ref {
+			ref[i] = uint64(i) + 100
+		}
+		for op := 0; op < 200; op++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			c.Begin()
+			a.Swap(c, i, j)
+			c.Commit()
+			ref[i], ref[j] = ref[j], ref[i]
+		}
+		for i := 0; i < n; i++ {
+			if a.Get(c, i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,390 @@
+package pds
+
+import (
+	"repro/ssp"
+)
+
+// Red-black tree node: one cache line (64 bytes).
+//
+//	+0  key
+//	+8  value
+//	+16 left
+//	+24 right
+//	+32 parent
+//	+40 color (0 = black, 1 = red)
+const (
+	rbNodeBytes = 64
+	rbKeyOff    = 0
+	rbValOff    = 8
+	rbLeftOff   = 16
+	rbRightOff  = 24
+	rbParentOff = 32
+	rbColorOff  = 40
+
+	rbBlack = 0
+	rbRed   = 1
+)
+
+// RBTree is a persistent red-black tree (CLRS insert/delete with full
+// rebalancing — the paper's RBTree workload touches ~12 lines per update
+// precisely because of these fixups).
+type RBTree struct {
+	h    *ssp.Heap
+	head uint64 // +0 root, +8 count
+}
+
+// CreateRBTree allocates an empty tree inside tx's transaction.
+func CreateRBTree(tx *ssp.Core, h *ssp.Heap) *RBTree {
+	head := h.Alloc(tx, 16)
+	store(tx, head+0, 0)
+	store(tx, head+8, 0)
+	return &RBTree{h: h, head: head}
+}
+
+// OpenRBTree reattaches a tree from its head address.
+func OpenRBTree(h *ssp.Heap, head uint64) *RBTree { return &RBTree{h: h, head: head} }
+
+// Head returns the persistent head address.
+func (t *RBTree) Head() uint64 { return t.head }
+
+// Len returns the number of stored keys.
+func (t *RBTree) Len(tx *ssp.Core) uint64 { return load(tx, t.head+8) }
+
+func rbKey(tx *ssp.Core, n uint64) uint64    { return load(tx, n+rbKeyOff) }
+func rbLeft(tx *ssp.Core, n uint64) uint64   { return load(tx, n+rbLeftOff) }
+func rbRight(tx *ssp.Core, n uint64) uint64  { return load(tx, n+rbRightOff) }
+func rbParent(tx *ssp.Core, n uint64) uint64 { return load(tx, n+rbParentOff) }
+
+// rbColor treats the nil node (0) as black, as CLRS requires.
+func rbColor(tx *ssp.Core, n uint64) uint64 {
+	if n == 0 {
+		return rbBlack
+	}
+	return load(tx, n+rbColorOff)
+}
+
+func rbSetColor(tx *ssp.Core, n uint64, c uint64) {
+	if n != 0 {
+		store(tx, n+rbColorOff, c)
+	}
+}
+
+// Get returns the value stored under k.
+func (t *RBTree) Get(tx *ssp.Core, k uint64) (uint64, bool) {
+	n := load(tx, t.head)
+	for n != 0 {
+		tx.Compute(4)
+		nk := rbKey(tx, n)
+		switch {
+		case k < nk:
+			n = rbLeft(tx, n)
+		case k > nk:
+			n = rbRight(tx, n)
+		default:
+			return load(tx, n+rbValOff), true
+		}
+	}
+	return 0, false
+}
+
+func (t *RBTree) rotateLeft(tx *ssp.Core, x uint64) {
+	y := rbRight(tx, x)
+	yl := rbLeft(tx, y)
+	store(tx, x+rbRightOff, yl)
+	if yl != 0 {
+		store(tx, yl+rbParentOff, x)
+	}
+	xp := rbParent(tx, x)
+	store(tx, y+rbParentOff, xp)
+	if xp == 0 {
+		store(tx, t.head, y)
+	} else if rbLeft(tx, xp) == x {
+		store(tx, xp+rbLeftOff, y)
+	} else {
+		store(tx, xp+rbRightOff, y)
+	}
+	store(tx, y+rbLeftOff, x)
+	store(tx, x+rbParentOff, y)
+}
+
+func (t *RBTree) rotateRight(tx *ssp.Core, x uint64) {
+	y := rbLeft(tx, x)
+	yr := rbRight(tx, y)
+	store(tx, x+rbLeftOff, yr)
+	if yr != 0 {
+		store(tx, yr+rbParentOff, x)
+	}
+	xp := rbParent(tx, x)
+	store(tx, y+rbParentOff, xp)
+	if xp == 0 {
+		store(tx, t.head, y)
+	} else if rbRight(tx, xp) == x {
+		store(tx, xp+rbRightOff, y)
+	} else {
+		store(tx, xp+rbLeftOff, y)
+	}
+	store(tx, y+rbRightOff, x)
+	store(tx, x+rbParentOff, y)
+}
+
+// Insert stores v under k, replacing any existing value; reports whether
+// the key was new.
+func (t *RBTree) Insert(tx *ssp.Core, k, v uint64) bool {
+	var parent uint64
+	n := load(tx, t.head)
+	for n != 0 {
+		tx.Compute(4)
+		parent = n
+		nk := rbKey(tx, n)
+		switch {
+		case k < nk:
+			n = rbLeft(tx, n)
+		case k > nk:
+			n = rbRight(tx, n)
+		default:
+			store(tx, n+rbValOff, v)
+			return false
+		}
+	}
+	z := t.h.Alloc(tx, rbNodeBytes)
+	store(tx, z+rbKeyOff, k)
+	store(tx, z+rbValOff, v)
+	store(tx, z+rbLeftOff, 0)
+	store(tx, z+rbRightOff, 0)
+	store(tx, z+rbParentOff, parent)
+	store(tx, z+rbColorOff, rbRed)
+	if parent == 0 {
+		store(tx, t.head, z)
+	} else if k < rbKey(tx, parent) {
+		store(tx, parent+rbLeftOff, z)
+	} else {
+		store(tx, parent+rbRightOff, z)
+	}
+	t.insertFixup(tx, z)
+	store(tx, t.head+8, load(tx, t.head+8)+1)
+	return true
+}
+
+func (t *RBTree) insertFixup(tx *ssp.Core, z uint64) {
+	for {
+		p := rbParent(tx, z)
+		if p == 0 || rbColor(tx, p) == rbBlack {
+			break
+		}
+		g := rbParent(tx, p)
+		if p == rbLeft(tx, g) {
+			u := rbRight(tx, g)
+			if rbColor(tx, u) == rbRed {
+				rbSetColor(tx, p, rbBlack)
+				rbSetColor(tx, u, rbBlack)
+				rbSetColor(tx, g, rbRed)
+				z = g
+				continue
+			}
+			if z == rbRight(tx, p) {
+				z = p
+				t.rotateLeft(tx, z)
+				p = rbParent(tx, z)
+				g = rbParent(tx, p)
+			}
+			rbSetColor(tx, p, rbBlack)
+			rbSetColor(tx, g, rbRed)
+			t.rotateRight(tx, g)
+		} else {
+			u := rbLeft(tx, g)
+			if rbColor(tx, u) == rbRed {
+				rbSetColor(tx, p, rbBlack)
+				rbSetColor(tx, u, rbBlack)
+				rbSetColor(tx, g, rbRed)
+				z = g
+				continue
+			}
+			if z == rbLeft(tx, p) {
+				z = p
+				t.rotateRight(tx, z)
+				p = rbParent(tx, z)
+				g = rbParent(tx, p)
+			}
+			rbSetColor(tx, p, rbBlack)
+			rbSetColor(tx, g, rbRed)
+			t.rotateLeft(tx, g)
+		}
+	}
+	root := load(tx, t.head)
+	rbSetColor(tx, root, rbBlack)
+}
+
+// transplant replaces subtree u with subtree v.
+func (t *RBTree) transplant(tx *ssp.Core, u, v uint64) {
+	up := rbParent(tx, u)
+	if up == 0 {
+		store(tx, t.head, v)
+	} else if u == rbLeft(tx, up) {
+		store(tx, up+rbLeftOff, v)
+	} else {
+		store(tx, up+rbRightOff, v)
+	}
+	if v != 0 {
+		store(tx, v+rbParentOff, up)
+	}
+}
+
+func (t *RBTree) minimum(tx *ssp.Core, n uint64) uint64 {
+	for {
+		l := rbLeft(tx, n)
+		if l == 0 {
+			return n
+		}
+		n = l
+	}
+}
+
+// Delete removes k, reporting whether it was present. The freed node
+// returns to the heap's free list within the same transaction.
+func (t *RBTree) Delete(tx *ssp.Core, k uint64) bool {
+	z := load(tx, t.head)
+	for z != 0 {
+		tx.Compute(4)
+		nk := rbKey(tx, z)
+		if k < nk {
+			z = rbLeft(tx, z)
+		} else if k > nk {
+			z = rbRight(tx, z)
+		} else {
+			break
+		}
+	}
+	if z == 0 {
+		return false
+	}
+
+	y := z
+	yColor := rbColor(tx, y)
+	var x, xParent uint64
+	if rbLeft(tx, z) == 0 {
+		x = rbRight(tx, z)
+		xParent = rbParent(tx, z)
+		t.transplant(tx, z, x)
+	} else if rbRight(tx, z) == 0 {
+		x = rbLeft(tx, z)
+		xParent = rbParent(tx, z)
+		t.transplant(tx, z, x)
+	} else {
+		y = t.minimum(tx, rbRight(tx, z))
+		yColor = rbColor(tx, y)
+		x = rbRight(tx, y)
+		if rbParent(tx, y) == z {
+			xParent = y
+		} else {
+			xParent = rbParent(tx, y)
+			t.transplant(tx, y, x)
+			yr := rbRight(tx, z)
+			store(tx, y+rbRightOff, yr)
+			store(tx, yr+rbParentOff, y)
+		}
+		t.transplant(tx, z, y)
+		zl := rbLeft(tx, z)
+		store(tx, y+rbLeftOff, zl)
+		store(tx, zl+rbParentOff, y)
+		rbSetColor(tx, y, rbColor(tx, z))
+	}
+	if yColor == rbBlack {
+		t.deleteFixup(tx, x, xParent)
+	}
+	t.h.Free(tx, z, rbNodeBytes)
+	store(tx, t.head+8, load(tx, t.head+8)-1)
+	return true
+}
+
+// deleteFixup restores red-black properties after removing a black node;
+// x may be nil (0), so its parent is threaded explicitly.
+func (t *RBTree) deleteFixup(tx *ssp.Core, x, xParent uint64) {
+	for x != load(tx, t.head) && rbColor(tx, x) == rbBlack {
+		if xParent == 0 {
+			break
+		}
+		if x == rbLeft(tx, xParent) {
+			w := rbRight(tx, xParent)
+			if rbColor(tx, w) == rbRed {
+				rbSetColor(tx, w, rbBlack)
+				rbSetColor(tx, xParent, rbRed)
+				t.rotateLeft(tx, xParent)
+				w = rbRight(tx, xParent)
+			}
+			if rbColor(tx, rbLeft(tx, w)) == rbBlack && rbColor(tx, rbRight(tx, w)) == rbBlack {
+				rbSetColor(tx, w, rbRed)
+				x = xParent
+				xParent = rbParent(tx, x)
+			} else {
+				if rbColor(tx, rbRight(tx, w)) == rbBlack {
+					rbSetColor(tx, rbLeft(tx, w), rbBlack)
+					rbSetColor(tx, w, rbRed)
+					t.rotateRight(tx, w)
+					w = rbRight(tx, xParent)
+				}
+				rbSetColor(tx, w, rbColor(tx, xParent))
+				rbSetColor(tx, xParent, rbBlack)
+				rbSetColor(tx, rbRight(tx, w), rbBlack)
+				t.rotateLeft(tx, xParent)
+				x = load(tx, t.head)
+				xParent = 0
+			}
+		} else {
+			w := rbLeft(tx, xParent)
+			if rbColor(tx, w) == rbRed {
+				rbSetColor(tx, w, rbBlack)
+				rbSetColor(tx, xParent, rbRed)
+				t.rotateRight(tx, xParent)
+				w = rbLeft(tx, xParent)
+			}
+			if rbColor(tx, rbRight(tx, w)) == rbBlack && rbColor(tx, rbLeft(tx, w)) == rbBlack {
+				rbSetColor(tx, w, rbRed)
+				x = xParent
+				xParent = rbParent(tx, x)
+			} else {
+				if rbColor(tx, rbLeft(tx, w)) == rbBlack {
+					rbSetColor(tx, rbRight(tx, w), rbBlack)
+					rbSetColor(tx, w, rbRed)
+					t.rotateLeft(tx, w)
+					w = rbLeft(tx, xParent)
+				}
+				rbSetColor(tx, w, rbColor(tx, xParent))
+				rbSetColor(tx, xParent, rbBlack)
+				rbSetColor(tx, rbLeft(tx, w), rbBlack)
+				t.rotateRight(tx, xParent)
+				x = load(tx, t.head)
+				xParent = 0
+			}
+		}
+	}
+	rbSetColor(tx, x, rbBlack)
+}
+
+// CheckInvariants verifies red-black properties (test helper): root black,
+// no red-red edges, equal black height. It returns the black height or -1.
+func (t *RBTree) CheckInvariants(tx *ssp.Core) int {
+	root := load(tx, t.head)
+	if root != 0 && rbColor(tx, root) != rbBlack {
+		return -1
+	}
+	return t.checkRec(tx, root)
+}
+
+func (t *RBTree) checkRec(tx *ssp.Core, n uint64) int {
+	if n == 0 {
+		return 1
+	}
+	l, r := rbLeft(tx, n), rbRight(tx, n)
+	if rbColor(tx, n) == rbRed && (rbColor(tx, l) == rbRed || rbColor(tx, r) == rbRed) {
+		return -1
+	}
+	lh := t.checkRec(tx, l)
+	rh := t.checkRec(tx, r)
+	if lh < 0 || rh < 0 || lh != rh {
+		return -1
+	}
+	if rbColor(tx, n) == rbBlack {
+		return lh + 1
+	}
+	return lh
+}

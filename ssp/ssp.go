@@ -1,0 +1,230 @@
+// Package ssp is the public API of the SSP reproduction: a simulated
+// persistent-memory machine offering failure-atomic durable transactions
+// through one of three hardware mechanisms — Shadow Sub-Paging (the paper's
+// contribution), hardware undo logging, or DHTM-style hardware redo logging.
+//
+// Quick start:
+//
+//	m := ssp.New(ssp.Config{Backend: ssp.SSP, Cores: 1})
+//	c := m.Core(0)
+//
+//	c.Begin()                       // ATOMIC_BEGIN
+//	obj := m.Heap().Alloc(c, 64)    // persistent allocation
+//	c.Store64(obj, 42)              // ATOMIC_STORE
+//	c.SetRoot(c, 0, obj)            // (see Machine.SetRoot)
+//	c.Commit()                      // ATOMIC_END: durable on return
+//
+//	img := m.Crash()                // power failure
+//	m2, _ := ssp.Restore(m.ConfigUsed(), img)
+//	m2.Core(0).Load64(obj)          // => 42
+//
+// Everything is deterministic: identical Config and operation sequences
+// produce identical timing and traffic statistics.
+package ssp
+
+import (
+	"repro/internal/engine"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+	"repro/internal/pheap"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Backend selects the failure-atomicity mechanism.
+type Backend = machine.BackendKind
+
+// The three designs the paper evaluates (§5.1).
+const (
+	SSP     = machine.SSP
+	UndoLog = machine.UndoLog
+	RedoLog = machine.RedoLog
+)
+
+// Backends lists all designs in the paper's report order.
+func Backends() []Backend { return machine.Backends() }
+
+// Core is a simulated core's transactional interface (Begin / Store64 /
+// Load64 / StoreBytes / LoadBytes / Commit / Abort / Acquire / Release).
+type Core = machine.Core
+
+// Lock is a simulated mutex serialising critical sections in simulated
+// time.
+type Lock = machine.Lock
+
+// Heap is the persistent heap allocator (Alloc/Free inside transactions).
+type Heap = pheap.Heap
+
+// Stats is the counter set every experiment derives its numbers from.
+type Stats = stats.Stats
+
+// WriteSetStats is the per-transaction write-set characterisation
+// (Table 3).
+type WriteSetStats = machine.WriteSetStats
+
+// Cycles is simulated time in core clock cycles (3.7 GHz by default).
+type Cycles = engine.Cycles
+
+// HeapBase is the first virtual address of the persistent heap.
+const HeapBase = vm.HeapBase
+
+// RootSlots is the number of named persistent root slots.
+const RootSlots = pheap.RootSlots
+
+// Config selects the machine to simulate. The zero value of any field
+// falls back to the paper's Table 2 parameters.
+type Config struct {
+	Backend Backend
+	Cores   int // default 1
+
+	// Memory latencies in nanoseconds (Table 2: DRAM 50/50, NVRAM 50/200).
+	NVRAMReadNS  float64
+	NVRAMWriteNS float64
+	DRAMNS       float64
+
+	// Capacities.
+	NVRAMMB      int // simulated NVRAM size (default 128)
+	DRAMMB       int // simulated DRAM size (default 32)
+	MaxHeapPages int // persistent heap limit in 4 KiB pages
+	JournalKB    int // SSP metadata journal region
+	LogKB        int // per-core undo/redo log region
+	TLBEntries   int // per-core L1 DTLB entries (default 64)
+	STLBEntries  int // per-core L2 STLB entries (default 1024; -1 disables)
+
+	// SSP mechanism knobs.
+	SSPCacheEntries int    // transient SSP cache capacity (default N·T+O)
+	SSPCacheLatency Cycles // SSP cache access latency in cycles (Figure 9)
+	SSPResident     int    // L3-resident SSP cache entries
+	SubPageLines    int    // persistence granularity in lines (§4.3; 1 or 4)
+	WSBEntries      int    // write-set buffer capacity in pages (§4.2)
+	// LazyConsolidation defers consolidation until slot pressure demands
+	// it (the paper's §3.4 future-work variant).
+	LazyConsolidation bool
+	// FlipViaShootdown replaces the flip-current-bit broadcast with TLB
+	// shootdowns (§4.3's simpler-hardware alternative).
+	FlipViaShootdown bool
+
+	// REDO-LOG knob.
+	RedoQueueLines int // post-commit write-back queue bound
+}
+
+// apply converts the public Config into the internal machine config.
+func (c Config) apply() machine.Config {
+	cores := c.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	mc := machine.DefaultConfig(c.Backend, cores)
+	if c.NVRAMReadNS > 0 {
+		mc.Mem.NVRAMRead = c.NVRAMReadNS
+	}
+	if c.NVRAMWriteNS > 0 {
+		mc.Mem.NVRAMWrite = c.NVRAMWriteNS
+	}
+	if c.DRAMNS > 0 {
+		mc.Mem.DRAMRead = c.DRAMNS
+		mc.Mem.DRAMWrite = c.DRAMNS
+	}
+	if c.NVRAMMB > 0 {
+		mc.Mem.NVRAMBytes = uint64(c.NVRAMMB) << 20
+	}
+	if c.DRAMMB > 0 {
+		mc.Mem.DRAMBytes = uint64(c.DRAMMB) << 20
+	}
+	if c.MaxHeapPages > 0 {
+		mc.Layout.MaxHeapPages = c.MaxHeapPages
+	}
+	if c.JournalKB > 0 {
+		mc.Layout.JournalBytes = c.JournalKB << 10
+	}
+	if c.LogKB > 0 {
+		mc.Layout.LogBytes = c.LogKB << 10
+	}
+	if c.TLBEntries > 0 {
+		mc.TLBEntries = c.TLBEntries
+	}
+	if c.STLBEntries > 0 {
+		mc.STLBEntries = c.STLBEntries
+	} else if c.STLBEntries < 0 {
+		mc.STLBEntries = 0
+	}
+	if c.TLBEntries > 0 || c.STLBEntries != 0 {
+		// Re-derive the N·T+O sizing for the overridden TLB reach.
+		mc.SSP.Entries = cores*(mc.TLBEntries+mc.STLBEntries) + 64
+		mc.Layout.SSPSlots = mc.SSP.Entries
+	}
+	if c.SSPCacheEntries > 0 {
+		mc.SSP.Entries = c.SSPCacheEntries
+		if mc.Layout.SSPSlots < c.SSPCacheEntries {
+			mc.Layout.SSPSlots = c.SSPCacheEntries
+		}
+	}
+	if c.SSPCacheLatency > 0 {
+		mc.SSP.CacheHitLat = c.SSPCacheLatency
+	}
+	if c.SSPResident > 0 {
+		mc.SSP.ResidentEntries = c.SSPResident
+	} else if c.SSPCacheEntries > 0 {
+		mc.SSP.ResidentEntries = c.SSPCacheEntries
+	}
+	if c.SubPageLines > 0 {
+		mc.SSP.SubPageLines = c.SubPageLines
+	}
+	if c.WSBEntries > 0 {
+		mc.SSP.WSBEntries = c.WSBEntries
+	}
+	mc.SSP.LazyConsolidation = c.LazyConsolidation
+	mc.SSP.FlipViaShootdown = c.FlipViaShootdown
+	if c.RedoQueueLines > 0 {
+		mc.Redo.QueueLines = c.RedoQueueLines
+	}
+	return mc
+}
+
+// Machine is one simulated system.
+type Machine struct {
+	*machine.Machine
+	cfg Config
+}
+
+// New builds and formats a fresh machine.
+func New(cfg Config) *Machine {
+	return &Machine{Machine: machine.New(cfg.apply()), cfg: cfg}
+}
+
+// Restore boots a machine from a crashed machine's NVRAM image and runs
+// recovery. The configuration must match the image's.
+func Restore(cfg Config, image []byte) (*Machine, error) {
+	m, err := machine.Restore(cfg.apply(), image)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Machine: m, cfg: cfg}, nil
+}
+
+// ConfigUsed returns the Config the machine was built with.
+func (m *Machine) ConfigUsed() Config { return m.cfg }
+
+// FreqGHz returns the simulated core frequency.
+func (m *Machine) FreqGHz() float64 { return m.Machine.Config().Mem.FreqGHz }
+
+// Seconds converts a cycle count to simulated seconds.
+func (m *Machine) Seconds(c Cycles) float64 {
+	return float64(c) / (m.FreqGHz() * 1e9)
+}
+
+// RootVA returns the virtual address of persistent root slot i; roots are
+// plain 8-byte words updated transactionally.
+func RootVA(i int) uint64 { return pheap.RootVA(i) }
+
+// SetRoot stores va into root slot i within tx's open transaction.
+func (m *Machine) SetRoot(tx *Core, i int, va uint64) { tx.Store64(RootVA(i), va) }
+
+// Root loads root slot i.
+func (m *Machine) Root(tx *Core, i int) uint64 { return tx.Load64(RootVA(i)) }
+
+// PageBytes and LineBytes expose the machine geometry.
+const (
+	PageBytes = memsim.PageBytes
+	LineBytes = memsim.LineBytes
+)

@@ -9,8 +9,16 @@
 //	sspbench -list
 //
 // Experiments: table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5
-// ablate all. See DESIGN.md §3 for the experiment index and EXPERIMENTS.md
-// for recorded paper-vs-measured results.
+// ablate recovery parallel all. See DESIGN.md §3 for the experiment index
+// and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// The parallel experiment exercises the concurrent execution engine: each
+// simulated core runs on its own host goroutine (ssp.Machine.Run) over
+// per-core-sharded workload state, and the report compares aggregate
+// committed transactions per simulated second against the 1-core serial
+// run (plus per-core throughput and host wall-clock):
+//
+//	sspbench -exp parallel -cores 4
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -28,10 +37,11 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	ops := flag.Int("ops", 0, "override measured transactions per run")
 	seed := flag.Uint64("seed", 0, "override RNG seed")
+	cores := flag.Int("cores", 4, "cores for -exp parallel (one goroutine each)")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5 ablate recovery all")
+		fmt.Println("table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5 ablate recovery parallel all")
 		return
 	}
 
@@ -93,6 +103,10 @@ func main() {
 			fmt.Println(experiments.RenderAblations("SSP-cache L3 residency", experiments.AblateSSPCacheResidency(sc)))
 			fmt.Println(experiments.RenderAblations("consolidation policy (§3.4 eager vs lazy)", experiments.AblateConsolidationPolicy(sc)))
 			fmt.Println(experiments.RenderAblations("flip mechanism (§4.1.1 broadcast vs §4.3 shootdown)", experiments.AblateFlipMechanism(sc)))
+		case "parallel":
+			section(fmt.Sprintf("Concurrent engine — %d goroutine-backed cores vs 1-core serial", *cores))
+			fmt.Println(experiments.RenderParallel(experiments.ParallelScaling(sc, workload.Memcached, *cores)))
+			fmt.Println(experiments.RenderParallel(experiments.ParallelScaling(sc, workload.Vacation, *cores)))
 		case "recovery":
 			section("Recovery effort vs journal capacity (§4.1.2 checkpointing)")
 			fmt.Println(experiments.RenderRecovery(experiments.RecoveryEffort(sc)))
@@ -104,7 +118,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table3", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "table4", "table5", "ablate", "recovery"} {
+		for _, id := range []string{"table3", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "table4", "table5", "ablate", "recovery", "parallel"} {
 			run(id)
 		}
 		return

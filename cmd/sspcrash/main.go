@@ -1,8 +1,9 @@
 // Command sspcrash is the crash-recovery fuzzer: it runs randomized
 // transaction scripts against every failure-atomicity design, injects a
 // power failure after every possible NVRAM write, recovers, and verifies
-// the all-or-nothing contract. The same machinery backs the
-// internal/machine trap-sweep tests; this tool runs it at fuzzing scale.
+// the all-or-nothing contract. The machinery lives in internal/crashsweep,
+// where a short-mode trap sweep also runs under `go test` in CI; this tool
+// runs it at fuzzing scale.
 //
 // Usage:
 //
@@ -15,7 +16,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/engine"
+	"repro/internal/crashsweep"
 	"repro/ssp"
 )
 
@@ -45,7 +46,7 @@ func main() {
 	for _, b := range backends {
 		for s := 0; s < *scripts; s++ {
 			scriptSeed := *seed + uint64(s)*1000003
-			n, bad := sweepScript(b, scriptSeed, *txns, *verbose)
+			n, bad := crashsweep.SweepScript(b, scriptSeed, *txns, *verbose, os.Stdout)
 			total += n
 			failures += bad
 			fmt.Printf("%-9s script %2d (seed %#x): %4d trap points, %d violations\n",
@@ -56,119 +57,4 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
-}
-
-type script struct {
-	txns [][]uint64
-}
-
-func makeScript(seed uint64, n int) script {
-	rng := engine.NewRNG(seed)
-	var sc script
-	for i := 0; i < n; i++ {
-		var addrs []uint64
-		for j := 0; j <= rng.Intn(6); j++ {
-			page := 1 + rng.Intn(5)
-			line := rng.Intn(64)
-			addrs = append(addrs, ssp.HeapBase+uint64(page)*ssp.PageBytes+uint64(line)*ssp.LineBytes)
-		}
-		sc.txns = append(sc.txns, addrs)
-	}
-	return sc
-}
-
-func config(b ssp.Backend) ssp.Config {
-	return ssp.Config{Backend: b, Cores: 1, NVRAMMB: 32, DRAMMB: 2, MaxHeapPages: 512}
-}
-
-// runScript executes sc until done or power-off, returning the guaranteed
-// committed state, the boundary transaction's writes (nil if between
-// transactions), and whether the run finished.
-func runScript(m *ssp.Machine, sc script) (map[uint64]uint64, map[uint64]uint64) {
-	committed := map[uint64]uint64{}
-	c := m.Core(0)
-	m.Heap().EnsureMapped(1, 5)
-	for i, addrs := range sc.txns {
-		if m.Mem().PoweredOff() {
-			break
-		}
-		val := uint64(i + 1)
-		pending := map[uint64]uint64{}
-		c.Begin()
-		for _, va := range addrs {
-			c.Store64(va, val)
-			pending[va] = val
-		}
-		c.Commit()
-		if m.Mem().PoweredOff() {
-			return committed, pending
-		}
-		for va, v := range pending {
-			committed[va] = v
-		}
-	}
-	return committed, nil
-}
-
-func sweepScript(b ssp.Backend, seed uint64, txns int, verbose bool) (points, failures int) {
-	sc := makeScript(seed, txns)
-
-	ref := ssp.New(config(b))
-	setup := ref.Stats().NVRAMWriteLines
-	runScript(ref, sc)
-	ref.Drain()
-	writes := int64(ref.Stats().NVRAMWriteLines - setup)
-
-	for k := int64(0); k <= writes; k++ {
-		points++
-		m := ssp.New(config(b))
-		m.Mem().SetWriteTrap(k)
-		committed, boundary := runScript(m, sc)
-		m.Mem().SetWriteTrap(-1)
-		if err := m.Recover(); err != nil {
-			fmt.Printf("  trap %d: recovery error: %v\n", k, err)
-			failures++
-			continue
-		}
-		m.Heap().EnsureMapped(1, 5)
-		if err := verify(m, committed, boundary); err != nil {
-			fmt.Printf("  trap %d: %v\n", k, err)
-			failures++
-		} else if verbose {
-			fmt.Printf("  trap %d ok\n", k)
-		}
-	}
-	return points, failures
-}
-
-func verify(m *ssp.Machine, committed, boundary map[uint64]uint64) error {
-	c := m.Core(0)
-	if boundary != nil {
-		applied := false
-		for va, v := range boundary {
-			applied = c.Load64(va) == v
-			break
-		}
-		expect := map[uint64]uint64{}
-		for va, v := range committed {
-			expect[va] = v
-		}
-		if applied {
-			for va, v := range boundary {
-				expect[va] = v
-			}
-		}
-		for va, want := range expect {
-			if got := c.Load64(va); got != want {
-				return fmt.Errorf("boundary txn torn (applied=%v): %#x got %d want %d", applied, va, got, want)
-			}
-		}
-		return nil
-	}
-	for va, want := range committed {
-		if got := c.Load64(va); got != want {
-			return fmt.Errorf("addr %#x: got %d want %d", va, got, want)
-		}
-	}
-	return nil
 }

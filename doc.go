@@ -9,6 +9,35 @@
 // harness live under internal/. See README.md for a tour, DESIGN.md for the
 // system inventory and EXPERIMENTS.md for paper-vs-measured results.
 //
+// # Concurrency contract
+//
+// The machine has two execution modes. Outside ssp.Machine.Run every call
+// runs on the caller's goroutine and the simulation is bit-for-bit
+// deterministic, as in the original single-goroutine model. Machine.Run(fn)
+// invokes fn once per Core, each invocation on its own goroutine, so the
+// simulated cores genuinely execute in parallel on the host. The rules:
+//
+//   - One goroutine per Core: a Core handle (Begin/Store64/Load64/Commit,
+//     plus Heap/Arena allocation through it) belongs to the goroutine Run
+//     hands it to, and must not be shared.
+//   - Machine-level operations (Stats, WriteSet, Drain, Crash, Recover,
+//     ResetStats, MaxClock, Restore) are not safe during a Run; call them
+//     only before it starts or after it returns.
+//   - Locks (ssp.Lock via Core.Acquire/Release) provide application-level
+//     isolation, as in the paper; in concurrent mode they are backed by a
+//     host mutex so simulated and host mutual exclusion coincide.
+//   - Concurrent allocation goes through per-core arenas
+//     (Machine.NewArena), never the shared Heap.
+//   - Per-core results are deterministic for fixed seeds; aggregate
+//     statistics are order-independent sums over per-core shards, while
+//     cross-core timing (bank contention, lock hand-off order) depends on
+//     the host schedule.
+//
+// The aggregate-vs-serial equivalence and race-freedom are enforced by
+// `go test -race ./internal/machine -run TestParallel` and the workload
+// smoke tests; the benchmark entry point is
+// `go run ./cmd/sspbench -exp parallel -cores 4`.
+//
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation:
 //

@@ -20,6 +20,7 @@ package cachesim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/memsim"
@@ -152,11 +153,18 @@ type dirEntry struct {
 }
 
 // Hierarchy is the full multi-core cache system in front of one Memory.
+//
+// Concurrency: one mutex serialises every operation — the software analogue
+// of the coherence interconnect, where invalidations, ownership transfers
+// and L3 fills are globally ordered anyway. The mutex is above the memory
+// system's locks in the lock order (the hierarchy calls into memsim while
+// holding it, never the reverse).
 type Hierarchy struct {
 	cfg Config
 	mem *memsim.Memory
 	st  *stats.Stats
 
+	mu     sync.Mutex
 	l1, l2 []*level
 	l3     *level
 	dir    map[uint64]dirEntry
@@ -360,7 +368,7 @@ func (h *Hierarchy) fetchAuthority(core int, la uint64, at engine.Cycles) ([mems
 
 // Load reads len(buf) bytes at pa into buf and returns the completion time.
 // The span must stay within one cache line.
-func (h *Hierarchy) Load(core int, pa memsim.PAddr, buf []byte, at engine.Cycles) engine.Cycles {
+func (h *Hierarchy) loadLocked(core int, pa memsim.PAddr, buf []byte, at engine.Cycles) engine.Cycles {
 	la, off := uint64(pa>>memsim.LineShift), int(pa&(memsim.LineBytes-1))
 	if off+len(buf) > memsim.LineBytes {
 		panic(fmt.Sprintf("cachesim: Load of %d bytes crosses line at %#x", len(buf), pa))
@@ -395,7 +403,7 @@ func (h *Hierarchy) Load(core int, pa memsim.PAddr, buf []byte, at engine.Cycles
 // Store writes data at pa (within one line) into core's L1 with exclusive
 // ownership (write-allocate) and returns the completion time. The data
 // becomes durable only on write-back or Flush.
-func (h *Hierarchy) Store(core int, pa memsim.PAddr, data []byte, at engine.Cycles) engine.Cycles {
+func (h *Hierarchy) storeLocked(core int, pa memsim.PAddr, data []byte, at engine.Cycles) engine.Cycles {
 	la, off := uint64(pa>>memsim.LineShift), int(pa&(memsim.LineBytes-1))
 	if off+len(data) > memsim.LineBytes {
 		panic(fmt.Sprintf("cachesim: Store of %d bytes crosses line at %#x", len(data), pa))
@@ -488,7 +496,7 @@ func (h *Hierarchy) exclusiveLine(core int, la uint64, at engine.Cycles) (*line,
 // is written back to memory and all cached copies become clean; cached
 // copies are retained. It reports whether a write actually happened and the
 // completion time.
-func (h *Hierarchy) Flush(core int, pa memsim.PAddr, at engine.Cycles, cat stats.WriteCat) (engine.Cycles, bool) {
+func (h *Hierarchy) flushLocked(core int, pa memsim.PAddr, at engine.Cycles, cat stats.WriteCat) (engine.Cycles, bool) {
 	la := uint64(pa >> memsim.LineShift)
 	var data *[memsim.LineBytes]byte
 	e := h.dirGet(la)
@@ -532,7 +540,7 @@ func (h *Hierarchy) Flush(core int, pa memsim.PAddr, at engine.Cycles, cat stats
 // MarkTx flags core's private copy of pa's line as speculative, keeping it
 // pinned against eviction where possible (see victim). The line must be
 // present (it was just stored to).
-func (h *Hierarchy) MarkTx(core int, pa memsim.PAddr) {
+func (h *Hierarchy) markTxLocked(core int, pa memsim.PAddr) {
 	la := uint64(pa >> memsim.LineShift)
 	if c := h.l1[core].peek(la); c != nil {
 		c.tx = true
@@ -548,7 +556,7 @@ func (h *Hierarchy) MarkTx(core int, pa memsim.PAddr) {
 // copies of `to` are discarded. The caller must have loaded `from` (the
 // committed copy) beforehand; Retag fetches it if needed. The renamed line
 // is dirty and marked speculative.
-func (h *Hierarchy) Retag(core int, from, to memsim.PAddr, at engine.Cycles) engine.Cycles {
+func (h *Hierarchy) retagLocked(core int, from, to memsim.PAddr, at engine.Cycles) engine.Cycles {
 	fla, tla := uint64(from>>memsim.LineShift), uint64(to>>memsim.LineShift)
 	if fla == tla {
 		panic("cachesim: Retag to the same line")
@@ -559,7 +567,7 @@ func (h *Hierarchy) Retag(core int, from, to memsim.PAddr, at engine.Cycles) eng
 	// rename cannot lose it (§3.2's "already been flushed" precondition).
 	t := at
 	if h.dirtyAnywhere(fla) {
-		t, _ = h.Flush(core, from, t, stats.CatData)
+		t, _ = h.flushLocked(core, from, t, stats.CatData)
 	}
 
 	// Fetch the committed line (shared) into this core's L1; only the L1
@@ -567,7 +575,7 @@ func (h *Hierarchy) Retag(core int, from, to memsim.PAddr, at engine.Cycles) eng
 	// other cores remain valid for the `from` address (an abort flips the
 	// current bit back and reads them again).
 	var data [memsim.LineBytes]byte
-	t = h.Load(core, memsim.PAddr(fla)<<memsim.LineShift, data[:], t)
+	t = h.loadLocked(core, memsim.PAddr(fla)<<memsim.LineShift, data[:], t)
 	if c := h.l1[core].peek(fla); c != nil {
 		c.valid = false
 	}
@@ -610,7 +618,7 @@ func (h *Hierarchy) discardLine(la uint64) {
 // memory controller just wrote to NVRAM (cache injection, as DMA/DDIO
 // engines do), leaving copies clean. Copies must not be dirty — the caller
 // owns the line's coherence at this point. Absent lines are not installed.
-func (h *Hierarchy) InjectLine(pa memsim.PAddr, data []byte) {
+func (h *Hierarchy) injectLineLocked(pa memsim.PAddr, data []byte) {
 	la := uint64(pa >> memsim.LineShift)
 	apply := func(c *line) {
 		if c == nil {
@@ -631,13 +639,17 @@ func (h *Hierarchy) InjectLine(pa memsim.PAddr, data []byte) {
 // InvalidateLine drops all cached copies of pa's line without writing back;
 // used to squash speculative lines on abort.
 func (h *Hierarchy) InvalidateLine(pa memsim.PAddr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.discardLine(uint64(pa >> memsim.LineShift))
 }
 
 // WritebackInvalidate persists the freshest copy of pa's line (if dirty) and
 // drops all cached copies; used before page consolidation copies frames.
 func (h *Hierarchy) WritebackInvalidate(pa memsim.PAddr, at engine.Cycles, cat stats.WriteCat) (engine.Cycles, bool) {
-	done, wrote := h.Flush(0, pa, at, cat)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	done, wrote := h.flushLocked(0, pa, at, cat)
 	h.discardLine(uint64(pa >> memsim.LineShift))
 	return done, wrote
 }
@@ -657,18 +669,22 @@ func (h *Hierarchy) dirtyAnywhere(la uint64) bool {
 // DirtyAnywhere reports whether any cached copy of pa's line is dirty
 // (test/assertion helper).
 func (h *Hierarchy) DirtyAnywhere(pa memsim.PAddr) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.dirtyAnywhere(uint64(pa >> memsim.LineShift))
 }
 
 // Present reports whether core holds pa's line privately (test helper).
 func (h *Hierarchy) Present(core int, pa memsim.PAddr) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.privatePresent(core, uint64(pa>>memsim.LineShift))
 }
 
 // DebugPeek resolves the current value of pa's line without charging timing
 // or mutating cache state: owner's private copy, else a dirty L3 copy, else
 // durable memory. Test and assertion helper.
-func (h *Hierarchy) DebugPeek(pa memsim.PAddr, buf []byte) {
+func (h *Hierarchy) debugPeekLocked(pa memsim.PAddr, buf []byte) {
 	la := uint64(pa >> memsim.LineShift)
 	off := int(pa & (memsim.LineBytes - 1))
 	e := h.dirGet(la)
@@ -695,9 +711,11 @@ func (h *Hierarchy) DebugPeek(pa memsim.PAddr, buf []byte) {
 // core holds a dirty private copy. It returns a description of the first
 // violation, or "". Test helper; O(total cache lines).
 func (h *Hierarchy) DebugValidate() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	var auth [memsim.LineBytes]byte
 	check := func(where string, c *line) string {
-		h.DebugPeek(memsim.PAddr(c.tag)<<memsim.LineShift, auth[:])
+		h.debugPeekLocked(memsim.PAddr(c.tag)<<memsim.LineShift, auth[:])
 		if c.data != auth {
 			return fmt.Sprintf("%s line %#x: copy %v != authority %v (dirty=%v)", where, c.tag, c.data[0], auth[0], c.dirty)
 		}
@@ -741,6 +759,8 @@ func (h *Hierarchy) DebugValidate() string {
 
 // DropAll discards the entire volatile hierarchy: the moment of power loss.
 func (h *Hierarchy) DropAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for i := range h.l1 {
 		h.l1[i].reset()
 		h.l2[i].reset()
@@ -751,12 +771,14 @@ func (h *Hierarchy) DropAll() {
 
 // FlushAll writes back every dirty line (orderly shutdown; test helper).
 func (h *Hierarchy) FlushAll(at engine.Cycles, cat stats.WriteCat) engine.Cycles {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	t := at
 	flushLevel := func(l *level) {
 		for i := range l.lines {
 			c := &l.lines[i]
 			if c.valid && c.dirty {
-				d, _ := h.Flush(0, memsim.PAddr(c.tag)<<memsim.LineShift, t, cat)
+				d, _ := h.flushLocked(0, memsim.PAddr(c.tag)<<memsim.LineShift, t, cat)
 				if d > t {
 					t = d
 				}
@@ -769,4 +791,70 @@ func (h *Hierarchy) FlushAll(at engine.Cycles, cat stats.WriteCat) engine.Cycles
 	}
 	flushLevel(h.l3)
 	return t
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points: each takes the interconnect lock and delegates to the
+// locked implementation above.
+
+// Load reads len(buf) bytes at pa into buf and returns the completion time.
+// The span must stay within one cache line.
+func (h *Hierarchy) Load(core int, pa memsim.PAddr, buf []byte, at engine.Cycles) engine.Cycles {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.loadLocked(core, pa, buf, at)
+}
+
+// Store writes data at pa (within one line) into core's L1 with exclusive
+// ownership (write-allocate) and returns the completion time. The data
+// becomes durable only on write-back or Flush.
+func (h *Hierarchy) Store(core int, pa memsim.PAddr, data []byte, at engine.Cycles) engine.Cycles {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.storeLocked(core, pa, data, at)
+}
+
+// Flush implements clwb: the most recent copy of pa's line (wherever it is)
+// is written back to memory and all cached copies become clean; cached
+// copies are retained. It reports whether a write actually happened and the
+// completion time.
+func (h *Hierarchy) Flush(core int, pa memsim.PAddr, at engine.Cycles, cat stats.WriteCat) (engine.Cycles, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.flushLocked(core, pa, at, cat)
+}
+
+// MarkTx flags core's private copy of pa's line as speculative, keeping it
+// pinned against eviction where possible (see victim). The line must be
+// present (it was just stored to).
+func (h *Hierarchy) MarkTx(core int, pa memsim.PAddr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.markTxLocked(core, pa)
+}
+
+// Retag implements SSP's line-level remap (Figure 4, steps 3-5); see
+// retagLocked for the protocol.
+func (h *Hierarchy) Retag(core int, from, to memsim.PAddr, at engine.Cycles) engine.Cycles {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.retagLocked(core, from, to, at)
+}
+
+// InjectLine updates every cached copy of pa's line in place with data the
+// memory controller just wrote to NVRAM (cache injection), leaving copies
+// clean.
+func (h *Hierarchy) InjectLine(pa memsim.PAddr, data []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.injectLineLocked(pa, data)
+}
+
+// DebugPeek resolves the current value of pa's line without charging timing
+// or mutating cache state: owner's private copy, else a dirty L3 copy, else
+// durable memory. Test and assertion helper.
+func (h *Hierarchy) DebugPeek(pa memsim.PAddr, buf []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.debugPeekLocked(pa, buf)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/bits"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/memsim"
@@ -14,7 +15,14 @@ import (
 // journaled atomically, and the page table is repointed at the survivor.
 // It runs off the critical path — NVRAM bank time is charged from `at`, but
 // no core waits on it.
+//
+// Locking: in parallel mode the caller holds structMu (the journal append,
+// slot-shadow update and checkpoint check all need it); consolidate takes
+// the page's own lock itself. structMu also guarantees the page cannot gain
+// a first reference mid-consolidation (see translate's slow path).
 func (s *SSP) consolidate(meta *pageMeta, at engine.Cycles) {
+	s.lockMeta(meta)
+	defer s.unlockMeta(meta)
 	if meta.tlbRef != 0 || meta.coreRef != 0 {
 		panic("core: consolidating an active page")
 	}
@@ -90,9 +98,80 @@ func (s *SSP) consolidate(meta *pageMeta, at engine.Cycles) {
 	s.maybeCheckpoint(t)
 }
 
+// ---------------------------------------------------------------------------
+// Parallel-mode epoch batching. Commit-time consolidation would otherwise
+// funnel every core through the journal lock at every commit; instead,
+// pages that become inactive are queued, and one core drains the whole
+// batch every EpochCommits commits. The deferral window is bounded, and a
+// page re-referenced before its batch runs simply skips consolidation —
+// exactly the LazyConsolidation semantics the paper sketches in §3.4, with
+// an epoch bound instead of a memory-pressure trigger.
+
+// queueConsolidation records that vpn became inactive and is a
+// consolidation candidate. Any lock context: consolMu is a leaf lock.
+func (s *SSP) queueConsolidation(vpn int) {
+	s.consolMu.Lock()
+	s.consolQ = append(s.consolQ, vpn)
+	s.consolMu.Unlock()
+}
+
+// tickEpoch advances the commit-epoch counter and drains the batch when the
+// epoch closes. Called at the end of every parallel-mode transaction —
+// commit or abort, fast path or fallback — with no locks held, so the
+// deferral window stays bounded even in fallback-heavy runs.
+func (s *SSP) tickEpoch(at engine.Cycles) {
+	s.consolMu.Lock()
+	s.epochOps++
+	ready := s.epochOps >= s.cfg.EpochCommits && len(s.consolQ) > 0
+	if ready {
+		s.epochOps = 0
+	}
+	s.consolMu.Unlock()
+	if ready {
+		s.drainConsolQueue(at)
+	}
+}
+
+// drainConsolQueue consolidates every still-quiescent queued page in one
+// batch. The batch is sorted and deduplicated, so the drain order is a
+// function of the queue contents, not of which cores queued them.
+func (s *SSP) drainConsolQueue(at engine.Cycles) {
+	s.consolMu.Lock()
+	batch := s.consolQ
+	s.consolQ = nil
+	s.consolMu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	sort.Ints(batch)
+	s.lockStruct()
+	t := engine.MaxCycles(at, s.nowCycles())
+	prev := -1
+	for _, vpn := range batch {
+		if vpn == prev {
+			continue
+		}
+		prev = vpn
+		meta := s.lookupMeta(vpn)
+		if meta == nil {
+			continue // released in the meantime
+		}
+		s.lockMeta(meta)
+		quiescent := meta.tlbRef == 0 && meta.coreRef == 0 && meta.committed != 0
+		s.unlockMeta(meta)
+		if !quiescent {
+			continue // re-referenced; a later epoch will requeue it
+		}
+		s.consolidate(meta, t)
+		t = engine.MaxCycles(t, s.nowCycles())
+	}
+	s.unlockStruct()
+}
+
 // maybeCheckpoint applies the journal to the persistent slot array and
 // truncates it once the ring passes its high-water mark (§4.1.2
-// "Checkpointing"). Background work: bank time only.
+// "Checkpointing"). Background work: bank time only. Caller holds structMu
+// in parallel mode.
 func (s *SSP) maybeCheckpoint(at engine.Cycles) {
 	if float64(s.journal.Used()) < s.cfg.JournalHighWater*float64(s.journal.Capacity()) {
 		return

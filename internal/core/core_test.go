@@ -62,7 +62,7 @@ func TestAtomicUpdateFlipsBitmaps(t *testing.T) {
 	mapPage(env, 0)
 	s.Begin(0, 0)
 	s.Store(0, va(0, 3), []byte{1, 2, 3, 4, 5, 6, 7, 8}, 100)
-	meta := s.entries[0]
+	meta := s.metaOf(0)
 	if meta.current&(1<<3) == 0 {
 		t.Error("current bit not flipped on first write")
 	}
@@ -99,7 +99,7 @@ func TestCommittedDataNeverOverwrittenInPlace(t *testing.T) {
 	s.Begin(0, 0)
 	s.Store(0, va(0, 0), []byte{1}, 0)
 	s.Commit(0, 0)
-	meta := s.entries[0]
+	meta := s.metaOf(0)
 	committedSide := meta.committed & 1
 	committedPA := meta.lineAddr(0, committedSide)
 	var durable [1]byte
@@ -124,7 +124,7 @@ func TestAbortRestoresCurrentBits(t *testing.T) {
 	s.Begin(0, 0)
 	s.Store(0, va(0, 5), []byte{7}, 0)
 	s.Commit(0, 0)
-	meta := s.entries[0]
+	meta := s.metaOf(0)
 	before := meta.current
 
 	s.Begin(0, 0)
@@ -153,7 +153,7 @@ func TestTLBEvictionTriggersConsolidation(t *testing.T) {
 	s.Begin(0, 0)
 	s.Store(0, va(0, 1), []byte{1}, 0)
 	s.Commit(0, 0)
-	if s.entries[0].committed == 0 {
+	if s.metaOf(0).committed == 0 {
 		t.Fatal("page 0 has no split state")
 	}
 	// Touch 11 more pages through the 8-entry TLB: page 0 must get evicted
@@ -166,7 +166,7 @@ func TestTLBEvictionTriggersConsolidation(t *testing.T) {
 	if env.Stats.Consolidations == 0 {
 		t.Fatal("no consolidation after TLB pressure")
 	}
-	if s.entries[0].committed != 0 {
+	if s.metaOf(0).committed != 0 {
 		t.Error("page 0 not consolidated")
 	}
 	// The data survives consolidation.
@@ -186,7 +186,7 @@ func TestConsolidationCopiesMinority(t *testing.T) {
 		s.Store(0, va(0, line), []byte{byte(line + 1)}, 0)
 	}
 	s.Commit(0, 0)
-	meta := s.entries[0]
+	meta := s.metaOf(0)
 	p0 := meta.ppn0
 	before := env.Stats.ConsolidatedLines
 	env.TLBs[0].Invalidate(0) // page becomes inactive; eager consolidation fires
@@ -218,7 +218,7 @@ func TestConsolidationSwitchesToMajoritySide(t *testing.T) {
 		s.Store(0, va(0, line), []byte{byte(line + 1)}, 0)
 	}
 	s.Commit(0, 0)
-	meta := s.entries[0]
+	meta := s.metaOf(0)
 	oldP1 := meta.ppn1
 	before := env.Stats.ConsolidatedLines
 	env.TLBs[0].Invalidate(0)
@@ -325,7 +325,7 @@ func TestCheckpointTruncatesJournal(t *testing.T) {
 	}
 	// The persistent slot array must now carry the page's state.
 	var slotBuf [slotBytes]byte
-	env.Mem.Peek(s.slotAddr(s.entries[0].slot), slotBuf[:])
+	env.Mem.Peek(s.slotAddr(s.metaOf(0).slot), slotBuf[:])
 	st := decodeSlot(slotBuf[:], env.Layout.FrameAddr)
 	if st.vpn != 0 {
 		t.Errorf("checkpointed slot vpn = %d", st.vpn)
@@ -393,7 +393,7 @@ func TestMultiCoreSamePageDifferentLines(t *testing.T) {
 	s.Begin(1, 0)
 	s.Store(0, va(0, 1), []byte{0x11}, 0)
 	s.Store(1, va(0, 2), []byte{0x22}, 0)
-	meta := s.entries[0]
+	meta := s.metaOf(0)
 	if meta.coreRef != 2 {
 		t.Errorf("core refcount = %d, want 2", meta.coreRef)
 	}
@@ -435,7 +435,7 @@ func TestSubPageGranularity(t *testing.T) {
 	s.Begin(0, 0)
 	s.Store(0, va(0, 5), []byte{1}, 0) // unit 1 covers lines 4..7
 	s.Commit(0, 0)
-	meta := s.entries[0]
+	meta := s.metaOf(0)
 	if meta.committed != 1<<1 {
 		t.Errorf("committed bitmap = %#x, want unit bit 1", meta.committed)
 	}

@@ -37,18 +37,23 @@ func decodeFBPayload(p []byte) (memsim.PAddr, []byte) {
 // transitionToFallback converts the open SSP transaction on core into a
 // software-undo transaction: every speculative unit is undo-logged
 // (committed image) and rewritten in place at its committed location, the
-// current bits flip back, and the shadow lines are squashed.
+// current bits flip back, and the shadow lines are squashed. Called with no
+// page locks held; the TID comes from the structMu-guarded allocator, the
+// log itself is per-core.
 func (s *SSP) transitionToFallback(core int, at engine.Cycles) engine.Cycles {
-	s.env.Stats.FallbackTxns++
+	s.env.StatsFor(core).FallbackTxns++
 	t := at
+	s.lockStruct()
 	tid := s.nextTID
 	s.nextTID++
+	s.unlockStruct()
 	s.fbTID[core] = tid
 	log := s.fbLogs[core]
 
 	for _, vpn := range s.sortedWS(core) {
-		meta := s.entries[vpn]
+		meta := s.lookupMeta(vpn)
 		bm := s.wsb[core][vpn]
+		s.lockMeta(meta)
 		for unit := 0; unit < memsim.LinesPerPage/s.cfg.SubPageLines; unit++ {
 			if bm&(1<<uint(unit)) == 0 {
 				continue
@@ -64,13 +69,14 @@ func (s *SSP) transitionToFallback(core int, at engine.Cycles) engine.Cycles {
 				s.fbOld[core][commLA] = comm
 				t = log.Append(wal.Record{TID: tid, Kind: fbKindData, Payload: encodeFBPayload(commLA, comm[:])}, t)
 				t = log.Flush(t)
-				s.env.Stats.UndoRecords++
+				s.env.StatsFor(core).UndoRecords++
 				t = s.env.Caches.Store(core, commLA, spec[:], t)
 				s.env.Caches.InvalidateLine(specLA)
 			}
 			meta.current ^= 1 << uint(unit)
-			s.env.Stats.FlipBroadcasts++
+			s.env.StatsFor(core).FlipBroadcasts++
 		}
+		s.unlockMeta(meta)
 		// The page stays pinned against consolidation for the rest of the
 		// fall-back transaction.
 		s.fbPages[core][vpn] = struct{}{}
@@ -87,6 +93,7 @@ func (s *SSP) fbStore(core int, va uint64, data []byte, at engine.Cycles) engine
 	meta, t := s.translate(core, va, at)
 	off := int(va & (memsim.PageBytes - 1))
 	lineIdx := off / memsim.LineBytes
+	s.lockMeta(meta)
 	curBit := (meta.current >> uint(s.unitOf(lineIdx))) & 1
 	pa := meta.lineAddr(lineIdx, curBit) + memsim.PAddr(off&(memsim.LineBytes-1))
 	la := memsim.LineAddr(pa)
@@ -97,13 +104,14 @@ func (s *SSP) fbStore(core int, va uint64, data []byte, at engine.Cycles) engine
 		log := s.fbLogs[core]
 		t = log.Append(wal.Record{TID: s.fbTID[core], Kind: fbKindData, Payload: encodeFBPayload(la, img[:])}, t)
 		t = log.Flush(t)
-		s.env.Stats.UndoRecords++
+		s.env.StatsFor(core).UndoRecords++
 	}
 	if _, pinned := s.fbPages[core][meta.vpn]; !pinned {
 		meta.coreRef++
 		s.fbPages[core][meta.vpn] = struct{}{}
 	}
 	t = s.env.Caches.Store(core, pa, data, t)
+	s.unlockMeta(meta)
 	s.clock(t)
 	return t
 }
@@ -114,12 +122,14 @@ func (s *SSP) fbCommit(core int, at engine.Cycles) engine.Cycles {
 	t := at
 	// Same metadata barrier as the SSP commit path: in-place data must not
 	// become durable in frames that pending journal records still remap.
+	s.lockStruct()
 	for vpn := range s.fbPages[core] {
-		if !s.journal.Durable(s.entries[vpn].barrier) {
+		if !s.journal.Durable(s.lookupMeta(vpn).barrier) {
 			t = s.journal.Flush(t)
 			break
 		}
 	}
+	s.unlockStruct()
 	fence := t
 	for _, la := range s.sortedFBLines(core) {
 		done, _ := s.env.Caches.Flush(core, la, t, stats.CatData)
@@ -129,11 +139,14 @@ func (s *SSP) fbCommit(core int, at engine.Cycles) engine.Cycles {
 	log := s.fbLogs[core]
 	t = log.Append(wal.Record{TID: s.fbTID[core], Kind: fbKindCommit}, t)
 	t = log.Flush(t)
-	s.env.Stats.NVRAMWriteBytes[stats.CatCommitRecord] += wal.HeaderBytes
-	s.env.Stats.NVRAMWriteBytes[stats.CatUndoLog] -= wal.HeaderBytes
+	s.env.StatsFor(core).NVRAMWriteBytes[stats.CatCommitRecord] += wal.HeaderBytes
+	s.env.StatsFor(core).NVRAMWriteBytes[stats.CatUndoLog] -= wal.HeaderBytes
 	log.Reset()
 	s.finishFallback(core, t)
-	s.env.Stats.Commits++
+	s.env.StatsFor(core).Commits++
+	if s.parallel {
+		s.tickEpoch(t)
+	}
 	s.clock(t)
 	return t + s.env.BarrierCycles
 }
@@ -147,7 +160,10 @@ func (s *SSP) fbAbort(core int, at engine.Cycles) engine.Cycles {
 	}
 	s.fbLogs[core].Reset()
 	s.finishFallback(core, t)
-	s.env.Stats.Aborts++
+	s.env.StatsFor(core).Aborts++
+	if s.parallel {
+		s.tickEpoch(t)
+	}
 	s.clock(t)
 	return t + s.env.BarrierCycles
 }
@@ -171,11 +187,19 @@ func (s *SSP) finishFallback(core int, at engine.Cycles) {
 	}
 	sort.Ints(pages)
 	for _, vpn := range pages {
-		meta := s.entries[vpn]
+		meta := s.lookupMeta(vpn)
+		s.lockMeta(meta)
 		if meta.coreRef > 0 {
 			meta.coreRef--
 		}
-		if meta.coreRef == 0 && meta.tlbRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation {
+		inactive := meta.coreRef == 0 && meta.tlbRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation
+		s.unlockMeta(meta)
+		if !inactive {
+			continue
+		}
+		if s.parallel {
+			s.queueConsolidation(vpn)
+		} else {
 			s.consolidate(meta, at)
 		}
 	}

@@ -15,6 +15,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/memsim"
@@ -66,6 +67,11 @@ type Config struct {
 	FlipViaShootdown bool
 	// ShootdownCycles is the cost of one TLB shootdown (OS trap + IPIs).
 	ShootdownCycles engine.Cycles
+	// EpochCommits is the parallel-mode consolidation epoch length: pages
+	// whose consolidation was deferred during an epoch are drained in one
+	// batch every EpochCommits commits (per backend, not per core). Serial
+	// runs consolidate inline and ignore this.
+	EpochCommits int
 }
 
 // DefaultConfig returns the paper's SSP parameters.
@@ -80,12 +86,21 @@ func DefaultConfig() Config {
 		JournalHighWater: 0.75,
 		SubPageLines:     1,
 		ShootdownCycles:  4000, // trap + IPI round trip, per [1,48]
+		EpochCommits:     32,
 	}
 }
 
 // pageMeta is one transient SSP cache entry (Figure 3): the volatile view
 // of a page that is being actively updated.
+//
+// In the machine's parallel mode mu protects every mutable field (bitmaps,
+// reference counts, frame pointers) — the fine-grained half of the SSP
+// locking scheme: cores updating different pages never serialise on each
+// other. vpn and slot are immutable after construction. The barrier mark is
+// the exception: it is read and written only under the backend's structMu
+// (it is journal state, not page state).
 type pageMeta struct {
+	mu   sync.Mutex
 	vpn  int
 	slot int // persistent slot index (SID)
 

@@ -12,7 +12,7 @@ import (
 // transient SSP cache, write-set buffers, journal buffer, residency model.
 // The durable slot array, journal and fall-back logs survive in NVRAM.
 func (s *SSP) Crash() {
-	s.entries = make(map[int]*pageMeta)
+	s.resetEntries()
 	s.dirtySlots = make(map[int]struct{})
 	s.freeSlots = nil
 	s.resident.Reset()
@@ -25,7 +25,9 @@ func (s *SSP) Crash() {
 		s.fbLogs[c].Reset()
 	}
 	s.journal.Reset()
-	s.now = 0
+	s.now.Store(0)
+	s.consolQ = nil
+	s.epochOps = 0
 }
 
 // Recover implements txn.Backend (§4.4): rebuild the transient SSP cache
@@ -115,7 +117,7 @@ func (s *SSP) Recover() error {
 	// 4. Rebuild the page table mirror, repair consolidation flips, and
 	// build the transient SSP cache: current := committed, refcounts zero.
 	s.env.PT.Rebuild()
-	s.entries = make(map[int]*pageMeta)
+	s.resetEntries()
 	s.freeSlots = nil
 	seenVPN := make(map[int]int)
 	for sid := len(s.slotShadow) - 1; sid >= 0; sid-- {
@@ -134,14 +136,14 @@ func (s *SSP) Recover() error {
 			s.env.PT.Set(st.vpn, st.ppn0, 0)
 			s.env.Stats.RecoveryNVWrites++
 		}
-		s.entries[st.vpn] = &pageMeta{
+		s.storeMeta(&pageMeta{
 			vpn:       st.vpn,
 			slot:      sid,
 			ppn0:      st.ppn0,
 			ppn1:      st.ppn1,
 			committed: st.committed,
 			current:   st.committed,
-		}
+		})
 	}
 
 	// 5. Rebuild the frame allocator: every PTE-mapped frame plus every

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/memsim"
@@ -13,7 +15,36 @@ import (
 	"repro/internal/wal"
 )
 
+// metaShards is the number of striped locks over the transient SSP cache:
+// page-metadata lookups on different vpn stripes never contend.
+const metaShards = 64
+
+// entryShard is one stripe of the transient SSP cache map. The shard lock
+// protects the map structure only; the per-page fields inside a pageMeta
+// are protected by the pageMeta's own mutex (see meta.go). Map mutation
+// additionally happens only under structMu, so an iterator holding structMu
+// needs no shard locks.
+type entryShard struct {
+	mu sync.RWMutex
+	m  map[int]*pageMeta
+}
+
 // SSP is the Shadow Sub-Paging backend; it implements txn.Backend.
+//
+// Concurrency (machine parallel mode, see txn.ParallelAware): locking is
+// engaged only while parallel mode is on — serial runs execute exactly the
+// unlocked deterministic paths they always did. The lock order is
+//
+//	structMu → pageMeta.mu → residentMu/consolMu → caches → page table → memory
+//
+// structMu protects everything "structural": the metadata journal (and TID
+// allocation — the journal requires monotonic TIDs, so a TID is always
+// allocated and appended under the same critical section), the slot-array
+// shadow, free-slot list, checkpointing and entry-map mutation. Each
+// pageMeta's mutex protects that page's bitmaps and reference counts, so
+// stores to different pages proceed concurrently. Commit-time page
+// consolidation, which would otherwise funnel every core through structMu
+// at commit, is deferred to a batched epoch drain (see consolidate.go).
 type SSP struct {
 	env *txn.Env
 	cfg Config
@@ -22,9 +53,9 @@ type SSP struct {
 	nextTID  uint32
 	resident *lruSet
 
-	entries    map[int]*pageMeta // by vpn; the transient SSP cache
-	slotShadow []slotState       // journal-consistent view of the slot array
-	dirtySlots map[int]struct{}  // slots needing a checkpoint write
+	shards     [metaShards]entryShard // by vpn; the transient SSP cache
+	slotShadow []slotState            // journal-consistent view of the slot array
+	dirtySlots map[int]struct{}       // slots needing a checkpoint write
 	freeSlots  []int
 
 	// Per-core transaction state.
@@ -40,10 +71,23 @@ type SSP struct {
 
 	// now tracks the latest time observed by any operation, so background
 	// work triggered from timeless callbacks (TLB evictions) has a clock.
-	now engine.Cycles
+	// Maintained as an atomic max so parallel cores can publish times
+	// without a lock.
+	now atomic.Int64
+
+	// Parallel-mode state. parallel is flipped only while the machine is
+	// quiescent. consolQ accumulates pages whose consolidation was deferred;
+	// epochOps counts commits since the last batch drain.
+	parallel   bool
+	structMu   sync.Mutex
+	residentMu sync.Mutex
+	consolMu   sync.Mutex
+	consolQ    []int
+	epochOps   int
 }
 
 var _ txn.Backend = (*SSP)(nil)
+var _ txn.ParallelAware = (*SSP)(nil)
 
 // NewSSP builds the SSP backend over env. When fresh is true the persistent
 // slot array is formatted (every slot assigned its spare frame up front,
@@ -62,15 +106,20 @@ func NewSSP(env *txn.Env, cfg Config, fresh bool) *SSP {
 	if memsim.LinesPerPage%cfg.SubPageLines != 0 {
 		panic("core: SubPageLines must divide 64")
 	}
+	if cfg.EpochCommits <= 0 {
+		cfg.EpochCommits = DefaultConfig().EpochCommits
+	}
 	s := &SSP{
 		env:        env,
 		cfg:        cfg,
 		journal:    wal.NewStream(env.Mem, env.Layout.JournalBase, env.Layout.Cfg.JournalBytes, stats.CatMetaJournal),
 		nextTID:    1,
 		resident:   newLRUSet(cfg.ResidentEntries),
-		entries:    make(map[int]*pageMeta),
 		slotShadow: make([]slotState, cfg.Entries),
 		dirtySlots: make(map[int]struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[int]*pageMeta)
 	}
 	cores := env.Cores()
 	s.inTxn = make([]bool, cores)
@@ -92,6 +141,110 @@ func NewSSP(env *txn.Env, cfg Config, fresh bool) *SSP {
 	}
 	return s
 }
+
+// SetParallel implements txn.ParallelAware. Turning parallel mode off
+// drains any consolidation work the last epoch left queued.
+func (s *SSP) SetParallel(on bool) {
+	if s.parallel && !on {
+		s.drainConsolQueue(s.nowCycles())
+	}
+	s.parallel = on
+}
+
+// ---------------------------------------------------------------------------
+// Lock helpers: no-ops in serial mode, so the deterministic single-goroutine
+// paths are byte-for-byte the pre-concurrency ones.
+
+func (s *SSP) lockStruct() {
+	if s.parallel {
+		s.structMu.Lock()
+	}
+}
+
+func (s *SSP) unlockStruct() {
+	if s.parallel {
+		s.structMu.Unlock()
+	}
+}
+
+func (s *SSP) lockMeta(m *pageMeta) {
+	if s.parallel {
+		m.mu.Lock()
+	}
+}
+
+func (s *SSP) unlockMeta(m *pageMeta) {
+	if s.parallel {
+		m.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Transient-cache map access (striped).
+
+func (s *SSP) shard(vpn int) *entryShard { return &s.shards[uint(vpn)%metaShards] }
+
+// lookupMeta returns vpn's transient cache entry, or nil.
+func (s *SSP) lookupMeta(vpn int) *pageMeta {
+	sh := s.shard(vpn)
+	if s.parallel {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+	}
+	return sh.m[vpn]
+}
+
+// storeMeta inserts an entry. Caller holds structMu in parallel mode.
+func (s *SSP) storeMeta(meta *pageMeta) {
+	sh := s.shard(meta.vpn)
+	if s.parallel {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	sh.m[meta.vpn] = meta
+}
+
+// deleteMeta removes an entry. Caller holds structMu in parallel mode.
+func (s *SSP) deleteMeta(vpn int) {
+	sh := s.shard(vpn)
+	if s.parallel {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	delete(sh.m, vpn)
+}
+
+// forEachMeta visits every entry. Caller holds structMu in parallel mode
+// (map mutation only happens under structMu, so no shard locks are needed).
+func (s *SSP) forEachMeta(fn func(vpn int, meta *pageMeta)) {
+	for i := range s.shards {
+		for vpn, meta := range s.shards[i].m {
+			fn(vpn, meta)
+		}
+	}
+}
+
+// metaOf is lookupMeta for tests and forensics.
+func (s *SSP) metaOf(vpn int) *pageMeta { return s.lookupMeta(vpn) }
+
+// entryCount returns the transient cache population. Caller holds structMu
+// in parallel mode.
+func (s *SSP) entryCount() int {
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].m)
+	}
+	return n
+}
+
+// resetEntries replaces the whole transient cache (crash, recovery).
+func (s *SSP) resetEntries() {
+	for i := range s.shards {
+		s.shards[i].m = make(map[int]*pageMeta)
+	}
+}
+
+// ---------------------------------------------------------------------------
 
 // format assigns every slot its spare frame and writes the initial slot
 // array (machine initialisation; no timing).
@@ -124,17 +277,24 @@ func (s *SSP) unitLines(u int) (int, int) {
 }
 
 func (s *SSP) clock(at engine.Cycles) {
-	if at > s.now {
-		s.now = at
+	for {
+		cur := s.now.Load()
+		if int64(at) <= cur || s.now.CompareAndSwap(cur, int64(at)) {
+			return
+		}
 	}
 }
 
+func (s *SSP) nowCycles() engine.Cycles { return engine.Cycles(s.now.Load()) }
+
 // translate resolves va's page metadata through core's TLB, charging the
-// page walk and the SSP-cache metadata fetch on a miss (§4.1.1).
+// page walk and the SSP-cache metadata fetch on a miss (§4.1.1). The TLB
+// reference count guarantees the returned entry stays in the transient
+// cache while the page is TLB-resident.
 func (s *SSP) translate(core int, va uint64, at engine.Cycles) (*pageMeta, engine.Cycles) {
 	vpn := vm.VPNOf(va)
 	if _, level, hit := s.env.TLBs[core].Lookup(tlbsim.VPN(vpn)); hit {
-		meta := s.entries[vpn]
+		meta := s.lookupMeta(vpn)
 		if meta == nil {
 			panic("core: TLB-resident page without SSP cache entry")
 		}
@@ -142,7 +302,7 @@ func (s *SSP) translate(core int, va uint64, at engine.Cycles) (*pageMeta, engin
 			// The SSP-extended fields live in the L1 DTLB entries
 			// (§4.1.1); promoting from the STLB refetches the metadata
 			// from the SSP cache — this is the access Figure 9 sweeps.
-			s.env.Stats.SSPCacheHits++
+			s.env.StatsFor(core).SSPCacheHits++
 			at += s.env.STLBCycles + s.accessLat(meta.slot)
 		}
 		return meta, at
@@ -151,17 +311,27 @@ func (s *SSP) translate(core int, va uint64, at engine.Cycles) (*pageMeta, engin
 	if !ok {
 		panic("core: access to unmapped persistent page")
 	}
+	// The whole slow path — entry creation, TLB insertion (whose eviction
+	// hook may fire) and the reference-count increment — runs under
+	// structMu in parallel mode, so a page can never gain its first
+	// reference while the epoch drain (which also holds structMu) is
+	// deciding whether it is quiescent.
+	s.lockStruct()
 	meta, t := s.fetchMeta(vpn, ppn, t)
 	s.env.TLBs[core].Insert(tlbsim.VPN(vpn), ppn)
+	s.lockMeta(meta)
 	meta.tlbRef++
+	s.unlockMeta(meta)
+	s.unlockStruct()
 	return meta, t
 }
 
 // fetchMeta returns the SSP cache entry for vpn, creating one (allocating a
 // slot) on a miss, and charges the SSP-cache access latency according to
-// the L3-residency model (§4.2, Figure 9).
+// the L3-residency model (§4.2, Figure 9). Caller holds structMu in
+// parallel mode.
 func (s *SSP) fetchMeta(vpn int, ppn memsim.PAddr, at engine.Cycles) (*pageMeta, engine.Cycles) {
-	if meta, ok := s.entries[vpn]; ok {
+	if meta := s.lookupMeta(vpn); meta != nil {
 		s.env.Stats.SSPCacheHits++
 		t := at + s.accessLat(meta.slot)
 		return meta, t
@@ -175,7 +345,7 @@ func (s *SSP) fetchMeta(vpn int, ppn memsim.PAddr, at engine.Cycles) (*pageMeta,
 		ppn1:    s.slotShadow[sid].ppn1,
 		barrier: s.journal.MarkHere(),
 	}
-	s.entries[vpn] = meta
+	s.storeMeta(meta)
 	// The slot association becomes journal-visible only at the page's
 	// first commit; until then the page's committed state is entirely in
 	// its PTE frame, which needs no metadata (see DESIGN.md).
@@ -184,6 +354,10 @@ func (s *SSP) fetchMeta(vpn int, ppn memsim.PAddr, at engine.Cycles) (*pageMeta,
 }
 
 func (s *SSP) accessLat(sid int) engine.Cycles {
+	if s.parallel {
+		s.residentMu.Lock()
+		defer s.residentMu.Unlock()
+	}
 	if s.resident.Touch(sid) {
 		return s.cfg.CacheHitLat
 	}
@@ -191,7 +365,10 @@ func (s *SSP) accessLat(sid int) engine.Cycles {
 }
 
 // allocSlot returns a free slot, evicting (and if needed consolidating) an
-// unreferenced entry when the transient cache is full.
+// unreferenced entry when the transient cache is full. Caller holds
+// structMu in parallel mode; a candidate's reference counts cannot rise
+// while it is held (new references require either a TLB hit, impossible for
+// a page with tlbRef == 0, or the structMu-guarded slow path).
 func (s *SSP) allocSlot(at engine.Cycles) int {
 	if len(s.freeSlots) > 0 {
 		sid := s.freeSlots[len(s.freeSlots)-1]
@@ -201,20 +378,25 @@ func (s *SSP) allocSlot(at engine.Cycles) int {
 	// Evict a quiescent entry (§4.1.2: "already consolidated ... and not
 	// referenced by any TLB"). Deterministic choice: lowest vpn first.
 	var victims []int
-	for vpn, m := range s.entries {
+	s.forEachMeta(func(vpn int, m *pageMeta) {
+		s.lockMeta(m)
 		if m.tlbRef == 0 && m.coreRef == 0 {
 			victims = append(victims, vpn)
 		}
-	}
+		s.unlockMeta(m)
+	})
 	if len(victims) == 0 {
 		panic("core: SSP cache exhausted with every entry referenced; raise Config.Entries")
 	}
 	sort.Ints(victims)
-	meta := s.entries[victims[0]]
-	if meta.committed != 0 {
-		s.consolidate(meta, engine.MaxCycles(at, s.now))
+	meta := s.lookupMeta(victims[0])
+	s.lockMeta(meta)
+	committed := meta.committed
+	s.unlockMeta(meta)
+	if committed != 0 {
+		s.consolidate(meta, engine.MaxCycles(at, s.nowCycles()))
 	}
-	s.releaseEntry(meta, engine.MaxCycles(at, s.now))
+	s.releaseEntry(meta, engine.MaxCycles(at, s.nowCycles()))
 	sid := s.freeSlots[len(s.freeSlots)-1]
 	s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
 	return sid
@@ -222,7 +404,7 @@ func (s *SSP) allocSlot(at engine.Cycles) int {
 
 // releaseEntry removes a consolidated, unreferenced entry from the
 // transient cache, journaling the slot release so recovery never
-// resurrects a stale association.
+// resurrects a stale association. Caller holds structMu in parallel mode.
 func (s *SSP) releaseEntry(meta *pageMeta, at engine.Cycles) {
 	if meta.committed != 0 || meta.tlbRef != 0 || meta.coreRef != 0 {
 		panic("core: releasing a live SSP entry")
@@ -234,7 +416,7 @@ func (s *SSP) releaseEntry(meta *pageMeta, at engine.Cycles) {
 	s.journal.Append(wal.Record{TID: tid, Kind: recRelease, Payload: encodeJournalPayload(sid, st, s.env.Layout.FrameIndex)}, at)
 	s.slotShadow[sid] = st
 	s.dirtySlots[sid] = struct{}{}
-	delete(s.entries, meta.vpn)
+	s.deleteMeta(meta.vpn)
 	s.freeSlots = append(s.freeSlots, sid)
 	s.maybeCheckpoint(at)
 	// The slot's next tenant inherits a barrier at the release record (set
@@ -243,20 +425,31 @@ func (s *SSP) releaseEntry(meta *pageMeta, at engine.Cycles) {
 
 // onTLBEvict is the extended-TLB eviction hook: it drops the page's TLB
 // reference count and triggers eager consolidation when the page becomes
-// inactive (§3.4).
+// inactive (§3.4). In parallel mode consolidation is deferred to the
+// epoch batch instead of running inline (the hook fires inside translate,
+// where the journal lock must not be taken).
 func (s *SSP) onTLBEvict(core int, vpn int) {
-	meta := s.entries[vpn]
+	meta := s.lookupMeta(vpn)
 	if meta == nil {
 		panic("core: TLB evicted a page without an SSP entry")
 	}
 	_ = core
+	s.lockMeta(meta)
 	meta.tlbRef--
 	if meta.tlbRef < 0 {
+		s.unlockMeta(meta)
 		panic("core: negative TLB refcount")
 	}
-	if meta.tlbRef == 0 && meta.coreRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation {
-		s.consolidate(meta, s.now)
+	inactive := meta.tlbRef == 0 && meta.coreRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation
+	s.unlockMeta(meta)
+	if !inactive {
+		return
 	}
+	if s.parallel {
+		s.queueConsolidation(vpn)
+		return
+	}
+	s.consolidate(meta, s.nowCycles())
 }
 
 // Begin implements txn.Backend (ATOMIC_BEGIN: a full barrier).
@@ -278,10 +471,6 @@ func (s *SSP) Store(core int, va uint64, data []byte, at engine.Cycles) engine.C
 		return s.fbStore(core, va, data, at)
 	}
 	meta, t := s.translate(core, va, at)
-	off := int(va & (memsim.PageBytes - 1))
-	lineIdx := off / memsim.LineBytes
-	unit := s.unitOf(lineIdx)
-	bit := uint64(1) << uint(unit)
 
 	bm := s.wsb[core][meta.vpn]
 	if bm == 0 && len(s.wsb[core]) >= s.cfg.WSBEntries {
@@ -291,6 +480,13 @@ func (s *SSP) Store(core int, va uint64, data []byte, at engine.Cycles) engine.C
 		return s.fbStore(core, va, data, t)
 	}
 
+	off := int(va & (memsim.PageBytes - 1))
+	lineIdx := off / memsim.LineBytes
+	unit := s.unitOf(lineIdx)
+	bit := uint64(1) << uint(unit)
+
+	s.lockMeta(meta)
+	defer s.unlockMeta(meta)
 	if bm&bit == 0 {
 		// First write to this unit in the transaction: remap every line of
 		// the unit to the "other" page, flip the current bit, broadcast.
@@ -302,7 +498,7 @@ func (s *SSP) Store(core int, va uint64, data []byte, at engine.Cycles) engine.C
 			t = s.env.Caches.Retag(core, from, to, t)
 		}
 		meta.current ^= bit
-		s.env.Stats.FlipBroadcasts++
+		s.env.StatsFor(core).FlipBroadcasts++
 		if s.cfg.FlipViaShootdown {
 			t += s.cfg.ShootdownCycles
 		} else {
@@ -327,8 +523,10 @@ func (s *SSP) Load(core int, va uint64, buf []byte, at engine.Cycles) engine.Cyc
 	off := int(va & (memsim.PageBytes - 1))
 	lineIdx := off / memsim.LineBytes
 	unit := s.unitOf(lineIdx)
+	s.lockMeta(meta)
 	curBit := (meta.current >> uint(unit)) & 1
 	pa := meta.lineAddr(lineIdx, curBit) + memsim.PAddr(off&(memsim.LineBytes-1))
+	s.unlockMeta(meta)
 	t = s.env.Caches.Load(core, pa, buf, t)
 	s.clock(t)
 	return t
@@ -360,19 +558,22 @@ func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
 	// consolidation/release record, persist the journal before flushing
 	// data (see consolidate.go). Pages rarely recommit before their
 	// records drain, so this flush is almost always free.
+	s.lockStruct()
 	for _, vpn := range pages {
-		if !s.journal.Durable(s.entries[vpn].barrier) {
+		if !s.journal.Durable(s.lookupMeta(vpn).barrier) {
 			t = s.journal.Flush(t)
 			break
 		}
 	}
+	s.unlockStruct()
 
 	// Step 1: data persistence — clwb every write-set line; the fence
 	// waits for the slowest flush (bank-level parallelism applies).
 	fence := t
 	for _, vpn := range pages {
-		meta := s.entries[vpn]
+		meta := s.lookupMeta(vpn)
 		bm := s.wsb[core][vpn]
+		s.lockMeta(meta)
 		for unit := 0; unit < memsim.LinesPerPage/s.cfg.SubPageLines; unit++ {
 			if bm&(1<<uint(unit)) == 0 {
 				continue
@@ -384,6 +585,7 @@ func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
 				fence = engine.MaxCycles(fence, done)
 			}
 		}
+		s.unlockMeta(meta)
 	}
 	t = fence
 
@@ -391,13 +593,16 @@ func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
 	// last one carries the end marker), then a journal flush makes the
 	// transaction durable.
 	if len(pages) > 0 {
+		s.lockStruct()
 		tid := s.nextTID
 		s.nextTID++
 		for i, vpn := range pages {
-			meta := s.entries[vpn]
+			meta := s.lookupMeta(vpn)
 			bm := s.wsb[core][vpn]
+			s.lockMeta(meta)
 			meta.committed = (meta.committed &^ bm) | (meta.current & bm)
 			st := slotState{vpn: vpn, ppn0: meta.ppn0, ppn1: meta.ppn1, committed: meta.committed}
+			s.unlockMeta(meta)
 			kind := uint8(recUpdate)
 			if i == len(pages)-1 {
 				kind = recUpdateEnd
@@ -408,21 +613,41 @@ func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
 			s.env.Stats.JournalRecords++
 		}
 		t = s.journal.Flush(t)
+		if s.parallel {
+			// Serial mode checkpoints after step 3's consolidations (below);
+			// parallel mode must do it here, while structMu is held, since
+			// consolidation is deferred to the epoch batch.
+			s.maybeCheckpoint(t)
+		}
+		s.unlockStruct()
 	}
 
 	// Step 3: release core references; pages that became inactive
-	// consolidate in the background (off the critical path).
+	// consolidate in the background (off the critical path) — inline in
+	// serial mode, batched per epoch in parallel mode.
 	for _, vpn := range pages {
-		meta := s.entries[vpn]
+		meta := s.lookupMeta(vpn)
+		s.lockMeta(meta)
 		meta.coreRef--
-		if meta.coreRef == 0 && meta.tlbRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation {
+		inactive := meta.coreRef == 0 && meta.tlbRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation
+		s.unlockMeta(meta)
+		if !inactive {
+			continue
+		}
+		if s.parallel {
+			s.queueConsolidation(vpn)
+		} else {
 			s.consolidate(meta, t)
 		}
 	}
 	clear(s.wsb[core])
 	s.inTxn[core] = false
-	s.env.Stats.Commits++
-	s.maybeCheckpoint(t)
+	s.env.StatsFor(core).Commits++
+	if s.parallel {
+		s.tickEpoch(t)
+	} else {
+		s.maybeCheckpoint(t)
+	}
 	end := t + s.env.BarrierCycles
 	s.clock(end)
 	return end
@@ -439,8 +664,9 @@ func (s *SSP) Abort(core int, at engine.Cycles) engine.Cycles {
 	}
 	t := at
 	for _, vpn := range s.sortedWS(core) {
-		meta := s.entries[vpn]
+		meta := s.lookupMeta(vpn)
 		bm := s.wsb[core][vpn]
+		s.lockMeta(meta)
 		for unit := 0; unit < memsim.LinesPerPage/s.cfg.SubPageLines; unit++ {
 			if bm&(1<<uint(unit)) == 0 {
 				continue
@@ -451,16 +677,26 @@ func (s *SSP) Abort(core int, at engine.Cycles) engine.Cycles {
 				s.env.Caches.InvalidateLine(meta.lineAddr(li, cur))
 			}
 			meta.current ^= 1 << uint(unit)
-			s.env.Stats.FlipBroadcasts++
+			s.env.StatsFor(core).FlipBroadcasts++
 		}
 		meta.coreRef--
-		if meta.coreRef == 0 && meta.tlbRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation {
+		inactive := meta.coreRef == 0 && meta.tlbRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation
+		s.unlockMeta(meta)
+		if !inactive {
+			continue
+		}
+		if s.parallel {
+			s.queueConsolidation(vpn)
+		} else {
 			s.consolidate(meta, t)
 		}
 	}
 	clear(s.wsb[core])
 	s.inTxn[core] = false
-	s.env.Stats.Aborts++
+	s.env.StatsFor(core).Aborts++
+	if s.parallel {
+		s.tickEpoch(t)
+	}
 	s.clock(t)
 	return t + s.env.BarrierCycles
 }
@@ -472,20 +708,31 @@ func (s *SSP) StoreNT(core int, va uint64, data []byte, at engine.Cycles) engine
 	meta, t := s.translate(core, va, at)
 	off := int(va & (memsim.PageBytes - 1))
 	lineIdx := off / memsim.LineBytes
+	s.lockMeta(meta)
 	curBit := (meta.current >> uint(s.unitOf(lineIdx))) & 1
 	pa := meta.lineAddr(lineIdx, curBit) + memsim.PAddr(off&(memsim.LineBytes-1))
+	s.unlockMeta(meta)
 	t = s.env.Caches.Store(core, pa, data, t)
 	s.clock(t)
 	return t
 }
 
-// Drain implements txn.Backend; consolidation and checkpointing run
-// synchronously in simulated time, so nothing is pending.
-func (s *SSP) Drain(at engine.Cycles) engine.Cycles { return engine.MaxCycles(at, s.now) }
+// Drain implements txn.Backend: any batched consolidation work runs to
+// completion (serial mode has none pending — consolidation and
+// checkpointing run synchronously in simulated time).
+func (s *SSP) Drain(at engine.Cycles) engine.Cycles {
+	t := engine.MaxCycles(at, s.nowCycles())
+	if s.parallel {
+		s.drainConsolQueue(t)
+		t = engine.MaxCycles(t, s.nowCycles())
+	}
+	return t
+}
 
 // DebugCheckFrames verifies the frame-ownership invariant: every entry's
 // ppn0 matches its PTE, and all entry frames plus free-slot spares are
 // pairwise disjoint. Returns a description of the first violation, or "".
+// Quiescent-machine helper (tests, post-run assertions).
 func (s *SSP) DebugCheckFrames() string {
 	owner := map[memsim.PAddr]string{}
 	claim := func(pa memsim.PAddr, who string) string {
@@ -495,16 +742,25 @@ func (s *SSP) DebugCheckFrames() string {
 		owner[pa] = who
 		return ""
 	}
-	for vpn, meta := range s.entries {
+	msg := ""
+	s.forEachMeta(func(vpn int, meta *pageMeta) {
+		if msg != "" {
+			return
+		}
 		if pte, ok := s.env.PT.Lookup(vpn); !ok || pte != meta.ppn0 {
-			return fmt.Sprintf("vpn %d: meta.ppn0 %#x != PTE %#x", vpn, meta.ppn0, pte)
+			msg = fmt.Sprintf("vpn %d: meta.ppn0 %#x != PTE %#x", vpn, meta.ppn0, pte)
+			return
 		}
-		if msg := claim(meta.ppn0, fmt.Sprintf("vpn%d.p0", vpn)); msg != "" {
-			return msg
+		if m := claim(meta.ppn0, fmt.Sprintf("vpn%d.p0", vpn)); m != "" {
+			msg = m
+			return
 		}
-		if msg := claim(meta.ppn1, fmt.Sprintf("vpn%d.p1", vpn)); msg != "" {
-			return msg
+		if m := claim(meta.ppn1, fmt.Sprintf("vpn%d.p1", vpn)); m != "" {
+			msg = m
 		}
+	})
+	if msg != "" {
+		return msg
 	}
 	for _, sid := range s.freeSlots {
 		if msg := claim(s.slotShadow[sid].ppn1, fmt.Sprintf("freeslot%d", sid)); msg != "" {
@@ -512,7 +768,7 @@ func (s *SSP) DebugCheckFrames() string {
 		}
 	}
 	for _, e := range s.env.PT.Mapped() {
-		if _, active := s.entries[e.VPN]; active {
+		if s.lookupMeta(e.VPN) != nil {
 			continue
 		}
 		if msg := claim(e.Frame, fmt.Sprintf("pte%d", e.VPN)); msg != "" {
@@ -526,7 +782,7 @@ func (s *SSP) DebugCheckFrames() string {
 // frames and the current/committed bitmaps. ok is false when the page has
 // no SSP cache entry.
 func (s *SSP) DebugPage(vpn int) (ppn0, ppn1 memsim.PAddr, current, committed uint64, ok bool) {
-	meta := s.entries[vpn]
+	meta := s.lookupMeta(vpn)
 	if meta == nil {
 		return 0, 0, 0, 0, false
 	}

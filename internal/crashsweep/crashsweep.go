@@ -1,0 +1,148 @@
+// Package crashsweep is the crash-recovery fuzzing machinery shared by the
+// cmd/sspcrash binary and the in-tree CI tests: it generates randomized
+// transaction scripts, injects a power failure after every possible NVRAM
+// write (a "trap sweep"), recovers, and verifies the all-or-nothing
+// contract — committed transactions survive intact, the boundary
+// transaction applies completely or not at all, and nothing else changes.
+package crashsweep
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+	"repro/ssp"
+)
+
+// Script is a deterministic transaction sequence: txn i writes value i+1 to
+// every address in its write set.
+type Script struct {
+	Txns [][]uint64
+}
+
+// MakeScript builds a random script of n transactions over a small page
+// range, deliberately mixing repeated lines, multiple pages and ping-ponged
+// lines across transactions.
+func MakeScript(seed uint64, n int) Script {
+	rng := engine.NewRNG(seed)
+	var sc Script
+	for i := 0; i < n; i++ {
+		var addrs []uint64
+		for j := 0; j <= rng.Intn(6); j++ {
+			page := 1 + rng.Intn(5)
+			line := rng.Intn(64)
+			addrs = append(addrs, ssp.HeapBase+uint64(page)*ssp.PageBytes+uint64(line)*ssp.LineBytes)
+		}
+		sc.Txns = append(sc.Txns, addrs)
+	}
+	return sc
+}
+
+// Config returns the small machine the sweep runs on.
+func Config(b ssp.Backend) ssp.Config {
+	return ssp.Config{Backend: b, Cores: 1, NVRAMMB: 32, DRAMMB: 2, MaxHeapPages: 512}
+}
+
+// RunScript executes sc until done or power-off, returning the guaranteed
+// committed state and the boundary transaction's writes (nil if power held
+// or failed between transactions).
+func RunScript(m *ssp.Machine, sc Script) (committed, boundary map[uint64]uint64) {
+	committed = map[uint64]uint64{}
+	c := m.Core(0)
+	m.Heap().EnsureMapped(1, 5)
+	for i, addrs := range sc.Txns {
+		if m.Mem().PoweredOff() {
+			break
+		}
+		val := uint64(i + 1)
+		pending := map[uint64]uint64{}
+		c.Begin()
+		for _, va := range addrs {
+			c.Store64(va, val)
+			pending[va] = val
+		}
+		c.Commit()
+		if m.Mem().PoweredOff() {
+			return committed, pending
+		}
+		for va, v := range pending {
+			committed[va] = v
+		}
+	}
+	return committed, nil
+}
+
+// SweepScript runs sc once to count its durable NVRAM writes, then re-runs
+// it once per possible trap point, recovering and verifying after each.
+// Progress lines go to log (nil silences them); the returned counts are
+// trap points checked and contract violations found.
+func SweepScript(b ssp.Backend, seed uint64, txns int, verbose bool, log io.Writer) (points, failures int) {
+	sc := MakeScript(seed, txns)
+
+	ref := ssp.New(Config(b))
+	setup := ref.Stats().NVRAMWriteLines
+	RunScript(ref, sc)
+	ref.Drain()
+	writes := int64(ref.Stats().NVRAMWriteLines - setup)
+
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, args...)
+		}
+	}
+	for k := int64(0); k <= writes; k++ {
+		points++
+		m := ssp.New(Config(b))
+		m.Mem().SetWriteTrap(k)
+		committed, boundary := RunScript(m, sc)
+		m.Mem().SetWriteTrap(-1)
+		if err := m.Recover(); err != nil {
+			logf("  trap %d: recovery error: %v\n", k, err)
+			failures++
+			continue
+		}
+		m.Heap().EnsureMapped(1, 5)
+		if err := Verify(m, committed, boundary); err != nil {
+			logf("  trap %d: %v\n", k, err)
+			failures++
+		} else if verbose {
+			logf("  trap %d ok\n", k)
+		}
+	}
+	return points, failures
+}
+
+// Verify checks the recovered machine against the expectation state: every
+// committed value present, and the boundary transaction (if any) applied
+// all-or-nothing.
+func Verify(m *ssp.Machine, committed, boundary map[uint64]uint64) error {
+	c := m.Core(0)
+	if boundary != nil {
+		applied := false
+		for va, v := range boundary {
+			applied = c.Load64(va) == v
+			break
+		}
+		expect := map[uint64]uint64{}
+		for va, v := range committed {
+			expect[va] = v
+		}
+		if applied {
+			for va, v := range boundary {
+				expect[va] = v
+			}
+		}
+		for va, want := range expect {
+			if got := c.Load64(va); got != want {
+				return fmt.Errorf("boundary txn torn (applied=%v): %#x got %d want %d", applied, va, got, want)
+			}
+		}
+		return nil
+	}
+	for va, want := range committed {
+		if got := c.Load64(va); got != want {
+			return fmt.Errorf("addr %#x: got %d want %d", va, got, want)
+		}
+	}
+	return nil
+}

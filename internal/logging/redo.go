@@ -1,6 +1,9 @@
 package logging
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/engine"
 	"repro/internal/memsim"
 	"repro/internal/stats"
@@ -20,21 +23,34 @@ type RedoConfig struct {
 func DefaultRedoConfig() RedoConfig { return RedoConfig{QueueLines: 64} }
 
 // Redo is the REDO-LOG baseline (DHTM-style hardware redo logging).
+//
+// Parallel mode: logs and write sets are per-core, the TID counter is
+// atomic, and the shared background write-back engine (pending queue and
+// its clock) is serialised by bgMu — the DHTM design has one such engine at
+// the memory controller, so commits contending on it is the modelled
+// behaviour, not an artefact.
 type Redo struct {
 	env *txn.Env
 	cfg RedoConfig
 
 	logs []*wal.Stream
-	next uint32
+	next atomic.Uint32
 
 	inTxn []bool
 	tid   []uint32
 	wset  []map[memsim.PAddr]struct{} // speculative lines of the open txn
 
 	// pending holds completion times of in-flight background write-backs,
-	// oldest first.
-	pending []engine.Cycles
-	bgClock engine.Cycles
+	// oldest first; bgMu serialises the write-back engine. reserved counts
+	// lines that passed queue admission but are not yet enqueued; a commit
+	// that would overrun QueueLines counting reservations waits on bgCond
+	// until the reserving commits enqueue, so concurrent commits cannot
+	// jointly overrun the queue between admission and enqueue.
+	bgMu     sync.Mutex
+	bgCond   *sync.Cond
+	pending  []engine.Cycles
+	bgClock  engine.Cycles
+	reserved int
 }
 
 // NewRedo builds the baseline over env.
@@ -42,7 +58,9 @@ func NewRedo(env *txn.Env, cfg RedoConfig) *Redo {
 	if cfg.QueueLines <= 0 {
 		cfg = DefaultRedoConfig()
 	}
-	r := &Redo{env: env, cfg: cfg, next: 1}
+	r := &Redo{env: env, cfg: cfg}
+	r.bgCond = sync.NewCond(&r.bgMu)
+	r.next.Store(1)
 	for c := 0; c < env.Cores(); c++ {
 		r.logs = append(r.logs, wal.NewStream(env.Mem, env.Layout.LogBase[c], env.Layout.Cfg.LogBytes, stats.CatRedoLog))
 		r.wset = append(r.wset, make(map[memsim.PAddr]struct{}))
@@ -61,8 +79,7 @@ func (r *Redo) Begin(core int, at engine.Cycles) engine.Cycles {
 		panic("redo: nested transaction")
 	}
 	r.inTxn[core] = true
-	r.tid[core] = r.next
-	r.next++
+	r.tid[core] = r.next.Add(1) - 1
 	return at + r.env.BarrierCycles
 }
 
@@ -77,7 +94,7 @@ func (r *Redo) Store(core int, va uint64, data []byte, at engine.Cycles) engine.
 	r.env.Caches.MarkTx(core, pa)
 	if _, ok := r.wset[core][la]; !ok {
 		r.wset[core][la] = struct{}{}
-		r.env.Stats.RedoRecords++
+		r.env.StatsFor(core).RedoRecords++
 	}
 	return t
 }
@@ -100,7 +117,16 @@ func (r *Redo) Commit(core int, at engine.Cycles) engine.Cycles {
 	lines := sortedSet(r.wset[core])
 
 	// Queue admission: wait until the queue has room for this write set.
+	// If space reserved by concurrent commits would overrun the queue, wait
+	// (host-side) for those commits to enqueue first — their completion
+	// times then appear in pending, and the simulated-time stall below sees
+	// them, exactly as in the serial model.
+	r.bgMu.Lock()
 	r.reap(t)
+	for len(r.pending)+r.reserved+len(lines) > r.cfg.QueueLines && r.reserved > 0 {
+		r.bgCond.Wait()
+		r.reap(t)
+	}
 	if len(r.pending)+len(lines) > r.cfg.QueueLines && len(r.pending) > 0 {
 		need := len(r.pending) + len(lines) - r.cfg.QueueLines
 		if need > len(r.pending) {
@@ -108,8 +134,10 @@ func (r *Redo) Commit(core int, at engine.Cycles) engine.Cycles {
 		}
 		t = engine.MaxCycles(t, r.pending[need-1])
 		r.reap(t)
-		r.env.Stats.WritebackStalls++
+		r.env.StatsFor(core).WritebackStalls++
 	}
+	r.reserved += len(lines)
+	r.bgMu.Unlock()
 
 	// Persist the redo log: predicted final state of each modified line.
 	log := r.logs[core]
@@ -120,12 +148,14 @@ func (r *Redo) Commit(core int, at engine.Cycles) engine.Cycles {
 	}
 	t = log.Append(wal.Record{TID: r.tid[core], Kind: kindCommit}, t)
 	t = log.Flush(t)
-	r.env.Stats.NVRAMWriteBytes[stats.CatCommitRecord] += wal.HeaderBytes
-	r.env.Stats.NVRAMWriteBytes[stats.CatRedoLog] -= wal.HeaderBytes
+	r.env.StatsFor(core).NVRAMWriteBytes[stats.CatCommitRecord] += wal.HeaderBytes
+	r.env.StatsFor(core).NVRAMWriteBytes[stats.CatRedoLog] -= wal.HeaderBytes
 
 	// Background: write the data back in place, overlapping subsequent
 	// execution. Functionally the lines become durable now (write order is
 	// preserved); only the core's clock ignores the latency.
+	r.bgMu.Lock()
+	r.reserved -= len(lines)
 	bg := engine.MaxCycles(t, r.bgClock)
 	for _, la := range lines {
 		done, _ := r.env.Caches.Flush(core, la, bg, stats.CatData)
@@ -133,6 +163,8 @@ func (r *Redo) Commit(core int, at engine.Cycles) engine.Cycles {
 		r.pending = append(r.pending, done)
 	}
 	r.bgClock = bg
+	r.bgCond.Broadcast()
+	r.bgMu.Unlock()
 
 	// The log can be reused: write-backs are durably ordered after the log
 	// records, so any crash either replays this transaction from the log
@@ -140,7 +172,7 @@ func (r *Redo) Commit(core int, at engine.Cycles) engine.Cycles {
 	log.Reset()
 	clear(r.wset[core])
 	r.inTxn[core] = false
-	r.env.Stats.Commits++
+	r.env.StatsFor(core).Commits++
 	return t + r.env.BarrierCycles
 }
 
@@ -165,7 +197,7 @@ func (r *Redo) Abort(core int, at engine.Cycles) engine.Cycles {
 	r.logs[core].Reset()
 	clear(r.wset[core])
 	r.inTxn[core] = false
-	r.env.Stats.Aborts++
+	r.env.StatsFor(core).Aborts++
 	return at + r.env.BarrierCycles
 }
 
@@ -215,8 +247,8 @@ func (r *Redo) Recover() error {
 		}
 		r.env.Stats.RecoveredTxns++
 	}
-	if maxTID >= r.next {
-		r.next = maxTID + 1
+	if maxTID >= r.next.Load() {
+		r.next.Store(maxTID + 1)
 	}
 	for c := range r.logs {
 		r.logs[c].SetTIDFloor(maxTID)
@@ -226,6 +258,8 @@ func (r *Redo) Recover() error {
 
 // Drain implements txn.Backend: wait for the write-back queue to empty.
 func (r *Redo) Drain(at engine.Cycles) engine.Cycles {
+	r.bgMu.Lock()
+	defer r.bgMu.Unlock()
 	t := engine.MaxCycles(at, r.bgClock)
 	r.pending = nil
 	return t

@@ -1,6 +1,8 @@
 package logging
 
 import (
+	"sync/atomic"
+
 	"repro/internal/engine"
 	"repro/internal/memsim"
 	"repro/internal/stats"
@@ -12,10 +14,13 @@ import (
 // updates. Each first store to a line persists the old value before the
 // store may proceed (the store "will be blocked until the log entry reaches
 // persistent memory"); repeated updates to a logged line are free.
+// Undo supports the machine's parallel mode with no extra locking: all log
+// state is per-core, the TID counter is atomic, and the hardware structures
+// it drives (caches, memory, TLBs per core) synchronise themselves.
 type Undo struct {
 	env  *txn.Env
 	logs []*wal.Stream
-	next uint32
+	next atomic.Uint32
 
 	inTxn []bool
 	tid   []uint32
@@ -26,7 +31,8 @@ type Undo struct {
 
 // NewUndo builds the baseline over env.
 func NewUndo(env *txn.Env) *Undo {
-	u := &Undo{env: env, next: 1}
+	u := &Undo{env: env}
+	u.next.Store(1)
 	for c := 0; c < env.Cores(); c++ {
 		u.logs = append(u.logs, wal.NewStream(env.Mem, env.Layout.LogBase[c], env.Layout.Cfg.LogBytes, stats.CatUndoLog))
 		u.old = append(u.old, make(map[memsim.PAddr][memsim.LineBytes]byte))
@@ -45,8 +51,7 @@ func (u *Undo) Begin(core int, at engine.Cycles) engine.Cycles {
 		panic("undo: nested transaction")
 	}
 	u.inTxn[core] = true
-	u.tid[core] = u.next
-	u.next++
+	u.tid[core] = u.next.Add(1) - 1
 	return at + u.env.BarrierCycles
 }
 
@@ -65,7 +70,7 @@ func (u *Undo) Store(core int, va uint64, data []byte, at engine.Cycles) engine.
 		log := u.logs[core]
 		t = log.Append(wal.Record{TID: u.tid[core], Kind: kindData, Payload: encodeDataPayload(la, img[:])}, t)
 		t = log.Flush(t) // the blocking persist
-		u.env.Stats.UndoRecords++
+		u.env.StatsFor(core).UndoRecords++
 	}
 	return u.env.Caches.Store(core, pa, data, t)
 }
@@ -92,12 +97,12 @@ func (u *Undo) Commit(core int, at engine.Cycles) engine.Cycles {
 	log := u.logs[core]
 	t = log.Append(wal.Record{TID: u.tid[core], Kind: kindCommit}, t)
 	t = log.Flush(t)
-	u.env.Stats.NVRAMWriteBytes[stats.CatCommitRecord] += wal.HeaderBytes
-	u.env.Stats.NVRAMWriteBytes[stats.CatUndoLog] -= wal.HeaderBytes
+	u.env.StatsFor(core).NVRAMWriteBytes[stats.CatCommitRecord] += wal.HeaderBytes
+	u.env.StatsFor(core).NVRAMWriteBytes[stats.CatUndoLog] -= wal.HeaderBytes
 	log.Reset()
 	clear(u.old[core])
 	u.inTxn[core] = false
-	u.env.Stats.Commits++
+	u.env.StatsFor(core).Commits++
 	return t + u.env.BarrierCycles
 }
 
@@ -114,7 +119,7 @@ func (u *Undo) Abort(core int, at engine.Cycles) engine.Cycles {
 	u.logs[core].Reset()
 	clear(u.old[core])
 	u.inTxn[core] = false
-	u.env.Stats.Aborts++
+	u.env.StatsFor(core).Aborts++
 	return t + u.env.BarrierCycles
 }
 
@@ -163,8 +168,8 @@ func (u *Undo) Recover() error {
 		}
 		u.env.Stats.RolledBackTxns++
 	}
-	if maxTID >= u.next {
-		u.next = maxTID + 1
+	if maxTID >= u.next.Load() {
+		u.next.Store(maxTID + 1)
 	}
 	for c := range u.logs {
 		u.logs[c].SetTIDFloor(maxTID)

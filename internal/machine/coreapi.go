@@ -68,7 +68,7 @@ func (c *Core) Commit() {
 	c.op()
 	c.m.clocks[c.id] = c.m.backend.Commit(c.id, c.m.clocks[c.id])
 	c.inTxn = false
-	c.m.ws.record(len(c.wsLines), len(c.wsPages))
+	c.m.ws[c.id].record(len(c.wsLines), len(c.wsPages))
 }
 
 // Abort rolls the open section back.
@@ -140,8 +140,14 @@ func (c *Core) Load64(va uint64) uint64 {
 }
 
 // Acquire takes the lock, advancing the clock past the current holder and
-// charging the hand-off cost.
+// charging the hand-off cost. In concurrent mode the acquisition also takes
+// the lock's host mutex, so the critical section is exclusive in host time
+// exactly as it is in simulated time; Release must run on the same
+// goroutine.
 func (c *Core) Acquire(l *Lock) {
+	if c.m.parallel {
+		l.mu.Lock()
+	}
 	t := engine.MaxCycles(c.m.clocks[c.id], l.freeAt) + c.m.cfg.LockCycles
 	c.m.clocks[c.id] = t
 }
@@ -149,4 +155,7 @@ func (c *Core) Acquire(l *Lock) {
 // Release frees the lock at the core's current time.
 func (c *Core) Release(l *Lock) {
 	l.freeAt = c.m.clocks[c.id]
+	if c.m.parallel {
+		l.mu.Unlock()
+	}
 }

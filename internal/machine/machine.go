@@ -3,16 +3,23 @@
 // failure-atomicity backend (SSP or a logging baseline), and exposes the
 // transactional programming model to workloads.
 //
-// Execution model: the simulator is single-goroutine and deterministic.
-// Each simulated core owns a clock; every operation advances it by the
-// modelled latency. Multi-client workloads interleave transactions by
-// always running the client whose clock is lowest (see internal/workload),
-// while memory-bank and lock timelines are shared across cores so
-// contention is modelled (DESIGN.md §5).
+// Execution model: outside Machine.Run the simulator is single-goroutine
+// and deterministic. Each simulated core owns a clock; every operation
+// advances it by the modelled latency. Serial multi-client workloads
+// interleave transactions by always running the client whose clock is
+// lowest (see internal/workload), while memory-bank and lock timelines are
+// shared across cores so contention is modelled (DESIGN.md §5).
+//
+// Machine.Run adds a concurrent mode: one goroutine per core, with shared
+// structures (memory, caches, page table, backend metadata) synchronising
+// internally and per-core state (TLBs, clocks, stats shards, write-set
+// characterisation) sharded so cores never contend on it. See Run for the
+// contract.
 package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cachesim"
 	"repro/internal/core"
@@ -105,9 +112,14 @@ func DefaultConfig(backend BackendKind, cores int) Config {
 }
 
 // Machine is one simulated system.
+//
+// Execution modes: by default every call runs on the caller's goroutine and
+// the machine is fully deterministic (the historical single-goroutine
+// model). Run switches to concurrent mode — one goroutine per Core — for
+// its duration; see Run for the exact contract.
 type Machine struct {
 	cfg    Config
-	st     *stats.Stats
+	shards *stats.Sharded
 	mem    *memsim.Memory
 	caches *cachesim.Hierarchy
 	tlbs   []*tlbsim.TLB
@@ -121,7 +133,13 @@ type Machine struct {
 
 	clocks []engine.Cycles
 	cores  []*Core
-	ws     WriteSetStats
+	ws     []WriteSetStats // per-core shards; aggregated by WriteSet
+
+	// parallel is true while Run's core goroutines execute. It is written
+	// only while the machine is quiescent (before the goroutines start and
+	// after they join), so reads from the core goroutines are race-free.
+	parallel bool
+	mapMu    sync.Mutex // serialises ensureMapped's check-then-map
 }
 
 // WriteSetStats accumulates the per-transaction write-set characterisation
@@ -195,26 +213,34 @@ func Restore(cfg Config, image []byte) (*Machine, error) {
 func build(cfg Config, image []byte) *Machine {
 	cfg.Cache.Cores = cfg.Cores
 	cfg.Layout.Cores = cfg.Cores
-	st := &stats.Stats{}
+	shards := stats.NewSharded(cfg.Cores)
+	// Counter routing: structures that synchronise themselves (memory
+	// controller, cache hierarchy) write the shared shard under their own
+	// locks; each TLB and each core's backend execution path write that
+	// core's shard. Aggregation is an order-independent sum.
+	shared := shards.Shared()
 	var mem *memsim.Memory
 	if image != nil {
-		mem = memsim.NewFromImage(cfg.Mem, st, image)
+		mem = memsim.NewFromImage(cfg.Mem, shared, image)
 	} else {
-		mem = memsim.New(cfg.Mem, st)
+		mem = memsim.New(cfg.Mem, shared)
 	}
 	layout := vm.NewLayout(cfg.Mem, cfg.Layout)
 	m := &Machine{
 		cfg:    cfg,
-		st:     st,
+		shards: shards,
 		mem:    mem,
-		caches: cachesim.New(cfg.Cache, mem, st),
+		caches: cachesim.New(cfg.Cache, mem, shared),
 		pt:     vm.NewPageTable(mem, layout),
 		frames: vm.NewFrameAlloc(layout),
 		layout: layout,
 		clocks: make([]engine.Cycles, cfg.Cores),
+		ws:     make([]WriteSetStats, cfg.Cores),
 	}
+	perCore := make([]*stats.Stats, cfg.Cores)
 	for c := 0; c < cfg.Cores; c++ {
-		m.tlbs = append(m.tlbs, tlbsim.NewTwoLevel(cfg.TLBEntries, cfg.STLBEntries, st))
+		perCore[c] = shards.Shard(c)
+		m.tlbs = append(m.tlbs, tlbsim.NewTwoLevel(cfg.TLBEntries, cfg.STLBEntries, perCore[c]))
 	}
 	m.env = &txn.Env{
 		Mem:           mem,
@@ -223,7 +249,8 @@ func build(cfg Config, image []byte) *Machine {
 		PT:            m.pt,
 		Frames:        m.frames,
 		Layout:        layout,
-		Stats:         st,
+		Stats:         shared,
+		PerCore:       perCore,
 		BarrierCycles: cfg.BarrierCycles,
 		STLBCycles:    cfg.STLBLat,
 	}
@@ -256,14 +283,23 @@ func (m *Machine) format() {
 }
 
 // ensureMapped maps heap VPNs [first,last] to fresh frames with durable
-// PTE writes; already-mapped pages are untouched.
+// PTE writes; already-mapped pages are untouched. mapMu makes the
+// check-then-map atomic; in concurrent mode the PTE write is timed from
+// cycle zero instead of core 0's (racing) clock — the bank timeline orders
+// it after in-flight traffic either way.
 func (m *Machine) ensureMapped(first, last int) {
+	m.mapMu.Lock()
+	defer m.mapMu.Unlock()
+	var at engine.Cycles
+	if !m.parallel {
+		at = m.clocks[0]
+	}
 	for vpn := first; vpn <= last; vpn++ {
 		if _, ok := m.pt.Lookup(vpn); ok {
 			continue
 		}
 		frame := m.frames.Alloc()
-		m.pt.Set(vpn, frame, m.clocks[0])
+		m.pt.Set(vpn, frame, at)
 	}
 }
 
@@ -276,17 +312,47 @@ func (m *Machine) Cores() int { return m.cfg.Cores }
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// Stats returns the machine's counters.
-func (m *Machine) Stats() *stats.Stats { return m.st }
+// Stats returns the machine's counters, aggregated across the per-core
+// shards at call time. Each call returns a fresh snapshot, so pointers
+// taken before and after work compare meaningfully. Not safe during Run;
+// quiesce first.
+func (m *Machine) Stats() *stats.Stats {
+	agg := m.shards.Aggregate()
+	return &agg
+}
 
-// WriteSet returns the Table 3 write-set characterisation.
-func (m *Machine) WriteSet() *WriteSetStats { return &m.ws }
+// CoreStats returns core i's private counter shard (per-core reporting).
+// The shard covers the core's execution path — commits, log records, TLB
+// behaviour — while shared-structure counters (memory traffic, cache hits)
+// live in the shared shard and are only meaningful in aggregate.
+func (m *Machine) CoreStats(i int) stats.Stats { return m.shards.PerCore(i) }
+
+// WriteSet returns the Table 3 write-set characterisation, aggregated
+// across cores at call time (snapshot semantics, like Stats).
+func (m *Machine) WriteSet() *WriteSetStats {
+	var agg WriteSetStats
+	for i := range m.ws {
+		w := &m.ws[i]
+		agg.Txns += w.Txns
+		agg.TotalLines += w.TotalLines
+		agg.TotalPages += w.TotalPages
+		if w.MaxPages > agg.MaxPages {
+			agg.MaxPages = w.MaxPages
+		}
+		if w.MaxLines > agg.MaxLines {
+			agg.MaxLines = w.MaxLines
+		}
+	}
+	return &agg
+}
 
 // ResetStats zeroes all counters (after warm-up, before measurement). Core
 // clocks and durable state are untouched.
 func (m *Machine) ResetStats() {
-	*m.st = stats.Stats{}
-	m.ws = WriteSetStats{}
+	m.shards.Reset()
+	for i := range m.ws {
+		m.ws[i] = WriteSetStats{}
+	}
 }
 
 // Backend exposes the active failure-atomicity mechanism.
@@ -311,6 +377,53 @@ func (m *Machine) MaxClock() engine.Cycles {
 		}
 	}
 	return mx
+}
+
+// Run executes fn once per core, each invocation on its own goroutine, and
+// returns when every invocation has finished. This is the machine's
+// concurrent mode: the cores genuinely execute in parallel on the host.
+//
+// Contract:
+//
+//   - fn(core) owns that Core exclusively: Core methods (Begin, Store64,
+//     Commit, Acquire, ...) are safe exactly because only core's goroutine
+//     calls them. Do not share a Core across goroutines.
+//   - Shared simulated structures (memory, caches, page table, the
+//     backend's metadata) synchronise internally; application-level
+//     isolation remains the program's job via Lock, as in the paper.
+//   - Machine-level operations (Stats, Drain, Crash, Recover, ResetStats,
+//     MaxClock) must not be called until Run returns.
+//   - Per-core work is deterministic given fixed per-core inputs;
+//     cross-core timing (bank contention, lock hand-off order) depends on
+//     the host schedule, and aggregate counters are order-independent
+//     sums.
+//
+// Serial execution outside Run is unchanged and remains bit-for-bit
+// deterministic.
+func (m *Machine) Run(fn func(c *Core)) {
+	if m.parallel {
+		panic("machine: nested Run")
+	}
+	m.setParallel(true)
+	var wg sync.WaitGroup
+	for _, c := range m.cores {
+		wg.Add(1)
+		go func(c *Core) {
+			defer wg.Done()
+			fn(c)
+		}(c)
+	}
+	wg.Wait()
+	m.setParallel(false)
+}
+
+// setParallel flips concurrent mode on the machine and, when supported, the
+// backend. Called only while quiescent.
+func (m *Machine) setParallel(on bool) {
+	m.parallel = on
+	if pa, ok := m.backend.(txn.ParallelAware); ok {
+		pa.SetParallel(on)
+	}
 }
 
 // Drain completes all background work on every core's behalf.
@@ -368,8 +481,11 @@ func (m *Machine) Recover() error {
 }
 
 // Lock is a simulated mutex: acquisition serialises critical sections in
-// simulated time without spinning (DESIGN.md §5).
+// simulated time without spinning (DESIGN.md §5). In concurrent mode the
+// simulated hand-off is backed by a real mutex held between Acquire and
+// Release, so host-level mutual exclusion matches the simulated one.
 type Lock struct {
+	mu     sync.Mutex
 	freeAt engine.Cycles
 }
 

@@ -1,0 +1,213 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/pheap"
+)
+
+// The parallel stress test: N goroutine-backed cores × M transactions per
+// backend, over disjoint per-core page ranges (the sharded contract), with
+// occasional aborts. Each core's input stream is a fixed function of
+// (seed, core), so per-core outcomes are deterministic regardless of
+// host scheduling; the test then asserts that
+//
+//   - every durable value matches the serial reference run,
+//   - order-independent aggregate statistics (commits, aborts, write-set
+//     characterisation) match the serial run exactly,
+//   - the cache-coherence and SSP frame-ownership invariants hold, and
+//   - the machine still crash-recovers cleanly after the concurrent run.
+//
+// Run it under -race: it is the concurrency gate for the whole engine.
+
+const (
+	stressCores    = 4
+	stressPagesPer = 12 // heap pages owned by each core
+)
+
+// stressScript executes core c's transaction stream and records the values
+// the stream leaves behind. Writes stay within the core's own page range.
+func stressScript(c *Core, txns int, seed uint64, final map[uint64]uint64) {
+	rng := engine.NewRNG(seed + uint64(c.ID())*0x9E3779B97F4A7C15)
+	base := 1 + c.ID()*stressPagesPer
+	pending := map[uint64]uint64{}
+	for i := 0; i < txns; i++ {
+		c.Begin()
+		n := 1 + rng.Intn(6)
+		for j := 0; j < n; j++ {
+			page := base + rng.Intn(stressPagesPer)
+			line := rng.Intn(64)
+			va := heapVA(page, line*64)
+			val := uint64(c.ID()+1)<<32 | uint64(i+1)
+			c.Store64(va, val)
+			pending[va] = val
+		}
+		if rng.Intn(10) == 0 {
+			c.Abort()
+		} else {
+			c.Commit()
+			for va, v := range pending {
+				final[va] = v
+			}
+		}
+		clear(pending)
+	}
+}
+
+func stressMachine(b BackendKind) *Machine {
+	cfg := testConfig(b, stressCores)
+	m := New(cfg)
+	m.Heap().EnsureMapped(1, stressCores*stressPagesPer)
+	return m
+}
+
+func TestParallelStressMatchesSerial(t *testing.T) {
+	txns := 300
+	if testing.Short() {
+		txns = 80
+	}
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			// Serial reference: same per-core streams, one goroutine.
+			ref := stressMachine(b)
+			refFinal := make([]map[uint64]uint64, stressCores)
+			for i := 0; i < stressCores; i++ {
+				refFinal[i] = map[uint64]uint64{}
+				stressScript(ref.Core(i), txns, 0xC0FFEE, refFinal[i])
+			}
+			ref.Drain()
+			refStats := *ref.Stats()
+			refWS := *ref.WriteSet()
+
+			// Concurrent run.
+			m := stressMachine(b)
+			final := make([]map[uint64]uint64, stressCores)
+			for i := range final {
+				final[i] = map[uint64]uint64{}
+			}
+			m.Run(func(c *Core) {
+				stressScript(c, txns, 0xC0FFEE, final[c.ID()])
+			})
+			m.Drain()
+
+			// Durable values match the serial reference per core.
+			c0 := m.Core(0)
+			for i := 0; i < stressCores; i++ {
+				if len(final[i]) != len(refFinal[i]) {
+					t.Fatalf("core %d wrote %d addresses, serial wrote %d", i, len(final[i]), len(refFinal[i]))
+				}
+				for va, want := range refFinal[i] {
+					if got := final[i][va]; got != want {
+						t.Fatalf("core %d: stream diverged at %#x: %#x vs serial %#x", i, va, got, want)
+					}
+					if got := c0.Load64(va); got != want {
+						t.Errorf("durable %#x = %#x, want %#x", va, got, want)
+					}
+				}
+			}
+
+			// Order-independent aggregates match the serial run.
+			st := *m.Stats()
+			if st.Commits != refStats.Commits || st.Aborts != refStats.Aborts {
+				t.Errorf("commits/aborts %d/%d, serial %d/%d", st.Commits, st.Aborts, refStats.Commits, refStats.Aborts)
+			}
+			ws := *m.WriteSet()
+			if ws.Txns != refWS.Txns || ws.TotalLines != refWS.TotalLines || ws.TotalPages != refWS.TotalPages {
+				t.Errorf("write-set stats (%d,%d,%d), serial (%d,%d,%d)",
+					ws.Txns, ws.TotalLines, ws.TotalPages, refWS.Txns, refWS.TotalLines, refWS.TotalPages)
+			}
+
+			// Hardware invariants hold after the concurrent run.
+			if msg := m.DebugValidateCaches(); msg != "" {
+				t.Fatalf("cache invariant violated: %s", msg)
+			}
+			if s, ok := m.Backend().(*core.SSP); ok {
+				if msg := s.DebugCheckFrames(); msg != "" {
+					t.Fatalf("SSP frame invariant violated: %s", msg)
+				}
+			}
+
+			// The image the concurrent run left behind still recovers.
+			if err := recycle(m); err != nil {
+				t.Fatalf("post-parallel recovery: %v", err)
+			}
+			for i := 0; i < stressCores; i++ {
+				for va, want := range refFinal[i] {
+					if got := m.Core(0).Load64(va); got != want {
+						t.Errorf("post-recovery %#x = %#x, want %#x", va, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// recycle crashes and recovers the machine in place.
+func recycle(m *Machine) error {
+	m.Crash()
+	m.Mem().PowerOn()
+	m.Mem().ResetTiming()
+	return m.Recover()
+}
+
+// TestParallelHeapArenas exercises concurrent allocation: each core
+// allocates, links and frees from its own arena while the others do the
+// same, then the heap is audited serially.
+func TestParallelHeapArenas(t *testing.T) {
+	rounds := 200
+	if testing.Short() {
+		rounds = 60
+	}
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := New(testConfig(b, stressCores))
+			m.Heap().EnsureMapped(0, 0)
+			arenas := make([]*heapArena, stressCores)
+			for i := 0; i < stressCores; i++ {
+				c := m.Core(i)
+				c.Begin()
+				arenas[i] = &heapArena{a: m.Heap().NewArena(c, 8)}
+				c.Commit()
+			}
+			m.Run(func(c *Core) {
+				ar := arenas[c.ID()]
+				rng := engine.NewRNG(uint64(c.ID()) + 1)
+				var live []uint64
+				for r := 0; r < rounds; r++ {
+					c.Begin()
+					if len(live) > 0 && rng.Intn(3) == 0 {
+						va := live[len(live)-1]
+						live = live[:len(live)-1]
+						ar.a.Free(c, va, 64)
+					} else {
+						va := ar.a.Alloc(c, 64)
+						c.Store64(va, uint64(c.ID())<<48|uint64(r))
+						live = append(live, va)
+					}
+					c.Commit()
+				}
+				ar.live = live
+			})
+			m.Drain()
+			// Every live block still carries its owner's tag in the high bits.
+			c0 := m.Core(0)
+			for i, ar := range arenas {
+				for _, va := range ar.live {
+					if got := c0.Load64(va) >> 48; got != uint64(i) {
+						t.Fatalf("arena %d block %#x tagged %d", i, va, got)
+					}
+				}
+			}
+			if msg := m.DebugValidateCaches(); msg != "" {
+				t.Fatalf("cache invariant violated: %s", msg)
+			}
+		})
+	}
+}
+
+type heapArena struct {
+	a    *pheap.Arena
+	live []uint64
+}

@@ -15,6 +15,7 @@ package memsim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/stats"
@@ -91,7 +92,18 @@ type bank struct {
 	hasOpen   bool
 }
 
+// dataStripes is the number of address-striped locks protecting the byte
+// images. Striping is page-granular: concurrent cores touching different
+// pages never contend on a data lock.
+const dataStripes = 64
+
 // Memory is the simulated hybrid memory system.
+//
+// Concurrency: the byte images are protected by address-striped locks
+// (dataMu); the bank/bus timelines, traffic counters and power state are
+// protected by timingMu. Both are leaf locks — Memory never calls out to
+// another simulator structure while holding them (the power-off callback
+// fires after the locks are released).
 type Memory struct {
 	cfg Config
 	st  *stats.Stats
@@ -99,6 +111,9 @@ type Memory struct {
 	dram  []byte
 	nvram []byte
 
+	dataMu [dataStripes]sync.Mutex
+
+	timingMu  sync.Mutex
 	dramBanks []bank
 	nvBanks   []bank
 	busBusy   engine.Cycles
@@ -164,8 +179,45 @@ func (m *Memory) backing(pa PAddr, n int) []byte {
 	return m.dram[pa : pa+PAddr(n)]
 }
 
+func (m *Memory) stripe(pa PAddr) *sync.Mutex {
+	return &m.dataMu[(uint64(pa)>>PageShift)%dataStripes]
+}
+
+// copyIn copies data into the byte image under the address-striped locks,
+// chunking at page boundaries so every chunk is covered by one stripe.
+func (m *Memory) copyIn(pa PAddr, data []byte) {
+	for len(data) > 0 {
+		n := PageBytes - int(pa&(PageBytes-1))
+		if n > len(data) {
+			n = len(data)
+		}
+		mu := m.stripe(pa)
+		mu.Lock()
+		copy(m.backing(pa, n), data[:n])
+		mu.Unlock()
+		pa += PAddr(n)
+		data = data[n:]
+	}
+}
+
+// copyOut copies bytes out of the image under the striped locks.
+func (m *Memory) copyOut(pa PAddr, buf []byte) {
+	for len(buf) > 0 {
+		n := PageBytes - int(pa&(PageBytes-1))
+		if n > len(buf) {
+			n = len(buf)
+		}
+		mu := m.stripe(pa)
+		mu.Lock()
+		copy(buf[:n], m.backing(pa, n))
+		mu.Unlock()
+		pa += PAddr(n)
+		buf = buf[n:]
+	}
+}
+
 // access charges timing for one memory transaction at address pa and
-// returns its completion time.
+// returns its completion time. Called with timingMu held.
 func (m *Memory) access(pa PAddr, write bool, at engine.Cycles) engine.Cycles {
 	var banks []bank
 	var rowBytes int
@@ -226,8 +278,11 @@ func (m *Memory) access(pa PAddr, write bool, at engine.Cycles) engine.Cycles {
 // completion time of the read.
 func (m *Memory) ReadLine(pa PAddr, buf []byte, at engine.Cycles) engine.Cycles {
 	pa = LineAddr(pa)
-	copy(buf[:LineBytes], m.backing(pa, LineBytes))
-	return m.access(pa, false, at)
+	m.copyOut(pa, buf[:LineBytes])
+	m.timingMu.Lock()
+	done := m.access(pa, false, at)
+	m.timingMu.Unlock()
+	return done
 }
 
 // WriteLine makes the 64-byte line at pa durable with the given contents
@@ -249,21 +304,27 @@ func (m *Memory) WriteBytes(pa PAddr, data []byte, at engine.Cycles, cat stats.W
 		panic(fmt.Sprintf("memsim: WriteBytes spans a line boundary at %#x+%d", pa, len(data)))
 	}
 	nv := m.IsNVRAM(pa)
-	if nv {
-		if m.trapAfter >= 0 {
-			if m.trapAfter == 0 {
-				m.triggerPowerOff()
-			} else {
-				m.trapAfter--
-			}
+	m.timingMu.Lock()
+	fired := false
+	if nv && m.trapAfter >= 0 {
+		if m.trapAfter == 0 {
+			fired = m.setPowerOffLocked()
+		} else {
+			m.trapAfter--
 		}
 	}
-	if !(m.powerOff && nv) {
-		copy(m.backing(pa, len(data)), data)
-	}
+	lost := m.powerOff && nv
 	done := m.access(pa, true, at)
 	if nv {
 		m.st.NVRAMWriteBytes[cat] += uint64(len(data))
+	}
+	cb := m.onPowerOff
+	m.timingMu.Unlock()
+	if fired && cb != nil {
+		cb()
+	}
+	if !lost {
+		m.copyIn(pa, data)
 	}
 	return done
 }
@@ -271,38 +332,52 @@ func (m *Memory) WriteBytes(pa PAddr, data []byte, at engine.Cycles, cat stats.W
 // Peek copies durable bytes without timing or power-failure effects. Used
 // for recovery-time parsing and test verification.
 func (m *Memory) Peek(pa PAddr, buf []byte) {
-	copy(buf, m.backing(pa, len(buf)))
+	m.copyOut(pa, buf)
 }
 
 // Poke sets durable bytes without timing; used only for initialisation
 // (formatting persistent regions) and tests. It ignores PowerOff.
 func (m *Memory) Poke(pa PAddr, data []byte) {
-	copy(m.backing(pa, len(data)), data)
+	m.copyIn(pa, data)
 }
 
 // PowerOff makes all subsequent NVRAM writes vanish, simulating the instant
 // of power failure. Timing continues to be charged (the machine does not
 // know power failed); the caller is expected to stop the run and recover.
-func (m *Memory) PowerOff() { m.triggerPowerOff() }
-
-func (m *Memory) triggerPowerOff() {
-	if m.powerOff {
-		return
-	}
-	m.powerOff = true
-	m.trapAfter = -1
-	if m.onPowerOff != nil {
-		m.onPowerOff()
+func (m *Memory) PowerOff() {
+	m.timingMu.Lock()
+	fired := m.setPowerOffLocked()
+	cb := m.onPowerOff
+	m.timingMu.Unlock()
+	if fired && cb != nil {
+		cb()
 	}
 }
 
+// setPowerOffLocked flips the power state; it reports whether this call was
+// the one that cut power (the callback fires once, outside the lock).
+func (m *Memory) setPowerOffLocked() bool {
+	if m.powerOff {
+		return false
+	}
+	m.powerOff = true
+	m.trapAfter = -1
+	return true
+}
+
 // PoweredOff reports whether a power failure has been injected.
-func (m *Memory) PoweredOff() bool { return m.powerOff }
+func (m *Memory) PoweredOff() bool {
+	m.timingMu.Lock()
+	defer m.timingMu.Unlock()
+	return m.powerOff
+}
 
 // SetWriteTrap arms a power failure after n more durable NVRAM writes: the
 // next n writes land, everything after is lost. n=0 loses the very next
 // write. Pass a negative n to disarm.
 func (m *Memory) SetWriteTrap(n int64) {
+	m.timingMu.Lock()
+	defer m.timingMu.Unlock()
 	if n < 0 {
 		m.trapAfter = -1
 		return
@@ -311,23 +386,34 @@ func (m *Memory) SetWriteTrap(n int64) {
 }
 
 // OnPowerOff registers a callback invoked once when power fails (armed trap
-// or explicit PowerOff). Tests use it to stop workload loops.
-func (m *Memory) OnPowerOff(fn func()) { m.onPowerOff = fn }
+// or explicit PowerOff). Tests use it to stop workload loops. The callback
+// runs outside the memory's locks and may inspect the memory freely.
+func (m *Memory) OnPowerOff(fn func()) {
+	m.timingMu.Lock()
+	m.onPowerOff = fn
+	m.timingMu.Unlock()
+}
 
 // PowerOn clears the power-off state after recovery has rebuilt volatile
 // structures; durable contents are preserved.
-func (m *Memory) PowerOn() { m.powerOff = false }
+func (m *Memory) PowerOn() {
+	m.timingMu.Lock()
+	m.powerOff = false
+	m.timingMu.Unlock()
+}
 
 // NVRAMImage returns a copy of the durable NVRAM contents.
 func (m *Memory) NVRAMImage() []byte {
 	img := make([]byte, len(m.nvram))
-	copy(img, m.nvram)
+	m.copyOut(m.cfg.NVRAMBase, img)
 	return img
 }
 
 // ResetTiming clears bank/bus timelines and open-row state (a reboot);
 // durable contents and statistics are untouched.
 func (m *Memory) ResetTiming() {
+	m.timingMu.Lock()
+	defer m.timingMu.Unlock()
 	for i := range m.dramBanks {
 		m.dramBanks[i] = bank{}
 	}

@@ -29,6 +29,16 @@ type Env struct {
 	Layout vm.Layout
 	Stats  *stats.Stats
 
+	// PerCore optionally holds one private counter shard per core. When a
+	// machine runs its cores on concurrent goroutines, counters updated on
+	// a core's execution path (commits, log records, flips) go to the
+	// core's shard via StatsFor so no lock is needed; counters updated
+	// under a shared structure's lock stay on Stats. Aggregation is
+	// order-independent (see stats.Sharded). Nil in single-goroutine
+	// setups: StatsFor then falls back to Stats and behaviour is exactly
+	// the pre-sharding one.
+	PerCore []*stats.Stats
+
 	// BarrierCycles is the cost of a full memory barrier
 	// (ATOMIC_BEGIN/ATOMIC_END act as full barriers, §3.1).
 	BarrierCycles engine.Cycles
@@ -38,6 +48,14 @@ type Env struct {
 
 // Cores returns the number of simulated cores.
 func (e *Env) Cores() int { return len(e.TLBs) }
+
+// StatsFor returns the counter shard for core's execution path.
+func (e *Env) StatsFor(core int) *stats.Stats {
+	if e.PerCore != nil {
+		return e.PerCore[core]
+	}
+	return e.Stats
+}
 
 // Translate resolves va's page through core's TLB, charging a page-table
 // walk on a miss, and returns the page's frame base (PPN0) plus completion
@@ -59,8 +77,14 @@ func (e *Env) Translate(core int, va uint64, at engine.Cycles) (memsim.PAddr, en
 }
 
 // Backend is a failure-atomicity mechanism under evaluation. All timing
-// methods take the core's current clock and return its new value. The
-// simulator is single-goroutine; implementations need no locking.
+// methods take the core's current clock and return its new value.
+//
+// Threading contract: by default the simulator is single-goroutine and
+// implementations need no locking. A backend that additionally implements
+// ParallelAware supports the machine's concurrent mode, where each core's
+// methods are invoked from that core's own goroutine: calls on the SAME
+// core are always serial, calls on DIFFERENT cores may overlap and the
+// implementation must synchronise its shared state.
 type Backend interface {
 	// Name identifies the design ("SSP", "UNDO-LOG", "REDO-LOG").
 	Name() string
@@ -99,4 +123,17 @@ type Backend interface {
 	// write-backs) — an orderly shutdown, used before comparing durable
 	// state in tests and at the end of measurement runs.
 	Drain(at engine.Cycles) engine.Cycles
+}
+
+// ParallelAware is implemented by backends that support concurrent
+// goroutine-per-core execution (machine.Machine.Run). SetParallel(true) is
+// called before the core goroutines start, SetParallel(false) after they
+// join; both calls happen with no simulated work in flight.
+//
+// While parallel mode is on, a backend may reorganise how it schedules
+// background work (e.g. SSP batches commit-time page consolidation into
+// epochs instead of running it inline) as long as crash consistency and
+// the aggregate counter totals remain correct.
+type ParallelAware interface {
+	SetParallel(on bool)
 }

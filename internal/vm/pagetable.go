@@ -3,6 +3,7 @@ package vm
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/memsim"
@@ -16,6 +17,8 @@ import (
 type PageTable struct {
 	mem    *memsim.Memory
 	layout Layout
+
+	mu     sync.RWMutex
 	mirror []memsim.PAddr // 0 = unmapped
 }
 
@@ -29,6 +32,8 @@ func NewPageTable(mem *memsim.Memory, l Layout) *PageTable {
 // Lookup returns the frame mapped at vpn, if any. No timing is charged;
 // Walk is the timed variant used on TLB misses.
 func (pt *PageTable) Lookup(vpn int) (memsim.PAddr, bool) {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
 	if vpn < 0 || vpn >= len(pt.mirror) {
 		return 0, false
 	}
@@ -52,10 +57,13 @@ func (pt *PageTable) Walk(vpn int, at engine.Cycles) (memsim.PAddr, engine.Cycle
 // Set durably maps vpn to frame pa (0 unmaps) with an 8-byte atomic write
 // and returns its completion time.
 func (pt *PageTable) Set(vpn int, pa memsim.PAddr, at engine.Cycles) engine.Cycles {
+	pt.mu.Lock()
 	if vpn < 0 || vpn >= len(pt.mirror) {
+		pt.mu.Unlock()
 		panic(fmt.Sprintf("vm: Set of out-of-range vpn %d", vpn))
 	}
 	pt.mirror[vpn] = pa
+	pt.mu.Unlock()
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(pa))
 	return pt.mem.WriteBytes(pt.layout.PTEAddr(vpn), buf[:], at, stats.CatControl)
@@ -64,13 +72,17 @@ func (pt *PageTable) Set(vpn int, pa memsim.PAddr, at engine.Cycles) engine.Cycl
 // SetMirror updates only the volatile mirror; recovery uses it when the
 // durable repair is journaled separately.
 func (pt *PageTable) SetMirror(vpn int, pa memsim.PAddr) {
+	pt.mu.Lock()
 	pt.mirror[vpn] = pa
+	pt.mu.Unlock()
 }
 
 // Rebuild reloads the mirror from the durable PTE array.
 func (pt *PageTable) Rebuild() {
 	buf := make([]byte, len(pt.mirror)*8)
 	pt.mem.Peek(pt.layout.PageTableBase, buf)
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
 	for i := range pt.mirror {
 		pt.mirror[i] = memsim.PAddr(binary.LittleEndian.Uint64(buf[i*8:]))
 	}
@@ -85,6 +97,8 @@ func (pt *PageTable) Mapped() [](struct {
 		VPN   int
 		Frame memsim.PAddr
 	})
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
 	for vpn, pa := range pt.mirror {
 		if pa != 0 {
 			out = append(out, struct {
@@ -102,8 +116,10 @@ func (pt *PageTable) Mapped() [](struct {
 // §5).
 type FrameAlloc struct {
 	layout Layout
-	free   []int // stack of free frame indices
-	used   []bool
+
+	mu   sync.Mutex
+	free []int // stack of free frame indices
+	used []bool
 }
 
 // NewFrameAlloc returns an allocator with every frame free.
@@ -118,6 +134,8 @@ func NewFrameAlloc(l Layout) *FrameAlloc {
 // Alloc returns a free frame's base address. It panics when the pool is
 // exhausted (simulated machines are sized for their workloads).
 func (fa *FrameAlloc) Alloc() memsim.PAddr {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
 	for len(fa.free) > 0 {
 		idx := fa.free[len(fa.free)-1]
 		fa.free = fa.free[:len(fa.free)-1]
@@ -131,6 +149,8 @@ func (fa *FrameAlloc) Alloc() memsim.PAddr {
 
 // Free returns a frame to the pool.
 func (fa *FrameAlloc) Free(pa memsim.PAddr) {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
 	idx := fa.layout.FrameIndex(pa)
 	if !fa.used[idx] {
 		panic(fmt.Sprintf("vm: double free of frame %#x", pa))
@@ -142,6 +162,8 @@ func (fa *FrameAlloc) Free(pa memsim.PAddr) {
 // Reserve marks a frame used during recovery rebuilds; reserving an
 // already-used frame is an error.
 func (fa *FrameAlloc) Reserve(pa memsim.PAddr) {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
 	idx := fa.layout.FrameIndex(pa)
 	if fa.used[idx] {
 		panic(fmt.Sprintf("vm: frame %#x reserved twice", pa))
@@ -152,6 +174,8 @@ func (fa *FrameAlloc) Reserve(pa memsim.PAddr) {
 // Reset returns the allocator to the all-free state, then the caller
 // re-reserves live frames (recovery).
 func (fa *FrameAlloc) Reset() {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
 	fa.free = fa.free[:0]
 	for i := fa.layout.Frames - 1; i >= 0; i-- {
 		fa.used[i] = false
@@ -161,6 +185,8 @@ func (fa *FrameAlloc) Reset() {
 
 // InUse returns the number of allocated frames.
 func (fa *FrameAlloc) InUse() int {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
 	n := 0
 	for _, u := range fa.used {
 		if u {

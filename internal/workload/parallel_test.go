@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/ssp"
+)
+
+func backendsUnderTest() []ssp.Backend { return ssp.Backends() }
+
+// TestParallelSmoke drives the concurrent engine across every backend and
+// both sharded real workloads; under -race this is the first line of
+// defence for the goroutine-per-core execution model.
+func TestParallelSmoke(t *testing.T) {
+	ops := 600
+	if testing.Short() {
+		ops = 200
+	}
+	for _, kind := range []Kind{Memcached, Vacation} {
+		for _, b := range backendsUnderTest() {
+			res := RunParallel(Params{Kind: kind, Backend: b, Clients: 4, Ops: ops,
+				Items: 2048, Tuples: 2048, Keys: 2048})
+			if res.Stats.Commits == 0 {
+				t.Fatalf("%v/%v: no commits", kind, b)
+			}
+			if len(res.PerCore) != 4 {
+				t.Fatalf("%v/%v: per-core results missing", kind, b)
+			}
+			var commits uint64
+			for _, cr := range res.PerCore {
+				if cr.Txns == 0 {
+					t.Errorf("%v/%v core %d ran no transactions", kind, b, cr.Core)
+				}
+				commits += cr.Commits
+			}
+			if commits != res.Stats.Commits {
+				t.Errorf("%v/%v: per-core commits %d != aggregate %d", kind, b, commits, res.Stats.Commits)
+			}
+			if res.TPS <= 0 {
+				t.Errorf("%v/%v: non-positive TPS", kind, b)
+			}
+		}
+	}
+}

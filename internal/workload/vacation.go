@@ -23,6 +23,7 @@ type vacationState struct {
 	resources [vacResourceTables]*pds.RBTree
 	customers *pds.RBTree
 	tuples    int
+	alloc     ssp.Allocator // reservation-entry allocator (heap or per-core arena)
 }
 
 // packResource packs (free count, price) into a tree value.
@@ -34,7 +35,7 @@ func unpackResource(v uint64) (free, price uint32) {
 
 func buildVacation(m *ssp.Machine, p Params) []*client {
 	boot := m.Core(0)
-	st := &vacationState{tuples: p.Tuples}
+	st := &vacationState{tuples: p.Tuples, alloc: m.Heap()}
 
 	boot.Begin()
 	for i := 0; i < vacResourceTables; i++ {
@@ -66,9 +67,9 @@ func buildVacation(m *ssp.Machine, p Params) []*client {
 			c.Acquire(lock)
 			switch {
 			case r < 8:
-				vacMakeReservation(c, m, st, crng)
+				vacMakeReservation(c, st, crng)
 			case r < 9:
-				vacDeleteCustomer(c, m, st, crng)
+				vacDeleteCustomer(c, st, crng)
 			default:
 				vacUpdateTables(c, st, crng)
 			}
@@ -82,7 +83,7 @@ func buildVacation(m *ssp.Machine, p Params) []*client {
 // vacMakeReservation queries a handful of resources per table (the read
 // phase), then books the cheapest available one of each chosen type for a
 // customer: decrement its free count and append a reservation entry.
-func vacMakeReservation(c *ssp.Core, m *ssp.Machine, st *vacationState, rng *engine.RNG) {
+func vacMakeReservation(c *ssp.Core, st *vacationState, rng *engine.RNG) {
 	custID := rng.Uint64n(uint64(st.tuples))
 	nQueries := 1 + rng.Intn(4)
 
@@ -111,8 +112,7 @@ func vacMakeReservation(c *ssp.Core, m *ssp.Machine, st *vacationState, rng *eng
 				continue
 			}
 			if !found || price < uint32(bestVal) {
-				bestID, bestVal, found = id, uint64(price), true
-				bestVal = v
+				bestID, bestVal, found = id, v, true
 			}
 		}
 		if !found {
@@ -121,7 +121,7 @@ func vacMakeReservation(c *ssp.Core, m *ssp.Machine, st *vacationState, rng *eng
 		// Write phase: book it.
 		free, price := unpackResource(bestVal)
 		st.resources[tbl].Insert(c, bestID, packResource(free-1, price))
-		entry := m.Heap().Alloc(c, vacReserveEntry)
+		entry := st.alloc.Alloc(c, vacReserveEntry)
 		c.Store64(entry+0, uint64(tbl))
 		c.Store64(entry+8, bestID)
 		c.Store64(entry+16, uint64(price))
@@ -134,7 +134,7 @@ func vacMakeReservation(c *ssp.Core, m *ssp.Machine, st *vacationState, rng *eng
 
 // vacDeleteCustomer releases all of a customer's reservations and removes
 // the customer.
-func vacDeleteCustomer(c *ssp.Core, m *ssp.Machine, st *vacationState, rng *engine.RNG) {
+func vacDeleteCustomer(c *ssp.Core, st *vacationState, rng *engine.RNG) {
 	custID := rng.Uint64n(uint64(st.tuples))
 	c.Begin()
 	listHead, ok := st.customers.Get(c, custID)
@@ -150,7 +150,7 @@ func vacDeleteCustomer(c *ssp.Core, m *ssp.Machine, st *vacationState, rng *engi
 			st.resources[tbl].Insert(c, id, packResource(free+1, price))
 		}
 		next := c.Load64(e + 24)
-		m.Heap().Free(c, e, vacReserveEntry)
+		st.alloc.Free(c, e, vacReserveEntry)
 		e = next
 	}
 	st.customers.Delete(c, custID)

@@ -44,12 +44,12 @@ type Config struct {
 
 // Cache is a persistent memcached-like KV store.
 type Cache struct {
-	h    *ssp.Heap
+	h    ssp.Allocator
 	head uint64
 }
 
 // Create allocates an empty cache inside tx's open transaction.
-func Create(tx *ssp.Core, h *ssp.Heap, cfg Config) *Cache {
+func Create(tx *ssp.Core, h ssp.Allocator, cfg Config) *Cache {
 	if cfg.Buckets <= 0 {
 		cfg.Buckets = 1024
 	}
@@ -73,7 +73,7 @@ func Create(tx *ssp.Core, h *ssp.Heap, cfg Config) *Cache {
 }
 
 // Open reattaches a cache from its head address.
-func Open(h *ssp.Heap, head uint64) *Cache { return &Cache{h: h, head: head} }
+func Open(h ssp.Allocator, head uint64) *Cache { return &Cache{h: h, head: head} }
 
 // Head returns the cache's persistent head address.
 func (s *Cache) Head() uint64 { return s.head }

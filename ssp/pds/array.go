@@ -10,13 +10,13 @@ import (
 // microbenchmark ("swap elements in an array", Table 3: 2 lines / 2 pages
 // per transaction).
 type Array struct {
-	h    *ssp.Heap
+	h    ssp.Allocator
 	head uint64 // +0 data VA, +8 length
 }
 
 // CreateArray allocates an array of n zeroed elements inside tx's
 // transaction.
-func CreateArray(tx *ssp.Core, h *ssp.Heap, n int) *Array {
+func CreateArray(tx *ssp.Core, h ssp.Allocator, n int) *Array {
 	if n <= 0 {
 		panic("pds: CreateArray with non-positive length")
 	}
@@ -28,7 +28,7 @@ func CreateArray(tx *ssp.Core, h *ssp.Heap, n int) *Array {
 }
 
 // OpenArray reattaches an array from its head address.
-func OpenArray(h *ssp.Heap, head uint64) *Array { return &Array{h: h, head: head} }
+func OpenArray(h ssp.Allocator, head uint64) *Array { return &Array{h: h, head: head} }
 
 // Head returns the persistent head address.
 func (a *Array) Head() uint64 { return a.head }

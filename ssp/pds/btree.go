@@ -29,12 +29,12 @@ const (
 // write-optimised persistent-memory tree style of NV-Tree/WORT: structural
 // shrink is traded for fewer NVRAM writes).
 type BTree struct {
-	h    *ssp.Heap
+	h    ssp.Allocator
 	head uint64 // header block: +0 root, +8 count
 }
 
 // CreateBTree allocates an empty tree inside tx's open transaction.
-func CreateBTree(tx *ssp.Core, h *ssp.Heap) *BTree {
+func CreateBTree(tx *ssp.Core, h ssp.Allocator) *BTree {
 	head := h.Alloc(tx, 16)
 	root := btNewLeaf(tx, h)
 	store(tx, head+0, root)
@@ -43,7 +43,7 @@ func CreateBTree(tx *ssp.Core, h *ssp.Heap) *BTree {
 }
 
 // OpenBTree reattaches a tree from its head address (e.g. a root slot).
-func OpenBTree(h *ssp.Heap, head uint64) *BTree { return &BTree{h: h, head: head} }
+func OpenBTree(h ssp.Allocator, head uint64) *BTree { return &BTree{h: h, head: head} }
 
 // Head returns the tree's persistent head address for use as a root.
 func (t *BTree) Head() uint64 { return t.head }
@@ -51,7 +51,7 @@ func (t *BTree) Head() uint64 { return t.head }
 // Len returns the number of stored keys.
 func (t *BTree) Len(tx *ssp.Core) uint64 { return load(tx, t.head+8) }
 
-func btNewLeaf(tx *ssp.Core, h *ssp.Heap) uint64 {
+func btNewLeaf(tx *ssp.Core, h ssp.Allocator) uint64 {
 	n := h.Alloc(tx, btNodeBytes)
 	store(tx, n+btFlagsOff, 1)
 	store(tx, n+btNKeysOff, 0)
@@ -59,7 +59,7 @@ func btNewLeaf(tx *ssp.Core, h *ssp.Heap) uint64 {
 	return n
 }
 
-func btNewInternal(tx *ssp.Core, h *ssp.Heap) uint64 {
+func btNewInternal(tx *ssp.Core, h ssp.Allocator) uint64 {
 	n := h.Alloc(tx, btNodeBytes)
 	store(tx, n+btFlagsOff, 0)
 	store(tx, n+btNKeysOff, 0)

@@ -14,13 +14,13 @@ const (
 
 // Hash is a persistent chained hash table with a fixed bucket array.
 type Hash struct {
-	h    *ssp.Heap
+	h    ssp.Allocator
 	head uint64 // +0 bucket array VA, +8 bucket count, +16 element count
 }
 
 // CreateHash allocates a table with nBuckets (rounded up to a power of
 // two) inside tx's transaction.
-func CreateHash(tx *ssp.Core, h *ssp.Heap, nBuckets int) *Hash {
+func CreateHash(tx *ssp.Core, h ssp.Allocator, nBuckets int) *Hash {
 	n := 1
 	for n < nBuckets {
 		n *= 2
@@ -38,7 +38,7 @@ func CreateHash(tx *ssp.Core, h *ssp.Heap, nBuckets int) *Hash {
 }
 
 // OpenHash reattaches a table from its head address.
-func OpenHash(h *ssp.Heap, head uint64) *Hash { return &Hash{h: h, head: head} }
+func OpenHash(h ssp.Allocator, head uint64) *Hash { return &Hash{h: h, head: head} }
 
 // Head returns the persistent head address.
 func (t *Hash) Head() uint64 { return t.head }

@@ -29,12 +29,12 @@ const (
 // rebalancing — the paper's RBTree workload touches ~12 lines per update
 // precisely because of these fixups).
 type RBTree struct {
-	h    *ssp.Heap
+	h    ssp.Allocator
 	head uint64 // +0 root, +8 count
 }
 
 // CreateRBTree allocates an empty tree inside tx's transaction.
-func CreateRBTree(tx *ssp.Core, h *ssp.Heap) *RBTree {
+func CreateRBTree(tx *ssp.Core, h ssp.Allocator) *RBTree {
 	head := h.Alloc(tx, 16)
 	store(tx, head+0, 0)
 	store(tx, head+8, 0)
@@ -42,7 +42,7 @@ func CreateRBTree(tx *ssp.Core, h *ssp.Heap) *RBTree {
 }
 
 // OpenRBTree reattaches a tree from its head address.
-func OpenRBTree(h *ssp.Heap, head uint64) *RBTree { return &RBTree{h: h, head: head} }
+func OpenRBTree(h ssp.Allocator, head uint64) *RBTree { return &RBTree{h: h, head: head} }
 
 // Head returns the persistent head address.
 func (t *RBTree) Head() uint64 { return t.head }

@@ -18,8 +18,34 @@
 //	m2, _ := ssp.Restore(m.ConfigUsed(), img)
 //	m2.Core(0).Load64(obj)          // => 42
 //
-// Everything is deterministic: identical Config and operation sequences
-// produce identical timing and traffic statistics.
+// Everything run serially is deterministic: identical Config and operation
+// sequences produce identical timing and traffic statistics.
+//
+// # Concurrency
+//
+// A Machine supports two execution modes. Outside Machine.Run, every call
+// runs on the caller's goroutine (the historical single-goroutine model;
+// fully deterministic). Machine.Run(fn) executes fn once per Core, each on
+// its own goroutine, so the simulated cores genuinely run in parallel on
+// the host:
+//
+//	m := ssp.New(ssp.Config{Backend: ssp.SSP, Cores: 4})
+//	m.Run(func(c *ssp.Core) {
+//	    for i := 0; i < txnsPerCore; i++ { ... c.Begin(); ...; c.Commit() }
+//	})
+//
+// The contract is one goroutine per Core: a Core handle must only be used
+// by the goroutine Run hands it to. Shared machine structures (memory,
+// caches, page table, backend metadata) synchronise internally; isolation
+// of application data remains the program's job via Lock, exactly as in
+// the paper. Machine-level calls (Stats, Drain, Crash, Recover, Restore)
+// must not overlap a Run. Per-core results are deterministic for fixed
+// per-core inputs; cross-core timing depends on the host schedule, and
+// aggregate statistics are order-independent sums of per-core shards.
+//
+// Allocation in concurrent code goes through per-core Arenas (Machine.
+// NewArena) rather than the shared Heap, so no two cores ever issue
+// transactional stores to the same allocator metadata line.
 package ssp
 
 import (
@@ -54,6 +80,15 @@ type Lock = machine.Lock
 
 // Heap is the persistent heap allocator (Alloc/Free inside transactions).
 type Heap = pheap.Heap
+
+// Arena is a per-core allocation shard of the heap: disjoint pages, own
+// free lists, own metadata page. Used by concurrent workloads so cores
+// never contend (or conflict transactionally) on allocator metadata.
+type Arena = pheap.Arena
+
+// Allocator is the allocation interface shared by *Heap and *Arena; the
+// persistent data structures in ssp/pds and ssp/kv accept either.
+type Allocator = pheap.Allocator
 
 // Stats is the counter set every experiment derives its numbers from.
 type Stats = stats.Stats
@@ -106,6 +141,13 @@ type Config struct {
 
 	// REDO-LOG knob.
 	RedoQueueLines int // post-commit write-back queue bound
+
+	// ConsolEpochCommits is the concurrent-mode consolidation epoch length:
+	// during Machine.Run, SSP batches page consolidation and drains the
+	// batch every N commits instead of consolidating inline at each commit
+	// (which would serialise all cores on the metadata journal). Serial
+	// execution ignores it. Default 32.
+	ConsolEpochCommits int
 }
 
 // apply converts the public Config into the internal machine config.
@@ -178,6 +220,9 @@ func (c Config) apply() machine.Config {
 	if c.RedoQueueLines > 0 {
 		mc.Redo.QueueLines = c.RedoQueueLines
 	}
+	if c.ConsolEpochCommits > 0 {
+		mc.SSP.EpochCommits = c.ConsolEpochCommits
+	}
 	return mc
 }
 
@@ -204,6 +249,19 @@ func Restore(cfg Config, image []byte) (*Machine, error) {
 
 // ConfigUsed returns the Config the machine was built with.
 func (m *Machine) ConfigUsed() Config { return m.cfg }
+
+// Run executes fn once per core, each on its own goroutine, and returns
+// when all of them finish — the machine's concurrent mode. See the package
+// comment for the full contract (one goroutine per Core, no machine-level
+// calls until Run returns).
+func (m *Machine) Run(fn func(c *Core)) { m.Machine.Run(fn) }
+
+// NewArena carves a per-core allocation arena of the given page count from
+// the heap inside tx's open transaction. Create arenas during (serial)
+// setup, then hand one to each core before Run.
+func (m *Machine) NewArena(tx *Core, pages int) *Arena {
+	return m.Heap().NewArena(tx, pages)
+}
 
 // FreqGHz returns the simulated core frequency.
 func (m *Machine) FreqGHz() float64 { return m.Machine.Config().Mem.FreqGHz }

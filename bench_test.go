@@ -153,6 +153,39 @@ func BenchmarkRecoveryEffort(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSmoke is the CI bench-regression gate (see cmd/benchjson
+// and .github/workflows/ci.yml): SSP on the sharded memcached workload, 4
+// goroutine-backed cores over a 4-channel interleaved memory, reporting
+// committed transactions per simulated second for the parallel run, the
+// 1-core serial baseline, and the resulting speedup. CI fails when
+// SSP_cTPS drops more than 20% below the checked-in baseline
+// (ci/bench_baseline.json).
+func BenchmarkParallelSmoke(b *testing.B) {
+	params := func(clients int) workload.Params {
+		p := workload.Params{
+			Kind:    workload.Memcached,
+			Backend: ssp.SSP,
+			Clients: clients,
+			Ops:     4000,
+			Items:   4096,
+			Seed:    0xE0,
+		}
+		p.Machine.Channels = 4
+		return p
+	}
+	for i := 0; i < b.N; i++ {
+		serial := workload.Run(params(1))
+		par := workload.RunParallel(params(4))
+		sTPS := experiments.CommittedTPS(serial.Cycles, serial)
+		pTPS := experiments.CommittedTPS(par.Cycles, par.Result)
+		b.ReportMetric(pTPS, "SSP_cTPS")
+		b.ReportMetric(sTPS, "SSP_serial_cTPS")
+		if sTPS > 0 {
+			b.ReportMetric(pTPS/sTPS, "SSP_speedup")
+		}
+	}
+}
+
 // BenchmarkTxnPath measures the raw per-transaction cost of each design on
 // a minimal two-store transaction (the mechanism overhead itself).
 func BenchmarkTxnPath(b *testing.B) {

@@ -1,0 +1,200 @@
+// Command benchjson converts `go test -bench` output into a JSON report and
+// gates CI on benchmark regressions.
+//
+// It parses the standard benchmark line format
+//
+//	BenchmarkName-8   1   123456 ns/op   2345678 SSP_cTPS   1.40 SSP_speedup
+//
+// into {benchmark: {metric: value}}, writes the report (BENCH_ci.json in
+// CI, uploaded as an artifact), and compares selected metrics against a
+// checked-in baseline:
+//
+//	go test -bench=. -benchtime=1x -run '^$' . | tee bench.txt
+//	benchjson -in bench.txt -out BENCH_ci.json \
+//	    -baseline ci/bench_baseline.json \
+//	    -gate BenchmarkParallelSmoke/SSP_cTPS -threshold 0.20
+//
+// A gated metric fails the run when current < baseline*(1-threshold) —
+// higher is assumed better for gated metrics, so use throughput-style
+// metrics, not latencies. Gated metrics missing from the baseline are
+// reported but do not fail (new benchmarks land before their baseline).
+// Refresh the baseline with -update after an intentional change:
+//
+//	benchjson -in bench.txt -update -baseline ci/bench_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report is the JSON document benchjson reads and writes.
+type Report struct {
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// metrics: the standard ns/op plus every b.ReportMetric unit.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark metrics from `go test -bench` output.
+func parseBench(r io.Reader) (Report, error) {
+	rep := Report{Benchmarks: map[string]map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		metrics := rep.Benchmarks[name]
+		if metrics == nil {
+			metrics = map[string]float64{}
+			rep.Benchmarks[name] = metrics
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			// Benchmarks that run multiple iterations report a metric once
+			// per line; the last value wins, which matches -benchtime=1x.
+			metrics[fields[i+1]] = v
+		}
+	}
+	return rep, sc.Err()
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	return rep, json.Unmarshal(data, &rep)
+}
+
+func writeReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// lookup resolves a "Benchmark/metric" gate spec against a report. Both
+// benchmark names (sub-benchmarks) and metric units (ns/op, simcycles/txn)
+// may contain slashes, so every split point is tried.
+func lookup(rep Report, spec string) (float64, bool) {
+	for i := len(spec) - 1; i > 0; i-- {
+		if spec[i] != '/' {
+			continue
+		}
+		if m, ok := rep.Benchmarks[spec[:i]]; ok {
+			if v, ok := m[spec[i+1:]]; ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func main() {
+	in := flag.String("in", "-", "benchmark output file (- for stdin)")
+	out := flag.String("out", "BENCH_ci.json", "JSON report to write")
+	baseline := flag.String("baseline", "", "baseline JSON to compare against")
+	gates := flag.String("gate", "", "comma-separated Benchmark/metric specs to gate (higher is better)")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional drop below baseline")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parseBench(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in %s", *in))
+	}
+	if err := writeReport(*out, rep); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
+
+	if *baseline == "" {
+		return
+	}
+	if *update {
+		if err := writeReport(*baseline, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchjson: baseline %s updated\n", *baseline)
+		return
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		fatal(fmt.Errorf("reading baseline: %w", err))
+	}
+
+	failed := false
+	specs := strings.Split(*gates, ",")
+	sort.Strings(specs)
+	for _, spec := range specs {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		cur, ok := lookup(rep, spec)
+		if !ok {
+			fmt.Printf("benchjson: FAIL %s: metric missing from this run\n", spec)
+			failed = true
+			continue
+		}
+		want, ok := lookup(base, spec)
+		if !ok {
+			fmt.Printf("benchjson: %s = %.0f (no baseline yet; run -update to record)\n", spec, cur)
+			continue
+		}
+		floor := want * (1 - *threshold)
+		if cur < floor {
+			fmt.Printf("benchjson: FAIL %s = %.0f, below %.0f (baseline %.0f - %d%%)\n",
+				spec, cur, floor, want, int(*threshold*100))
+			failed = true
+		} else {
+			fmt.Printf("benchjson: OK %s = %.0f (baseline %.0f, floor %.0f)\n", spec, cur, want, floor)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

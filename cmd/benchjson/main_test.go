@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkParallelSmoke 	       1	 261932645 ns/op	   3064114 SSP_cTPS	   1241119 SSP_serial_cTPS	         2.469 SSP_speedup
+BenchmarkTxnPath/SSP-8         	       1	      8854 ns/op	     11778 simcycles/txn
+PASS
+ok  	repro	28.101s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	smoke := rep.Benchmarks["BenchmarkParallelSmoke"]
+	if smoke == nil {
+		t.Fatal("BenchmarkParallelSmoke missing")
+	}
+	if smoke["SSP_cTPS"] != 3064114 {
+		t.Errorf("SSP_cTPS = %v", smoke["SSP_cTPS"])
+	}
+	if smoke["SSP_speedup"] != 2.469 {
+		t.Errorf("SSP_speedup = %v", smoke["SSP_speedup"])
+	}
+	// The -8 GOMAXPROCS suffix is stripped from sub-benchmarks too.
+	if rep.Benchmarks["BenchmarkTxnPath/SSP"] == nil {
+		t.Fatal("BenchmarkTxnPath/SSP missing (suffix not stripped?)")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := lookup(rep, "BenchmarkParallelSmoke/SSP_cTPS"); !ok || v != 3064114 {
+		t.Errorf("lookup SSP_cTPS = %v, %v", v, ok)
+	}
+	// Metric units containing slashes resolve via multi-split.
+	if v, ok := lookup(rep, "BenchmarkTxnPath/SSP/simcycles/txn"); !ok || v != 11778 {
+		t.Errorf("lookup simcycles/txn = %v, %v", v, ok)
+	}
+	if _, ok := lookup(rep, "BenchmarkMissing/metric"); ok {
+		t.Error("missing benchmark resolved")
+	}
+}

@@ -9,8 +9,9 @@
 //	sspbench -list
 //
 // Experiments: table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5
-// ablate recovery parallel all. See DESIGN.md §3 for the experiment index
-// and EXPERIMENTS.md for recorded paper-vs-measured results.
+// ablate recovery parallel channels all. See DESIGN.md §3 for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// results.
 //
 // The parallel experiment exercises the concurrent execution engine: each
 // simulated core runs on its own host goroutine (ssp.Machine.Run) over
@@ -19,6 +20,14 @@
 // run (plus per-core throughput and host wall-clock):
 //
 //	sspbench -exp parallel -cores 4
+//
+// The channels experiment sweeps the multi-channel interleaved memory model
+// (memory channels × cores) on the SSP backend, reporting committed TPS,
+// speedup over the 1-core serial run at the same channel count, and
+// per-channel bus utilization — the point where parallel scaling stops
+// being bandwidth-bound:
+//
+//	sspbench -exp channels -cores 4 -channels 8
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/workload"
+	"repro/ssp"
 )
 
 func main() {
@@ -37,12 +47,22 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	ops := flag.Int("ops", 0, "override measured transactions per run")
 	seed := flag.Uint64("seed", 0, "override RNG seed")
-	cores := flag.Int("cores", 4, "cores for -exp parallel (one goroutine each)")
+	cores := flag.Int("cores", 4, "max cores for -exp parallel/channels (one goroutine each)")
+	channels := flag.Int("channels", 8, "max memory channels for -exp channels")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5 ablate recovery parallel all")
+		fmt.Println("table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5 ablate recovery parallel channels all")
 		return
+	}
+
+	if *channels < 1 || *channels > ssp.MaxChannels {
+		fmt.Fprintf(os.Stderr, "-channels %d out of range [1,%d]\n", *channels, ssp.MaxChannels)
+		os.Exit(2)
+	}
+	if *cores < 1 {
+		fmt.Fprintf(os.Stderr, "-cores must be at least 1\n")
+		os.Exit(2)
 	}
 
 	var sc experiments.Scale
@@ -107,6 +127,13 @@ func main() {
 			section(fmt.Sprintf("Concurrent engine — %d goroutine-backed cores vs 1-core serial", *cores))
 			fmt.Println(experiments.RenderParallel(experiments.ParallelScaling(sc, workload.Memcached, *cores)))
 			fmt.Println(experiments.RenderParallel(experiments.ParallelScaling(sc, workload.Vacation, *cores)))
+		case "channels":
+			chList := experiments.SweepPowersOfTwo(*channels)
+			coreList := experiments.SweepPowersOfTwo(*cores)
+			for _, k := range []workload.Kind{workload.Memcached, workload.Vacation} {
+				section(fmt.Sprintf("Multi-channel memory — SSP committed TPS on %s, %v channels x %v cores", k, chList, coreList))
+				fmt.Println(experiments.RenderChannels(experiments.ChannelSweep(sc, k, ssp.SSP, chList, coreList)))
+			}
 		case "recovery":
 			section("Recovery effort vs journal capacity (§4.1.2 checkpointing)")
 			fmt.Println(experiments.RenderRecovery(experiments.RecoveryEffort(sc)))
@@ -118,7 +145,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table3", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "table4", "table5", "ablate", "recovery", "parallel"} {
+		for _, id := range []string{"table3", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "table4", "table5", "ablate", "recovery", "parallel", "channels"} {
 			run(id)
 		}
 		return

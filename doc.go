@@ -33,10 +33,35 @@
 //     cross-core timing (bank contention, lock hand-off order) depends on
 //     the host schedule.
 //
+// # Multi-channel memory model
+//
+// The memory system supports multiple independent channels
+// (ssp.Config.Channels, default 1 = the paper's single-bus Table 2 model;
+// internals in internal/memsim). Each channel owns a slice of the banks, a
+// data-bus bandwidth ledger and its own timing lock; addresses interleave
+// across channels per ssp.Config.Interleave — InterleaveLine (consecutive
+// 64-byte lines rotate channels; default) or InterleavePage (a 4 KiB page
+// stays on one channel). Channel and bank selectors are swizzled with
+// higher address bits (permutation-based interleaving), so power-of-2
+// strided regions such as the per-core logs spread across banks instead of
+// aliasing onto one. Per-channel traffic and bus-occupancy counters land in
+// stats.Stats (ChannelLines, ChannelBusyCycles), one stats shard per
+// channel.
+//
+// Bank and bus occupancy is tracked in time-bucketed ledgers rather than
+// "busy until" scalars, so concurrent cores queue only when their simulated
+// windows genuinely overlap on the same resource; shared structures with a
+// serial protocol — the SSP metadata journal, REDO's single write-back
+// engine — remain serialised in simulated time by design. The sweep
+// `go run ./cmd/sspbench -exp channels -cores 4 -channels 8` reports
+// committed TPS, speedup and per-channel bus utilization across the
+// channels × cores grid.
+//
 // The aggregate-vs-serial equivalence and race-freedom are enforced by
 // `go test -race ./internal/machine -run TestParallel` and the workload
-// smoke tests; the benchmark entry point is
-// `go run ./cmd/sspbench -exp parallel -cores 4`.
+// smoke tests; the benchmark entry points are
+// `go run ./cmd/sspbench -exp parallel -cores 4` and
+// `go run ./cmd/sspbench -exp channels -cores 4`.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation:

@@ -159,6 +159,13 @@ type dirEntry struct {
 // and L3 fills are globally ordered anyway. The mutex is above the memory
 // system's locks in the lock order (the hierarchy calls into memsim while
 // holding it, never the reverse).
+//
+// Memory traffic below L3 is issued per address to the memory system, which
+// routes each transfer to its interleaved channel — misses and write-backs
+// occupy only that channel's bus timeline, so simulated transfers to
+// different channels overlap even though the interconnect lock orders their
+// issue. With one channel this degenerates to the historical single-bus
+// model.
 type Hierarchy struct {
 	cfg Config
 	mem *memsim.Memory
@@ -770,6 +777,9 @@ func (h *Hierarchy) DropAll() {
 }
 
 // FlushAll writes back every dirty line (orderly shutdown; test helper).
+// The write-backs are independent, so each is issued from `at` and the
+// fence waits for the slowest — the drain overlaps across memory banks and
+// channels instead of serialising line by line.
 func (h *Hierarchy) FlushAll(at engine.Cycles, cat stats.WriteCat) engine.Cycles {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -778,7 +788,7 @@ func (h *Hierarchy) FlushAll(at engine.Cycles, cat stats.WriteCat) engine.Cycles
 		for i := range l.lines {
 			c := &l.lines[i]
 			if c.valid && c.dirty {
-				d, _ := h.flushLocked(0, memsim.PAddr(c.tag)<<memsim.LineShift, t, cat)
+				d, _ := h.flushLocked(0, memsim.PAddr(c.tag)<<memsim.LineShift, at, cat)
 				if d > t {
 					t = d
 				}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/ssp"
+)
+
+// This file is the multi-channel scaling experiment (beyond the paper): it
+// sweeps the memory-channel count against the core count to show where the
+// concurrent engine stops being bandwidth-bound. On one channel every
+// 64-byte transfer serialises on a single bus and 4-core speedup saturates
+// around 1.4×; with the interleaved multi-channel model the same SSP write
+// savings translate into near-linear multi-core scaling.
+
+// ChannelPoint is one (channels, cores) cell of the sweep.
+type ChannelPoint struct {
+	Channels int
+	Cores    int
+	Serial   workload.Result         // 1-core serial baseline, same channel count
+	Parallel workload.ParallelResult // cores-goroutine concurrent run
+	Speedup  float64                 // parallel committed TPS / serial committed TPS
+	Util     []float64               // per-channel bus utilization of the parallel window
+}
+
+// ChannelSweep runs kind under backend b for every channels × cores
+// combination. Each channel count gets its own 1-core serial baseline so the
+// speedup isolates concurrency, not the channel count itself.
+func ChannelSweep(sc Scale, kind workload.Kind, b ssp.Backend, channelsList, coresList []int) []ChannelPoint {
+	var points []ChannelPoint
+	for _, ch := range channelsList {
+		p := sc.params(kind, b, 1)
+		p.Machine.Channels = ch
+		serial := workload.Run(p)
+		sTPS := CommittedTPS(serial.Cycles, serial)
+		for _, cores := range coresList {
+			pp := sc.params(kind, b, cores)
+			pp.Machine.Channels = ch
+			par := workload.RunParallel(pp)
+			pt := ChannelPoint{
+				Channels: ch,
+				Cores:    cores,
+				Serial:   serial,
+				Parallel: par,
+				Util:     channelUtil(par, ch),
+			}
+			if sTPS > 0 {
+				pt.Speedup = CommittedTPS(par.Cycles, par.Result) / sTPS
+			}
+			points = append(points, pt)
+		}
+	}
+	return points
+}
+
+// channelUtil derives per-channel bus utilization from the run's aggregated
+// occupancy counters and the measured window's elapsed cycles, clamped to
+// [0,1] (the counters charge every transfer, including any a straggler core
+// got past the occupancy wheel's horizon).
+func channelUtil(par workload.ParallelResult, channels int) []float64 {
+	out := make([]float64, channels)
+	if par.Cycles <= 0 {
+		return out
+	}
+	for i := 0; i < channels && i < stats.MaxChannels; i++ {
+		out[i] = float64(par.Stats.ChannelBusyCycles[i]) / float64(par.Cycles)
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// RenderChannels formats the sweep: one row per channel count with the
+// committed TPS and speedup at every core count, then the per-channel bus
+// utilization of each cell's parallel window.
+func RenderChannels(points []ChannelPoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	var coresList []int
+	seen := map[int]bool{}
+	for _, pt := range points {
+		if !seen[pt.Cores] {
+			seen[pt.Cores] = true
+			coresList = append(coresList, pt.Cores)
+		}
+	}
+	cell := map[[2]int]ChannelPoint{}
+	var channelsList []int
+	for _, pt := range points {
+		key := [2]int{pt.Channels, pt.Cores}
+		if _, ok := cell[key]; !ok {
+			cell[key] = pt
+		}
+		if len(channelsList) == 0 || channelsList[len(channelsList)-1] != pt.Channels {
+			channelsList = append(channelsList, pt.Channels)
+		}
+	}
+
+	header := []string{"channels", "serial-1 cTPS"}
+	for _, c := range coresList {
+		header = append(header, fmt.Sprintf("%d-core cTPS (speedup)", c))
+	}
+	var body [][]string
+	for _, ch := range channelsList {
+		first := cell[[2]int{ch, coresList[0]}]
+		row := []string{
+			fmt.Sprintf("%d", ch),
+			fmt.Sprintf("%.0f", CommittedTPS(first.Serial.Cycles, first.Serial)),
+		}
+		for _, c := range coresList {
+			pt, ok := cell[[2]int{ch, c}]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.0f (%.2fx)", CommittedTPS(pt.Parallel.Cycles, pt.Parallel.Result), pt.Speedup))
+		}
+		body = append(body, row)
+	}
+
+	var b strings.Builder
+	b.WriteString(stats.Table(header, body))
+	b.WriteString("\nper-channel bus utilization (parallel windows):\n")
+	for _, ch := range channelsList {
+		for _, c := range coresList {
+			pt, ok := cell[[2]int{ch, c}]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  %dch x %dcore:", ch, c)
+			for _, u := range pt.Util {
+				fmt.Fprintf(&b, " %4.1f%%", 100*u)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// SweepPowersOfTwo returns 1, 2, 4, ... up to and including max (plus max
+// itself when it is not a power of two).
+func SweepPowersOfTwo(max int) []int {
+	if max < 1 {
+		return []int{1}
+	}
+	var out []int
+	for v := 1; v <= max; v *= 2 {
+		out = append(out, v)
+	}
+	if out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}

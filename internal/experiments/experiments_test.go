@@ -285,3 +285,61 @@ func TestRecoveryEffort(t *testing.T) {
 	}
 	_ = RenderRecovery(rows)
 }
+
+func TestChannelSweep(t *testing.T) {
+	sc := tinyScale()
+	points := ChannelSweep(sc, workload.Memcached, ssp.SSP, []int{1, 4}, []int{1, 2})
+	if len(points) != 4 {
+		t.Fatalf("expected 4 sweep points, got %d", len(points))
+	}
+	for _, pt := range points {
+		if pt.Speedup <= 0 {
+			t.Errorf("%dch x %dcore: speedup %.2f not positive", pt.Channels, pt.Cores, pt.Speedup)
+		}
+		if len(pt.Util) != pt.Channels {
+			t.Fatalf("%dch x %dcore: %d utilization entries", pt.Channels, pt.Cores, len(pt.Util))
+		}
+		for c, u := range pt.Util {
+			if u < 0 || u > 1 {
+				t.Errorf("%dch x %dcore: channel %d utilization %.3f out of [0,1]", pt.Channels, pt.Cores, c, u)
+			}
+			if u == 0 {
+				t.Errorf("%dch x %dcore: channel %d saw no bus occupancy", pt.Channels, pt.Cores, c)
+			}
+		}
+	}
+	// Multi-core runs must beat the 1-core run at the same channel count.
+	byKey := map[[2]int]ChannelPoint{}
+	for _, pt := range points {
+		byKey[[2]int{pt.Channels, pt.Cores}] = pt
+	}
+	for _, ch := range []int{1, 4} {
+		if s1, s2 := byKey[[2]int{ch, 1}].Speedup, byKey[[2]int{ch, 2}].Speedup; s2 <= s1 {
+			t.Errorf("%dch: 2-core speedup %.2f not above 1-core %.2f", ch, s2, s1)
+		}
+	}
+	if out := RenderChannels(points); !strings.Contains(out, "channels") || !strings.Contains(out, "utilization") {
+		t.Errorf("render missing sections:\n%s", out)
+	}
+}
+
+func TestSweepPowersOfTwo(t *testing.T) {
+	for _, tc := range []struct {
+		max  int
+		want []int
+	}{
+		{0, []int{1}}, {1, []int{1}}, {4, []int{1, 2, 4}}, {6, []int{1, 2, 4, 6}}, {8, []int{1, 2, 4, 8}},
+	} {
+		got := SweepPowersOfTwo(tc.max)
+		if len(got) != len(tc.want) {
+			t.Errorf("SweepPowersOfTwo(%d) = %v, want %v", tc.max, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("SweepPowersOfTwo(%d) = %v, want %v", tc.max, got, tc.want)
+				break
+			}
+		}
+	}
+}

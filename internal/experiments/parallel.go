@@ -21,10 +21,10 @@ type ParallelRow struct {
 	Parallel workload.ParallelResult // N clients, one goroutine per core
 }
 
-// committedTPS converts a result into committed durable transactions per
+// CommittedTPS converts a result into committed durable transactions per
 // simulated second (GETs and other read-only operations excluded). The
 // runs use the default core frequency.
-func committedTPS(cycles ssp.Cycles, res workload.Result) float64 {
+func CommittedTPS(cycles ssp.Cycles, res workload.Result) float64 {
 	if cycles <= 0 {
 		return 0
 	}
@@ -56,8 +56,8 @@ func RenderParallel(rows []ParallelRow) string {
 	header := []string{"workload", "design", "serial-1 cTPS", fmt.Sprintf("parallel-%d cTPS", cores), "speedup", "wall"}
 	var tab [][]string
 	for _, r := range rows {
-		s1 := committedTPS(r.Serial1.Cycles, r.Serial1)
-		pn := committedTPS(r.Parallel.Cycles, r.Parallel.Result)
+		s1 := CommittedTPS(r.Serial1.Cycles, r.Serial1)
+		pn := CommittedTPS(r.Parallel.Cycles, r.Parallel.Result)
 		speed := 0.0
 		if s1 > 0 {
 			speed = pn / s1

@@ -221,7 +221,10 @@ func TestCrashDuringRecovery(t *testing.T) {
 				if err != nil {
 					t.Fatalf("baseline restore failed: %v", err)
 				}
-				m3 := build(testConfig(b, 1), img)
+				m3, err := build(testConfig(b, 1), img)
+				if err != nil {
+					t.Fatalf("build from image: %v", err)
+				}
 				m3.pt.Rebuild()
 				m3.Mem().SetWriteTrap(k)
 				_ = m3.Recover() // may be cut short; errors not expected

@@ -183,7 +183,12 @@ func (w *WriteSetStats) AvgPages() float64 {
 
 // New builds and formats a fresh machine.
 func New(cfg Config) *Machine {
-	m := build(cfg, nil)
+	m, err := build(cfg, nil)
+	if err != nil {
+		// Only a mismatched restore image can fail the build, and New never
+		// passes one.
+		panic(err)
+	}
 	m.format()
 	return m
 }
@@ -191,7 +196,10 @@ func New(cfg Config) *Machine {
 // Restore boots a machine from a previous machine's durable NVRAM image
 // (post-crash) and runs the backend's recovery.
 func Restore(cfg Config, image []byte) (*Machine, error) {
-	m := build(cfg, image)
+	m, err := build(cfg, image)
+	if err != nil {
+		return nil, err
+	}
 	if !vm.IsFormatted(m.mem, m.layout) {
 		return nil, fmt.Errorf("machine: image is not a formatted persistent heap")
 	}
@@ -210,21 +218,27 @@ func Restore(cfg Config, image []byte) (*Machine, error) {
 	return m, nil
 }
 
-func build(cfg Config, image []byte) *Machine {
+func build(cfg Config, image []byte) (*Machine, error) {
 	cfg.Cache.Cores = cfg.Cores
 	cfg.Layout.Cores = cfg.Cores
 	shards := stats.NewSharded(cfg.Cores)
-	// Counter routing: structures that synchronise themselves (memory
-	// controller, cache hierarchy) write the shared shard under their own
-	// locks; each TLB and each core's backend execution path write that
-	// core's shard. Aggregation is an order-independent sum.
+	// Counter routing: the cache hierarchy writes the shared shard under its
+	// interconnect lock; each memory channel writes its own channel shard
+	// under that channel's timing lock; each TLB and each core's backend
+	// execution path write that core's shard. Aggregation is an
+	// order-independent sum.
 	shared := shards.Shared()
 	var mem *memsim.Memory
 	if image != nil {
-		mem = memsim.NewFromImage(cfg.Mem, shared, image)
+		var err error
+		mem, err = memsim.NewFromImage(cfg.Mem, shared, image)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		mem = memsim.New(cfg.Mem, shared)
 	}
+	mem.AttachChannelStats(shards.ChannelShards(mem.Channels()))
 	layout := vm.NewLayout(cfg.Mem, cfg.Layout)
 	m := &Machine{
 		cfg:    cfg,
@@ -268,7 +282,7 @@ func build(cfg Config, image []byte) *Machine {
 	for c := 0; c < cfg.Cores; c++ {
 		m.cores = append(m.cores, &Core{m: m, id: c})
 	}
-	return m
+	return m, nil
 }
 
 // format initialises the persistent image: superblock, heap page zero, and
@@ -363,6 +377,29 @@ func (m *Machine) Heap() *pheap.Heap { return m.heap }
 
 // Mem exposes the memory system (tests, crash tooling).
 func (m *Machine) Mem() *memsim.Memory { return m.mem }
+
+// Channels returns the memory system's effective channel count.
+func (m *Machine) Channels() int { return m.mem.Channels() }
+
+// ChannelUtilization converts the aggregated per-channel bus-occupancy
+// counters into utilization fractions of the given elapsed window (one entry
+// per channel), clamped to [0,1] — the counters charge every transfer, so a
+// degenerate window (a straggler core admitted past the occupancy wheel's
+// horizon) could otherwise nudge past 1. Quiescent-only, like Stats.
+func (m *Machine) ChannelUtilization(elapsed engine.Cycles) []float64 {
+	st := m.shards.Aggregate()
+	out := make([]float64, m.mem.Channels())
+	if elapsed <= 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = float64(st.ChannelBusyCycles[i]) / float64(elapsed)
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
 
 // DebugValidateCaches runs the cache hierarchy's coherence invariant check
 // and returns the first violation, or "" (test helper).

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/memsim"
 	"repro/internal/pheap"
 )
 
@@ -139,6 +140,69 @@ func TestParallelStressMatchesSerial(t *testing.T) {
 						t.Errorf("post-recovery %#x = %#x, want %#x", va, got, want)
 					}
 				}
+			}
+		})
+	}
+}
+
+// TestParallelMultiChannel runs the stress streams on a 4-channel machine:
+// the channel counters must account for every memory transfer, every channel
+// must carry traffic, and order-independent aggregates must still match a
+// serial run on the same multi-channel machine. (The simulated-time speedup
+// of multi-channel runs is asserted deterministically in memsim's
+// TestChannelBandwidthScaling and demonstrated by `sspbench -exp channels`;
+// cross-core timing here depends on the host schedule.)
+func TestParallelMultiChannel(t *testing.T) {
+	txns := 200
+	if testing.Short() {
+		txns = 60
+	}
+	channelCfg := func(b BackendKind, channels int) Config {
+		cfg := testConfig(b, stressCores)
+		cfg.Mem.Channels = channels
+		cfg.Mem.Interleave = memsim.InterleaveLine
+		return cfg
+	}
+	runParallel := func(cfg Config) *Machine {
+		m := New(cfg)
+		m.Heap().EnsureMapped(1, stressCores*stressPagesPer)
+		m.Run(func(c *Core) {
+			stressScript(c, txns, 0xBEEF, map[uint64]uint64{})
+		})
+		m.Drain()
+		return m
+	}
+	for _, b := range allBackends() {
+		t.Run(b.String(), func(t *testing.T) {
+			m := runParallel(channelCfg(b, 4))
+			st := *m.Stats()
+
+			var chanLines uint64
+			for c := 0; c < 4; c++ {
+				if st.ChannelLines[c] == 0 {
+					t.Errorf("channel %d saw no traffic", c)
+				}
+				chanLines += st.ChannelLines[c]
+			}
+			total := st.NVRAMReadLines + st.NVRAMWriteLines + st.DRAMReadLines + st.DRAMWriteLines
+			if chanLines != total {
+				t.Errorf("per-channel lines %d != total transfers %d", chanLines, total)
+			}
+
+			// Serial reference on an identical 4-channel machine.
+			ref := New(channelCfg(b, 4))
+			ref.Heap().EnsureMapped(1, stressCores*stressPagesPer)
+			for i := 0; i < stressCores; i++ {
+				stressScript(ref.Core(i), txns, 0xBEEF, map[uint64]uint64{})
+			}
+			ref.Drain()
+			refStats := *ref.Stats()
+			if st.Commits != refStats.Commits || st.Aborts != refStats.Aborts {
+				t.Errorf("commits/aborts %d/%d, serial %d/%d", st.Commits, st.Aborts, refStats.Commits, refStats.Aborts)
+			}
+
+			if msg := m.DebugValidateCaches(); msg != "" {
+				t.Fatalf("cache invariant violated: %s", msg)
 			}
 		})
 	}

@@ -1,0 +1,368 @@
+package memsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+func channelConfig(channels int, iv Interleave) Config {
+	cfg := testConfig()
+	cfg.Channels = channels
+	cfg.Interleave = iv
+	return cfg
+}
+
+// unroute inverts route() for the given policy — the test's independent
+// model of the mapping (including the permutation swizzle).
+func unroute(iv Interleave, channels int, ch int, ca PAddr) PAddr {
+	n := uint64(channels)
+	unrot := func(q uint64) uint64 {
+		// Invert ch = (r + swizzle(q)) % n for the unit index r.
+		return (uint64(ch) + n - swizzle(q)%n) % n
+	}
+	switch iv {
+	case InterleavePage:
+		q := uint64(ca >> PageShift)
+		return PAddr(q*n+unrot(q))<<PageShift | (ca & (PageBytes - 1))
+	default:
+		q := uint64(ca >> LineShift)
+		return PAddr(q*n+unrot(q))<<LineShift | (ca & (LineBytes - 1))
+	}
+}
+
+// The address→(channel, channel-local address) mapping must be a bijection
+// for every policy and channel count: invertible, and no two addresses
+// collide on the same (channel, local) pair.
+func TestChannelRouteBijection(t *testing.T) {
+	for _, iv := range []Interleave{InterleaveLine, InterleavePage} {
+		for _, channels := range []int{1, 2, 3, 4, 8, 16} {
+			t.Run(fmt.Sprintf("%s/%d", iv, channels), func(t *testing.T) {
+				m := New(channelConfig(channels, iv), &stats.Stats{})
+				seen := make(map[[2]uint64]PAddr)
+				base := m.Config().NVRAMBase
+				rng := engine.NewRNG(uint64(channels)*31 + uint64(iv))
+				for i := 0; i < 4096; i++ {
+					var pa PAddr
+					switch {
+					case i < 2048: // dense sequential lines from NVRAM base
+						pa = base + PAddr(i)*LineBytes
+					case i < 3072: // dense DRAM lines
+						pa = PAddr(i-2048) * LineBytes
+					default: // random NVRAM bytes (not line-aligned)
+						pa = base + PAddr(rng.Uint64n(m.Config().NVRAMBytes))
+					}
+					ch, ca := m.route(pa)
+					if ch < 0 || ch >= channels {
+						t.Fatalf("route(%#x) channel %d out of range", pa, ch)
+					}
+					if got := unroute(iv, channels, ch, ca); got != pa {
+						t.Fatalf("route(%#x) = (%d, %#x) does not invert: got %#x", pa, ch, ca, got)
+					}
+					key := [2]uint64{uint64(ch), uint64(ca)}
+					if prev, dup := seen[key]; dup && prev != pa {
+						t.Fatalf("collision: %#x and %#x both map to (%d, %#x)", prev, pa, ch, ca)
+					}
+					seen[key] = pa
+				}
+			})
+		}
+	}
+}
+
+func TestChannelPolicies(t *testing.T) {
+	mLine := New(channelConfig(4, InterleaveLine), &stats.Stats{})
+	base := mLine.Config().NVRAMBase
+	// Line policy: every group of 4 consecutive lines covers all 4 channels
+	// (a per-group permutation); bytes within a line stay together.
+	for g := 0; g < 8; g++ {
+		seen := map[int]bool{}
+		for i := 0; i < 4; i++ {
+			pa := base + PAddr(4*g+i)*LineBytes
+			ch := mLine.ChannelOf(pa)
+			if seen[ch] {
+				t.Errorf("line policy: group %d maps two lines to channel %d", g, ch)
+			}
+			seen[ch] = true
+			if mLine.ChannelOf(pa+63) != ch {
+				t.Errorf("line policy split a cache line at %#x", pa)
+			}
+		}
+	}
+	// Page policy: a page's 64 lines share one channel; every group of 4
+	// consecutive pages covers all 4 channels.
+	mPage := New(channelConfig(4, InterleavePage), &stats.Stats{})
+	for g := 0; g < 4; g++ {
+		seen := map[int]bool{}
+		for p := 0; p < 4; p++ {
+			page := base + PAddr(4*g+p)*PageBytes
+			want := mPage.ChannelOf(page)
+			if seen[want] {
+				t.Errorf("page policy: group %d maps two pages to channel %d", g, want)
+			}
+			seen[want] = true
+			for li := 0; li < LinesPerPage; li++ {
+				if got := mPage.ChannelOf(page + PAddr(li)*LineBytes); got != want {
+					t.Fatalf("page policy: page %d line %d strayed to channel %d (page on %d)", p, li, got, want)
+				}
+			}
+		}
+	}
+}
+
+// checkWheel verifies a wheel's structural invariants: every bucket's
+// booked time is non-negative and its overhang past the bucket span never
+// exceeds one access latency (the carry the reserve loop handles).
+func checkWheel(w *wheel, maxLatency engine.Cycles) error {
+	for i := range w.b {
+		s := &w.b[i]
+		if s.used < 0 {
+			return fmt.Errorf("bucket %d booked negative time %d", i, s.used)
+		}
+		if s.used > wheelSpan+maxLatency {
+			return fmt.Errorf("bucket %d overbooked: %d cycles in a %d-cycle span (max overhang %d)", i, s.used, wheelSpan, maxLatency)
+		}
+	}
+	return nil
+}
+
+// wheelFrontier returns the latest booked completion across the wheel.
+func wheelFrontier(w *wheel) engine.Cycles {
+	var mx engine.Cycles
+	for i := range w.b {
+		if e := engine.Cycles(w.b[i].epoch)*wheelSpan + w.b[i].used; w.b[i].used > 0 && e > mx {
+			mx = e
+		}
+	}
+	return mx
+}
+
+// Per-channel bank and bus occupancy wheels must never move backwards (the
+// booked frontier only advances) and must respect the per-bucket capacity
+// invariant, even when accesses are issued with out-of-order start times —
+// the concurrent-mode pattern the wheel exists for. Completion must never
+// precede issue.
+func TestChannelTimelinesMonotonic(t *testing.T) {
+	m := New(channelConfig(4, InterleaveLine), &stats.Stats{})
+	cfg := m.Config()
+	maxLat := engine.NSToCycles(cfg.NVRAMWrite, cfg.FreqGHz)
+	base := cfg.NVRAMBase
+	rng := engine.NewRNG(0xC4A7)
+	buf := make([]byte, LineBytes)
+
+	prevBus := make([]engine.Cycles, 4)
+	prevBank := make(map[[2]int]engine.Cycles)
+	for i := 0; i < 2000; i++ {
+		pa := base + PAddr(rng.Intn(512))*LineBytes
+		at := engine.Cycles(rng.Intn(5000)) // deliberately non-monotonic issue times
+		var done engine.Cycles
+		if rng.Intn(2) == 0 {
+			done = m.WriteLine(pa, buf, at, stats.CatData)
+		} else {
+			done = m.ReadLine(pa, buf, at)
+		}
+		if done < at {
+			t.Fatalf("access at %d completed in the past at %d", at, done)
+		}
+		for c := range m.chans {
+			ch := &m.chans[c]
+			if err := checkWheel(&ch.bus, maxLat); err != nil {
+				t.Fatalf("channel %d bus wheel: %v", c, err)
+			}
+			if f := wheelFrontier(&ch.bus); f < prevBus[c] {
+				t.Fatalf("channel %d bus frontier went backwards: %d -> %d", c, prevBus[c], f)
+			} else {
+				prevBus[c] = f
+			}
+			for b := range ch.nvBanks {
+				key := [2]int{c, b}
+				if err := checkWheel(&ch.nvBanks[b].tl, maxLat); err != nil {
+					t.Fatalf("channel %d bank %d wheel: %v", c, b, err)
+				}
+				if f := wheelFrontier(&ch.nvBanks[b].tl); f < prevBank[key] {
+					t.Fatalf("channel %d bank %d frontier went backwards: %d -> %d", c, b, prevBank[key], f)
+				} else {
+					prevBank[key] = f
+				}
+			}
+		}
+	}
+}
+
+// A single channel serialises every transfer on one bus; four channels must
+// drain the same independent write stream substantially faster in simulated
+// time. This is the bandwidth unlock the parallel engine depends on. The
+// stream strides one row per write over a raised bank count so it is
+// genuinely bus-bound, not bank-bound (otherwise per-bank latency would
+// dominate at any channel count).
+func TestChannelBandwidthScaling(t *testing.T) {
+	const writes = 1024
+	makespan := func(channels int) engine.Cycles {
+		cfg := channelConfig(channels, InterleaveLine)
+		cfg.NVRAMBanks = 512
+		cfg.NVRAMBytes = 4 << 20
+		m := New(cfg, &stats.Stats{})
+		base := m.Config().NVRAMBase
+		stride := PAddr(cfg.NVRAMRow) // one row per write: banks never chain
+		buf := make([]byte, LineBytes)
+		var max engine.Cycles
+		for i := 0; i < writes; i++ {
+			// Independent writes all issued at t=0, like a commit fence over
+			// a large write set.
+			done := m.WriteLine(base+PAddr(i)*stride, buf, 0, stats.CatData)
+			if done > max {
+				max = done
+			}
+		}
+		return max
+	}
+	one := makespan(1)
+	four := makespan(4)
+	if four*2 >= one {
+		t.Errorf("4 channels did not unlock bandwidth: makespan 1ch=%d 4ch=%d (want >2x better)", one, four)
+	}
+}
+
+// Aggregated per-channel counters must account for every transfer, and the
+// traffic must actually spread across channels.
+func TestChannelCounters(t *testing.T) {
+	sh := stats.NewSharded(1)
+	m := New(channelConfig(4, InterleaveLine), sh.Shared())
+	m.AttachChannelStats(sh.ChannelShards(4))
+	base := m.Config().NVRAMBase
+	buf := make([]byte, LineBytes)
+	for i := 0; i < 256; i++ {
+		m.WriteLine(base+PAddr(i)*LineBytes, buf, 0, stats.CatData)
+		m.ReadLine(PAddr(i)*LineBytes, buf, 0)
+	}
+	st := sh.Aggregate()
+	var chanLines uint64
+	for c := 0; c < 4; c++ {
+		if st.ChannelLines[c] == 0 {
+			t.Errorf("channel %d saw no traffic", c)
+		}
+		if st.ChannelBusyCycles[c] == 0 {
+			t.Errorf("channel %d charged no bus occupancy", c)
+		}
+		chanLines += st.ChannelLines[c]
+	}
+	if total := st.NVRAMReadLines + st.NVRAMWriteLines + st.DRAMReadLines + st.DRAMWriteLines; chanLines != total {
+		t.Errorf("per-channel lines %d != total transfers %d", chanLines, total)
+	}
+	if got := st.ActiveChannels(); got != 4 {
+		t.Errorf("ActiveChannels = %d, want 4", got)
+	}
+}
+
+// Accesses slower than one wheel bucket (Figure 8's high NVRAM-latency
+// multiples) must stamp every bucket they cover: a same-bank access issued
+// a few buckets into a long booking still queues behind it, and capacity
+// bookings longer than a bucket split across buckets instead of looping.
+func TestWheelLongDurations(t *testing.T) {
+	cfg := testConfig()
+	cfg.NVRAMWrite = 2000 // ns -> ~7400 cycles, spanning two+ buckets
+	m := New(cfg, &stats.Stats{})
+	base := m.Config().NVRAMBase
+	buf := make([]byte, LineBytes)
+	lat := engine.NSToCycles(cfg.NVRAMWrite, cfg.FreqGHz)
+
+	d1 := m.WriteLine(base, buf, 0, stats.CatData)
+	if d1 != lat {
+		t.Fatalf("first long write done %d, want %d", d1, lat)
+	}
+	// Same bank, issued mid-way through the first booking's span (more than
+	// one bucket after its start): must queue behind it, not overlap.
+	at := engine.Cycles(wheelSpan + wheelSpan/2)
+	if at >= d1 {
+		t.Fatalf("test geometry broken: at %d not inside booking [0,%d)", at, d1)
+	}
+	hit := engine.Cycles(float64(lat) * cfg.RowHitFrac)
+	d2 := m.WriteLine(base, buf, at, stats.CatData)
+	if d2 != d1+hit {
+		t.Errorf("second long write done %d, want %d (queued behind first)", d2, d1+hit)
+	}
+
+	// Capacity bookings longer than a bucket must terminate and slot at the
+	// issue point when the bus is idle.
+	var w wheel
+	if slot := w.reserveCapacity(100, 3*wheelSpan); slot != 100 {
+		t.Errorf("long capacity booking slot %d, want 100", slot)
+	}
+	// The spanned buckets are now full: the next slot lands past them.
+	if slot := w.reserveCapacity(0, 1); slot < 3*wheelSpan {
+		t.Errorf("slot %d landed inside a fully booked span", slot)
+	}
+}
+
+// Race stress: concurrent writers over disjoint channels (never share a
+// timing lock) and over all channels (contend on every lock). Run under
+// -race; also verifies durable contents after the storm.
+func TestChannelRaceStress(t *testing.T) {
+	for _, mode := range []string{"disjoint", "shared"} {
+		t.Run(mode, func(t *testing.T) {
+			const goroutines = 4
+			const opsPer = 400
+			sh := stats.NewSharded(goroutines)
+			m := New(channelConfig(goroutines, InterleaveLine), sh.Shared())
+			m.AttachChannelStats(sh.ChannelShards(goroutines))
+			base := m.Config().NVRAMBase
+
+			// Each goroutine owns a distinct 64-page range for the data
+			// bytes; in disjoint mode it additionally restricts itself to
+			// the lines of that range served by "its" channel, so no two
+			// goroutines ever touch the same channel's timing lock.
+			lines := make([][]PAddr, goroutines)
+			for g := 0; g < goroutines; g++ {
+				region := base + PAddr(g)*PageBytes*64
+				for li := 0; li < 1024; li++ {
+					pa := region + PAddr(li)*LineBytes
+					if mode != "disjoint" || m.ChannelOf(pa) == g {
+						lines[g] = append(lines[g], pa)
+					}
+				}
+				if len(lines[g]) == 0 {
+					t.Fatalf("goroutine %d has no lines on channel %d", g, g)
+				}
+			}
+
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := engine.NewRNG(uint64(g) + 1)
+					buf := make([]byte, LineBytes)
+					for i := range buf {
+						buf[i] = byte(g + 1)
+					}
+					for i := 0; i < opsPer; i++ {
+						pa := lines[g][rng.Intn(len(lines[g]))]
+						if mode == "disjoint" {
+							if got := m.ChannelOf(pa); got != g {
+								t.Errorf("disjoint address %#x routed to channel %d, want %d", pa, got, g)
+								return
+							}
+						}
+						m.WriteLine(pa, buf, engine.Cycles(i), stats.CatData)
+						out := make([]byte, LineBytes)
+						m.ReadLine(pa, out, engine.Cycles(i))
+						if out[0] != byte(g+1) {
+							t.Errorf("goroutine %d read back %#x from %#x", g, out[0], pa)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+
+			st := sh.Aggregate()
+			want := uint64(goroutines * opsPer * 2)
+			if got := st.NVRAMReadLines + st.NVRAMWriteLines; got != want {
+				t.Errorf("transfer count %d, want %d", got, want)
+			}
+		})
+	}
+}

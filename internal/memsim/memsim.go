@@ -1,8 +1,27 @@
 // Package memsim models the hybrid DRAM + NVRAM main memory of the paper's
-// simulated machine (Table 2): one channel of DRAM and one channel of NVRAM
-// on the same memory bus, with per-bank busy timelines, row-buffer locality
-// and per-line bus occupancy. It stands in for the DRAMSim2 model the paper
-// integrated into MarssX86 (see DESIGN.md §1).
+// simulated machine (Table 2): DRAM and NVRAM DIMMs spread over one or more
+// independent memory channels, with per-bank busy timelines, row-buffer
+// locality and per-line data-bus occupancy per channel. It stands in for the
+// DRAMSim2 model the paper integrated into MarssX86 (see DESIGN.md §1).
+//
+// # Channels
+//
+// Config.Channels splits the memory system into independent channels, each
+// with its own banks, its own data-bus occupancy timeline and its own timing
+// lock. Addresses map to channels by the Config.Interleave policy —
+// cacheline-granular (consecutive 64-byte lines rotate channels, spreading
+// even single-page traffic) or page-granular (a 4 KiB page lives entirely on
+// one channel, preserving page-level locality). The address→(channel,
+// channel-local address) mapping is a bijection, and within a channel the
+// local address stream preserves row-buffer locality: a sequential walk of
+// physical memory is a sequential walk of every channel.
+//
+// Concurrent cores therefore only contend — in host locks and in simulated
+// bus time — when they genuinely hit the same channel. Channel and bank
+// selectors are swizzled with higher address bits (permutation-based
+// interleaving) so power-of-2-strided regions such as the per-core logs do
+// not alias onto a single bank and serialise every core. One channel keeps
+// the single shared bus of the paper's model.
 //
 // Besides timing, the package owns the *durable* byte image of NVRAM: a
 // write becomes durable only when it reaches this package. The cache
@@ -33,6 +52,10 @@ const (
 	LinesPerPage = PageBytes / LineBytes
 )
 
+// MaxChannels is the largest supported Config.Channels (bounded by the
+// per-channel counter arrays in stats.Stats).
+const MaxChannels = stats.MaxChannels
+
 // LineAddr returns the line-aligned base of pa.
 func LineAddr(pa PAddr) PAddr { return pa &^ (LineBytes - 1) }
 
@@ -41,6 +64,34 @@ func PageAddr(pa PAddr) PAddr { return pa &^ (PageBytes - 1) }
 
 // LineIndex returns the index of pa's cache line within its page (0..63).
 func LineIndex(pa PAddr) int { return int(pa>>LineShift) & (LinesPerPage - 1) }
+
+// Interleave selects the address→channel mapping policy.
+type Interleave int
+
+// Interleaving policies.
+const (
+	// InterleaveLine rotates channels every cache line: line i goes to
+	// channel i mod Channels. Maximum bandwidth spreading — even a single
+	// hot page uses every channel.
+	InterleaveLine Interleave = iota
+	// InterleavePage rotates channels every 4 KiB page: a page's 64 lines
+	// all live on one channel. Preserves page-granular locality (SSP's
+	// consolidation copies stay on one channel) at the cost of per-page
+	// bandwidth.
+	InterleavePage
+)
+
+// String returns the policy name used in reports.
+func (iv Interleave) String() string {
+	switch iv {
+	case InterleaveLine:
+		return "line"
+	case InterleavePage:
+		return "page"
+	default:
+		return fmt.Sprintf("Interleave(%d)", int(iv))
+	}
+}
 
 // Config describes the memory system. The zero value is not usable; use
 // DefaultConfig.
@@ -61,12 +112,22 @@ type Config struct {
 	NVRAMWrite float64 // ns
 
 	RowHitFrac float64 // latency multiplier applied on a row-buffer hit
-	BusNS      float64 // bus occupancy per 64-byte transfer
+	BusNS      float64 // per-channel bus occupancy per 64-byte transfer
+
+	// Channels is the number of independent memory channels (default 1,
+	// max MaxChannels). The configured bank counts are divided across the
+	// channels.
+	Channels int
+	// Interleave is the address→channel mapping policy (default
+	// InterleaveLine); ignored with one channel.
+	Interleave Interleave
 }
 
 // DefaultConfig returns the paper's Table 2 memory parameters, with
 // capacities scaled to simulation-friendly sizes (the paper's 8 GiB DIMMs
-// are configurable but unnecessary for the workloads).
+// are configurable but unnecessary for the workloads). The default is a
+// single channel — the paper's single-bus model; multi-channel runs opt in
+// via Channels.
 func DefaultConfig() Config {
 	return Config{
 		FreqGHz:    3.7,
@@ -83,13 +144,176 @@ func DefaultConfig() Config {
 		NVRAMWrite: 200,
 		RowHitFrac: 0.6,
 		BusNS:      4,
+		Channels:   1,
+		Interleave: InterleaveLine,
 	}
 }
 
+// Occupancy-wheel geometry: each shared resource (a bank, a channel's data
+// bus) accounts its busy time in a ring of fixed-span simulated-time
+// buckets. Within a bucket, bookings pack first-come-first-served — exactly
+// the busy-until scalar — so serial execution, whose issue times are
+// non-decreasing, sees precise FIFO queueing. Across buckets the wheel
+// covers wheelBuckets*wheelSpan cycles of history; a booking for a bucket
+// whose accounting has since been recycled (a core fallen further behind
+// than the wheel covers) is admitted without queueing.
+//
+// That last property is the point. Concurrent cores issue accesses in host
+// order, which need not be simulated-time order. A single busy-until scalar
+// ratchets to the farthest-ahead core and retroactively drags every other
+// core's clock to it — every shared resource becomes a lockstep
+// synchroniser and the parallel machine serialises (the pre-channel model
+// capped 4-core speedup near 1x regardless of bank count). The wheel books
+// each access where the resource is genuinely free at that simulated time:
+// cores only wait on real overlap, and stale history errs toward optimism
+// instead of dragging clocks forward.
+const (
+	wheelSpan    = 4096 // cycles per bucket
+	wheelBuckets = 512  // history span: ~2M cycles (~0.57 ms at 3.7 GHz)
+)
+
+// wbucket is one wheel bucket: the busy cycles booked in the simulated-time
+// window [epoch*wheelSpan, (epoch+1)*wheelSpan), packed from the window
+// start (bookings may overhang the end; the overhang carries into the next
+// lookup).
+type wbucket struct {
+	epoch int64
+	used  engine.Cycles
+}
+
+// wheel is the occupancy ledger of one shared resource.
+type wheel struct {
+	b [wheelBuckets]wbucket
+}
+
+// reserveFIFO books dur busy cycles at the earliest position at or after
+// `at` where the resource is free, and returns the booked start time. Each
+// bucket is a first-come-first-served frontier, so accesses racing for the
+// same bank within a bucket's window queue exactly as on the busy-until
+// scalar; the approximation is that a bucket's idle gaps behind its
+// frontier are not reusable. Used for banks, whose traffic is chains of
+// dependent accesses.
+func (w *wheel) reserveFIFO(at, dur engine.Cycles) engine.Cycles {
+	if at < 0 {
+		at = 0
+	}
+	idx := int64(at) / wheelSpan
+	start := at
+	// A previous bucket's bookings may overhang into this one.
+	if p := idx - 1; p >= 0 {
+		if s := &w.b[p%wheelBuckets]; s.epoch == p {
+			if e := engine.Cycles(p)*wheelSpan + s.used; e > start {
+				start = e
+			}
+		}
+	}
+	for {
+		s := &w.b[idx%wheelBuckets]
+		if s.epoch < idx {
+			s.epoch, s.used = idx, 0 // recycle a stale bucket
+		}
+		if s.epoch > idx {
+			// The wheel has moved past this window: its accounting is gone.
+			// Admit the straggler without queueing rather than dragging it
+			// to the frontier (see the type comment).
+			return start
+		}
+		base := engine.Cycles(idx) * wheelSpan
+		if e := base + s.used; e > start {
+			start = e
+		}
+		if start < base+wheelSpan {
+			w.bookFrontier(start, dur)
+			return start
+		}
+		idx++ // booked through this window's end; carry into the next
+	}
+}
+
+// bookFrontier records [start, start+dur) as the new packed frontier of
+// every bucket the window covers. Bookings longer than one span (very slow
+// NVRAM configs, e.g. the Figure 8 latency sweep at high multiples) must
+// stamp every covered bucket, or reserveFIFO's one-bucket lookback would
+// admit overlapping accesses issued a few windows later.
+func (w *wheel) bookFrontier(start, dur engine.Cycles) {
+	end := start + dur
+	for idx := int64(start) / wheelSpan; engine.Cycles(idx)*wheelSpan < end; idx++ {
+		s := &w.b[idx%wheelBuckets]
+		if s.epoch < idx {
+			s.epoch, s.used = idx, 0
+		}
+		if s.epoch > idx {
+			return // the wheel already moved past this window
+		}
+		if rel := end - engine.Cycles(idx)*wheelSpan; rel > s.used {
+			s.used = rel
+		}
+	}
+}
+
+// reserveCapacity books dur busy cycles in the earliest bucket at or after
+// `at` with spare capacity and returns the slot time. Unlike reserveFIFO,
+// a bucket only delays transfers once its whole span is booked — position
+// within the window is not modelled. Used for the channel data bus: every
+// access crosses it, so frontier semantics would re-couple the cores the
+// wheel exists to decouple; what matters is the bandwidth cap, reached at
+// span/dur transfers per window.
+func (w *wheel) reserveCapacity(at, dur engine.Cycles) engine.Cycles {
+	if at < 0 {
+		at = 0
+	}
+	idx := int64(at) / wheelSpan
+	start := engine.Cycles(-1)
+	for dur > 0 {
+		s := &w.b[idx%wheelBuckets]
+		if s.epoch < idx {
+			s.epoch, s.used = idx, 0
+		}
+		if s.epoch > idx {
+			// Recycled accounting: admit the straggler (see above).
+			if start < 0 {
+				return at
+			}
+			return start
+		}
+		if avail := wheelSpan - s.used; avail > 0 {
+			// Bookings larger than one bucket's remaining capacity split
+			// across consecutive buckets (a transfer slower than wheelSpan,
+			// or a nearly-full window).
+			if start < 0 {
+				start = engine.Cycles(idx) * wheelSpan
+				if at > start {
+					start = at
+				}
+			}
+			take := avail
+			if dur < take {
+				take = dur
+			}
+			s.used += take
+			dur -= take
+		}
+		if dur > 0 {
+			idx++
+		}
+	}
+	return start
+}
+
 type bank struct {
-	busyUntil engine.Cycles
-	openRow   uint64
-	hasOpen   bool
+	tl      wheel
+	openRow uint64
+	hasOpen bool
+}
+
+// channel is one independent memory channel: its own banks, its own bus
+// occupancy ledger, its own lock and its own counter shard.
+type channel struct {
+	mu        sync.Mutex
+	dramBanks []bank
+	nvBanks   []bank
+	bus       wheel
+	st        *stats.Stats
 }
 
 // dataStripes is the number of address-striped locks protecting the byte
@@ -100,63 +324,106 @@ const dataStripes = 64
 // Memory is the simulated hybrid memory system.
 //
 // Concurrency: the byte images are protected by address-striped locks
-// (dataMu); the bank/bus timelines, traffic counters and power state are
-// protected by timingMu. Both are leaf locks — Memory never calls out to
-// another simulator structure while holding them (the power-off callback
+// (dataMu); each channel's bank/bus timelines and traffic counters are
+// protected by that channel's own lock; the power state and write trap are
+// protected by powerMu. All of them are leaf locks — Memory never calls out
+// to another simulator structure while holding one (the power-off callback
 // fires after the locks are released).
+//
+// Counter routing: every timing counter is written to the owning channel's
+// stats shard under that channel's lock. By default all channels share the
+// Stats passed to New (fine for single-goroutine use); concurrent callers
+// attach one shard per channel via AttachChannelStats so channels never
+// write a counter concurrently.
 type Memory struct {
-	cfg Config
-	st  *stats.Stats
+	cfg       Config
+	nChannels int
 
 	dram  []byte
 	nvram []byte
 
 	dataMu [dataStripes]sync.Mutex
 
-	timingMu  sync.Mutex
-	dramBanks []bank
-	nvBanks   []bank
-	busBusy   engine.Cycles
-
+	chans     []channel
 	busCycles engine.Cycles
 
+	powerMu    sync.Mutex
 	powerOff   bool
 	trapAfter  int64 // remaining NVRAM writes before power-off; <0 disabled
 	onPowerOff func()
 }
 
-// New allocates a memory system per cfg, with zeroed contents.
+// New allocates a memory system per cfg, with zeroed contents. All channels
+// initially write their counters to st; concurrent multi-channel use must
+// AttachChannelStats first.
 func New(cfg Config, st *stats.Stats) *Memory {
 	if cfg.FreqGHz <= 0 {
 		panic("memsim: FreqGHz must be positive")
 	}
+	nCh := cfg.Channels
+	if nCh <= 0 {
+		nCh = 1
+	}
+	if nCh > MaxChannels {
+		panic(fmt.Sprintf("memsim: Channels %d exceeds MaxChannels %d", nCh, MaxChannels))
+	}
+	dramPer := cfg.DRAMBanks / nCh
+	if dramPer < 1 {
+		dramPer = 1
+	}
+	nvPer := cfg.NVRAMBanks / nCh
+	if nvPer < 1 {
+		nvPer = 1
+	}
 	m := &Memory{
 		cfg:       cfg,
-		st:        st,
+		nChannels: nCh,
 		dram:      make([]byte, cfg.DRAMBytes),
 		nvram:     make([]byte, cfg.NVRAMBytes),
-		dramBanks: make([]bank, cfg.DRAMBanks),
-		nvBanks:   make([]bank, cfg.NVRAMBanks),
+		chans:     make([]channel, nCh),
 		busCycles: engine.NSToCycles(cfg.BusNS, cfg.FreqGHz),
 		trapAfter: -1,
+	}
+	for i := range m.chans {
+		m.chans[i].dramBanks = make([]bank, dramPer)
+		m.chans[i].nvBanks = make([]bank, nvPer)
+		m.chans[i].st = st
 	}
 	return m
 }
 
 // NewFromImage is like New but installs img as the initial NVRAM contents —
 // this is how a post-crash machine boots from a previous machine's durable
-// state. The image is copied.
-func NewFromImage(cfg Config, st *stats.Stats, img []byte) *Memory {
-	m := New(cfg, st)
+// state. The image is copied. The image length must match cfg.NVRAMBytes
+// exactly; a mismatched image (from a machine with a different memory
+// Config) is rejected with a descriptive error rather than corrupting the
+// address space.
+func NewFromImage(cfg Config, st *stats.Stats, img []byte) (*Memory, error) {
 	if uint64(len(img)) != cfg.NVRAMBytes {
-		panic(fmt.Sprintf("memsim: image size %d != NVRAMBytes %d", len(img), cfg.NVRAMBytes))
+		return nil, fmt.Errorf("memsim: NVRAM image is %d bytes but Config.NVRAMBytes is %d; the image must come from a machine with the same memory capacities", len(img), cfg.NVRAMBytes)
 	}
+	m := New(cfg, st)
 	copy(m.nvram, img)
-	return m
+	return m, nil
+}
+
+// AttachChannelStats routes each channel's counters to its own shard
+// (sh[i] for channel i). Required before concurrent use with more than one
+// channel; must be called while the memory is quiescent.
+func (m *Memory) AttachChannelStats(sh []*stats.Stats) {
+	if len(sh) != m.nChannels {
+		panic(fmt.Sprintf("memsim: AttachChannelStats got %d shards for %d channels", len(sh), m.nChannels))
+	}
+	for i := range m.chans {
+		m.chans[i].st = sh[i]
+	}
 }
 
 // Config returns the configuration the memory was built with.
 func (m *Memory) Config() Config { return m.cfg }
+
+// Channels returns the effective channel count.
+func (m *Memory) Channels() int { return m.nChannels }
 
 // IsNVRAM reports whether pa falls in the NVRAM physical range.
 func (m *Memory) IsNVRAM(pa PAddr) bool {
@@ -166,6 +433,45 @@ func (m *Memory) IsNVRAM(pa PAddr) bool {
 // Contains reports whether pa is backed by this memory at all.
 func (m *Memory) Contains(pa PAddr) bool {
 	return pa < PAddr(m.cfg.DRAMBytes) || m.IsNVRAM(pa)
+}
+
+// swizzle returns a deterministic permutation offset for interleave group q
+// (a multiplicative hash). Real memory controllers permute the channel/bank
+// selector with higher address bits so that fixed power-of-2 strides — per-
+// core log regions, page-aligned arenas — do not alias onto one channel or
+// bank (permutation-based interleaving, cf. Zhang et al., MICRO-33). Pure
+// modulo selection would map every core's 64 KiB-strided log tail to the
+// same bank and serialise all cores on its timeline.
+func swizzle(q uint64) uint64 {
+	return (q * 0x9E3779B97F4A7C15) >> 33
+}
+
+// route maps a physical address to (channel index, channel-local address)
+// under the configured interleaving policy. The mapping is a bijection: the
+// channel-local stream of each channel is dense, so row-buffer locality is
+// preserved per channel, and within one interleave group the n units map to
+// n distinct channels (the swizzle only rotates each group).
+func (m *Memory) route(pa PAddr) (int, PAddr) {
+	n := uint64(m.nChannels)
+	if n == 1 {
+		return 0, pa
+	}
+	switch m.cfg.Interleave {
+	case InterleavePage:
+		pfn := uint64(pa >> PageShift)
+		ch := (pfn%n + swizzle(pfn/n)) % n
+		return int(ch), PAddr(pfn/n)<<PageShift | (pa & (PageBytes - 1))
+	default: // InterleaveLine
+		la := uint64(pa >> LineShift)
+		ch := (la%n + swizzle(la/n)) % n
+		return int(ch), PAddr(la/n)<<LineShift | (pa & (LineBytes - 1))
+	}
+}
+
+// ChannelOf returns the channel index serving pa.
+func (m *Memory) ChannelOf(pa PAddr) int {
+	ch, _ := m.route(pa)
+	return ch
 }
 
 func (m *Memory) backing(pa PAddr, n int) []byte {
@@ -217,60 +523,80 @@ func (m *Memory) copyOut(pa PAddr, buf []byte) {
 }
 
 // access charges timing for one memory transaction at address pa and
-// returns its completion time. Called with timingMu held.
-func (m *Memory) access(pa PAddr, write bool, at engine.Cycles) engine.Cycles {
+// returns its completion time. It routes the address to its channel, takes
+// that channel's lock, and updates the channel's bank/bus timelines and
+// counter shard. nbytes is the byte count recorded for write accounting.
+func (m *Memory) access(pa PAddr, write bool, at engine.Cycles, cat stats.WriteCat, nbytes int) engine.Cycles {
+	chIdx, ca := m.route(pa)
+	c := &m.chans[chIdx]
+	nv := m.IsNVRAM(pa)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
 	var banks []bank
 	var rowBytes int
 	var lat float64
-	if m.IsNVRAM(pa) {
-		banks = m.nvBanks
+	if nv {
+		banks = c.nvBanks
 		rowBytes = m.cfg.NVRAMRow
 		if write {
 			lat = m.cfg.NVRAMWrite
+			c.st.NVRAMWriteLines++ // line count maintained here; bytes by caller category
+			c.st.NVRAMWriteBytes[cat] += uint64(nbytes)
 		} else {
 			lat = m.cfg.NVRAMRead
-		}
-		if write {
-			m.st.NVRAMWriteLines++ // line count maintained here; bytes by caller category
-		} else {
-			m.st.NVRAMReadLines++
+			c.st.NVRAMReadLines++
 		}
 	} else {
-		banks = m.dramBanks
+		banks = c.dramBanks
 		rowBytes = m.cfg.DRAMRow
 		if write {
 			lat = m.cfg.DRAMWrite
+			c.st.DRAMWriteLines++
 		} else {
 			lat = m.cfg.DRAMRead
-		}
-		if write {
-			m.st.DRAMWriteLines++
-		} else {
-			m.st.DRAMReadLines++
+			c.st.DRAMReadLines++
 		}
 	}
 
-	// Address mapping: columns within a row stay in one bank, rows
-	// interleave across banks — sequential streams (logs, consolidation
-	// copies) enjoy row-buffer hits, like DRAMSim2's default mapping.
-	rowGlobal := uint64(pa) / uint64(rowBytes)
-	b := &banks[rowGlobal%uint64(len(banks))]
-	row := rowGlobal / uint64(len(banks))
+	// Address mapping (within the channel-local stream): columns within a
+	// row stay in one bank, rows interleave across the channel's banks with
+	// a swizzled (permutation-based) selector — sequential streams (logs,
+	// consolidation copies) enjoy row-buffer hits like DRAMSim2's default
+	// mapping, while power-of-2-strided regions (per-core logs) spread
+	// across banks instead of aliasing onto one.
+	rowGlobal := uint64(ca) / uint64(rowBytes)
+	nb := uint64(len(banks))
+	row := rowGlobal / nb
+	b := &banks[(rowGlobal%nb+swizzle(row))%nb]
 
 	latency := engine.NSToCycles(lat, m.cfg.FreqGHz)
 	if b.hasOpen && b.openRow == row {
-		m.st.RowHits++
+		c.st.RowHits++
 		latency = engine.Cycles(float64(latency) * m.cfg.RowHitFrac)
 	} else {
-		m.st.RowMisses++
+		c.st.RowMisses++
 		b.openRow = row
 		b.hasOpen = true
 	}
 
-	start := engine.MaxCycles(at, engine.MaxCycles(b.busyUntil, m.busBusy))
+	// Reservation: the access occupies its bank for the full latency, and
+	// the 64-byte transfer needs one bus slot on the channel. The transfer
+	// pipelines with the array access (as on a real DDR channel), so a slot
+	// anywhere from the access start suffices; only when the bus is
+	// saturated does the slot land past the window and stretch the
+	// completion — the channel's bandwidth limit.
+	start := b.tl.reserveFIFO(at, latency)
 	done := start + latency
-	b.busyUntil = done
-	m.busBusy = start + m.busCycles
+	if m.busCycles > 0 {
+		slot := c.bus.reserveCapacity(start, m.busCycles)
+		if slot+m.busCycles > done {
+			done = slot + m.busCycles
+		}
+	}
+	c.st.ChannelLines[chIdx]++
+	c.st.ChannelBusyCycles[chIdx] += uint64(m.busCycles)
 	return done
 }
 
@@ -279,10 +605,7 @@ func (m *Memory) access(pa PAddr, write bool, at engine.Cycles) engine.Cycles {
 func (m *Memory) ReadLine(pa PAddr, buf []byte, at engine.Cycles) engine.Cycles {
 	pa = LineAddr(pa)
 	m.copyOut(pa, buf[:LineBytes])
-	m.timingMu.Lock()
-	done := m.access(pa, false, at)
-	m.timingMu.Unlock()
-	return done
+	return m.access(pa, false, at, stats.CatData, 0)
 }
 
 // WriteLine makes the 64-byte line at pa durable with the given contents
@@ -304,22 +627,22 @@ func (m *Memory) WriteBytes(pa PAddr, data []byte, at engine.Cycles, cat stats.W
 		panic(fmt.Sprintf("memsim: WriteBytes spans a line boundary at %#x+%d", pa, len(data)))
 	}
 	nv := m.IsNVRAM(pa)
-	m.timingMu.Lock()
-	fired := false
-	if nv && m.trapAfter >= 0 {
-		if m.trapAfter == 0 {
-			fired = m.setPowerOffLocked()
-		} else {
-			m.trapAfter--
-		}
-	}
-	lost := m.powerOff && nv
-	done := m.access(pa, true, at)
+	var fired, lost bool
+	var cb func()
 	if nv {
-		m.st.NVRAMWriteBytes[cat] += uint64(len(data))
+		m.powerMu.Lock()
+		if m.trapAfter >= 0 {
+			if m.trapAfter == 0 {
+				fired = m.setPowerOffLocked()
+			} else {
+				m.trapAfter--
+			}
+		}
+		lost = m.powerOff
+		cb = m.onPowerOff
+		m.powerMu.Unlock()
 	}
-	cb := m.onPowerOff
-	m.timingMu.Unlock()
+	done := m.access(pa, true, at, cat, len(data))
 	if fired && cb != nil {
 		cb()
 	}
@@ -345,10 +668,10 @@ func (m *Memory) Poke(pa PAddr, data []byte) {
 // of power failure. Timing continues to be charged (the machine does not
 // know power failed); the caller is expected to stop the run and recover.
 func (m *Memory) PowerOff() {
-	m.timingMu.Lock()
+	m.powerMu.Lock()
 	fired := m.setPowerOffLocked()
 	cb := m.onPowerOff
-	m.timingMu.Unlock()
+	m.powerMu.Unlock()
 	if fired && cb != nil {
 		cb()
 	}
@@ -367,8 +690,8 @@ func (m *Memory) setPowerOffLocked() bool {
 
 // PoweredOff reports whether a power failure has been injected.
 func (m *Memory) PoweredOff() bool {
-	m.timingMu.Lock()
-	defer m.timingMu.Unlock()
+	m.powerMu.Lock()
+	defer m.powerMu.Unlock()
 	return m.powerOff
 }
 
@@ -376,8 +699,8 @@ func (m *Memory) PoweredOff() bool {
 // next n writes land, everything after is lost. n=0 loses the very next
 // write. Pass a negative n to disarm.
 func (m *Memory) SetWriteTrap(n int64) {
-	m.timingMu.Lock()
-	defer m.timingMu.Unlock()
+	m.powerMu.Lock()
+	defer m.powerMu.Unlock()
 	if n < 0 {
 		m.trapAfter = -1
 		return
@@ -389,17 +712,17 @@ func (m *Memory) SetWriteTrap(n int64) {
 // or explicit PowerOff). Tests use it to stop workload loops. The callback
 // runs outside the memory's locks and may inspect the memory freely.
 func (m *Memory) OnPowerOff(fn func()) {
-	m.timingMu.Lock()
+	m.powerMu.Lock()
 	m.onPowerOff = fn
-	m.timingMu.Unlock()
+	m.powerMu.Unlock()
 }
 
 // PowerOn clears the power-off state after recovery has rebuilt volatile
 // structures; durable contents are preserved.
 func (m *Memory) PowerOn() {
-	m.timingMu.Lock()
+	m.powerMu.Lock()
 	m.powerOff = false
-	m.timingMu.Unlock()
+	m.powerMu.Unlock()
 }
 
 // NVRAMImage returns a copy of the durable NVRAM contents.
@@ -409,16 +732,19 @@ func (m *Memory) NVRAMImage() []byte {
 	return img
 }
 
-// ResetTiming clears bank/bus timelines and open-row state (a reboot);
-// durable contents and statistics are untouched.
+// ResetTiming clears bank/bus timelines and open-row state on every channel
+// (a reboot); durable contents and statistics are untouched.
 func (m *Memory) ResetTiming() {
-	m.timingMu.Lock()
-	defer m.timingMu.Unlock()
-	for i := range m.dramBanks {
-		m.dramBanks[i] = bank{}
+	for i := range m.chans {
+		c := &m.chans[i]
+		c.mu.Lock()
+		for j := range c.dramBanks {
+			c.dramBanks[j] = bank{}
+		}
+		for j := range c.nvBanks {
+			c.nvBanks[j] = bank{}
+		}
+		c.bus = wheel{}
+		c.mu.Unlock()
 	}
-	for i := range m.nvBanks {
-		m.nvBanks[i] = bank{}
-	}
-	m.busBusy = 0
 }

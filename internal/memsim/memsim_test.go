@@ -269,11 +269,27 @@ func TestNVRAMImageAndRestore(t *testing.T) {
 	img := m.NVRAMImage()
 
 	st2 := &stats.Stats{}
-	m2 := NewFromImage(testConfig(), st2, img)
+	m2, err := NewFromImage(testConfig(), st2, img)
+	if err != nil {
+		t.Fatalf("NewFromImage: %v", err)
+	}
 	buf := make([]byte, LineBytes)
 	m2.Peek(base+64, buf)
 	if buf[0] != 0x77 {
 		t.Error("image did not carry durable data")
+	}
+}
+
+func TestNewFromImageLengthMismatch(t *testing.T) {
+	cfg := testConfig()
+	st := &stats.Stats{}
+	for _, n := range []int{0, int(cfg.NVRAMBytes) - 1, int(cfg.NVRAMBytes) + PageBytes} {
+		if _, err := NewFromImage(cfg, st, make([]byte, n)); err == nil {
+			t.Errorf("image of %d bytes accepted for NVRAMBytes=%d", n, cfg.NVRAMBytes)
+		}
+	}
+	if _, err := NewFromImage(cfg, st, make([]byte, cfg.NVRAMBytes)); err != nil {
+		t.Errorf("exact-size image rejected: %v", err)
 	}
 }
 

@@ -12,14 +12,18 @@ package stats
 //   - Shard(i) is written only by the goroutine driving core i (TLB
 //     lookups, per-core backend counters). No lock is needed.
 //   - Shared() is written only while holding the lock of the structure
-//     doing the writing (the memory controller's timing lock, the cache
-//     hierarchy's interconnect lock, the SSP backend's structural lock).
+//     doing the writing (the cache hierarchy's interconnect lock, the SSP
+//     backend's structural lock).
+//   - ChannelShards(n) shards are written only while holding the owning
+//     memory channel's timing lock (one shard per channel, so channels
+//     never write a counter concurrently).
 //
 // Aggregate and Reset are not safe to call concurrently with simulated
 // execution; callers quiesce the machine first (join the core goroutines).
 type Sharded struct {
-	perCore []Stats
-	shared  Stats
+	perCore  []Stats
+	channels []Stats
+	shared   Stats
 }
 
 // NewSharded returns a shard set for the given core count.
@@ -37,12 +41,29 @@ func (s *Sharded) Shared() *Stats { return &s.shared }
 // Cores returns the number of per-core shards.
 func (s *Sharded) Cores() int { return len(s.perCore) }
 
+// ChannelShards allocates (or reallocates) n shards dedicated to the memory
+// channels and returns pointers to them, in channel order. Each shard is
+// written only under its channel's timing lock, so concurrently executing
+// cores that hit different channels never write the same counters. The
+// shards participate in Aggregate and Reset like every other shard.
+func (s *Sharded) ChannelShards(n int) []*Stats {
+	s.channels = make([]Stats, n)
+	out := make([]*Stats, n)
+	for i := range s.channels {
+		out[i] = &s.channels[i]
+	}
+	return out
+}
+
 // Aggregate sums every shard into one Stats value.
 func (s *Sharded) Aggregate() Stats {
 	var out Stats
 	out.Add(&s.shared)
 	for i := range s.perCore {
 		out.Add(&s.perCore[i])
+	}
+	for i := range s.channels {
+		out.Add(&s.channels[i])
 	}
 	return out
 }
@@ -55,5 +76,8 @@ func (s *Sharded) Reset() {
 	s.shared = Stats{}
 	for i := range s.perCore {
 		s.perCore[i] = Stats{}
+	}
+	for i := range s.channels {
+		s.channels[i] = Stats{}
 	}
 }

@@ -83,6 +83,10 @@ func Categories() []WriteCat {
 	return cats
 }
 
+// MaxChannels bounds the per-channel counter arrays. The memory model
+// supports at most this many independent channels (memsim.Config.Channels).
+const MaxChannels = 16
+
 // Stats is the full counter set for one simulation run. It is plain data;
 // the zero value is ready to use.
 type Stats struct {
@@ -94,6 +98,11 @@ type Stats struct {
 	// DRAM traffic.
 	DRAMReadLines  uint64
 	DRAMWriteLines uint64
+
+	// Per-channel memory traffic (multi-channel interleaved model). Indexed
+	// by channel; channels beyond Config.Channels stay zero.
+	ChannelLines      [MaxChannels]uint64 // 64-byte transfers served per channel
+	ChannelBusyCycles [MaxChannels]uint64 // data-bus occupancy charged per channel
 
 	// Row-buffer behaviour.
 	RowHits   uint64
@@ -180,6 +189,19 @@ func (s *Stats) CriticalPathLoggingBytes() uint64 {
 		s.NVRAMWriteBytes[CatCommitRecord]
 }
 
+// ActiveChannels returns the number of leading channel slots that saw any
+// traffic (the effective channel count of the run; 0 when no memory traffic
+// was recorded).
+func (s *Stats) ActiveChannels() int {
+	n := 0
+	for i := range s.ChannelLines {
+		if s.ChannelLines[i] > 0 {
+			n = i + 1
+		}
+	}
+	return n
+}
+
 // Add accumulates o into s field by field.
 func (s *Stats) Add(o *Stats) {
 	s.NVRAMReadLines += o.NVRAMReadLines
@@ -189,6 +211,10 @@ func (s *Stats) Add(o *Stats) {
 	}
 	s.DRAMReadLines += o.DRAMReadLines
 	s.DRAMWriteLines += o.DRAMWriteLines
+	for i := range s.ChannelLines {
+		s.ChannelLines[i] += o.ChannelLines[i]
+		s.ChannelBusyCycles[i] += o.ChannelBusyCycles[i]
+	}
 	s.RowHits += o.RowHits
 	s.RowMisses += o.RowMisses
 	for i := range s.CacheHits {
@@ -234,6 +260,13 @@ func (s *Stats) Summary() string {
 		fmt.Fprintf(&b, "  %-14s %d\n", c.String(), s.NVRAMWriteBytes[c])
 	}
 	fmt.Fprintf(&b, "DRAM reads/writes (lines): %d/%d\n", s.DRAMReadLines, s.DRAMWriteLines)
+	if chans := s.ActiveChannels(); chans > 1 {
+		fmt.Fprintf(&b, "per-channel lines:")
+		for i := 0; i < chans; i++ {
+			fmt.Fprintf(&b, " ch%d=%d", i, s.ChannelLines[i])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
 	fmt.Fprintf(&b, "row-buffer hits/misses: %d/%d\n", s.RowHits, s.RowMisses)
 	for i := 0; i < 3; i++ {
 		fmt.Fprintf(&b, "L%d hits/misses: %d/%d\n", i+1, s.CacheHits[i], s.CacheMisses[i])

@@ -100,6 +100,20 @@ type WriteSetStats = machine.WriteSetStats
 // Cycles is simulated time in core clock cycles (3.7 GHz by default).
 type Cycles = engine.Cycles
 
+// Interleave selects the address→channel mapping of the multi-channel
+// memory model (Config.Channels).
+type Interleave = memsim.Interleave
+
+// Interleaving policies: cacheline-granular (consecutive 64-byte lines
+// rotate channels) and page-granular (a 4 KiB page lives on one channel).
+const (
+	InterleaveLine = memsim.InterleaveLine
+	InterleavePage = memsim.InterleavePage
+)
+
+// MaxChannels is the largest supported Config.Channels.
+const MaxChannels = memsim.MaxChannels
+
 // HeapBase is the first virtual address of the persistent heap.
 const HeapBase = vm.HeapBase
 
@@ -116,6 +130,13 @@ type Config struct {
 	NVRAMReadNS  float64
 	NVRAMWriteNS float64
 	DRAMNS       float64
+
+	// Multi-channel memory model (beyond the paper's single-channel
+	// Table 2). Channels splits memory into independent interleaved
+	// channels, each with its own banks and data-bus timeline, so
+	// concurrent cores only contend on memory they genuinely share.
+	Channels   int        // independent memory channels (default 1, max 16)
+	Interleave Interleave // address→channel policy (default InterleaveLine)
 
 	// Capacities.
 	NVRAMMB      int // simulated NVRAM size (default 128)
@@ -157,6 +178,10 @@ func (c Config) apply() machine.Config {
 		cores = 1
 	}
 	mc := machine.DefaultConfig(c.Backend, cores)
+	if c.Channels > 0 {
+		mc.Mem.Channels = c.Channels
+	}
+	mc.Mem.Interleave = c.Interleave
 	if c.NVRAMReadNS > 0 {
 		mc.Mem.NVRAMRead = c.NVRAMReadNS
 	}

@@ -155,11 +155,11 @@ func BenchmarkRecoveryEffort(b *testing.B) {
 
 // BenchmarkParallelSmoke is the CI bench-regression gate (see cmd/benchjson
 // and .github/workflows/ci.yml): SSP on the sharded memcached workload, 4
-// goroutine-backed cores over a 4-channel interleaved memory, reporting
-// committed transactions per simulated second for the parallel run, the
-// 1-core serial baseline, and the resulting speedup. CI fails when
-// SSP_cTPS drops more than 20% below the checked-in baseline
-// (ci/bench_baseline.json).
+// goroutine-backed cores over a 4-channel interleaved memory with a 4-shard
+// metadata journal (the optimized configuration), reporting committed
+// transactions per simulated second for the parallel run, the 1-core serial
+// baseline, and the resulting speedup. CI fails when SSP_cTPS drops more
+// than 20% below the checked-in baseline (ci/bench_baseline.json).
 func BenchmarkParallelSmoke(b *testing.B) {
 	params := func(clients int) workload.Params {
 		p := workload.Params{
@@ -171,6 +171,7 @@ func BenchmarkParallelSmoke(b *testing.B) {
 			Seed:    0xE0,
 		}
 		p.Machine.Channels = 4
+		p.Machine.JournalShards = 4
 		return p
 	}
 	for i := 0; i < b.N; i++ {

@@ -28,6 +28,14 @@
 // being bandwidth-bound:
 //
 //	sspbench -exp channels -cores 4 -channels 8
+//
+// The journal experiment sweeps the SSP metadata journal's shard count
+// (ssp.Config.JournalShards) against the core count, reporting committed
+// TPS, speedup over the same-shard serial run, per-shard journal pressure
+// (records, ring fill, checkpoints) and the fraction of the window the
+// NVRAM banks spent absorbing journal records:
+//
+//	sspbench -exp journal -cores 4 -shards 4
 package main
 
 import (
@@ -47,17 +55,22 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	ops := flag.Int("ops", 0, "override measured transactions per run")
 	seed := flag.Uint64("seed", 0, "override RNG seed")
-	cores := flag.Int("cores", 4, "max cores for -exp parallel/channels (one goroutine each)")
-	channels := flag.Int("channels", 8, "max memory channels for -exp channels")
+	cores := flag.Int("cores", 4, "max cores for -exp parallel/channels/journal (one goroutine each)")
+	channels := flag.Int("channels", 8, "max memory channels for -exp channels; fixed channel count for -exp journal")
+	shards := flag.Int("shards", 4, "max SSP journal shards for -exp journal")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5 ablate recovery parallel channels all")
+		fmt.Println("table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5 ablate recovery parallel channels journal all")
 		return
 	}
 
 	if *channels < 1 || *channels > ssp.MaxChannels {
 		fmt.Fprintf(os.Stderr, "-channels %d out of range [1,%d]\n", *channels, ssp.MaxChannels)
+		os.Exit(2)
+	}
+	if *shards < 1 || *shards > ssp.MaxJournalShards {
+		fmt.Fprintf(os.Stderr, "-shards %d out of range [1,%d]\n", *shards, ssp.MaxJournalShards)
 		os.Exit(2)
 	}
 	if *cores < 1 {
@@ -134,6 +147,13 @@ func main() {
 				section(fmt.Sprintf("Multi-channel memory — SSP committed TPS on %s, %v channels x %v cores", k, chList, coreList))
 				fmt.Println(experiments.RenderChannels(experiments.ChannelSweep(sc, k, ssp.SSP, chList, coreList)))
 			}
+		case "journal":
+			shList := experiments.SweepPowersOfTwo(*shards)
+			coreList := experiments.SweepPowersOfTwo(*cores)
+			for _, k := range []workload.Kind{workload.Memcached, workload.Vacation} {
+				section(fmt.Sprintf("Journal sharding — SSP committed TPS on %s, %v shards x %v cores (%d channels)", k, shList, coreList, *channels))
+				fmt.Println(experiments.RenderJournal(experiments.JournalSweep(sc, k, *channels, shList, coreList)))
+			}
 		case "recovery":
 			section("Recovery effort vs journal capacity (§4.1.2 checkpointing)")
 			fmt.Println(experiments.RenderRecovery(experiments.RecoveryEffort(sc)))
@@ -145,7 +165,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table3", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "table4", "table5", "ablate", "recovery", "parallel", "channels"} {
+		for _, id := range []string{"table3", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "table4", "table5", "ablate", "recovery", "parallel", "channels", "journal"} {
 			run(id)
 		}
 		return

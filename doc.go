@@ -51,17 +51,40 @@
 // Bank and bus occupancy is tracked in time-bucketed ledgers rather than
 // "busy until" scalars, so concurrent cores queue only when their simulated
 // windows genuinely overlap on the same resource; shared structures with a
-// serial protocol — the SSP metadata journal, REDO's single write-back
-// engine — remain serialised in simulated time by design. The sweep
-// `go run ./cmd/sspbench -exp channels -cores 4 -channels 8` reports
+// serial protocol — REDO's single write-back engine, cache-coherence
+// ownership transfers — remain serialised in simulated time by design. The
+// sweep `go run ./cmd/sspbench -exp channels -cores 4 -channels 8` reports
 // committed TPS, speedup and per-channel bus utilization across the
 // channels × cores grid.
+//
+// # Sharded SSP metadata journal
+//
+// The SSP metadata journal supports per-core sharding
+// (ssp.Config.JournalShards, default 1 = the paper's single shared journal,
+// max MaxJournalShards). Core i appends its commit batches to shard
+// i mod JournalShards — an independent NVRAM ring with its own buffered
+// tail line — under that shard's lock only; transaction IDs come from one
+// global atomic allocator (drawn under the destination shard's lock, so
+// every stream stays TID-monotonic), and slot-shadow mutation happens at
+// per-page granularity under each page's own lock. Checkpointing is
+// per-shard: a hot core fills and drains only its own ring. Recovery is a
+// TID-merge — every shard is scanned and batch-validated independently
+// (torn tails and batches without a durable End drop per shard, exactly as
+// with one journal), the survivors merge by their globally monotonic TIDs,
+// and a per-slot update version (persisted in both the slot array and each
+// journal record) keeps a record left in one shard's ring from regressing a
+// slot that another shard's checkpoint already advanced. The cross-shard
+// crash semantics are enforced by the internal/crashsweep trap sweep on a
+// multi-core multi-shard machine.
 //
 // The aggregate-vs-serial equivalence and race-freedom are enforced by
 // `go test -race ./internal/machine -run TestParallel` and the workload
 // smoke tests; the benchmark entry points are
-// `go run ./cmd/sspbench -exp parallel -cores 4` and
-// `go run ./cmd/sspbench -exp channels -cores 4`.
+// `go run ./cmd/sspbench -exp parallel -cores 4`,
+// `go run ./cmd/sspbench -exp channels -cores 4` and
+// `go run ./cmd/sspbench -exp journal -cores 4 -shards 4` (journal-shard ×
+// core sweep with per-shard journal pressure and the CatMetaJournal bank
+// occupancy that motivates it).
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation:

@@ -16,13 +16,13 @@ import (
 // It runs off the critical path — NVRAM bank time is charged from `at`, but
 // no core waits on it.
 //
-// Locking: in parallel mode the caller holds structMu (the journal append,
-// slot-shadow update and checkpoint check all need it); consolidate takes
-// the page's own lock itself. structMu also guarantees the page cannot gain
-// a first reference mid-consolidation (see translate's slow path).
+// Locking: in parallel mode the caller holds structMu (slot reclamation and
+// checkpoint execution need it, and it guarantees the page cannot gain a
+// first reference mid-consolidation — see translate's slow path);
+// consolidate takes the page's own lock and the target journal shard's lock
+// itself, in structMu → journalMu → pageMeta.mu order.
 func (s *SSP) consolidate(meta *pageMeta, at engine.Cycles) {
 	s.lockMeta(meta)
-	defer s.unlockMeta(meta)
 	if meta.tlbRef != 0 || meta.coreRef != 0 {
 		panic("core: consolidating an active page")
 	}
@@ -30,6 +30,7 @@ func (s *SSP) consolidate(meta *pageMeta, at engine.Cycles) {
 		panic("core: current != committed outside transactions")
 	}
 	if meta.committed == 0 {
+		s.unlockMeta(meta)
 		return // already consolidated
 	}
 	s.env.Stats.Consolidations++
@@ -79,23 +80,32 @@ func (s *SSP) consolidate(meta *pageMeta, at engine.Cycles) {
 	// the next commit on this page flush first, so durably-flushed
 	// speculative data can never land in a frame the old metadata still
 	// references (§3.4, off-critical-path consolidation).
-	st := slotState{vpn: meta.vpn, ppn0: survivor, ppn1: spare, committed: 0}
-	tid := s.nextTID
-	s.nextTID++
-	t = s.journal.Append(wal.Record{TID: tid, Kind: recConsolidate, Payload: encodeJournalPayload(meta.slot, st, s.env.Layout.FrameIndex)}, t)
-	s.slotShadow[meta.slot] = st
-	s.dirtySlots[meta.slot] = struct{}{}
-	meta.barrier = s.journal.MarkHere()
+	st := slotState{vpn: meta.vpn, ppn0: survivor, ppn1: spare, committed: 0, ver: s.allocVer()}
+	sid := meta.slot
+	payload := s.journalPayload(sid, st)
+	s.unlockMeta(meta) // re-acquired below in journalMu → pageMeta.mu order
+
+	si := s.shardOfSlot(sid)
+	s.lockShard(si)
+	tid := s.allocTID()
+	t = s.journals[si].Append(wal.Record{TID: tid, Kind: recConsolidate, Payload: payload}, t)
+	s.lockMeta(meta)
+	s.slotShadow[sid] = st
+	meta.barrier = journalRef{shard: si, mark: s.journals[si].MarkHere()}
+	meta.ppn0, meta.ppn1 = survivor, spare
+	meta.committed, meta.current = 0, 0
+	s.unlockMeta(meta)
+	s.dirtySlots[si][sid] = struct{}{}
+	s.env.Stats.JournalRecords++
+	s.env.Stats.JournalShardRecords[si]++
+	s.maybeCheckpointShard(si, t)
+	s.unlockShard(si)
 
 	// Durable page-table repoint. Safe in either order with the journal
 	// record: recovery trusts the journal-replayed slot state and repairs
 	// the PTE to match.
 	t = s.env.PT.Set(meta.vpn, survivor, t)
-
-	meta.ppn0, meta.ppn1 = survivor, spare
-	meta.committed, meta.current = 0, 0
 	s.clock(t)
-	s.maybeCheckpoint(t)
 }
 
 // ---------------------------------------------------------------------------
@@ -168,44 +178,64 @@ func (s *SSP) drainConsolQueue(at engine.Cycles) {
 	s.unlockStruct()
 }
 
-// maybeCheckpoint applies the journal to the persistent slot array and
-// truncates it once the ring passes its high-water mark (§4.1.2
-// "Checkpointing"). Background work: bank time only. Caller holds structMu
-// in parallel mode.
-func (s *SSP) maybeCheckpoint(at engine.Cycles) {
-	if float64(s.journal.Used()) < s.cfg.JournalHighWater*float64(s.journal.Capacity()) {
+// maybeCheckpointShard applies shard si's journal to the persistent slot
+// array and truncates the ring once it passes its high-water mark (§4.1.2
+// "Checkpointing"). Checkpointing is per-shard: a hot core fills only its
+// own ring and drains only its own dirty slots, so it cannot force global
+// checkpoints. Background work: bank time only. Caller holds structMu and
+// journalMu[si] in parallel mode.
+func (s *SSP) maybeCheckpointShard(si int, at engine.Cycles) {
+	if !s.overHighWater(si) {
 		return
 	}
-	s.checkpoint(at)
+	s.checkpointShard(si, at)
 }
 
-// checkpoint writes the final state of every journal-dirtied slot to the
-// persistent SSP cache and resets the journal ("capture the final state of
-// a modified cache entry and only write it back to the persistent cache").
-func (s *SSP) checkpoint(at engine.Cycles) {
-	if len(s.dirtySlots) == 0 {
-		s.journal.Reset()
+// maybeCheckpointAll runs the per-shard high-water check on every shard.
+// Serial mode only (the commit path's post-consolidation check).
+func (s *SSP) maybeCheckpointAll(at engine.Cycles) {
+	for si := range s.journals {
+		s.maybeCheckpointShard(si, at)
+	}
+}
+
+// checkpointShard writes the final state of every slot dirtied through
+// shard si to the persistent SSP cache and resets that shard's ring
+// ("capture the final state of a modified cache entry and only write it
+// back to the persistent cache"). The checkpointed entries carry their slot
+// update versions, so records for the same slots still sitting in other
+// shards' rings are ordered against the checkpoint at recovery.
+func (s *SSP) checkpointShard(si int, at engine.Cycles) {
+	dirty := s.dirtySlots[si]
+	if len(dirty) == 0 {
+		s.journals[si].Reset()
 		return
 	}
 	t := at
-	sids := make([]int, 0, len(s.dirtySlots))
-	for sid := range s.dirtySlots {
+	sids := make([]int, 0, len(dirty))
+	for sid := range dirty {
 		sids = append(sids, sid)
 	}
-	sortInts(sids)
+	sort.Ints(sids)
 	for _, sid := range sids {
-		t = s.env.Mem.WriteLine(s.slotAddr(sid), encodeSlot(s.slotShadow[sid], s.env.Layout.FrameIndex), t, stats.CatCheckpoint)
+		t = s.env.Mem.WriteLine(s.slotAddr(sid), encodeSlot(s.slotSnapshot(sid), s.env.Layout.FrameIndex), t, stats.CatCheckpoint)
 	}
-	s.journal.Reset()
-	clear(s.dirtySlots)
+	s.journals[si].Reset()
+	clear(dirty)
 	s.env.Stats.Checkpoints++
+	s.env.Stats.JournalShardCheckpoints[si]++
 	s.clock(t)
 }
 
-func sortInts(v []int) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
+// slotSnapshot reads slotShadow[sid] consistently: under the owning page's
+// lock when the slot is owned (commits on other shards update it under
+// that lock), directly otherwise (unowned slots change only under structMu,
+// which the checkpoint caller holds).
+func (s *SSP) slotSnapshot(sid int) slotState {
+	if owner := s.slotOwner[sid]; owner != nil {
+		s.lockMeta(owner)
+		defer s.unlockMeta(owner)
+		return s.slotShadow[sid]
 	}
+	return s.slotShadow[sid]
 }

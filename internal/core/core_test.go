@@ -320,7 +320,7 @@ func TestCheckpointTruncatesJournal(t *testing.T) {
 	if env.Stats.Checkpoints == 0 {
 		t.Fatal("no checkpoint despite journal pressure")
 	}
-	if s.journal.Used() >= s.journal.Capacity() {
+	if s.journals[0].Used() >= s.journals[0].Capacity() {
 		t.Error("journal overflowed")
 	}
 	// The persistent slot array must now carry the page's state.
@@ -352,10 +352,19 @@ func TestSlotEncodingRoundTrip(t *testing.T) {
 
 func TestJournalPayloadRoundTrip(t *testing.T) {
 	env, _ := testEnv(t, 1)
-	st := slotState{vpn: 9, ppn0: env.Layout.FrameAddr(1), ppn1: env.Layout.FrameAddr(2), committed: 0x55}
-	sid, got := decodeJournalPayload(encodeJournalPayload(13, st, env.Layout.FrameIndex), env.Layout.FrameAddr)
+	st := slotState{vpn: 9, ppn0: env.Layout.FrameAddr(1), ppn1: env.Layout.FrameAddr(2), committed: 0x55, ver: 7}
+	// The paper-model 24-byte record (no version)...
+	sid, got := decodeJournalPayload(encodeJournalPayload(13, st, env.Layout.FrameIndex, false), env.Layout.FrameAddr)
 	if sid != 13 || got.vpn != 9 || got.ppn0 != st.ppn0 || got.ppn1 != st.ppn1 || got.committed != 0x55 {
 		t.Errorf("journal payload round trip: %+v (sid %d)", got, sid)
+	}
+	if got.ver != 0 {
+		t.Errorf("version leaked into the unsharded payload: %d", got.ver)
+	}
+	// ...and the sharded 28-byte record carrying the slot update version.
+	sid, got = decodeJournalPayload(encodeJournalPayload(13, st, env.Layout.FrameIndex, true), env.Layout.FrameAddr)
+	if sid != 13 || got.vpn != 9 || got.committed != 0x55 || got.ver != 7 {
+		t.Errorf("versioned journal payload round trip: %+v (sid %d)", got, sid)
 	}
 }
 
@@ -457,9 +466,9 @@ func TestRecoverySkipsUnsealedBatch(t *testing.T) {
 
 	// Forge an unsealed batch directly in the journal: an update record
 	// with no recUpdateEnd.
-	st := slotState{vpn: 1, ppn0: mustPTE(env, 1), ppn1: s.slotShadow[1].ppn1, committed: 1}
-	s.journal.Append(wal.Record{TID: s.nextTID, Kind: recUpdate, Payload: encodeJournalPayload(1, st, env.Layout.FrameIndex)}, 0)
-	s.journal.Flush(0)
+	st := slotState{vpn: 1, ppn0: mustPTE(env, 1), ppn1: s.slotShadow[1].ppn1, committed: 1, ver: s.allocVer()}
+	s.journals[0].Append(wal.Record{TID: s.allocTID(), Kind: recUpdate, Payload: s.journalPayload(1, st)}, 0)
+	s.journals[0].Flush(0)
 
 	s.Crash()
 	env.Caches.DropAll()

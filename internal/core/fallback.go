@@ -43,10 +43,7 @@ func decodeFBPayload(p []byte) (memsim.PAddr, []byte) {
 func (s *SSP) transitionToFallback(core int, at engine.Cycles) engine.Cycles {
 	s.env.StatsFor(core).FallbackTxns++
 	t := at
-	s.lockStruct()
-	tid := s.nextTID
-	s.nextTID++
-	s.unlockStruct()
+	tid := s.allocTID()
 	s.fbTID[core] = tid
 	log := s.fbLogs[core]
 
@@ -122,14 +119,12 @@ func (s *SSP) fbCommit(core int, at engine.Cycles) engine.Cycles {
 	t := at
 	// Same metadata barrier as the SSP commit path: in-place data must not
 	// become durable in frames that pending journal records still remap.
-	s.lockStruct()
+	pages := make([]int, 0, len(s.fbPages[core]))
 	for vpn := range s.fbPages[core] {
-		if !s.journal.Durable(s.lookupMeta(vpn).barrier) {
-			t = s.journal.Flush(t)
-			break
-		}
+		pages = append(pages, vpn)
 	}
-	s.unlockStruct()
+	sort.Ints(pages)
+	t = s.barrierFlush(pages, t)
 	fence := t
 	for _, la := range s.sortedFBLines(core) {
 		done, _ := s.env.Caches.Flush(core, la, t, stats.CatData)

@@ -112,11 +112,19 @@ type pageMeta struct {
 	tlbRef    int    // TLBs caching this page's translation
 	coreRef   int    // cores with the page in an open write set
 
-	// barrier marks the journal position that must be durable before this
-	// page's shadow frame may host durably-flushed speculative data: the
-	// page's last lazily-journaled consolidation/release records (see
-	// consolidate.go). Commits check it before their data flushes.
-	barrier wal.Mark
+	// barrier marks the journal shard and position that must be durable
+	// before this page's shadow frame may host durably-flushed speculative
+	// data: the page's last lazily-journaled consolidation/release records
+	// (see consolidate.go). Commits check it before their data flushes.
+	// Protected by mu in parallel mode (it names a position in a specific
+	// shard's stream; the stream itself is touched under that shard's lock).
+	barrier journalRef
+}
+
+// journalRef names a durable position in one journal shard.
+type journalRef struct {
+	shard int
+	mark  wal.Mark
 }
 
 // lineAddr returns the physical line address of line idx on the side
@@ -131,11 +139,20 @@ func (m *pageMeta) lineAddr(idx int, bit uint64) memsim.PAddr {
 
 // slotState mirrors one persistent SSP slot: what the NVRAM slot array
 // would contain after applying every journaled update.
+//
+// ver is the slot's update version: a globally monotonic sequence number
+// assigned under the owning page's lock at every snapshot of the slot
+// (commit, consolidation, release). With a single journal it is redundant —
+// stream order is update order — but with sharded journals a slot's records
+// spread across streams that checkpoint independently, so recovery orders a
+// record against the checkpointed slot array by comparing versions: a
+// record applies only if it is newer than the state already in the slot.
 type slotState struct {
 	vpn       int // -1 when free
 	ppn0      memsim.PAddr
 	ppn1      memsim.PAddr // the slot's spare frame; owned forever (§4.1.2)
 	committed uint64
+	ver       uint32
 }
 
 // Slot array entry layout (one 64-byte line per slot):
@@ -143,7 +160,7 @@ type slotState struct {
 //	+0  u32 vpn (invalidU32 = free)
 //	+4  u32 ppn0 frame index (invalidU32 = none)
 //	+8  u32 ppn1 frame index (the spare; always valid)
-//	+12 u32 reserved
+//	+12 u32 update version (checkpointed slotState.ver)
 //	+16 u64 committed bitmap
 const slotBytes = memsim.LineBytes
 
@@ -158,6 +175,7 @@ func encodeSlot(st slotState, frameIndex func(memsim.PAddr) int) []byte {
 	binary.LittleEndian.PutUint32(buf[0:], vpn)
 	binary.LittleEndian.PutUint32(buf[4:], p0)
 	binary.LittleEndian.PutUint32(buf[8:], uint32(frameIndex(st.ppn1)))
+	binary.LittleEndian.PutUint32(buf[12:], st.ver)
 	binary.LittleEndian.PutUint64(buf[16:], st.committed)
 	return buf
 }
@@ -166,7 +184,7 @@ func decodeSlot(buf []byte, frameAddr func(int) memsim.PAddr) slotState {
 	vpn := binary.LittleEndian.Uint32(buf[0:])
 	p0 := binary.LittleEndian.Uint32(buf[4:])
 	p1 := binary.LittleEndian.Uint32(buf[8:])
-	st := slotState{vpn: -1, ppn1: frameAddr(int(p1))}
+	st := slotState{vpn: -1, ppn1: frameAddr(int(p1)), ver: binary.LittleEndian.Uint32(buf[12:])}
 	if vpn != invalidU32 {
 		st.vpn = int(vpn)
 		st.ppn0 = frameAddr(int(p0))
@@ -191,11 +209,24 @@ const (
 
 // journal record payload: u32 sid, u32 vpn, u32 ppn0Idx, u32 ppn1Idx,
 // u64 committed — 24 bytes ("128 bits of metadata for each modified page",
-// §3.3, plus the slot's frame fields needed for recovery; see DESIGN.md §5).
-const journalPayloadBytes = 24
+// §3.3, plus the slot's frame fields needed for recovery; see DESIGN.md
+// §5). With sharded journals (JournalShards > 1) the payload additionally
+// carries the u32 slot update version that orders a record against
+// independently checkpointed shards; the single-journal paper model keeps
+// the 24-byte record — one stream's order is the update order, so the
+// version is redundant there and would only inflate the Figure 6/7 write
+// traffic.
+const (
+	journalPayloadBytes    = 24
+	journalPayloadVerBytes = 28
+)
 
-func encodeJournalPayload(sid int, st slotState, frameIndex func(memsim.PAddr) int) []byte {
-	p := make([]byte, journalPayloadBytes)
+func encodeJournalPayload(sid int, st slotState, frameIndex func(memsim.PAddr) int, withVer bool) []byte {
+	n := journalPayloadBytes
+	if withVer {
+		n = journalPayloadVerBytes
+	}
+	p := make([]byte, n)
 	binary.LittleEndian.PutUint32(p[0:], uint32(sid))
 	vpn := invalidU32
 	p0 := invalidU32
@@ -207,11 +238,14 @@ func encodeJournalPayload(sid int, st slotState, frameIndex func(memsim.PAddr) i
 	binary.LittleEndian.PutUint32(p[8:], p0)
 	binary.LittleEndian.PutUint32(p[12:], uint32(frameIndex(st.ppn1)))
 	binary.LittleEndian.PutUint64(p[16:], st.committed)
+	if withVer {
+		binary.LittleEndian.PutUint32(p[24:], st.ver)
+	}
 	return p
 }
 
 func decodeJournalPayload(p []byte, frameAddr func(int) memsim.PAddr) (sid int, st slotState) {
-	if len(p) != journalPayloadBytes {
+	if len(p) != journalPayloadBytes && len(p) != journalPayloadVerBytes {
 		panic(fmt.Sprintf("core: bad journal payload length %d", len(p)))
 	}
 	sid = int(binary.LittleEndian.Uint32(p[0:]))
@@ -219,6 +253,9 @@ func decodeJournalPayload(p []byte, frameAddr func(int) memsim.PAddr) (sid int, 
 	p0 := binary.LittleEndian.Uint32(p[8:])
 	p1 := binary.LittleEndian.Uint32(p[12:])
 	st = slotState{vpn: -1, ppn1: frameAddr(int(p1))}
+	if len(p) == journalPayloadVerBytes {
+		st.ver = binary.LittleEndian.Uint32(p[24:])
+	}
 	if vpn != invalidU32 {
 		st.vpn = int(vpn)
 		st.ppn0 = frameAddr(int(p0))

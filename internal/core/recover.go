@@ -9,11 +9,18 @@ import (
 )
 
 // Crash implements txn.Backend: power loss wipes every volatile structure —
-// transient SSP cache, write-set buffers, journal buffer, residency model.
-// The durable slot array, journal and fall-back logs survive in NVRAM.
+// transient SSP cache, write-set buffers, journal buffers, residency model.
+// The durable slot array, journal shards and fall-back logs survive in
+// NVRAM.
 func (s *SSP) Crash() {
 	s.resetEntries()
-	s.dirtySlots = make(map[int]struct{})
+	for i := range s.dirtySlots {
+		s.dirtySlots[i] = make(map[int]struct{})
+	}
+	for i := range s.slotOwner {
+		s.slotOwner[i] = nil
+		s.slotBarrier[i] = journalRef{}
+	}
 	s.freeSlots = nil
 	s.resident.Reset()
 	for c := range s.wsb {
@@ -24,74 +31,78 @@ func (s *SSP) Crash() {
 		s.fbPages[c] = make(map[int]struct{})
 		s.fbLogs[c].Reset()
 	}
-	s.journal.Reset()
+	for i := range s.journals {
+		s.journals[i].Reset()
+	}
 	s.now.Store(0)
 	s.consolQ = nil
 	s.epochOps = 0
 }
 
 // Recover implements txn.Backend (§4.4): rebuild the transient SSP cache
-// from the persistent slot array, replay the metadata journal (skipping
-// transactions without a durable End record), roll back interrupted
-// fall-back transactions, repair the page table, and rebuild the frame
-// allocator.
+// from the persistent slot array, replay the metadata journal shards in
+// merged TID order (skipping transactions without a durable End record),
+// roll back interrupted fall-back transactions, repair the page table, and
+// rebuild the frame allocator.
+//
+// With sharded journals the replay order is a TID-merge: every shard is
+// scanned and batch-validated independently (a shard's torn tail or
+// batch-without-End drops exactly as it did with one journal), the
+// surviving records are merged by their globally monotonic TIDs, and each
+// record applies only if its slot update version is newer than the state
+// already in the slot — a record left in one shard's ring must not regress
+// a slot that another shard's checkpoint already advanced past it.
 func (s *SSP) Recover() error {
 	s.env.Stats.Recoveries++
 
-	// 1. Load the persistent slot array.
+	// 1. Load the persistent slot array (including each slot's checkpointed
+	// update version).
 	buf := make([]byte, slotBytes)
+	var maxVer uint32
 	for sid := range s.slotShadow {
 		s.env.Mem.Peek(s.slotAddr(sid), buf)
 		s.slotShadow[sid] = decodeSlot(buf, s.env.Layout.FrameAddr)
+		if s.slotShadow[sid].ver > maxVer {
+			maxVer = s.slotShadow[sid].ver
+		}
 	}
 
-	// 2. Replay the journal: update batches apply only through their End
-	// record; consolidate/release records apply unconditionally in order.
-	recs := wal.Scan(s.env.Mem, s.env.Layout.JournalBase, s.env.Layout.Cfg.JournalBytes)
-	var batch []wal.Record
-	var batchTID uint32
-	applyBatch := func() {
-		for _, r := range batch {
-			sid, st := decodeJournalPayload(r.Payload, s.env.Layout.FrameAddr)
-			s.slotShadow[sid] = st
-			s.env.Stats.ReplayedRecords++
+	// 2. Scan every journal shard, validate update-batch framing per shard,
+	// merge the survivors by TID, and replay under the version guard.
+	raw := wal.ScanShards(s.env.Mem, s.env.Layout.JournalBase, s.env.Layout.Cfg.JournalBytes)
+	valid := make([][]wal.Record, len(raw))
+	var maxTID uint32
+	for i, recs := range raw {
+		if m := wal.MaxTID(recs); m > maxTID {
+			maxTID = m
 		}
-		s.env.Stats.RecoveredTxns++
-		batch = nil
-	}
-	for _, r := range recs {
-		switch r.Kind {
-		case recUpdate:
-			if len(batch) > 0 && r.TID != batchTID {
-				// A new batch started without the previous End: the prior
-				// batch can only be an artifact of a torn tail; drop it.
-				batch = nil
+		// Versions consumed by dropped batches must stay below the next
+		// allocation, so the scan covers every record, applied or not.
+		for _, r := range recs {
+			if len(r.Payload) == journalPayloadBytes || len(r.Payload) == journalPayloadVerBytes {
+				if _, st := decodeJournalPayload(r.Payload, s.env.Layout.FrameAddr); st.ver > maxVer {
+					maxVer = st.ver
+				}
 			}
-			batchTID = r.TID
-			batch = append(batch, r)
-		case recUpdateEnd:
-			if len(batch) > 0 && r.TID != batchTID {
-				batch = nil
-			}
-			batchTID = r.TID
-			batch = append(batch, r)
-			applyBatch()
-		case recEnd:
-			if len(batch) > 0 && r.TID == batchTID {
-				applyBatch()
-			}
-		case recConsolidate, recRelease:
-			sid, st := decodeJournalPayload(r.Payload, s.env.Layout.FrameAddr)
-			s.slotShadow[sid] = st
-			s.env.Stats.ReplayedRecords++
-		default:
-			return fmt.Errorf("core: unknown journal record kind %d", r.Kind)
 		}
+		v, err := s.validShardRecords(recs)
+		if err != nil {
+			return err
+		}
+		valid[i] = v
 	}
-	if len(batch) > 0 {
-		s.env.Stats.RolledBackTxns++ // speculative updates discarded (§4.1.1)
+	for _, r := range wal.Merge(valid) {
+		sid, st := decodeJournalPayload(r.Payload, s.env.Layout.FrameAddr)
+		// With sharded journals a record must be newer than the slot's
+		// checkpointed state to apply; with the single paper-model journal
+		// the stream order is the update order (records carry no version)
+		// and every surviving record applies, exactly as before sharding.
+		if s.sharded() && st.ver <= s.slotShadow[sid].ver {
+			continue // the slot already holds this update (or a newer one)
+		}
+		s.slotShadow[sid] = st
+		s.env.Stats.ReplayedRecords++
 	}
-	maxTID := wal.MaxTID(recs)
 
 	// 3. Roll back interrupted software fall-back transactions (their undo
 	// logs live in the per-core log regions).
@@ -122,6 +133,8 @@ func (s *SSP) Recover() error {
 	seenVPN := make(map[int]int)
 	for sid := len(s.slotShadow) - 1; sid >= 0; sid-- {
 		st := s.slotShadow[sid]
+		s.slotOwner[sid] = nil
+		s.slotBarrier[sid] = journalRef{}
 		if st.vpn < 0 {
 			s.freeSlots = append(s.freeSlots, sid)
 			continue
@@ -136,14 +149,16 @@ func (s *SSP) Recover() error {
 			s.env.PT.Set(st.vpn, st.ppn0, 0)
 			s.env.Stats.RecoveryNVWrites++
 		}
-		s.storeMeta(&pageMeta{
+		meta := &pageMeta{
 			vpn:       st.vpn,
 			slot:      sid,
 			ppn0:      st.ppn0,
 			ppn1:      st.ppn1,
 			committed: st.committed,
 			current:   st.committed,
-		})
+		}
+		s.slotOwner[sid] = meta
+		s.storeMeta(meta)
 	}
 
 	// 5. Rebuild the frame allocator: every PTE-mapped frame plus every
@@ -156,14 +171,66 @@ func (s *SSP) Recover() error {
 		s.env.Frames.Reserve(st.ppn1)
 	}
 
-	if maxTID >= s.nextTID {
-		s.nextTID = maxTID + 1
+	if s.nextTID.Load() < maxTID {
+		s.nextTID.Store(maxTID)
 	}
-	s.journal.Reset()
-	s.journal.SetTIDFloor(maxTID)
+	if s.nextVer.Load() < maxVer {
+		s.nextVer.Store(maxVer)
+	}
+	for i := range s.journals {
+		s.journals[i].Reset()
+		s.journals[i].SetTIDFloor(maxTID)
+	}
 	for c := range s.fbLogs {
 		s.fbLogs[c].Reset()
 		s.fbLogs[c].SetTIDFloor(maxTID)
 	}
 	return nil
+}
+
+// validShardRecords applies one shard's batch-framing semantics: update
+// batches survive only through a durable End record (recUpdateEnd, or a
+// standalone recEnd sealing the open batch), consolidate/release records
+// survive unconditionally. A batch superseded by a new TID mid-stream can
+// only be a torn-tail artifact and drops silently; a trailing unsealed
+// batch is the crashed transaction and counts as rolled back (§4.1.1).
+// Shard-local order is preserved in the returned slice.
+func (s *SSP) validShardRecords(recs []wal.Record) ([]wal.Record, error) {
+	var out []wal.Record
+	var batch []wal.Record
+	var batchTID uint32
+	seal := func() {
+		out = append(out, batch...)
+		s.env.Stats.RecoveredTxns++
+		batch = nil
+	}
+	for _, r := range recs {
+		switch r.Kind {
+		case recUpdate:
+			if len(batch) > 0 && r.TID != batchTID {
+				batch = nil
+			}
+			batchTID = r.TID
+			batch = append(batch, r)
+		case recUpdateEnd:
+			if len(batch) > 0 && r.TID != batchTID {
+				batch = nil
+			}
+			batchTID = r.TID
+			batch = append(batch, r)
+			seal()
+		case recEnd:
+			if len(batch) > 0 && r.TID == batchTID {
+				seal()
+			}
+		case recConsolidate, recRelease:
+			out = append(out, r)
+		default:
+			return nil, fmt.Errorf("core: unknown journal record kind %d", r.Kind)
+		}
+	}
+	if len(batch) > 0 {
+		s.env.Stats.RolledBackTxns++ // speculative updates discarded (§4.1.1)
+	}
+	return out, nil
 }

@@ -35,28 +35,45 @@ type entryShard struct {
 // engaged only while parallel mode is on — serial runs execute exactly the
 // unlocked deterministic paths they always did. The lock order is
 //
-//	structMu → pageMeta.mu → residentMu/consolMu → caches → page table → memory
+//	structMu → journalMu[i] → pageMeta.mu → residentMu/consolMu
+//	  → caches → page table → memory
 //
-// structMu protects everything "structural": the metadata journal (and TID
-// allocation — the journal requires monotonic TIDs, so a TID is always
-// allocated and appended under the same critical section), the slot-array
-// shadow, free-slot list, checkpointing and entry-map mutation. Each
-// pageMeta's mutex protects that page's bitmaps and reference counts, so
-// stores to different pages proceed concurrently. Commit-time page
-// consolidation, which would otherwise funnel every core through structMu
-// at commit, is deferred to a batched epoch drain (see consolidate.go).
+// structMu protects everything "structural": entry-map mutation, the
+// free-slot list, slot allocation/eviction, consolidation scheduling and
+// checkpoint execution. The metadata journal is sharded: each shard's
+// stream, dirty-slot set and high-water trigger are protected by that
+// shard's journalMu, so commits on different shards never serialise on a
+// journal lock (nor, with the shards in distinct NVRAM regions, on a
+// journal bank in simulated time). TID allocation is a plain atomic; a TID
+// destined for a shard is drawn while holding that shard's lock so each
+// stream still sees non-decreasing TIDs. Slot-shadow mutation is per-page:
+// slotShadow[sid] is written under the owning pageMeta's mutex, with a
+// per-slot update version (allocated under the same lock) ordering the
+// slot's records across shards for recovery. Each pageMeta's mutex protects
+// that page's bitmaps and reference counts, so stores to different pages
+// proceed concurrently. Commit-time page consolidation, which would
+// otherwise funnel every core through structMu at commit, is deferred to a
+// batched epoch drain (see consolidate.go).
 type SSP struct {
 	env *txn.Env
 	cfg Config
 
-	journal  *wal.Stream
-	nextTID  uint32
+	journals []*wal.Stream // metadata journal shards (len ≥ 1)
 	resident *lruSet
 
-	shards     [metaShards]entryShard // by vpn; the transient SSP cache
-	slotShadow []slotState            // journal-consistent view of the slot array
-	dirtySlots map[int]struct{}       // slots needing a checkpoint write
-	freeSlots  []int
+	// nextTID allocates journal and fall-back transaction IDs; nextVer
+	// allocates slot update versions (bumped under the owning page's lock,
+	// so per-slot versions are snapshot-ordered — see slotState.ver).
+	nextTID atomic.Uint32
+	nextVer atomic.Uint32
+
+	shards      [metaShards]entryShard // by vpn; the transient SSP cache
+	slotShadow  []slotState            // journal-consistent view of the slot array
+	slotOwner   []*pageMeta            // owning cache entry per slot (nil = unowned); structMu
+	slotBarrier []journalRef           // pending release-record barrier per slot; structMu
+	freeSlots   []int
+
+	dirtySlots []map[int]struct{} // per journal shard: slots needing a checkpoint write
 
 	// Per-core transaction state.
 	inTxn []bool
@@ -80,6 +97,7 @@ type SSP struct {
 	// epochOps counts commits since the last batch drain.
 	parallel   bool
 	structMu   sync.Mutex
+	journalMu  []sync.Mutex // one per journal shard
 	residentMu sync.Mutex
 	consolMu   sync.Mutex
 	consolQ    []int
@@ -110,14 +128,18 @@ func NewSSP(env *txn.Env, cfg Config, fresh bool) *SSP {
 		cfg.EpochCommits = DefaultConfig().EpochCommits
 	}
 	s := &SSP{
-		env:        env,
-		cfg:        cfg,
-		journal:    wal.NewStream(env.Mem, env.Layout.JournalBase, env.Layout.Cfg.JournalBytes, stats.CatMetaJournal),
-		nextTID:    1,
-		resident:   newLRUSet(cfg.ResidentEntries),
-		slotShadow: make([]slotState, cfg.Entries),
-		dirtySlots: make(map[int]struct{}),
+		env:         env,
+		cfg:         cfg,
+		resident:    newLRUSet(cfg.ResidentEntries),
+		slotShadow:  make([]slotState, cfg.Entries),
+		slotOwner:   make([]*pageMeta, cfg.Entries),
+		slotBarrier: make([]journalRef, cfg.Entries),
 	}
+	for _, base := range env.Layout.JournalBase {
+		s.journals = append(s.journals, wal.NewStream(env.Mem, base, env.Layout.Cfg.JournalBytes, stats.CatMetaJournal))
+		s.dirtySlots = append(s.dirtySlots, make(map[int]struct{}))
+	}
+	s.journalMu = make([]sync.Mutex, len(s.journals))
 	for i := range s.shards {
 		s.shards[i].m = make(map[int]*pageMeta)
 	}
@@ -177,6 +199,51 @@ func (s *SSP) unlockMeta(m *pageMeta) {
 	if s.parallel {
 		m.mu.Unlock()
 	}
+}
+
+func (s *SSP) lockShard(si int) {
+	if s.parallel {
+		s.journalMu[si].Lock()
+	}
+}
+
+func (s *SSP) unlockShard(si int) {
+	if s.parallel {
+		s.journalMu[si].Unlock()
+	}
+}
+
+// shardFor maps a committing core to its journal shard.
+func (s *SSP) shardFor(core int) int { return core % len(s.journals) }
+
+// shardOfSlot maps slot-keyed background records (consolidation, release)
+// to a shard, spreading them deterministically.
+func (s *SSP) shardOfSlot(sid int) int { return sid % len(s.journals) }
+
+// allocTID draws the next transaction ID. Callers appending to a journal
+// shard must hold that shard's lock across the draw and the append, so the
+// shard's stream stays TID-monotonic; the fall-back path needs no lock (a
+// fall-back log only ever receives its own core's records).
+func (s *SSP) allocTID() uint32 { return s.nextTID.Add(1) }
+
+// allocVer draws the next slot update version; call under the owning
+// page's lock (or with the slot otherwise quiescent under structMu).
+func (s *SSP) allocVer() uint32 { return s.nextVer.Add(1) }
+
+// sharded reports whether the journal runs with more than one shard; the
+// single-journal paper model skips the per-record version (see meta.go).
+func (s *SSP) sharded() bool { return len(s.journals) > 1 }
+
+// journalPayload encodes a record payload for this machine's journal
+// geometry.
+func (s *SSP) journalPayload(sid int, st slotState) []byte {
+	return encodeJournalPayload(sid, st, s.env.Layout.FrameIndex, s.sharded())
+}
+
+// overHighWater reports whether shard si's ring passed the checkpoint
+// trigger (§4.1.2). Caller holds journalMu[si] in parallel mode.
+func (s *SSP) overHighWater(si int) bool {
+	return float64(s.journals[si].Used()) >= s.cfg.JournalHighWater*float64(s.journals[si].Capacity())
 }
 
 // ---------------------------------------------------------------------------
@@ -343,8 +410,9 @@ func (s *SSP) fetchMeta(vpn int, ppn memsim.PAddr, at engine.Cycles) (*pageMeta,
 		slot:    sid,
 		ppn0:    ppn,
 		ppn1:    s.slotShadow[sid].ppn1,
-		barrier: s.journal.MarkHere(),
+		barrier: s.slotBarrier[sid],
 	}
+	s.slotOwner[sid] = meta
 	s.storeMeta(meta)
 	// The slot association becomes journal-visible only at the page's
 	// first commit; until then the page's committed state is entirely in
@@ -410,17 +478,27 @@ func (s *SSP) releaseEntry(meta *pageMeta, at engine.Cycles) {
 		panic("core: releasing a live SSP entry")
 	}
 	sid := meta.slot
-	st := slotState{vpn: -1, ppn1: meta.ppn1}
-	tid := s.nextTID
-	s.nextTID++
-	s.journal.Append(wal.Record{TID: tid, Kind: recRelease, Payload: encodeJournalPayload(sid, st, s.env.Layout.FrameIndex)}, at)
+	st := slotState{vpn: -1, ppn1: meta.ppn1, ver: s.allocVer()}
+	si := s.shardOfSlot(sid)
+	s.lockShard(si)
+	tid := s.allocTID()
+	s.journals[si].Append(wal.Record{TID: tid, Kind: recRelease, Payload: s.journalPayload(sid, st)}, at)
+	// Publishing before the record is durable is safe here (unlike the
+	// commit path): a release's NVRAM side effects precede its record, so a
+	// checkpoint persisting this state early is equivalent to the record
+	// having applied.
 	s.slotShadow[sid] = st
-	s.dirtySlots[sid] = struct{}{}
+	s.dirtySlots[si][sid] = struct{}{}
+	s.env.Stats.JournalRecords++
+	s.env.Stats.JournalShardRecords[si]++
+	// The slot's next tenant inherits a barrier at the release record, so
+	// its first commit flushes this shard before its data flushes.
+	s.slotBarrier[sid] = journalRef{shard: si, mark: s.journals[si].MarkHere()}
+	s.maybeCheckpointShard(si, at)
+	s.unlockShard(si)
+	s.slotOwner[sid] = nil
 	s.deleteMeta(meta.vpn)
 	s.freeSlots = append(s.freeSlots, sid)
-	s.maybeCheckpoint(at)
-	// The slot's next tenant inherits a barrier at the release record (set
-	// in fetchMeta via MarkHere), so its first commit flushes it.
 }
 
 // onTLBEvict is the extended-TLB eviction hook: it drops the page's TLB
@@ -555,17 +633,10 @@ func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
 	pages := s.sortedWS(core)
 
 	// Step 0: metadata barrier — if any write-set page carries a pending
-	// consolidation/release record, persist the journal before flushing
-	// data (see consolidate.go). Pages rarely recommit before their
-	// records drain, so this flush is almost always free.
-	s.lockStruct()
-	for _, vpn := range pages {
-		if !s.journal.Durable(s.lookupMeta(vpn).barrier) {
-			t = s.journal.Flush(t)
-			break
-		}
-	}
-	s.unlockStruct()
+	// consolidation/release record, persist that record's journal shard
+	// before flushing data (see consolidate.go). Pages rarely recommit
+	// before their records drain, so these flushes are almost always free.
+	t = s.barrierFlush(pages, t)
 
 	// Step 1: data persistence — clwb every write-set line; the fence
 	// waits for the slowest flush (bank-level parallelism applies).
@@ -590,36 +661,77 @@ func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
 	t = fence
 
 	// Step 2: metadata update — one journal record per modified page (the
-	// last one carries the end marker), then a journal flush makes the
-	// transaction durable.
+	// last one carries the end marker) appended to this core's journal
+	// shard, then a shard flush makes the transaction durable. Only the
+	// shard's lock is held: the slot-shadow snapshot (and its update
+	// version) is taken under each page's own lock, so commits on other
+	// shards — even to other pages of the same slot array — proceed
+	// concurrently.
 	if len(pages) > 0 {
-		s.lockStruct()
-		tid := s.nextTID
-		s.nextTID++
+		si := s.shardFor(core)
+		type slotPub struct {
+			meta *pageMeta
+			sid  int
+			st   slotState
+		}
+		pubs := make([]slotPub, 0, len(pages))
+		s.lockShard(si)
+		tid := s.allocTID()
 		for i, vpn := range pages {
 			meta := s.lookupMeta(vpn)
 			bm := s.wsb[core][vpn]
 			s.lockMeta(meta)
+			// Note on shared pages: if another core's open transaction on
+			// this page committed its bits just before us (under this page
+			// lock) but its shard flush is still in flight, our snapshot
+			// carries those bits with a newer version. That is safe under
+			// the machine's crash model — power failure is injected only in
+			// serial execution (where a commit runs to completion before
+			// the next begins) or at quiescence (where every flush has
+			// landed) — but a hardware realisation with per-controller
+			// journals would need a cross-shard ordering fence here.
 			meta.committed = (meta.committed &^ bm) | (meta.current & bm)
-			st := slotState{vpn: vpn, ppn0: meta.ppn0, ppn1: meta.ppn1, committed: meta.committed}
+			st := slotState{vpn: vpn, ppn0: meta.ppn0, ppn1: meta.ppn1, committed: meta.committed, ver: s.allocVer()}
+			sid := meta.slot
+			payload := s.journalPayload(sid, st)
 			s.unlockMeta(meta)
 			kind := uint8(recUpdate)
 			if i == len(pages)-1 {
 				kind = recUpdateEnd
 			}
-			t = s.journal.Append(wal.Record{TID: tid, Kind: kind, Payload: encodeJournalPayload(meta.slot, st, s.env.Layout.FrameIndex)}, t)
-			s.slotShadow[meta.slot] = st
-			s.dirtySlots[meta.slot] = struct{}{}
-			s.env.Stats.JournalRecords++
+			t = s.journals[si].Append(wal.Record{TID: tid, Kind: kind, Payload: payload}, t)
+			s.dirtySlots[si][sid] = struct{}{}
+			s.env.StatsFor(core).JournalRecords++
+			s.env.Stats.JournalShardRecords[si]++
+			pubs = append(pubs, slotPub{meta: meta, sid: sid, st: st})
 		}
-		t = s.journal.Flush(t)
-		if s.parallel {
+		t = s.journals[si].Flush(t)
+		// Publish the new slot-shadow states only now that the batch is
+		// durable: a checkpoint running concurrently on another shard
+		// snapshots slotShadow and writes it to the persistent slot array,
+		// and must never persist state whose journal records a crash could
+		// still lose. The version guard keeps this commit from clobbering a
+		// newer state another core published for a shared page meanwhile.
+		for _, p := range pubs {
+			s.lockMeta(p.meta)
+			if p.st.ver > s.slotShadow[p.sid].ver {
+				s.slotShadow[p.sid] = p.st
+			}
+			s.unlockMeta(p.meta)
+		}
+		needCkpt := s.overHighWater(si)
+		s.unlockShard(si)
+		if needCkpt && s.parallel {
 			// Serial mode checkpoints after step 3's consolidations (below);
-			// parallel mode must do it here, while structMu is held, since
-			// consolidation is deferred to the epoch batch.
-			s.maybeCheckpoint(t)
+			// parallel mode drains here, re-acquiring structMu → shard lock
+			// in order. Only this core's shard is checkpointed, so one hot
+			// core cannot force global checkpoints.
+			s.lockStruct()
+			s.lockShard(si)
+			s.maybeCheckpointShard(si, t) // recheck under the locks
+			s.unlockShard(si)
+			s.unlockStruct()
 		}
-		s.unlockStruct()
 	}
 
 	// Step 3: release core references; pages that became inactive
@@ -646,11 +758,32 @@ func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
 	if s.parallel {
 		s.tickEpoch(t)
 	} else {
-		s.maybeCheckpoint(t)
+		s.maybeCheckpointAll(t)
 	}
 	end := t + s.env.BarrierCycles
 	s.clock(end)
 	return end
+}
+
+// barrierFlush persists every journal shard holding a pending
+// consolidation/release record of a write-set page (the metadata barrier of
+// consolidate.go): durably-flushed data must never land in a frame that
+// undrained journal records still remap. pages must be sorted so serial
+// runs flush shards in a deterministic order.
+func (s *SSP) barrierFlush(pages []int, at engine.Cycles) engine.Cycles {
+	t := at
+	for _, vpn := range pages {
+		meta := s.lookupMeta(vpn)
+		s.lockMeta(meta)
+		ref := meta.barrier
+		s.unlockMeta(meta)
+		s.lockShard(ref.shard)
+		if !s.journals[ref.shard].Durable(ref.mark) {
+			t = s.journals[ref.shard].Flush(t)
+		}
+		s.unlockShard(ref.shard)
+	}
+	return t
 }
 
 // Abort implements txn.Backend: squash speculative lines and flip the
@@ -776,6 +909,41 @@ func (s *SSP) DebugCheckFrames() string {
 		}
 	}
 	return ""
+}
+
+// JournalShardPressure describes one metadata-journal shard's state at a
+// quiescent point: the ring's instantaneous fill plus the work it absorbed
+// since the last stats reset.
+type JournalShardPressure struct {
+	Shard       int
+	UsedBytes   int // bytes appended since the shard's last checkpoint
+	Capacity    int // ring capacity in bytes
+	Records     uint64
+	Checkpoints uint64
+}
+
+// FillFrac returns the shard ring's current fill fraction.
+func (p JournalShardPressure) FillFrac() float64 {
+	if p.Capacity == 0 {
+		return 0
+	}
+	return float64(p.UsedBytes) / float64(p.Capacity)
+}
+
+// JournalPressure reports per-shard journal state. Quiescent-machine
+// helper, like Stats aggregation.
+func (s *SSP) JournalPressure() []JournalShardPressure {
+	out := make([]JournalShardPressure, len(s.journals))
+	for i, j := range s.journals {
+		out[i] = JournalShardPressure{
+			Shard:       i,
+			UsedBytes:   j.Used(),
+			Capacity:    j.Capacity(),
+			Records:     s.env.Stats.JournalShardRecords[i],
+			Checkpoints: s.env.Stats.JournalShardCheckpoints[i],
+		}
+	}
+	return out
 }
 
 // DebugPage exposes a page's SSP state for tests and forensics: the two

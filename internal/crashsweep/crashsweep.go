@@ -43,17 +43,30 @@ func Config(b ssp.Backend) ssp.Config {
 	return ssp.Config{Backend: b, Cores: 1, NVRAMMB: 32, DRAMMB: 2, MaxHeapPages: 512}
 }
 
+// ShardedConfig is Config with multiple cores and SSP journal shards: the
+// serial round-robin driver then interleaves commit batches across the
+// journal shards (core i appends to shard i mod shards), so a trap sweep
+// cuts the write stream between one shard's UpdateEnd and another's.
+func ShardedConfig(b ssp.Backend, cores, journalShards int) ssp.Config {
+	cfg := Config(b)
+	cfg.Cores = cores
+	cfg.JournalShards = journalShards
+	return cfg
+}
+
 // RunScript executes sc until done or power-off, returning the guaranteed
 // committed state and the boundary transaction's writes (nil if power held
-// or failed between transactions).
+// or failed between transactions). Transactions round-robin across the
+// machine's cores — deterministically, one at a time — so on a multi-core
+// multi-shard machine consecutive commits land in different journal shards.
 func RunScript(m *ssp.Machine, sc Script) (committed, boundary map[uint64]uint64) {
 	committed = map[uint64]uint64{}
-	c := m.Core(0)
 	m.Heap().EnsureMapped(1, 5)
 	for i, addrs := range sc.Txns {
 		if m.Mem().PoweredOff() {
 			break
 		}
+		c := m.Core(i % m.Cores())
 		val := uint64(i + 1)
 		pending := map[uint64]uint64{}
 		c.Begin()
@@ -77,9 +90,15 @@ func RunScript(m *ssp.Machine, sc Script) (committed, boundary map[uint64]uint64
 // Progress lines go to log (nil silences them); the returned counts are
 // trap points checked and contract violations found.
 func SweepScript(b ssp.Backend, seed uint64, txns int, verbose bool, log io.Writer) (points, failures int) {
+	return SweepConfig(Config(b), seed, txns, verbose, log)
+}
+
+// SweepConfig is SweepScript over an arbitrary machine configuration
+// (multi-core, multi-shard, custom capacities).
+func SweepConfig(cfg ssp.Config, seed uint64, txns int, verbose bool, log io.Writer) (points, failures int) {
 	sc := MakeScript(seed, txns)
 
-	ref := ssp.New(Config(b))
+	ref := ssp.New(cfg)
 	setup := ref.Stats().NVRAMWriteLines
 	RunScript(ref, sc)
 	ref.Drain()
@@ -92,7 +111,7 @@ func SweepScript(b ssp.Backend, seed uint64, txns int, verbose bool, log io.Writ
 	}
 	for k := int64(0); k <= writes; k++ {
 		points++
-		m := ssp.New(Config(b))
+		m := ssp.New(cfg)
 		m.Mem().SetWriteTrap(k)
 		committed, boundary := RunScript(m, sc)
 		m.Mem().SetWriteTrap(-1)

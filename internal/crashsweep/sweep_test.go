@@ -38,6 +38,38 @@ func TestTrapSweepAllBackends(t *testing.T) {
 	}
 }
 
+// TestTrapSweepJournalShards runs the trap sweep on a multi-core machine
+// with per-core SSP journal shards: transactions round-robin across three
+// cores, so consecutive commit batches land in three different journal
+// rings and the sweep injects power failures at every point between one
+// shard's UpdateEnd and another shard's — recovery must TID-merge the
+// shards back into a consistent slot array with the all-or-nothing
+// contract intact.
+func TestTrapSweepJournalShards(t *testing.T) {
+	scripts, txns := 2, 10
+	if testing.Short() {
+		scripts, txns = 1, 6
+	}
+	for _, shards := range []int{2, 3} {
+		cores := shards
+		total := 0
+		for s := 0; s < scripts; s++ {
+			seed := 0x5A4D + uint64(shards)*31 + uint64(s)*1000003
+			cfg := ShardedConfig(ssp.SSP, cores, shards)
+			points, bad := SweepConfig(cfg, seed, txns, false, os.Stderr)
+			if bad != 0 {
+				t.Fatalf("%d shards, script %d (seed %#x): %d of %d trap points violated the all-or-nothing contract",
+					shards, s, seed, bad, points)
+			}
+			total += points
+		}
+		if total == 0 {
+			t.Fatalf("%d-shard sweep checked no trap points", shards)
+		}
+		t.Logf("%d shards: %d trap points checked", shards, total)
+	}
+}
+
 // TestVerifyCatchesCorruption guards the verifier itself: a machine whose
 // durable state was tampered with must fail verification.
 func TestVerifyCatchesCorruption(t *testing.T) {

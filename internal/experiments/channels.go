@@ -81,54 +81,23 @@ func RenderChannels(points []ChannelPoint) string {
 	if len(points) == 0 {
 		return ""
 	}
-	var coresList []int
-	seen := map[int]bool{}
-	for _, pt := range points {
-		if !seen[pt.Cores] {
-			seen[pt.Cores] = true
-			coresList = append(coresList, pt.Cores)
-		}
-	}
-	cell := map[[2]int]ChannelPoint{}
-	var channelsList []int
-	for _, pt := range points {
-		key := [2]int{pt.Channels, pt.Cores}
-		if _, ok := cell[key]; !ok {
-			cell[key] = pt
-		}
-		if len(channelsList) == 0 || channelsList[len(channelsList)-1] != pt.Channels {
-			channelsList = append(channelsList, pt.Channels)
-		}
-	}
-
-	header := []string{"channels", "serial-1 cTPS"}
-	for _, c := range coresList {
-		header = append(header, fmt.Sprintf("%d-core cTPS (speedup)", c))
-	}
-	var body [][]string
-	for _, ch := range channelsList {
-		first := cell[[2]int{ch, coresList[0]}]
-		row := []string{
-			fmt.Sprintf("%d", ch),
-			fmt.Sprintf("%.0f", CommittedTPS(first.Serial.Cycles, first.Serial)),
-		}
-		for _, c := range coresList {
-			pt, ok := cell[[2]int{ch, c}]
-			if !ok {
-				row = append(row, "-")
-				continue
-			}
-			row = append(row, fmt.Sprintf("%.0f (%.2fx)", CommittedTPS(pt.Parallel.Cycles, pt.Parallel.Result), pt.Speedup))
-		}
-		body = append(body, row)
-	}
-
+	rowKeys, coresList, cellOf := gridAxes(points, func(pt ChannelPoint) (int, int) { return pt.Channels, pt.Cores })
 	var b strings.Builder
-	b.WriteString(stats.Table(header, body))
+	b.WriteString(renderSweepGrid("channels", rowKeys, coresList, func(row, cores int) (sweepCell, bool) {
+		pt, ok := cellOf(row, cores)
+		if !ok {
+			return sweepCell{}, false
+		}
+		return sweepCell{
+			Serial:  CommittedTPS(pt.Serial.Cycles, pt.Serial),
+			TPS:     CommittedTPS(pt.Parallel.Cycles, pt.Parallel.Result),
+			Speedup: pt.Speedup,
+		}, true
+	}))
 	b.WriteString("\nper-channel bus utilization (parallel windows):\n")
-	for _, ch := range channelsList {
+	for _, ch := range rowKeys {
 		for _, c := range coresList {
-			pt, ok := cell[[2]int{ch, c}]
+			pt, ok := cellOf(ch, c)
 			if !ok {
 				continue
 			}
@@ -140,6 +109,66 @@ func RenderChannels(points []ChannelPoint) string {
 		}
 	}
 	return b.String()
+}
+
+// sweepCell is one (row, cores) measurement of a scaling sweep grid.
+type sweepCell struct {
+	Serial  float64 // 1-core serial committed TPS for the row's config
+	TPS     float64 // parallel committed TPS
+	Speedup float64
+}
+
+// gridAxes collects a sweep's distinct row keys and core counts in
+// first-appearance order, plus a cell lookup by (rowKey, cores).
+func gridAxes[P any](points []P, axes func(P) (rowKey, cores int)) (rowKeys, coresList []int, cellOf func(row, cores int) (P, bool)) {
+	seenRow, seenCore := map[int]bool{}, map[int]bool{}
+	cells := map[[2]int]P{}
+	for _, pt := range points {
+		r, c := axes(pt)
+		if !seenRow[r] {
+			seenRow[r] = true
+			rowKeys = append(rowKeys, r)
+		}
+		if !seenCore[c] {
+			seenCore[c] = true
+			coresList = append(coresList, c)
+		}
+		if _, ok := cells[[2]int{r, c}]; !ok {
+			cells[[2]int{r, c}] = pt
+		}
+	}
+	return rowKeys, coresList, func(row, cores int) (P, bool) {
+		pt, ok := cells[[2]int{row, cores}]
+		return pt, ok
+	}
+}
+
+// renderSweepGrid formats the channels×cores / shards×cores committed-TPS
+// tables: one row per key, a serial-baseline column, then per-core
+// "cTPS (speedup)" columns; missing cells print "-".
+func renderSweepGrid(rowHeader string, rowKeys, coresList []int, cell func(row, cores int) (sweepCell, bool)) string {
+	header := []string{rowHeader, "serial-1 cTPS"}
+	for _, c := range coresList {
+		header = append(header, fmt.Sprintf("%d-core cTPS (speedup)", c))
+	}
+	var body [][]string
+	for _, rk := range rowKeys {
+		serial := "-"
+		if c0, ok := cell(rk, coresList[0]); ok {
+			serial = fmt.Sprintf("%.0f", c0.Serial)
+		}
+		row := []string{fmt.Sprintf("%d", rk), serial}
+		for _, c := range coresList {
+			sc, ok := cell(rk, c)
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.0f (%.2fx)", sc.TPS, sc.Speedup))
+		}
+		body = append(body, row)
+	}
+	return stats.Table(header, body)
 }
 
 // SweepPowersOfTwo returns 1, 2, 4, ... up to and including max (plus max

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/ssp"
 )
@@ -319,6 +320,48 @@ func TestChannelSweep(t *testing.T) {
 		}
 	}
 	if out := RenderChannels(points); !strings.Contains(out, "channels") || !strings.Contains(out, "utilization") {
+		t.Errorf("render missing sections:\n%s", out)
+	}
+}
+
+func TestJournalSweep(t *testing.T) {
+	sc := tinyScale()
+	points := JournalSweep(sc, workload.Memcached, 2, []int{1, 2}, []int{1, 2})
+	if len(points) != 4 {
+		t.Fatalf("expected 4 sweep points, got %d", len(points))
+	}
+	byKey := map[[2]int]JournalPoint{}
+	for _, pt := range points {
+		if pt.Speedup <= 0 {
+			t.Errorf("%dsh x %dcore: speedup %.2f not positive", pt.Shards, pt.Cores, pt.Speedup)
+		}
+		if got := len(pt.Parallel.Journal); got != pt.Shards {
+			t.Fatalf("%dsh x %dcore: %d pressure entries, want %d", pt.Shards, pt.Cores, got, pt.Shards)
+		}
+		byKey[[2]int{pt.Shards, pt.Cores}] = pt
+	}
+	// With two cores on two shards, both shards must carry records and the
+	// per-shard sums must equal the run's journal record total.
+	pt := byKey[[2]int{2, 2}]
+	var sum uint64
+	for _, p := range pt.Parallel.Journal {
+		if p.Records == 0 {
+			t.Errorf("2sh x 2core: shard %d appended no records", p.Shard)
+		}
+		if f := p.FillFrac(); f < 0 || f > 1 {
+			t.Errorf("2sh x 2core: shard %d fill %.3f out of [0,1]", p.Shard, f)
+		}
+		sum += p.Records
+	}
+	if sum != pt.Parallel.Stats.JournalRecords {
+		t.Errorf("2sh x 2core: per-shard records sum %d != total %d", sum, pt.Parallel.Stats.JournalRecords)
+	}
+	// Journal bank occupancy must be visible in the counters and the render.
+	if pt.Parallel.Stats.NVRAMBankBusy[stats.CatMetaJournal] == 0 {
+		t.Error("2sh x 2core: no CatMetaJournal bank busy cycles recorded")
+	}
+	out := RenderJournal(points)
+	if !strings.Contains(out, "shards") || !strings.Contains(out, "journal bank busy") {
 		t.Errorf("render missing sections:\n%s", out)
 	}
 }

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/ssp"
+)
+
+// This file is the journal-sharding experiment (beyond the paper): it
+// sweeps the SSP metadata journal's shard count against the core count to
+// show where the shared journal stops being the Amdahl term. With one shard
+// every commit's record batch and tail-line flush serialises on a single
+// journal bank; with per-core shards the appends spread over independent
+// rings (and banks) and the remaining coupling is genuine data sharing.
+
+// JournalPoint is one (shards, cores) cell of the sweep.
+type JournalPoint struct {
+	Shards   int
+	Cores    int
+	Serial   workload.Result         // 1-core serial baseline, same shard count
+	Parallel workload.ParallelResult // cores-goroutine concurrent run
+	Speedup  float64                 // parallel committed TPS / serial committed TPS
+}
+
+// JournalSweep runs kind under SSP for every shards × cores combination.
+// Each shard count gets its own 1-core serial baseline so the speedup
+// isolates concurrency, not the shard count itself (at one core the shard
+// count is nearly irrelevant: a single core only ever appends to one
+// shard).
+func JournalSweep(sc Scale, kind workload.Kind, channels int, shardsList, coresList []int) []JournalPoint {
+	var points []JournalPoint
+	for _, shards := range shardsList {
+		p := sc.params(kind, ssp.SSP, 1)
+		p.Machine.Channels = channels
+		p.Machine.JournalShards = shards
+		serial := workload.Run(p)
+		sTPS := CommittedTPS(serial.Cycles, serial)
+		for _, cores := range coresList {
+			pp := sc.params(kind, ssp.SSP, cores)
+			pp.Machine.Channels = channels
+			pp.Machine.JournalShards = shards
+			par := workload.RunParallel(pp)
+			pt := JournalPoint{
+				Shards:   shards,
+				Cores:    cores,
+				Serial:   serial,
+				Parallel: par,
+			}
+			if sTPS > 0 {
+				pt.Speedup = CommittedTPS(par.Cycles, par.Result) / sTPS
+			}
+			points = append(points, pt)
+		}
+	}
+	return points
+}
+
+// RenderJournal formats the sweep: one row per shard count with committed
+// TPS and speedup at every core count, then each parallel cell's journal
+// pressure — per-shard record counts, ring fill, checkpoints — and the
+// fraction of the window the NVRAM banks spent absorbing journal records.
+func RenderJournal(points []JournalPoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	rowKeys, coresList, cellOf := gridAxes(points, func(pt JournalPoint) (int, int) { return pt.Shards, pt.Cores })
+	var b strings.Builder
+	b.WriteString(renderSweepGrid("shards", rowKeys, coresList, func(row, cores int) (sweepCell, bool) {
+		pt, ok := cellOf(row, cores)
+		if !ok {
+			return sweepCell{}, false
+		}
+		return sweepCell{
+			Serial:  CommittedTPS(pt.Serial.Cycles, pt.Serial),
+			TPS:     CommittedTPS(pt.Parallel.Cycles, pt.Parallel.Result),
+			Speedup: pt.Speedup,
+		}, true
+	}))
+	b.WriteString("\njournal pressure (parallel windows):\n")
+	for _, sh := range rowKeys {
+		for _, c := range coresList {
+			pt, ok := cellOf(sh, c)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  %dsh x %dcore: %s\n", sh, c, JournalPressureLine(pt.Parallel.Result))
+		}
+	}
+	return b.String()
+}
+
+// JournalPressureLine summarises a run's SSP journal pressure in one line:
+// per-shard records / ring fill / checkpoints, and the share of the
+// measured window the NVRAM banks spent on metadata-journal writes (the
+// serial-append bottleneck made visible).
+func JournalPressureLine(res workload.Result) string {
+	if len(res.Journal) == 0 {
+		return "no journal (non-SSP backend)"
+	}
+	var b strings.Builder
+	for _, p := range res.Journal {
+		fmt.Fprintf(&b, "s%d %drec %4.1f%%fill %dckpt  ", p.Shard, p.Records, 100*p.FillFrac(), p.Checkpoints)
+	}
+	busy := res.Stats.NVRAMBankBusy[stats.CatMetaJournal]
+	if res.Cycles > 0 {
+		fmt.Fprintf(&b, "| journal bank busy %d cycles (%.1f%% of window)",
+			busy, 100*float64(busy)/float64(res.Cycles))
+	} else {
+		fmt.Fprintf(&b, "| journal bank busy %d cycles", busy)
+	}
+	return b.String()
+}

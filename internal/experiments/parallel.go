@@ -78,5 +78,12 @@ func RenderParallel(rows []ParallelRow) string {
 		}
 		b.WriteByte('\n')
 	}
+	for _, r := range rows {
+		if len(r.Parallel.Journal) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s metadata-journal pressure (parallel window):\n  %s\n",
+			r.Backend.String(), JournalPressureLine(r.Parallel.Result))
+	}
 	return b.String()
 }

@@ -401,6 +401,20 @@ func (m *Machine) ChannelUtilization(elapsed engine.Cycles) []float64 {
 	return out
 }
 
+// JournalShardPressure re-exports the SSP backend's per-shard journal
+// state (fill, records, checkpoints).
+type JournalShardPressure = core.JournalShardPressure
+
+// JournalPressure returns the SSP metadata journal's per-shard state, one
+// entry per configured shard (nil for the logging backends, which have no
+// metadata journal). Quiescent-only, like Stats.
+func (m *Machine) JournalPressure() []JournalShardPressure {
+	if s, ok := m.backend.(*core.SSP); ok {
+		return s.JournalPressure()
+	}
+	return nil
+}
+
 // DebugValidateCaches runs the cache hierarchy's coherence invariant check
 // and returns the first violation, or "" (test helper).
 func (m *Machine) DebugValidateCaches() string { return m.caches.DebugValidate() }

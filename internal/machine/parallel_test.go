@@ -208,6 +208,80 @@ func TestParallelMultiChannel(t *testing.T) {
 	}
 }
 
+// TestParallelJournalShards runs the SSP stress streams with a per-core
+// sharded metadata journal: every shard must carry records, aggregates must
+// match a serial run on the same configuration, durable values must match
+// the serial reference, the frame invariant must hold, and the multi-shard
+// image must crash-recover via the TID-merge path. Run under -race: the
+// commit path takes only its shard's lock plus page locks here.
+func TestParallelJournalShards(t *testing.T) {
+	txns := 300
+	if testing.Short() {
+		txns = 80
+	}
+	shardCfg := func() Config {
+		cfg := testConfig(SSP, stressCores)
+		cfg.Layout.JournalShards = stressCores
+		return cfg
+	}
+
+	// Serial reference.
+	ref := New(shardCfg())
+	ref.Heap().EnsureMapped(1, stressCores*stressPagesPer)
+	refFinal := make([]map[uint64]uint64, stressCores)
+	for i := 0; i < stressCores; i++ {
+		refFinal[i] = map[uint64]uint64{}
+		stressScript(ref.Core(i), txns, 0x5A4D, refFinal[i])
+	}
+	ref.Drain()
+	refStats := *ref.Stats()
+
+	m := New(shardCfg())
+	m.Heap().EnsureMapped(1, stressCores*stressPagesPer)
+	m.Run(func(c *Core) {
+		stressScript(c, txns, 0x5A4D, map[uint64]uint64{})
+	})
+	m.Drain()
+
+	st := *m.Stats()
+	if st.Commits != refStats.Commits || st.Aborts != refStats.Aborts {
+		t.Errorf("commits/aborts %d/%d, serial %d/%d", st.Commits, st.Aborts, refStats.Commits, refStats.Aborts)
+	}
+	if st.JournalRecords != refStats.JournalRecords {
+		t.Errorf("journal records %d, serial %d", st.JournalRecords, refStats.JournalRecords)
+	}
+	pressure := m.JournalPressure()
+	if len(pressure) != stressCores {
+		t.Fatalf("journal pressure reports %d shards, want %d", len(pressure), stressCores)
+	}
+	var shardRecs uint64
+	for _, p := range pressure {
+		if p.Records == 0 {
+			t.Errorf("shard %d appended no records", p.Shard)
+		}
+		shardRecs += p.Records
+	}
+	if shardRecs != st.JournalRecords {
+		t.Errorf("per-shard records sum %d != total %d", shardRecs, st.JournalRecords)
+	}
+	if s, ok := m.Backend().(*core.SSP); ok {
+		if msg := s.DebugCheckFrames(); msg != "" {
+			t.Fatalf("SSP frame invariant violated: %s", msg)
+		}
+	}
+
+	if err := recycle(m); err != nil {
+		t.Fatalf("post-parallel multi-shard recovery: %v", err)
+	}
+	for i := 0; i < stressCores; i++ {
+		for va, want := range refFinal[i] {
+			if got := m.Core(0).Load64(va); got != want {
+				t.Errorf("post-recovery %#x = %#x, want %#x", va, got, want)
+			}
+		}
+	}
+}
+
 // recycle crashes and recovers the machine in place.
 func recycle(m *Machine) error {
 	m.Crash()

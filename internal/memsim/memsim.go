@@ -581,6 +581,14 @@ func (m *Memory) access(pa PAddr, write bool, at engine.Cycles, cat stats.WriteC
 		b.hasOpen = true
 	}
 
+	if nv && write {
+		// Bank-occupancy accounting by purpose: how long the NVRAM banks
+		// spent absorbing each write category (journal appends, data
+		// flushes, checkpoints, ...). The serial-append cost of a shared
+		// metadata journal shows up here as CatMetaJournal busy cycles.
+		c.st.NVRAMBankBusy[cat] += uint64(latency)
+	}
+
 	// Reservation: the access occupies its bank for the full latency, and
 	// the 64-byte transfer needs one bus slot on the channel. The transfer
 	// pipelines with the array access (as on a real DDR channel), so a slot

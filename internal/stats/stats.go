@@ -87,6 +87,10 @@ func Categories() []WriteCat {
 // supports at most this many independent channels (memsim.Config.Channels).
 const MaxChannels = 16
 
+// MaxJournalShards bounds the per-shard SSP metadata-journal counter arrays
+// (vm.LayoutConfig.JournalShards; keep the two limits in sync).
+const MaxJournalShards = 16
+
 // Stats is the full counter set for one simulation run. It is plain data;
 // the zero value is ready to use.
 type Stats struct {
@@ -103,6 +107,12 @@ type Stats struct {
 	// by channel; channels beyond Config.Channels stay zero.
 	ChannelLines      [MaxChannels]uint64 // 64-byte transfers served per channel
 	ChannelBusyCycles [MaxChannels]uint64 // data-bus occupancy charged per channel
+
+	// NVRAMBankBusy is the NVRAM bank occupancy charged to writes, split by
+	// write category — how long the banks spent absorbing journal records,
+	// data flushes, checkpoints and so on. NVRAMBankBusy[CatMetaJournal] is
+	// the metadata journal's serial-append Amdahl term made visible.
+	NVRAMBankBusy [numCats]uint64
 
 	// Row-buffer behaviour.
 	RowHits   uint64
@@ -131,6 +141,11 @@ type Stats struct {
 	Checkpoints       uint64
 	JournalRecords    uint64
 	FallbackTxns      uint64 // transactions diverted to the software path
+
+	// Per-shard SSP metadata-journal counters (journal sharding). Indexed by
+	// shard; shards beyond LayoutConfig.JournalShards stay zero.
+	JournalShardRecords     [MaxJournalShards]uint64 // records appended per shard
+	JournalShardCheckpoints [MaxJournalShards]uint64 // checkpoints drained per shard
 
 	// Logging mechanism counters.
 	UndoRecords     uint64
@@ -202,6 +217,18 @@ func (s *Stats) ActiveChannels() int {
 	return n
 }
 
+// ActiveJournalShards returns the number of leading journal-shard slots
+// that appended any records (the effective shard count of the run).
+func (s *Stats) ActiveJournalShards() int {
+	n := 0
+	for i := range s.JournalShardRecords {
+		if s.JournalShardRecords[i] > 0 {
+			n = i + 1
+		}
+	}
+	return n
+}
+
 // Add accumulates o into s field by field.
 func (s *Stats) Add(o *Stats) {
 	s.NVRAMReadLines += o.NVRAMReadLines
@@ -214,6 +241,9 @@ func (s *Stats) Add(o *Stats) {
 	for i := range s.ChannelLines {
 		s.ChannelLines[i] += o.ChannelLines[i]
 		s.ChannelBusyCycles[i] += o.ChannelBusyCycles[i]
+	}
+	for i := range s.NVRAMBankBusy {
+		s.NVRAMBankBusy[i] += o.NVRAMBankBusy[i]
 	}
 	s.RowHits += o.RowHits
 	s.RowMisses += o.RowMisses
@@ -235,6 +265,10 @@ func (s *Stats) Add(o *Stats) {
 	s.Checkpoints += o.Checkpoints
 	s.JournalRecords += o.JournalRecords
 	s.FallbackTxns += o.FallbackTxns
+	for i := range s.JournalShardRecords {
+		s.JournalShardRecords[i] += o.JournalShardRecords[i]
+		s.JournalShardCheckpoints[i] += o.JournalShardCheckpoints[i]
+	}
 	s.UndoRecords += o.UndoRecords
 	s.RedoRecords += o.RedoRecords
 	s.WritebackStalls += o.WritebackStalls
@@ -276,6 +310,16 @@ func (s *Stats) Summary() string {
 	fmt.Fprintf(&b, "SSP cache hits/misses: %d/%d\n", s.SSPCacheHits, s.SSPCacheMisses)
 	fmt.Fprintf(&b, "consolidations: %d (%d lines), checkpoints: %d, journal records: %d\n",
 		s.Consolidations, s.ConsolidatedLines, s.Checkpoints, s.JournalRecords)
+	if shards := s.ActiveJournalShards(); shards > 1 {
+		fmt.Fprintf(&b, "journal shards (records/checkpoints):")
+		for i := 0; i < shards; i++ {
+			fmt.Fprintf(&b, " s%d=%d/%d", i, s.JournalShardRecords[i], s.JournalShardCheckpoints[i])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	if s.NVRAMBankBusy[CatMetaJournal] > 0 {
+		fmt.Fprintf(&b, "journal bank busy cycles: %d\n", s.NVRAMBankBusy[CatMetaJournal])
+	}
 	fmt.Fprintf(&b, "undo/redo records: %d/%d, writeback stalls: %d\n", s.UndoRecords, s.RedoRecords, s.WritebackStalls)
 	fmt.Fprintf(&b, "commits: %d, aborts: %d, fallback txns: %d\n", s.Commits, s.Aborts, s.FallbackTxns)
 	return b.String()

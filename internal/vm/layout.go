@@ -7,7 +7,7 @@
 //	+0                superblock (magic, root table)
 //	+4 KiB            page table: MaxHeapPages PTEs of 8 bytes
 //	...               persistent SSP slot array (SSPSlots × 64 B)
-//	...               SSP metadata journal ring (JournalBytes)
+//	...               SSP metadata journal rings (JournalShards × JournalBytes)
 //	...               per-core log regions (Cores × LogBytes), undo/redo
 //	...               frame pool: data pages and SSP shadow pages
 //
@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/memsim"
+	"repro/internal/stats"
 )
 
 // HeapBase is the virtual address where the persistent heap begins. Virtual
@@ -35,13 +36,22 @@ const (
 	SuperblockLen = memsim.PageBytes
 )
 
+// MaxJournalShards bounds LayoutConfig.JournalShards (the same limit sizes
+// the per-shard counter arrays in stats.Stats).
+const MaxJournalShards = stats.MaxJournalShards
+
 // LayoutConfig sizes the persistent regions.
 type LayoutConfig struct {
 	MaxHeapPages int // page table capacity
 	SSPSlots     int // persistent SSP cache slots
-	JournalBytes int // metadata journal ring capacity
-	LogBytes     int // per-core log region capacity (undo/redo)
-	Cores        int
+	JournalBytes int // metadata journal ring capacity, per shard
+	// JournalShards is the number of independent metadata journal regions
+	// (default 1 = the paper's single shared journal). Each shard is an
+	// independent JournalBytes ring with its own tail line, so commits on
+	// different shards never serialise on one journal bank.
+	JournalShards int
+	LogBytes      int // per-core log region capacity (undo/redo)
+	Cores         int
 }
 
 // DefaultLayoutConfig returns simulation-friendly defaults: a 1 K-entry SSP
@@ -63,7 +73,7 @@ type Layout struct {
 	SuperblockBase memsim.PAddr
 	PageTableBase  memsim.PAddr
 	SSPSlotsBase   memsim.PAddr
-	JournalBase    memsim.PAddr
+	JournalBase    []memsim.PAddr // one per journal shard
 	LogBase        []memsim.PAddr // one per core
 	FramePoolBase  memsim.PAddr
 	FramePoolEnd   memsim.PAddr
@@ -78,6 +88,12 @@ func pageAlign(pa memsim.PAddr) memsim.PAddr {
 // configuration. It panics if NVRAM is too small to hold the metadata plus
 // at least one frame.
 func NewLayout(mcfg memsim.Config, cfg LayoutConfig) Layout {
+	if cfg.JournalShards <= 0 {
+		cfg.JournalShards = 1
+	}
+	if cfg.JournalShards > MaxJournalShards {
+		panic(fmt.Sprintf("vm: JournalShards %d exceeds MaxJournalShards %d", cfg.JournalShards, MaxJournalShards))
+	}
 	l := Layout{Cfg: cfg}
 	p := mcfg.NVRAMBase
 	l.SuperblockBase = p
@@ -86,8 +102,11 @@ func NewLayout(mcfg memsim.Config, cfg LayoutConfig) Layout {
 	p = pageAlign(p + memsim.PAddr(cfg.MaxHeapPages*8))
 	l.SSPSlotsBase = p
 	p = pageAlign(p + memsim.PAddr(cfg.SSPSlots*memsim.LineBytes))
-	l.JournalBase = p
-	p = pageAlign(p + memsim.PAddr(cfg.JournalBytes))
+	l.JournalBase = make([]memsim.PAddr, cfg.JournalShards)
+	for i := range l.JournalBase {
+		l.JournalBase[i] = p
+		p = pageAlign(p + memsim.PAddr(cfg.JournalBytes))
+	}
 	l.LogBase = make([]memsim.PAddr, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		l.LogBase[i] = p

@@ -31,10 +31,10 @@ func TestLayoutRegionsDisjointAndOrdered(t *testing.T) {
 	if l.SSPSlotsBase < l.PageTableBase+memsim.PAddr(l.Cfg.MaxHeapPages*8) {
 		t.Error("SSP slots overlap page table")
 	}
-	if l.JournalBase < l.SSPSlotsBase+memsim.PAddr(l.Cfg.SSPSlots*64) {
+	if l.JournalBase[0] < l.SSPSlotsBase+memsim.PAddr(l.Cfg.SSPSlots*64) {
 		t.Error("journal overlaps SSP slots")
 	}
-	if l.LogBase[0] < l.JournalBase+memsim.PAddr(l.Cfg.JournalBytes) {
+	if l.LogBase[0] < l.JournalBase[len(l.JournalBase)-1]+memsim.PAddr(l.Cfg.JournalBytes) {
 		t.Error("log overlaps journal")
 	}
 	if l.LogBase[1] < l.LogBase[0]+memsim.PAddr(l.Cfg.LogBytes) {

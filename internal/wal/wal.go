@@ -243,3 +243,50 @@ func MaxTID(recs []Record) uint32 {
 	}
 	return m
 }
+
+// ScanShards scans one region per base address (all of the given capacity)
+// and returns the per-shard record slices, in shard order. Each shard's
+// slice obeys the single-stream Scan contract: durable bytes only, stopped
+// at the first checksum failure or TID regression (the shard's torn tail).
+func ScanShards(mem *memsim.Memory, bases []memsim.PAddr, capacity int) [][]Record {
+	out := make([][]Record, len(bases))
+	for i, base := range bases {
+		out[i] = Scan(mem, base, capacity)
+	}
+	return out
+}
+
+// Merge interleaves the records of several TID-monotonic streams into one
+// globally TID-ordered replay sequence. Runs of equal TID within one shard
+// (a transaction's update batch) are consumed as a unit, so a batch is
+// never split by another shard's records; across shards TIDs are unique by
+// construction (one global allocator), and any tie is broken by shard index
+// so the merge is deterministic. The inputs are not modified.
+func Merge(shards [][]Record) []Record {
+	heads := make([]int, len(shards))
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	out := make([]Record, 0, total)
+	for {
+		best := -1
+		for i, s := range shards {
+			if heads[i] >= len(s) {
+				continue
+			}
+			if best < 0 || s[heads[i]].TID < shards[best][heads[best]].TID {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		s := shards[best]
+		tid := s[heads[best]].TID
+		for heads[best] < len(s) && s[heads[best]].TID == tid {
+			out = append(out, s[heads[best]])
+			heads[best]++
+		}
+	}
+}

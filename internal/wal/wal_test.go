@@ -156,6 +156,136 @@ func TestByteAccountingMatchesWrites(t *testing.T) {
 	}
 }
 
+// multiStream builds n streams over disjoint regions of one memory, plus
+// the base addresses for ScanShards.
+func multiStream(t *testing.T, n int) ([]*Stream, []memsim.PAddr, *memsim.Memory) {
+	t.Helper()
+	st := &stats.Stats{}
+	cfg := memsim.DefaultConfig()
+	cfg.DRAMBytes = 1 << 20
+	cfg.NVRAMBytes = 1 << 20
+	mem := memsim.New(cfg, st)
+	var streams []*Stream
+	var bases []memsim.PAddr
+	for i := 0; i < n; i++ {
+		base := cfg.NVRAMBase + memsim.PAddr(i*(8<<10))
+		bases = append(bases, base)
+		streams = append(streams, NewStream(mem, base, 8<<10, stats.CatMetaJournal))
+	}
+	return streams, bases, mem
+}
+
+func TestMergeOrdersAcrossShards(t *testing.T) {
+	streams, bases, mem := multiStream(t, 3)
+	// Interleave TIDs across shards the way a global allocator would:
+	// shard = tid % 3, with TID 5 a three-record batch on shard 2.
+	for tid := uint32(1); tid <= 9; tid++ {
+		s := streams[tid%3]
+		s.Append(Record{TID: tid, Kind: 1, Payload: []byte{byte(tid)}}, 0)
+		if tid == 5 {
+			s.Append(Record{TID: tid, Kind: 1, Payload: []byte{0x50}}, 0)
+			s.Append(Record{TID: tid, Kind: 2, Payload: []byte{0x51}}, 0)
+		}
+	}
+	for _, s := range streams {
+		s.Flush(0)
+	}
+	merged := Merge(ScanShards(mem, bases, 8<<10))
+	if len(merged) != 11 {
+		t.Fatalf("merged %d records, want 11", len(merged))
+	}
+	var last uint32
+	for i, r := range merged {
+		if r.TID < last {
+			t.Fatalf("record %d: TID %d after %d", i, r.TID, last)
+		}
+		last = r.TID
+	}
+	// The TID-5 batch must come out contiguous and in shard order.
+	var batch []Record
+	for _, r := range merged {
+		if r.TID == 5 {
+			batch = append(batch, r)
+		}
+	}
+	if len(batch) != 3 || batch[0].Payload[0] != 5 || batch[1].Payload[0] != 0x50 || batch[2].Payload[0] != 0x51 {
+		t.Fatalf("TID-5 batch not contiguous/in order: %+v", batch)
+	}
+}
+
+func TestMergeWithInterleavedTornTails(t *testing.T) {
+	streams, bases, mem := multiStream(t, 2)
+	// Shard 0: durable TIDs 1, 4; then a staged (never flushed) TID 6.
+	streams[0].Append(Record{TID: 1, Kind: 1, Payload: []byte("a")}, 0)
+	streams[0].Append(Record{TID: 4, Kind: 1, Payload: []byte("b")}, 0)
+	streams[0].Flush(0)
+	streams[0].Append(Record{TID: 6, Kind: 1, Payload: []byte("lost")}, 0)
+	// Shard 1: durable TIDs 2, 3; then a torn TID 5 (corrupted in place).
+	streams[1].Append(Record{TID: 2, Kind: 1, Payload: []byte("c")}, 0)
+	streams[1].Append(Record{TID: 3, Kind: 1, Payload: []byte("d")}, 0)
+	streams[1].Flush(0)
+	mark := streams[1].Used()
+	streams[1].Append(Record{TID: 5, Kind: 1, Payload: []byte("torn")}, 0)
+	streams[1].Flush(0)
+	mem.Poke(bases[1]+memsim.PAddr(mark)+4, []byte{0xFF, 0xFF}) // corrupt TID field
+
+	merged := Merge(ScanShards(mem, bases, 8<<10))
+	want := []uint32{1, 2, 3, 4}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d records, want %d (%+v)", len(merged), len(want), merged)
+	}
+	for i, r := range merged {
+		if r.TID != want[i] {
+			t.Errorf("merged[%d].TID = %d, want %d", i, r.TID, want[i])
+		}
+	}
+}
+
+func TestSetTIDFloorAcrossShards(t *testing.T) {
+	streams, bases, mem := multiStream(t, 2)
+	// Generation 1: shard 0 carries TIDs 1..4, shard 1 carries 5..8.
+	for tid := uint32(1); tid <= 4; tid++ {
+		streams[0].Append(Record{TID: tid, Kind: 1, Payload: []byte{byte(tid)}}, 0)
+	}
+	for tid := uint32(5); tid <= 8; tid++ {
+		streams[1].Append(Record{TID: tid, Kind: 1, Payload: []byte{byte(tid)}}, 0)
+	}
+	for _, s := range streams {
+		s.Flush(0)
+	}
+	// Recovery: every shard resets and takes the global max TID as floor,
+	// so post-recovery records sort after every durable one — on every
+	// shard, not just the one that held the max.
+	max := MaxTID(Merge(ScanShards(mem, bases, 8<<10)))
+	if max != 8 {
+		t.Fatalf("max TID = %d", max)
+	}
+	for _, s := range streams {
+		s.Reset()
+		s.SetTIDFloor(max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("append below the cross-shard floor should panic")
+		}
+	}()
+	streams[0].Append(Record{TID: 3, Kind: 1}, 0) // stale TID on the other shard
+}
+
+func TestMergeEmptyAndSingleShard(t *testing.T) {
+	if got := Merge(nil); len(got) != 0 {
+		t.Fatalf("Merge(nil) returned %d records", len(got))
+	}
+	if got := Merge([][]Record{nil, nil}); len(got) != 0 {
+		t.Fatalf("Merge of empty shards returned %d records", len(got))
+	}
+	one := [][]Record{{{TID: 1, Kind: 1}, {TID: 2, Kind: 1}}}
+	got := Merge(one)
+	if len(got) != 2 || got[0].TID != 1 || got[1].TID != 2 {
+		t.Fatalf("single-shard merge mangled order: %+v", got)
+	}
+}
+
 // Property: any flushed prefix of appends scans back exactly.
 func TestScanPrefixProperty(t *testing.T) {
 	f := func(seed uint64) bool {

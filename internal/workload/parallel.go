@@ -80,6 +80,7 @@ func RunParallel(p Params) ParallelResult {
 			Cycles:   elapsed,
 			Stats:    *m.Stats(),
 			WriteSet: *m.WriteSet(),
+			Journal:  m.JournalPressure(),
 		},
 		Wall: wall,
 	}

@@ -138,6 +138,10 @@ type Result struct {
 	TPS      float64    // transactions per simulated second
 	Stats    ssp.Stats  // measured-window counters
 	WriteSet ssp.WriteSetStats
+
+	// Journal is the SSP metadata journal's per-shard pressure at the end
+	// of the measured window (nil for the logging backends).
+	Journal []ssp.JournalShardPressure
 }
 
 // client is one simulated client: a core plus its per-transaction op.
@@ -196,6 +200,7 @@ func Run(p Params) Result {
 		Cycles:   elapsed,
 		Stats:    *m.Stats(),
 		WriteSet: *m.WriteSet(),
+		Journal:  m.JournalPressure(),
 	}
 	if elapsed > 0 {
 		res.TPS = float64(p.Ops) / m.Seconds(elapsed)

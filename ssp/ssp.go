@@ -114,6 +114,14 @@ const (
 // MaxChannels is the largest supported Config.Channels.
 const MaxChannels = memsim.MaxChannels
 
+// MaxJournalShards is the largest supported Config.JournalShards.
+const MaxJournalShards = vm.MaxJournalShards
+
+// JournalShardPressure is one SSP metadata-journal shard's state at a
+// quiescent point: ring fill, records appended and checkpoints drained
+// (see Machine.JournalPressure).
+type JournalShardPressure = machine.JournalShardPressure
+
 // HeapBase is the first virtual address of the persistent heap.
 const HeapBase = vm.HeapBase
 
@@ -142,10 +150,20 @@ type Config struct {
 	NVRAMMB      int // simulated NVRAM size (default 128)
 	DRAMMB       int // simulated DRAM size (default 32)
 	MaxHeapPages int // persistent heap limit in 4 KiB pages
-	JournalKB    int // SSP metadata journal region
+	JournalKB    int // SSP metadata journal region, per shard
 	LogKB        int // per-core undo/redo log region
 	TLBEntries   int // per-core L1 DTLB entries (default 64)
 	STLBEntries  int // per-core L2 STLB entries (default 1024; -1 disables)
+
+	// JournalShards splits the SSP metadata journal into independent
+	// per-core regions (default 1 = the paper's single shared journal; max
+	// MaxJournalShards). Each committing core appends its batches to shard
+	// core mod JournalShards with its own buffered tail line, TIDs come
+	// from one global monotonic allocator, and recovery merges the shards
+	// back into a single TID-ordered replay. With one shard every commit's
+	// journal append and tail-line flush serialises on one NVRAM bank —
+	// SSP's main multi-core Amdahl term; sharding removes it.
+	JournalShards int
 
 	// SSP mechanism knobs.
 	SSPCacheEntries int    // transient SSP cache capacity (default N·T+O)
@@ -203,6 +221,9 @@ func (c Config) apply() machine.Config {
 	}
 	if c.JournalKB > 0 {
 		mc.Layout.JournalBytes = c.JournalKB << 10
+	}
+	if c.JournalShards > 0 {
+		mc.Layout.JournalShards = c.JournalShards
 	}
 	if c.LogKB > 0 {
 		mc.Layout.LogBytes = c.LogKB << 10

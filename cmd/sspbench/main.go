@@ -36,6 +36,17 @@
 // NVRAM banks spent absorbing journal records:
 //
 //	sspbench -exp journal -cores 4 -shards 4
+//
+// The crossshard experiment sweeps the cross-shard (global) transaction
+// fraction of the sharded memcached and partitioned vacation mixes against
+// the core count, on a multi-shard SSP machine: each global transaction
+// writes 2-4 cores' arenas under one BeginGlobal section and commits via
+// the two-phase prepare/end protocol over the participant journal shards.
+// The report shows committed TPS, speedup over the 1-core run, global
+// commit and prepare-record counts, commit-barrier wait and journal
+// pressure:
+//
+//	sspbench -exp crossshard -cores 4 -shards 4
 package main
 
 import (
@@ -61,7 +72,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5 ablate recovery parallel channels journal all")
+		fmt.Println("table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5 ablate recovery parallel channels journal crossshard all")
 		return
 	}
 
@@ -136,6 +147,7 @@ func main() {
 			fmt.Println(experiments.RenderAblations("SSP-cache L3 residency", experiments.AblateSSPCacheResidency(sc)))
 			fmt.Println(experiments.RenderAblations("consolidation policy (§3.4 eager vs lazy)", experiments.AblateConsolidationPolicy(sc)))
 			fmt.Println(experiments.RenderAblations("flip mechanism (§4.1.1 broadcast vs §4.3 shootdown)", experiments.AblateFlipMechanism(sc)))
+			fmt.Println(experiments.RenderAblations("REDO write-back engines (DHTM single vs per-core, 4-core parallel)", experiments.AblateRedoEngines(sc)))
 		case "parallel":
 			section(fmt.Sprintf("Concurrent engine — %d goroutine-backed cores vs 1-core serial", *cores))
 			fmt.Println(experiments.RenderParallel(experiments.ParallelScaling(sc, workload.Memcached, *cores)))
@@ -154,6 +166,14 @@ func main() {
 				section(fmt.Sprintf("Journal sharding — SSP committed TPS on %s, %v shards x %v cores (%d channels)", k, shList, coreList, *channels))
 				fmt.Println(experiments.RenderJournal(experiments.JournalSweep(sc, k, *channels, shList, coreList)))
 			}
+		case "crossshard":
+			fracs := []int{0, 10, 25, 50}
+			coreList := experiments.SweepPowersOfTwo(*cores)
+			for _, k := range []workload.Kind{workload.MemcachedCross, workload.VacationCross} {
+				section(fmt.Sprintf("Cross-shard transactions — SSP committed TPS on %s, %v%% global x %v cores (%d shards, %d channels)",
+					k, fracs, coreList, *shards, *channels))
+				fmt.Println(experiments.RenderCrossShard(experiments.CrossShardSweep(sc, k, *channels, *shards, fracs, coreList)))
+			}
 		case "recovery":
 			section("Recovery effort vs journal capacity (§4.1.2 checkpointing)")
 			fmt.Println(experiments.RenderRecovery(experiments.RecoveryEffort(sc)))
@@ -165,7 +185,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table3", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "table4", "table5", "ablate", "recovery", "parallel", "channels", "journal"} {
+		for _, id := range []string{"table3", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "table4", "table5", "ablate", "recovery", "parallel", "channels", "journal", "crossshard"} {
 			run(id)
 		}
 		return

@@ -77,14 +77,50 @@
 // crash semantics are enforced by the internal/crashsweep trap sweep on a
 // multi-core multi-shard machine.
 //
+// # Cross-shard (global) transactions
+//
+// Core.BeginGlobal opens a failure-atomic section that may write pages
+// owned by multiple arenas/journal shards. On SSP with JournalShards > 1
+// such a section commits through a two-phase protocol layered on the
+// commit pipeline of internal/core/commit.go: prepare records — payload
+// identical to update records, including the slot update version — are
+// appended and flushed into every participant shard (the shards owning the
+// write-set pages' slots, ascending), then a single coordinator end record
+// carrying the global TID is appended to the committing core's own shard
+// and flushed; that one line write is the commit point. Slot-shadow
+// publication follows only after it. Recovery applies a TID's prepare
+// records from every shard iff its coordinator end record is durable, so a
+// crash before the end rolls back every participant shard and a crash
+// after it redoes all of them; the slot version guard still orders replay
+// against participant-shard checkpoints. Checkpointing adds a dual rule: a
+// COORDINATOR-shard checkpoint persists the participant slots of every
+// global transaction whose end record its ring still holds before
+// truncating, so prepares orphaned by the truncation are superseded by the
+// slot array (recovery treats such version-superseded prepares as
+// checkpointed remnants, not torn transactions). Locking adds one rule to the
+// contract above: a global commit takes every involved shard's journalMu in
+// ascending shard index (the full order is still structMu → journalMu[i] →
+// pageMeta.mu, with the journalMu tier internally ordered by index), so
+// global and single-shard commits can never deadlock. Applications must
+// acquire the Locks of every structure a global section touches, in one
+// consistent order — ascending shard/core index in the bundled workloads.
+// Single-arena transactions (plain Begin, or BeginGlobal whose write set
+// resolves to one shard, or any transaction at JournalShards=1) keep the
+// exact single-shard fast path: same records, 24-byte payloads on the
+// single-journal paper model, no extra traffic.
+//
 // The aggregate-vs-serial equivalence and race-freedom are enforced by
 // `go test -race ./internal/machine -run TestParallel` and the workload
 // smoke tests; the benchmark entry points are
-// `go run ./cmd/sspbench -exp parallel -cores 4`,
-// `go run ./cmd/sspbench -exp channels -cores 4` and
+// `go run ./cmd/sspbench -exp parallel -cores 4` (now with per-core
+// commit-barrier wait shares from Stats.CommitBarrierWait),
+// `go run ./cmd/sspbench -exp channels -cores 4`,
 // `go run ./cmd/sspbench -exp journal -cores 4 -shards 4` (journal-shard ×
 // core sweep with per-shard journal pressure and the CatMetaJournal bank
-// occupancy that motivates it).
+// occupancy that motivates it) and
+// `go run ./cmd/sspbench -exp crossshard -cores 4 -shards 4` (cross-shard
+// transaction fraction × cores on the sharded memcached / partitioned
+// vacation mixes, with global-commit and prepare-record traffic).
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation:

@@ -88,16 +88,13 @@ func (s *SSP) consolidate(meta *pageMeta, at engine.Cycles) {
 	si := s.shardOfSlot(sid)
 	s.lockShard(si)
 	tid := s.allocTID()
-	t = s.journals[si].Append(wal.Record{TID: tid, Kind: recConsolidate, Payload: payload}, t)
+	t = s.appendRecord(si, -1, wal.Record{TID: tid, Kind: recConsolidate, Payload: payload}, sid, t)
 	s.lockMeta(meta)
 	s.slotShadow[sid] = st
 	meta.barrier = journalRef{shard: si, mark: s.journals[si].MarkHere()}
 	meta.ppn0, meta.ppn1 = survivor, spare
 	meta.committed, meta.current = 0, 0
 	s.unlockMeta(meta)
-	s.dirtySlots[si][sid] = struct{}{}
-	s.env.Stats.JournalRecords++
-	s.env.Stats.JournalShardRecords[si]++
 	s.maybeCheckpointShard(si, t)
 	s.unlockShard(si)
 
@@ -176,66 +173,4 @@ func (s *SSP) drainConsolQueue(at engine.Cycles) {
 		t = engine.MaxCycles(t, s.nowCycles())
 	}
 	s.unlockStruct()
-}
-
-// maybeCheckpointShard applies shard si's journal to the persistent slot
-// array and truncates the ring once it passes its high-water mark (§4.1.2
-// "Checkpointing"). Checkpointing is per-shard: a hot core fills only its
-// own ring and drains only its own dirty slots, so it cannot force global
-// checkpoints. Background work: bank time only. Caller holds structMu and
-// journalMu[si] in parallel mode.
-func (s *SSP) maybeCheckpointShard(si int, at engine.Cycles) {
-	if !s.overHighWater(si) {
-		return
-	}
-	s.checkpointShard(si, at)
-}
-
-// maybeCheckpointAll runs the per-shard high-water check on every shard.
-// Serial mode only (the commit path's post-consolidation check).
-func (s *SSP) maybeCheckpointAll(at engine.Cycles) {
-	for si := range s.journals {
-		s.maybeCheckpointShard(si, at)
-	}
-}
-
-// checkpointShard writes the final state of every slot dirtied through
-// shard si to the persistent SSP cache and resets that shard's ring
-// ("capture the final state of a modified cache entry and only write it
-// back to the persistent cache"). The checkpointed entries carry their slot
-// update versions, so records for the same slots still sitting in other
-// shards' rings are ordered against the checkpoint at recovery.
-func (s *SSP) checkpointShard(si int, at engine.Cycles) {
-	dirty := s.dirtySlots[si]
-	if len(dirty) == 0 {
-		s.journals[si].Reset()
-		return
-	}
-	t := at
-	sids := make([]int, 0, len(dirty))
-	for sid := range dirty {
-		sids = append(sids, sid)
-	}
-	sort.Ints(sids)
-	for _, sid := range sids {
-		t = s.env.Mem.WriteLine(s.slotAddr(sid), encodeSlot(s.slotSnapshot(sid), s.env.Layout.FrameIndex), t, stats.CatCheckpoint)
-	}
-	s.journals[si].Reset()
-	clear(dirty)
-	s.env.Stats.Checkpoints++
-	s.env.Stats.JournalShardCheckpoints[si]++
-	s.clock(t)
-}
-
-// slotSnapshot reads slotShadow[sid] consistently: under the owning page's
-// lock when the slot is owned (commits on other shards update it under
-// that lock), directly otherwise (unowned slots change only under structMu,
-// which the checkpoint caller holds).
-func (s *SSP) slotSnapshot(sid int) slotState {
-	if owner := s.slotOwner[sid]; owner != nil {
-		s.lockMeta(owner)
-		defer s.unlockMeta(owner)
-		return s.slotShadow[sid]
-	}
-	return s.slotShadow[sid]
 }

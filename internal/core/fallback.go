@@ -202,4 +202,5 @@ func (s *SSP) finishFallback(core int, at engine.Cycles) {
 	clear(s.fbPages[core])
 	s.fallback[core] = false
 	s.inTxn[core] = false
+	s.globalTxn[core] = false
 }

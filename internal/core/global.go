@@ -1,0 +1,154 @@
+package core
+
+import (
+	"slices"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// Cross-shard (global) transactions. A section opened with BeginGlobal may
+// write pages whose slots belong to different journal shards — the
+// distributed-commit workload class the per-core sharded journal had never
+// been exercised by. Its commit replaces the single-shard batch with a
+// two-phase protocol:
+//
+//	Phase 1 (prepare): for every participant shard, in ascending shard
+//	  order, append one recPrepare record per write-set page owned by that
+//	  shard (payload identical to recUpdate, including the slot update
+//	  version) and flush the shard. After this phase every participant
+//	  holds the transaction's updates durably — but none may apply yet.
+//
+//	Phase 2 (decide): append a single recGlobalEnd record carrying the
+//	  global TID to the coordinator shard — the committing core's own
+//	  shard, the shard that "owns" the TID — and flush it. This one line
+//	  write is the commit point.
+//
+// Publication of the slot-shadow states (and hence checkpoint visibility)
+// happens only after the end record is durable, exactly like the fast
+// path's publish-after-flush rule.
+//
+// Recovery (recover.go) TID-merges the shards as before; a prepare record
+// applies iff its TID's coordinator end record is durable. A crash anywhere
+// before the end record therefore rolls back every participant shard
+// (all-or-nothing across arenas), a crash after it redoes all of them, and
+// the per-slot update version still guards replay against states that a
+// participant shard's checkpoint already advanced past.
+//
+// Locking: all involved shard locks (participants + coordinator) are taken
+// in ascending shard order before the TID draw and held through the end
+// flush, so every stream stays TID-monotonic and global commits cannot
+// deadlock against each other or against single-shard commits (which take
+// exactly one of these locks).
+
+// BeginGlobal implements txn.GlobalBackend: Begin, plus marking the section
+// as a cross-shard transaction. On a single-shard machine — or when the
+// write set turns out to fit one shard — the commit degrades to the exact
+// single-shard fast path, so the flag costs nothing.
+func (s *SSP) BeginGlobal(core int, at engine.Cycles) engine.Cycles {
+	t := s.Begin(core, at)
+	s.globalTxn[core] = true
+	return t
+}
+
+// participantShards returns the sorted distinct journal shards owning the
+// write-set pages' slots. Slot assignment is immutable while the pages are
+// core-referenced, so no locks are needed.
+func (s *SSP) participantShards(pages []int) []int {
+	seen := map[int]bool{}
+	var shards []int
+	for _, vpn := range pages {
+		si := s.shardOfSlot(s.lookupMeta(vpn).slot)
+		if !seen[si] {
+			seen[si] = true
+			shards = append(shards, si)
+		}
+	}
+	sort.Ints(shards)
+	return shards
+}
+
+// commitGlobal is the two-phase journal leg of a cross-shard commit.
+type commitGlobal struct {
+	s      *SSP
+	shards []int // participant shards, ascending
+}
+
+func (g *commitGlobal) journalAndPublish(core int, pages []int, at engine.Cycles) engine.Cycles {
+	s := g.s
+	t := at
+	coord := s.shardFor(core)
+
+	// Group the write set by owning shard (pages stay vpn-sorted within a
+	// group, so serial runs append deterministically).
+	groups := make(map[int][]int, len(g.shards))
+	for _, vpn := range pages {
+		si := s.shardOfSlot(s.lookupMeta(vpn).slot)
+		groups[si] = append(groups[si], vpn)
+	}
+
+	// Lock every involved shard in ascending order, then draw the TID.
+	locked := g.shards
+	if !slices.Contains(locked, coord) {
+		locked = append(append([]int{}, g.shards...), coord)
+		sort.Ints(locked)
+	}
+	for _, si := range locked {
+		s.lockShard(si)
+	}
+	tid := s.allocTID()
+
+	// Phase 1: prepare records per participant shard, flushed per shard.
+	var mask uint32
+	pubs := make([]slotPub, 0, len(pages))
+	for _, si := range g.shards {
+		mask |= 1 << uint(si)
+		for _, vpn := range groups[si] {
+			pub := s.snapshotPage(core, vpn)
+			t = s.appendRecord(si, core, wal.Record{TID: tid, Kind: recPrepare, Payload: s.journalPayload(pub.sid, pub.st)}, pub.sid, t)
+			s.env.StatsFor(core).PrepareRecords++
+			pubs = append(pubs, pub)
+		}
+		t = s.journals[si].Flush(t)
+	}
+
+	// Phase 2: the coordinator end record is the commit point.
+	t = s.journals[coord].Append(wal.Record{TID: tid, Kind: recGlobalEnd, Payload: encodeGlobalEndPayload(mask)}, t)
+	t = s.journals[coord].Flush(t)
+	s.env.StatsFor(core).JournalRecords++
+	s.env.Stats.JournalShardRecords[coord]++
+	s.env.StatsFor(core).GlobalCommits++
+
+	// Publish only now that the whole distributed batch is durable, then
+	// note which rings passed their high-water mark while locked. The
+	// coordinator also remembers this transaction's slots: its end record
+	// is what keeps the participant-shard prepares applicable, so a
+	// coordinator checkpoint must persist these slots before truncating it
+	// (see checkpointShard).
+	s.publishSlots(pubs)
+	for _, p := range pubs {
+		s.pendingGlobalSlots[coord][p.sid] = struct{}{}
+	}
+	var need []int
+	for _, si := range locked {
+		if s.overHighWater(si) {
+			need = append(need, si)
+		}
+	}
+	for i := len(locked) - 1; i >= 0; i-- {
+		s.unlockShard(locked[i])
+	}
+	if len(need) > 0 && s.parallel {
+		// Same re-acquisition dance as the fast path: structMu → shard
+		// lock, rechecking the trigger under the locks.
+		s.lockStruct()
+		for _, si := range need {
+			s.lockShard(si)
+			s.maybeCheckpointShard(si, t)
+			s.unlockShard(si)
+		}
+		s.unlockStruct()
+	}
+	return t
+}

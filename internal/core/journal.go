@@ -1,0 +1,190 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+	"repro/internal/wal"
+)
+
+// This file is the metadata-journal layer: shard routing, TID and version
+// allocation, record appends' shared helpers, per-shard high-water
+// checkpointing (§4.1.2), and the quiescent pressure report. The commit
+// pipeline (commit.go, global.go), consolidation (consolidate.go) and slot
+// release (slots.go) all append through these helpers; recovery
+// (recover.go) is their read side.
+
+// shardFor maps a committing core to its journal shard.
+func (s *SSP) shardFor(core int) int { return core % len(s.journals) }
+
+// shardOfSlot maps slot-keyed records (consolidation, release, and a global
+// transaction's prepare records) to the slot's owning shard, spreading them
+// deterministically.
+func (s *SSP) shardOfSlot(sid int) int { return sid % len(s.journals) }
+
+// allocTID draws the next transaction ID. Callers appending to a journal
+// shard must hold that shard's lock across the draw and the append — a
+// global commit holds every involved shard's lock — so each shard's stream
+// stays TID-monotonic; the fall-back path needs no lock (a fall-back log
+// only ever receives its own core's records).
+func (s *SSP) allocTID() uint32 { return s.nextTID.Add(1) }
+
+// allocVer draws the next slot update version; call under the owning
+// page's lock (or with the slot otherwise quiescent under structMu).
+func (s *SSP) allocVer() uint32 { return s.nextVer.Add(1) }
+
+// sharded reports whether the journal runs with more than one shard; the
+// single-journal paper model skips the per-record version (see meta.go).
+func (s *SSP) sharded() bool { return len(s.journals) > 1 }
+
+// journalPayload encodes a record payload for this machine's journal
+// geometry.
+func (s *SSP) journalPayload(sid int, st slotState) []byte {
+	return encodeJournalPayload(sid, st, s.env.Layout.FrameIndex, s.sharded())
+}
+
+// appendRecord appends one slot-state record to shard si and accounts it:
+// dirty-slot marking and the per-shard/aggregate record counters. Caller
+// holds journalMu[si] in parallel mode; core routes the per-core counter
+// shard (pass a negative core for background records charged to the shared
+// shard).
+func (s *SSP) appendRecord(si int, core int, rec wal.Record, sid int, at engine.Cycles) engine.Cycles {
+	t := s.journals[si].Append(rec, at)
+	s.dirtySlots[si][sid] = struct{}{}
+	if core >= 0 {
+		s.env.StatsFor(core).JournalRecords++
+	} else {
+		s.env.Stats.JournalRecords++
+	}
+	s.env.Stats.JournalShardRecords[si]++
+	return t
+}
+
+// overHighWater reports whether shard si's ring passed the checkpoint
+// trigger (§4.1.2). Caller holds journalMu[si] in parallel mode.
+func (s *SSP) overHighWater(si int) bool {
+	return float64(s.journals[si].Used()) >= s.cfg.JournalHighWater*float64(s.journals[si].Capacity())
+}
+
+// maybeCheckpointShard applies shard si's journal to the persistent slot
+// array and truncates the ring once it passes its high-water mark (§4.1.2
+// "Checkpointing"). Checkpointing is per-shard: a hot core fills only its
+// own ring and drains only its own dirty slots, so it cannot force global
+// checkpoints. Background work: bank time only. Caller holds structMu and
+// journalMu[si] in parallel mode.
+func (s *SSP) maybeCheckpointShard(si int, at engine.Cycles) {
+	if !s.overHighWater(si) {
+		return
+	}
+	s.checkpointShard(si, at)
+}
+
+// maybeCheckpointAll runs the per-shard high-water check on every shard.
+// Serial mode only (the commit path's post-consolidation check).
+func (s *SSP) maybeCheckpointAll(at engine.Cycles) {
+	for si := range s.journals {
+		s.maybeCheckpointShard(si, at)
+	}
+}
+
+// checkpointShard writes the final state of every slot dirtied through
+// shard si to the persistent SSP cache and resets that shard's ring
+// ("capture the final state of a modified cache entry and only write it
+// back to the persistent cache"). The checkpointed entries carry their slot
+// update versions, so records for the same slots still sitting in other
+// shards' rings are ordered against the checkpoint at recovery.
+//
+// Cross-shard rule: if this ring holds coordinator end records of global
+// transactions whose prepare records live in OTHER shards' rings, those
+// prepares lose their proof of commit once this ring truncates and is
+// overwritten — recovery would roll a committed transaction back in the
+// participant shards only, tearing it. So the checkpoint also persists
+// every such transaction's slots (pendingGlobalSlots, recorded at global
+// publish time): the slot array then supersedes the orphaned prepares via
+// the version guard, exactly as it supersedes this shard's own truncated
+// records. Reading another shard's slot is safe here — slotSnapshot takes
+// only the owning page's lock (journalMu → pageMeta.mu order), and
+// slotShadow never holds state whose journal records are not yet durable.
+func (s *SSP) checkpointShard(si int, at engine.Cycles) {
+	dirty := s.dirtySlots[si]
+	pending := s.pendingGlobalSlots[si]
+	if len(dirty) == 0 && len(pending) == 0 {
+		s.journals[si].Reset()
+		return
+	}
+	t := at
+	sids := make([]int, 0, len(dirty)+len(pending))
+	for sid := range dirty {
+		sids = append(sids, sid)
+	}
+	for sid := range pending {
+		if _, own := dirty[sid]; !own {
+			sids = append(sids, sid)
+		}
+	}
+	sort.Ints(sids)
+	for _, sid := range sids {
+		t = s.env.Mem.WriteLine(s.slotAddr(sid), encodeSlot(s.slotSnapshot(sid), s.env.Layout.FrameIndex), t, stats.CatCheckpoint)
+	}
+	s.journals[si].Reset()
+	clear(dirty)
+	clear(pending)
+	s.env.Stats.Checkpoints++
+	s.env.Stats.JournalShardCheckpoints[si]++
+	s.clock(t)
+}
+
+// slotSnapshot reads slotShadow[sid] consistently: under the owning page's
+// lock when the slot is owned (commits on other shards update it under
+// that lock), directly otherwise (unowned slots change only under structMu,
+// which the checkpoint caller holds).
+func (s *SSP) slotSnapshot(sid int) slotState {
+	if owner := s.slotOwner[sid]; owner != nil {
+		s.lockMeta(owner)
+		defer s.unlockMeta(owner)
+		return s.slotShadow[sid]
+	}
+	return s.slotShadow[sid]
+}
+
+// JournalShardPressure describes one metadata-journal shard's state at a
+// quiescent point: the ring's instantaneous fill plus the work it absorbed
+// since the last stats reset.
+type JournalShardPressure struct {
+	Shard       int
+	UsedBytes   int // bytes appended since the shard's last checkpoint
+	Capacity    int // ring capacity in bytes
+	Records     uint64
+	Checkpoints uint64
+}
+
+// FillFrac returns the shard ring's current fill fraction.
+func (p JournalShardPressure) FillFrac() float64 {
+	if p.Capacity == 0 {
+		return 0
+	}
+	return float64(p.UsedBytes) / float64(p.Capacity)
+}
+
+// JournalPressure reports per-shard journal state. Quiescent-machine
+// helper, like Stats aggregation.
+func (s *SSP) JournalPressure() []JournalShardPressure {
+	out := make([]JournalShardPressure, len(s.journals))
+	for i, j := range s.journals {
+		out[i] = JournalShardPressure{
+			Shard:       i,
+			UsedBytes:   j.Used(),
+			Capacity:    j.Capacity(),
+			Records:     s.env.Stats.JournalShardRecords[i],
+			Checkpoints: s.env.Stats.JournalShardCheckpoints[i],
+		}
+	}
+	return out
+}
+
+// slotAddr returns slot sid's durable address in the persistent slot array.
+func (s *SSP) slotAddr(sid int) memsim.PAddr {
+	return s.env.Layout.SSPSlotsBase + memsim.PAddr(sid*slotBytes)
+}

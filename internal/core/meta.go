@@ -199,12 +199,22 @@ func decodeSlot(buf []byte, frameAddr func(int) memsim.PAddr) slotState {
 // single-page transactions cost exactly one record). Consolidate and
 // release records are single-record atomic operations applied
 // unconditionally. recEnd remains as a standalone seal (used by tests).
+//
+// Cross-shard (global) transactions use the two-phase pair: recPrepare
+// records carry a global transaction's slot updates into every participant
+// shard (same payload as recUpdate), and one recGlobalEnd record in the
+// coordinator shard — the shard that owns the transaction's TID — seals the
+// whole distributed batch. Recovery applies a TID's prepare records from
+// every shard iff its coordinator end record is durable, so a crash before
+// the end rolls back every participant and a crash after it redoes them.
 const (
 	recUpdate      = 1
 	recEnd         = 2
 	recConsolidate = 3
 	recRelease     = 4
 	recUpdateEnd   = 5
+	recPrepare     = 6
+	recGlobalEnd   = 7
 )
 
 // journal record payload: u32 sid, u32 vpn, u32 ppn0Idx, u32 ppn1Idx,
@@ -241,6 +251,17 @@ func encodeJournalPayload(sid int, st slotState, frameIndex func(memsim.PAddr) i
 	if withVer {
 		binary.LittleEndian.PutUint32(p[24:], st.ver)
 	}
+	return p
+}
+
+// Global-end record payload: u32 participant-shard bitmask. The mask is
+// diagnostic (recovery keys on the TID alone); it keeps torn coordinator
+// records detectable by length as well as checksum.
+const globalEndPayloadBytes = 4
+
+func encodeGlobalEndPayload(mask uint32) []byte {
+	p := make([]byte, globalEndPayloadBytes)
+	binary.LittleEndian.PutUint32(p, mask)
 	return p
 }
 

@@ -26,6 +26,7 @@ func (s *SSP) Crash() {
 	for c := range s.wsb {
 		s.wsb[c] = make(map[int]uint64)
 		s.inTxn[c] = false
+		s.globalTxn[c] = false
 		s.fallback[c] = false
 		s.fbOld[c] = make(map[memsim.PAddr][memsim.LineBytes]byte)
 		s.fbPages[c] = make(map[int]struct{})
@@ -33,6 +34,7 @@ func (s *SSP) Crash() {
 	}
 	for i := range s.journals {
 		s.journals[i].Reset()
+		s.pendingGlobalSlots[i] = make(map[int]struct{})
 	}
 	s.now.Store(0)
 	s.consolQ = nil
@@ -52,6 +54,14 @@ func (s *SSP) Crash() {
 // record applies only if its slot update version is newer than the state
 // already in the slot — a record left in one shard's ring must not regress
 // a slot that another shard's checkpoint already advanced past it.
+//
+// Cross-shard transactions add one rule: a recPrepare record — a global
+// transaction's slot update in a participant shard — applies iff its TID's
+// recGlobalEnd record is durable in the coordinator shard. The end records
+// are collected in a first pass over every shard, so per-shard validation
+// stays independent otherwise: a torn prepare batch in one shard can never
+// drop an unrelated single-shard batch (even one with a higher TID) in
+// another.
 func (s *SSP) Recover() error {
 	s.env.Stats.Recoveries++
 
@@ -67,30 +77,44 @@ func (s *SSP) Recover() error {
 		}
 	}
 
-	// 2. Scan every journal shard, validate update-batch framing per shard,
-	// merge the survivors by TID, and replay under the version guard.
+	// 2. Scan every journal shard. First pass: collect the durable
+	// coordinator end records of cross-shard transactions (and the
+	// version/TID high waters). Second pass: validate batch framing per
+	// shard, merge the survivors by TID, and replay under the version
+	// guard.
 	raw := wal.ScanShards(s.env.Mem, s.env.Layout.JournalBase, s.env.Layout.Cfg.JournalBytes)
-	valid := make([][]wal.Record, len(raw))
+	endTIDs := make(map[uint32]bool)
 	var maxTID uint32
-	for i, recs := range raw {
+	for _, recs := range raw {
 		if m := wal.MaxTID(recs); m > maxTID {
 			maxTID = m
 		}
-		// Versions consumed by dropped batches must stay below the next
-		// allocation, so the scan covers every record, applied or not.
 		for _, r := range recs {
+			if r.Kind == recGlobalEnd {
+				endTIDs[r.TID] = true
+			}
+			// Versions consumed by dropped batches must stay below the next
+			// allocation, so the scan covers every record, applied or not.
 			if len(r.Payload) == journalPayloadBytes || len(r.Payload) == journalPayloadVerBytes {
 				if _, st := decodeJournalPayload(r.Payload, s.env.Layout.FrameAddr); st.ver > maxVer {
 					maxVer = st.ver
 				}
 			}
 		}
-		v, err := s.validShardRecords(recs)
+	}
+	valid := make([][]wal.Record, len(raw))
+	droppedGlobal := make(map[uint32]bool)
+	for i, recs := range raw {
+		v, err := s.validShardRecords(recs, endTIDs, droppedGlobal)
 		if err != nil {
 			return err
 		}
 		valid[i] = v
 	}
+	// Each sealed global transaction recovered once, each unsealed one
+	// rolled back once — regardless of how many shards its records span.
+	s.env.Stats.RecoveredTxns += uint64(len(endTIDs))
+	s.env.Stats.RolledBackTxns += uint64(len(droppedGlobal))
 	for _, r := range wal.Merge(valid) {
 		sid, st := decodeJournalPayload(r.Payload, s.env.Layout.FrameAddr)
 		// With sharded journals a record must be newer than the slot's
@@ -191,11 +215,15 @@ func (s *SSP) Recover() error {
 // validShardRecords applies one shard's batch-framing semantics: update
 // batches survive only through a durable End record (recUpdateEnd, or a
 // standalone recEnd sealing the open batch), consolidate/release records
-// survive unconditionally. A batch superseded by a new TID mid-stream can
+// survive unconditionally, and a global transaction's prepare records
+// survive only when endTIDs carries their TID (the coordinator end record
+// was durable somewhere). A batch superseded by a new TID mid-stream can
 // only be a torn-tail artifact and drops silently; a trailing unsealed
 // batch is the crashed transaction and counts as rolled back (§4.1.1).
-// Shard-local order is preserved in the returned slice.
-func (s *SSP) validShardRecords(recs []wal.Record) ([]wal.Record, error) {
+// Unsealed global TIDs accumulate in droppedGlobal so the caller can count
+// each distributed rollback once across all its shards. Shard-local order
+// is preserved in the returned slice.
+func (s *SSP) validShardRecords(recs []wal.Record, endTIDs, droppedGlobal map[uint32]bool) ([]wal.Record, error) {
 	var out []wal.Record
 	var batch []wal.Record
 	var batchTID uint32
@@ -225,6 +253,24 @@ func (s *SSP) validShardRecords(recs []wal.Record) ([]wal.Record, error) {
 			}
 		case recConsolidate, recRelease:
 			out = append(out, r)
+		case recPrepare:
+			if endTIDs[r.TID] {
+				out = append(out, r)
+			} else {
+				// No durable end record. If the slot array already carries a
+				// state at least as new, this prepare is the checkpointed
+				// remnant of a COMMITTED global whose coordinator end was
+				// truncated (checkpointShard persisted its slots first) —
+				// not evidence of a torn transaction. Only a prepare the
+				// slot array does not supersede marks a genuine rollback.
+				sid, st := decodeJournalPayload(r.Payload, s.env.Layout.FrameAddr)
+				if st.ver > s.slotShadow[sid].ver {
+					droppedGlobal[r.TID] = true
+				}
+			}
+		case recGlobalEnd:
+			// The commit point itself; carries no slot state. Its TIDs were
+			// collected in the caller's first pass.
 		default:
 			return nil, fmt.Errorf("core: unknown journal record kind %d", r.Kind)
 		}

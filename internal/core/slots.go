@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// This file manages the persistent slot array's allocation state: fresh
+// formatting, free-slot handout, eviction of quiescent entries, and the
+// release records that keep recovery from resurrecting stale associations.
+
+// format assigns every slot its spare frame and writes the initial slot
+// array (machine initialisation; no timing).
+func (s *SSP) format() {
+	for sid := range s.slotShadow {
+		spare := s.env.Frames.Alloc()
+		s.slotShadow[sid] = slotState{vpn: -1, ppn1: spare}
+		s.env.Mem.Poke(s.slotAddr(sid), encodeSlot(s.slotShadow[sid], s.env.Layout.FrameIndex))
+		s.freeSlots = append(s.freeSlots, sid)
+	}
+	// Reverse so slot 0 is handed out first.
+	for i, j := 0, len(s.freeSlots)-1; i < j; i, j = i+1, j-1 {
+		s.freeSlots[i], s.freeSlots[j] = s.freeSlots[j], s.freeSlots[i]
+	}
+}
+
+// allocSlot returns a free slot, evicting (and if needed consolidating) an
+// unreferenced entry when the transient cache is full. Caller holds
+// structMu in parallel mode; a candidate's reference counts cannot rise
+// while it is held (new references require either a TLB hit, impossible for
+// a page with tlbRef == 0, or the structMu-guarded slow path).
+func (s *SSP) allocSlot(at engine.Cycles) int {
+	if len(s.freeSlots) > 0 {
+		sid := s.freeSlots[len(s.freeSlots)-1]
+		s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+		return sid
+	}
+	// Evict a quiescent entry (§4.1.2: "already consolidated ... and not
+	// referenced by any TLB"). Deterministic choice: lowest vpn first.
+	var victims []int
+	s.forEachMeta(func(vpn int, m *pageMeta) {
+		s.lockMeta(m)
+		if m.tlbRef == 0 && m.coreRef == 0 {
+			victims = append(victims, vpn)
+		}
+		s.unlockMeta(m)
+	})
+	if len(victims) == 0 {
+		panic("core: SSP cache exhausted with every entry referenced; raise Config.Entries")
+	}
+	sort.Ints(victims)
+	meta := s.lookupMeta(victims[0])
+	s.lockMeta(meta)
+	committed := meta.committed
+	s.unlockMeta(meta)
+	if committed != 0 {
+		s.consolidate(meta, engine.MaxCycles(at, s.nowCycles()))
+	}
+	s.releaseEntry(meta, engine.MaxCycles(at, s.nowCycles()))
+	sid := s.freeSlots[len(s.freeSlots)-1]
+	s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+	return sid
+}
+
+// releaseEntry removes a consolidated, unreferenced entry from the
+// transient cache, journaling the slot release so recovery never
+// resurrects a stale association. Caller holds structMu in parallel mode.
+func (s *SSP) releaseEntry(meta *pageMeta, at engine.Cycles) {
+	if meta.committed != 0 || meta.tlbRef != 0 || meta.coreRef != 0 {
+		panic("core: releasing a live SSP entry")
+	}
+	sid := meta.slot
+	st := slotState{vpn: -1, ppn1: meta.ppn1, ver: s.allocVer()}
+	si := s.shardOfSlot(sid)
+	s.lockShard(si)
+	tid := s.allocTID()
+	s.appendRecord(si, -1, wal.Record{TID: tid, Kind: recRelease, Payload: s.journalPayload(sid, st)}, sid, at)
+	// Publishing before the record is durable is safe here (unlike the
+	// commit path): a release's NVRAM side effects precede its record, so a
+	// checkpoint persisting this state early is equivalent to the record
+	// having applied.
+	s.slotShadow[sid] = st
+	// The slot's next tenant inherits a barrier at the release record, so
+	// its first commit flushes this shard before its data flushes.
+	s.slotBarrier[sid] = journalRef{shard: si, mark: s.journals[si].MarkHere()}
+	s.maybeCheckpointShard(si, at)
+	s.unlockShard(si)
+	s.slotOwner[sid] = nil
+	s.deleteMeta(meta.vpn)
+	s.freeSlots = append(s.freeSlots, sid)
+}
+
+// onTLBEvict is the extended-TLB eviction hook: it drops the page's TLB
+// reference count and triggers eager consolidation when the page becomes
+// inactive (§3.4). In parallel mode consolidation is deferred to the
+// epoch batch instead of running inline (the hook fires inside translate,
+// where the journal lock must not be taken).
+func (s *SSP) onTLBEvict(core int, vpn int) {
+	meta := s.lookupMeta(vpn)
+	if meta == nil {
+		panic("core: TLB evicted a page without an SSP entry")
+	}
+	_ = core
+	s.lockMeta(meta)
+	meta.tlbRef--
+	if meta.tlbRef < 0 {
+		s.unlockMeta(meta)
+		panic("core: negative TLB refcount")
+	}
+	inactive := meta.tlbRef == 0 && meta.coreRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation
+	s.unlockMeta(meta)
+	if !inactive {
+		return
+	}
+	if s.parallel {
+		s.queueConsolidation(vpn)
+		return
+	}
+	s.consolidate(meta, s.nowCycles())
+}

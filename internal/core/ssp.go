@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -14,6 +13,14 @@ import (
 	"repro/internal/vm"
 	"repro/internal/wal"
 )
+
+// This file holds the SSP type itself: configuration wiring, the locking
+// primitives, the striped transient-cache map, and address translation. The
+// rest of the mechanism is split by concern — the transaction pipeline in
+// commit.go (with the cross-shard two-phase protocol in global.go), journal
+// shard append/checkpoint logic in journal.go, slot allocation and eviction
+// in slots.go, page consolidation in consolidate.go, the software fall-back
+// path in fallback.go, and crash recovery in recover.go.
 
 // metaShards is the number of striped locks over the transient SSP cache:
 // page-metadata lookups on different vpn stripes never contend.
@@ -44,16 +51,20 @@ type entryShard struct {
 // stream, dirty-slot set and high-water trigger are protected by that
 // shard's journalMu, so commits on different shards never serialise on a
 // journal lock (nor, with the shards in distinct NVRAM regions, on a
-// journal bank in simulated time). TID allocation is a plain atomic; a TID
-// destined for a shard is drawn while holding that shard's lock so each
-// stream still sees non-decreasing TIDs. Slot-shadow mutation is per-page:
-// slotShadow[sid] is written under the owning pageMeta's mutex, with a
-// per-slot update version (allocated under the same lock) ordering the
-// slot's records across shards for recovery. Each pageMeta's mutex protects
-// that page's bitmaps and reference counts, so stores to different pages
-// proceed concurrently. Commit-time page consolidation, which would
-// otherwise funnel every core through structMu at commit, is deferred to a
-// batched epoch drain (see consolidate.go).
+// journal bank in simulated time). A single-shard commit takes exactly one
+// journalMu; a cross-shard (global) commit takes every participant shard's
+// journalMu plus the coordinator's, always in ascending shard order, so two
+// global commits — or a global and any set of local commits — can never
+// deadlock. TID allocation is a plain atomic; a TID destined for a shard is
+// drawn while holding that shard's lock (for a global commit: all involved
+// shards' locks) so each stream still sees non-decreasing TIDs. Slot-shadow
+// mutation is per-page: slotShadow[sid] is written under the owning
+// pageMeta's mutex, with a per-slot update version (allocated under the
+// same lock) ordering the slot's records across shards for recovery. Each
+// pageMeta's mutex protects that page's bitmaps and reference counts, so
+// stores to different pages proceed concurrently. Commit-time page
+// consolidation, which would otherwise funnel every core through structMu
+// at commit, is deferred to a batched epoch drain (see consolidate.go).
 type SSP struct {
 	env *txn.Env
 	cfg Config
@@ -75,9 +86,21 @@ type SSP struct {
 
 	dirtySlots []map[int]struct{} // per journal shard: slots needing a checkpoint write
 
-	// Per-core transaction state.
-	inTxn []bool
-	wsb   []map[int]uint64 // write-set buffer: vpn -> updated bitmap
+	// pendingGlobalSlots tracks, per coordinator shard, the slots of global
+	// transactions whose end record lives in that shard's ring while their
+	// prepare records sit in OTHER shards' rings. A coordinator checkpoint
+	// must persist these slots to the slot array before truncating the end
+	// records away, or a crash would find orphaned prepares and roll back a
+	// committed transaction (see checkpointShard). Mutated under the
+	// coordinator shard's journalMu.
+	pendingGlobalSlots []map[int]struct{}
+
+	// Per-core transaction state. globalTxn marks sections opened with
+	// BeginGlobal, whose commit may spread prepare records over multiple
+	// journal shards (see global.go).
+	inTxn     []bool
+	globalTxn []bool
+	wsb       []map[int]uint64 // write-set buffer: vpn -> updated bitmap
 
 	// Software fall-back path (§3.5).
 	fallback []bool
@@ -106,6 +129,7 @@ type SSP struct {
 
 var _ txn.Backend = (*SSP)(nil)
 var _ txn.ParallelAware = (*SSP)(nil)
+var _ txn.GlobalBackend = (*SSP)(nil)
 
 // NewSSP builds the SSP backend over env. When fresh is true the persistent
 // slot array is formatted (every slot assigned its spare frame up front,
@@ -138,6 +162,7 @@ func NewSSP(env *txn.Env, cfg Config, fresh bool) *SSP {
 	for _, base := range env.Layout.JournalBase {
 		s.journals = append(s.journals, wal.NewStream(env.Mem, base, env.Layout.Cfg.JournalBytes, stats.CatMetaJournal))
 		s.dirtySlots = append(s.dirtySlots, make(map[int]struct{}))
+		s.pendingGlobalSlots = append(s.pendingGlobalSlots, make(map[int]struct{}))
 	}
 	s.journalMu = make([]sync.Mutex, len(s.journals))
 	for i := range s.shards {
@@ -145,6 +170,7 @@ func NewSSP(env *txn.Env, cfg Config, fresh bool) *SSP {
 	}
 	cores := env.Cores()
 	s.inTxn = make([]bool, cores)
+	s.globalTxn = make([]bool, cores)
 	s.wsb = make([]map[int]uint64, cores)
 	s.fallback = make([]bool, cores)
 	s.fbTID = make([]uint32, cores)
@@ -213,39 +239,6 @@ func (s *SSP) unlockShard(si int) {
 	}
 }
 
-// shardFor maps a committing core to its journal shard.
-func (s *SSP) shardFor(core int) int { return core % len(s.journals) }
-
-// shardOfSlot maps slot-keyed background records (consolidation, release)
-// to a shard, spreading them deterministically.
-func (s *SSP) shardOfSlot(sid int) int { return sid % len(s.journals) }
-
-// allocTID draws the next transaction ID. Callers appending to a journal
-// shard must hold that shard's lock across the draw and the append, so the
-// shard's stream stays TID-monotonic; the fall-back path needs no lock (a
-// fall-back log only ever receives its own core's records).
-func (s *SSP) allocTID() uint32 { return s.nextTID.Add(1) }
-
-// allocVer draws the next slot update version; call under the owning
-// page's lock (or with the slot otherwise quiescent under structMu).
-func (s *SSP) allocVer() uint32 { return s.nextVer.Add(1) }
-
-// sharded reports whether the journal runs with more than one shard; the
-// single-journal paper model skips the per-record version (see meta.go).
-func (s *SSP) sharded() bool { return len(s.journals) > 1 }
-
-// journalPayload encodes a record payload for this machine's journal
-// geometry.
-func (s *SSP) journalPayload(sid int, st slotState) []byte {
-	return encodeJournalPayload(sid, st, s.env.Layout.FrameIndex, s.sharded())
-}
-
-// overHighWater reports whether shard si's ring passed the checkpoint
-// trigger (§4.1.2). Caller holds journalMu[si] in parallel mode.
-func (s *SSP) overHighWater(si int) bool {
-	return float64(s.journals[si].Used()) >= s.cfg.JournalHighWater*float64(s.journals[si].Capacity())
-}
-
 // ---------------------------------------------------------------------------
 // Transient-cache map access (striped).
 
@@ -312,25 +305,6 @@ func (s *SSP) resetEntries() {
 }
 
 // ---------------------------------------------------------------------------
-
-// format assigns every slot its spare frame and writes the initial slot
-// array (machine initialisation; no timing).
-func (s *SSP) format() {
-	for sid := range s.slotShadow {
-		spare := s.env.Frames.Alloc()
-		s.slotShadow[sid] = slotState{vpn: -1, ppn1: spare}
-		s.env.Mem.Poke(s.slotAddr(sid), encodeSlot(s.slotShadow[sid], s.env.Layout.FrameIndex))
-		s.freeSlots = append(s.freeSlots, sid)
-	}
-	// Reverse so slot 0 is handed out first.
-	for i, j := 0, len(s.freeSlots)-1; i < j; i, j = i+1, j-1 {
-		s.freeSlots[i], s.freeSlots[j] = s.freeSlots[j], s.freeSlots[i]
-	}
-}
-
-func (s *SSP) slotAddr(sid int) memsim.PAddr {
-	return s.env.Layout.SSPSlotsBase + memsim.PAddr(sid*slotBytes)
-}
 
 // Name implements txn.Backend.
 func (s *SSP) Name() string { return "SSP" }
@@ -432,436 +406,6 @@ func (s *SSP) accessLat(sid int) engine.Cycles {
 	return s.cfg.CacheMissLat
 }
 
-// allocSlot returns a free slot, evicting (and if needed consolidating) an
-// unreferenced entry when the transient cache is full. Caller holds
-// structMu in parallel mode; a candidate's reference counts cannot rise
-// while it is held (new references require either a TLB hit, impossible for
-// a page with tlbRef == 0, or the structMu-guarded slow path).
-func (s *SSP) allocSlot(at engine.Cycles) int {
-	if len(s.freeSlots) > 0 {
-		sid := s.freeSlots[len(s.freeSlots)-1]
-		s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
-		return sid
-	}
-	// Evict a quiescent entry (§4.1.2: "already consolidated ... and not
-	// referenced by any TLB"). Deterministic choice: lowest vpn first.
-	var victims []int
-	s.forEachMeta(func(vpn int, m *pageMeta) {
-		s.lockMeta(m)
-		if m.tlbRef == 0 && m.coreRef == 0 {
-			victims = append(victims, vpn)
-		}
-		s.unlockMeta(m)
-	})
-	if len(victims) == 0 {
-		panic("core: SSP cache exhausted with every entry referenced; raise Config.Entries")
-	}
-	sort.Ints(victims)
-	meta := s.lookupMeta(victims[0])
-	s.lockMeta(meta)
-	committed := meta.committed
-	s.unlockMeta(meta)
-	if committed != 0 {
-		s.consolidate(meta, engine.MaxCycles(at, s.nowCycles()))
-	}
-	s.releaseEntry(meta, engine.MaxCycles(at, s.nowCycles()))
-	sid := s.freeSlots[len(s.freeSlots)-1]
-	s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
-	return sid
-}
-
-// releaseEntry removes a consolidated, unreferenced entry from the
-// transient cache, journaling the slot release so recovery never
-// resurrects a stale association. Caller holds structMu in parallel mode.
-func (s *SSP) releaseEntry(meta *pageMeta, at engine.Cycles) {
-	if meta.committed != 0 || meta.tlbRef != 0 || meta.coreRef != 0 {
-		panic("core: releasing a live SSP entry")
-	}
-	sid := meta.slot
-	st := slotState{vpn: -1, ppn1: meta.ppn1, ver: s.allocVer()}
-	si := s.shardOfSlot(sid)
-	s.lockShard(si)
-	tid := s.allocTID()
-	s.journals[si].Append(wal.Record{TID: tid, Kind: recRelease, Payload: s.journalPayload(sid, st)}, at)
-	// Publishing before the record is durable is safe here (unlike the
-	// commit path): a release's NVRAM side effects precede its record, so a
-	// checkpoint persisting this state early is equivalent to the record
-	// having applied.
-	s.slotShadow[sid] = st
-	s.dirtySlots[si][sid] = struct{}{}
-	s.env.Stats.JournalRecords++
-	s.env.Stats.JournalShardRecords[si]++
-	// The slot's next tenant inherits a barrier at the release record, so
-	// its first commit flushes this shard before its data flushes.
-	s.slotBarrier[sid] = journalRef{shard: si, mark: s.journals[si].MarkHere()}
-	s.maybeCheckpointShard(si, at)
-	s.unlockShard(si)
-	s.slotOwner[sid] = nil
-	s.deleteMeta(meta.vpn)
-	s.freeSlots = append(s.freeSlots, sid)
-}
-
-// onTLBEvict is the extended-TLB eviction hook: it drops the page's TLB
-// reference count and triggers eager consolidation when the page becomes
-// inactive (§3.4). In parallel mode consolidation is deferred to the
-// epoch batch instead of running inline (the hook fires inside translate,
-// where the journal lock must not be taken).
-func (s *SSP) onTLBEvict(core int, vpn int) {
-	meta := s.lookupMeta(vpn)
-	if meta == nil {
-		panic("core: TLB evicted a page without an SSP entry")
-	}
-	_ = core
-	s.lockMeta(meta)
-	meta.tlbRef--
-	if meta.tlbRef < 0 {
-		s.unlockMeta(meta)
-		panic("core: negative TLB refcount")
-	}
-	inactive := meta.tlbRef == 0 && meta.coreRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation
-	s.unlockMeta(meta)
-	if !inactive {
-		return
-	}
-	if s.parallel {
-		s.queueConsolidation(vpn)
-		return
-	}
-	s.consolidate(meta, s.nowCycles())
-}
-
-// Begin implements txn.Backend (ATOMIC_BEGIN: a full barrier).
-func (s *SSP) Begin(core int, at engine.Cycles) engine.Cycles {
-	if s.inTxn[core] {
-		panic("core: nested transaction")
-	}
-	s.inTxn[core] = true
-	s.clock(at)
-	return at + s.env.BarrierCycles
-}
-
-// Store implements txn.Backend: the atomic-update protocol of Figure 4.
-func (s *SSP) Store(core int, va uint64, data []byte, at engine.Cycles) engine.Cycles {
-	if !s.inTxn[core] {
-		panic("core: Store outside transaction")
-	}
-	if s.fallback[core] {
-		return s.fbStore(core, va, data, at)
-	}
-	meta, t := s.translate(core, va, at)
-
-	bm := s.wsb[core][meta.vpn]
-	if bm == 0 && len(s.wsb[core]) >= s.cfg.WSBEntries {
-		// Write-set buffer overflow: divert the whole transaction to the
-		// software fall-back path (§3.5) and retry this store there.
-		t = s.transitionToFallback(core, t)
-		return s.fbStore(core, va, data, t)
-	}
-
-	off := int(va & (memsim.PageBytes - 1))
-	lineIdx := off / memsim.LineBytes
-	unit := s.unitOf(lineIdx)
-	bit := uint64(1) << uint(unit)
-
-	s.lockMeta(meta)
-	defer s.unlockMeta(meta)
-	if bm&bit == 0 {
-		// First write to this unit in the transaction: remap every line of
-		// the unit to the "other" page, flip the current bit, broadcast.
-		begin, end := s.unitLines(unit)
-		cur := (meta.current >> uint(unit)) & 1
-		for li := begin; li < end; li++ {
-			from := meta.lineAddr(li, cur)
-			to := meta.lineAddr(li, cur^1)
-			t = s.env.Caches.Retag(core, from, to, t)
-		}
-		meta.current ^= bit
-		s.env.StatsFor(core).FlipBroadcasts++
-		if s.cfg.FlipViaShootdown {
-			t += s.cfg.ShootdownCycles
-		} else {
-			t += s.cfg.FlipCycles
-		}
-		if bm == 0 {
-			meta.coreRef++
-		}
-		s.wsb[core][meta.vpn] = bm | bit
-	}
-	curBit := (meta.current >> uint(unit)) & 1
-	target := meta.lineAddr(lineIdx, curBit) + memsim.PAddr(off&(memsim.LineBytes-1))
-	t = s.env.Caches.Store(core, target, data, t)
-	s.clock(t)
-	return t
-}
-
-// Load implements txn.Backend: address translation selects P0 or P1 per
-// line according to the current bitmap (§4.1.1 "Memory Read and Write").
-func (s *SSP) Load(core int, va uint64, buf []byte, at engine.Cycles) engine.Cycles {
-	meta, t := s.translate(core, va, at)
-	off := int(va & (memsim.PageBytes - 1))
-	lineIdx := off / memsim.LineBytes
-	unit := s.unitOf(lineIdx)
-	s.lockMeta(meta)
-	curBit := (meta.current >> uint(unit)) & 1
-	pa := meta.lineAddr(lineIdx, curBit) + memsim.PAddr(off&(memsim.LineBytes-1))
-	s.unlockMeta(meta)
-	t = s.env.Caches.Load(core, pa, buf, t)
-	s.clock(t)
-	return t
-}
-
-// sortedWS returns the write-set pages in vpn order.
-func (s *SSP) sortedWS(core int) []int {
-	out := make([]int, 0, len(s.wsb[core]))
-	for vpn := range s.wsb[core] {
-		out = append(out, vpn)
-	}
-	sort.Ints(out)
-	return out
-}
-
-// Commit implements txn.Backend (§4.1.1 "Transaction Commit"): persist the
-// write set, then atomically commit the metadata via the journal.
-func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
-	if !s.inTxn[core] {
-		panic("core: Commit outside transaction")
-	}
-	if s.fallback[core] {
-		return s.fbCommit(core, at)
-	}
-	t := at
-	pages := s.sortedWS(core)
-
-	// Step 0: metadata barrier — if any write-set page carries a pending
-	// consolidation/release record, persist that record's journal shard
-	// before flushing data (see consolidate.go). Pages rarely recommit
-	// before their records drain, so these flushes are almost always free.
-	t = s.barrierFlush(pages, t)
-
-	// Step 1: data persistence — clwb every write-set line; the fence
-	// waits for the slowest flush (bank-level parallelism applies).
-	fence := t
-	for _, vpn := range pages {
-		meta := s.lookupMeta(vpn)
-		bm := s.wsb[core][vpn]
-		s.lockMeta(meta)
-		for unit := 0; unit < memsim.LinesPerPage/s.cfg.SubPageLines; unit++ {
-			if bm&(1<<uint(unit)) == 0 {
-				continue
-			}
-			cur := (meta.current >> uint(unit)) & 1
-			begin, end := s.unitLines(unit)
-			for li := begin; li < end; li++ {
-				done, _ := s.env.Caches.Flush(core, meta.lineAddr(li, cur), t, stats.CatData)
-				fence = engine.MaxCycles(fence, done)
-			}
-		}
-		s.unlockMeta(meta)
-	}
-	t = fence
-
-	// Step 2: metadata update — one journal record per modified page (the
-	// last one carries the end marker) appended to this core's journal
-	// shard, then a shard flush makes the transaction durable. Only the
-	// shard's lock is held: the slot-shadow snapshot (and its update
-	// version) is taken under each page's own lock, so commits on other
-	// shards — even to other pages of the same slot array — proceed
-	// concurrently.
-	if len(pages) > 0 {
-		si := s.shardFor(core)
-		type slotPub struct {
-			meta *pageMeta
-			sid  int
-			st   slotState
-		}
-		pubs := make([]slotPub, 0, len(pages))
-		s.lockShard(si)
-		tid := s.allocTID()
-		for i, vpn := range pages {
-			meta := s.lookupMeta(vpn)
-			bm := s.wsb[core][vpn]
-			s.lockMeta(meta)
-			// Note on shared pages: if another core's open transaction on
-			// this page committed its bits just before us (under this page
-			// lock) but its shard flush is still in flight, our snapshot
-			// carries those bits with a newer version. That is safe under
-			// the machine's crash model — power failure is injected only in
-			// serial execution (where a commit runs to completion before
-			// the next begins) or at quiescence (where every flush has
-			// landed) — but a hardware realisation with per-controller
-			// journals would need a cross-shard ordering fence here.
-			meta.committed = (meta.committed &^ bm) | (meta.current & bm)
-			st := slotState{vpn: vpn, ppn0: meta.ppn0, ppn1: meta.ppn1, committed: meta.committed, ver: s.allocVer()}
-			sid := meta.slot
-			payload := s.journalPayload(sid, st)
-			s.unlockMeta(meta)
-			kind := uint8(recUpdate)
-			if i == len(pages)-1 {
-				kind = recUpdateEnd
-			}
-			t = s.journals[si].Append(wal.Record{TID: tid, Kind: kind, Payload: payload}, t)
-			s.dirtySlots[si][sid] = struct{}{}
-			s.env.StatsFor(core).JournalRecords++
-			s.env.Stats.JournalShardRecords[si]++
-			pubs = append(pubs, slotPub{meta: meta, sid: sid, st: st})
-		}
-		t = s.journals[si].Flush(t)
-		// Publish the new slot-shadow states only now that the batch is
-		// durable: a checkpoint running concurrently on another shard
-		// snapshots slotShadow and writes it to the persistent slot array,
-		// and must never persist state whose journal records a crash could
-		// still lose. The version guard keeps this commit from clobbering a
-		// newer state another core published for a shared page meanwhile.
-		for _, p := range pubs {
-			s.lockMeta(p.meta)
-			if p.st.ver > s.slotShadow[p.sid].ver {
-				s.slotShadow[p.sid] = p.st
-			}
-			s.unlockMeta(p.meta)
-		}
-		needCkpt := s.overHighWater(si)
-		s.unlockShard(si)
-		if needCkpt && s.parallel {
-			// Serial mode checkpoints after step 3's consolidations (below);
-			// parallel mode drains here, re-acquiring structMu → shard lock
-			// in order. Only this core's shard is checkpointed, so one hot
-			// core cannot force global checkpoints.
-			s.lockStruct()
-			s.lockShard(si)
-			s.maybeCheckpointShard(si, t) // recheck under the locks
-			s.unlockShard(si)
-			s.unlockStruct()
-		}
-	}
-
-	// Step 3: release core references; pages that became inactive
-	// consolidate in the background (off the critical path) — inline in
-	// serial mode, batched per epoch in parallel mode.
-	for _, vpn := range pages {
-		meta := s.lookupMeta(vpn)
-		s.lockMeta(meta)
-		meta.coreRef--
-		inactive := meta.coreRef == 0 && meta.tlbRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation
-		s.unlockMeta(meta)
-		if !inactive {
-			continue
-		}
-		if s.parallel {
-			s.queueConsolidation(vpn)
-		} else {
-			s.consolidate(meta, t)
-		}
-	}
-	clear(s.wsb[core])
-	s.inTxn[core] = false
-	s.env.StatsFor(core).Commits++
-	if s.parallel {
-		s.tickEpoch(t)
-	} else {
-		s.maybeCheckpointAll(t)
-	}
-	end := t + s.env.BarrierCycles
-	s.clock(end)
-	return end
-}
-
-// barrierFlush persists every journal shard holding a pending
-// consolidation/release record of a write-set page (the metadata barrier of
-// consolidate.go): durably-flushed data must never land in a frame that
-// undrained journal records still remap. pages must be sorted so serial
-// runs flush shards in a deterministic order.
-func (s *SSP) barrierFlush(pages []int, at engine.Cycles) engine.Cycles {
-	t := at
-	for _, vpn := range pages {
-		meta := s.lookupMeta(vpn)
-		s.lockMeta(meta)
-		ref := meta.barrier
-		s.unlockMeta(meta)
-		s.lockShard(ref.shard)
-		if !s.journals[ref.shard].Durable(ref.mark) {
-			t = s.journals[ref.shard].Flush(t)
-		}
-		s.unlockShard(ref.shard)
-	}
-	return t
-}
-
-// Abort implements txn.Backend: squash speculative lines and flip the
-// current bits back; committed data was never touched.
-func (s *SSP) Abort(core int, at engine.Cycles) engine.Cycles {
-	if !s.inTxn[core] {
-		panic("core: Abort outside transaction")
-	}
-	if s.fallback[core] {
-		return s.fbAbort(core, at)
-	}
-	t := at
-	for _, vpn := range s.sortedWS(core) {
-		meta := s.lookupMeta(vpn)
-		bm := s.wsb[core][vpn]
-		s.lockMeta(meta)
-		for unit := 0; unit < memsim.LinesPerPage/s.cfg.SubPageLines; unit++ {
-			if bm&(1<<uint(unit)) == 0 {
-				continue
-			}
-			cur := (meta.current >> uint(unit)) & 1
-			begin, end := s.unitLines(unit)
-			for li := begin; li < end; li++ {
-				s.env.Caches.InvalidateLine(meta.lineAddr(li, cur))
-			}
-			meta.current ^= 1 << uint(unit)
-			s.env.StatsFor(core).FlipBroadcasts++
-		}
-		meta.coreRef--
-		inactive := meta.coreRef == 0 && meta.tlbRef == 0 && meta.committed != 0 && !s.cfg.LazyConsolidation
-		s.unlockMeta(meta)
-		if !inactive {
-			continue
-		}
-		if s.parallel {
-			s.queueConsolidation(vpn)
-		} else {
-			s.consolidate(meta, t)
-		}
-	}
-	clear(s.wsb[core])
-	s.inTxn[core] = false
-	s.env.StatsFor(core).Aborts++
-	if s.parallel {
-		s.tickEpoch(t)
-	}
-	s.clock(t)
-	return t + s.env.BarrierCycles
-}
-
-// StoreNT implements txn.Backend: a plain store to the current location;
-// not failure-atomic (a later transactional remap of the line write-backs
-// the dirty data first — cachesim.Retag's precondition).
-func (s *SSP) StoreNT(core int, va uint64, data []byte, at engine.Cycles) engine.Cycles {
-	meta, t := s.translate(core, va, at)
-	off := int(va & (memsim.PageBytes - 1))
-	lineIdx := off / memsim.LineBytes
-	s.lockMeta(meta)
-	curBit := (meta.current >> uint(s.unitOf(lineIdx))) & 1
-	pa := meta.lineAddr(lineIdx, curBit) + memsim.PAddr(off&(memsim.LineBytes-1))
-	s.unlockMeta(meta)
-	t = s.env.Caches.Store(core, pa, data, t)
-	s.clock(t)
-	return t
-}
-
-// Drain implements txn.Backend: any batched consolidation work runs to
-// completion (serial mode has none pending — consolidation and
-// checkpointing run synchronously in simulated time).
-func (s *SSP) Drain(at engine.Cycles) engine.Cycles {
-	t := engine.MaxCycles(at, s.nowCycles())
-	if s.parallel {
-		s.drainConsolQueue(t)
-		t = engine.MaxCycles(t, s.nowCycles())
-	}
-	return t
-}
-
 // DebugCheckFrames verifies the frame-ownership invariant: every entry's
 // ppn0 matches its PTE, and all entry frames plus free-slot spares are
 // pairwise disjoint. Returns a description of the first violation, or "".
@@ -909,41 +453,6 @@ func (s *SSP) DebugCheckFrames() string {
 		}
 	}
 	return ""
-}
-
-// JournalShardPressure describes one metadata-journal shard's state at a
-// quiescent point: the ring's instantaneous fill plus the work it absorbed
-// since the last stats reset.
-type JournalShardPressure struct {
-	Shard       int
-	UsedBytes   int // bytes appended since the shard's last checkpoint
-	Capacity    int // ring capacity in bytes
-	Records     uint64
-	Checkpoints uint64
-}
-
-// FillFrac returns the shard ring's current fill fraction.
-func (p JournalShardPressure) FillFrac() float64 {
-	if p.Capacity == 0 {
-		return 0
-	}
-	return float64(p.UsedBytes) / float64(p.Capacity)
-}
-
-// JournalPressure reports per-shard journal state. Quiescent-machine
-// helper, like Stats aggregation.
-func (s *SSP) JournalPressure() []JournalShardPressure {
-	out := make([]JournalShardPressure, len(s.journals))
-	for i, j := range s.journals {
-		out[i] = JournalShardPressure{
-			Shard:       i,
-			UsedBytes:   j.Used(),
-			Capacity:    j.Capacity(),
-			Records:     s.env.Stats.JournalShardRecords[i],
-			Checkpoints: s.env.Stats.JournalShardCheckpoints[i],
-		}
-	}
-	return out
 }
 
 // DebugPage exposes a page's SSP state for tests and forensics: the two

@@ -15,9 +15,28 @@ import (
 )
 
 // Script is a deterministic transaction sequence: txn i writes value i+1 to
-// every address in its write set.
+// every address in its write set. Global marks transactions opened with
+// BeginGlobal (cross-shard two-phase commit on a multi-shard SSP machine);
+// a nil/short Global slice means all-local.
 type Script struct {
-	Txns [][]uint64
+	Txns   [][]uint64
+	Global []bool
+}
+
+// global reports whether txn i runs under BeginGlobal.
+func (sc Script) global(i int) bool { return i < len(sc.Global) && sc.Global[i] }
+
+// maxPage returns the highest heap page any transaction touches.
+func (sc Script) maxPage() int {
+	max := 1
+	for _, addrs := range sc.Txns {
+		for _, va := range addrs {
+			if p := int((va - ssp.HeapBase) / ssp.PageBytes); p > max {
+				max = p
+			}
+		}
+	}
+	return max
 }
 
 // MakeScript builds a random script of n transactions over a small page
@@ -34,6 +53,52 @@ func MakeScript(seed uint64, n int) Script {
 			addrs = append(addrs, ssp.HeapBase+uint64(page)*ssp.PageBytes+uint64(line)*ssp.LineBytes)
 		}
 		sc.Txns = append(sc.Txns, addrs)
+	}
+	return sc
+}
+
+// MakeCrossScript builds a script in which roughly half the transactions
+// are global: each global transaction writes lines of 2-4 distinct pages
+// spread over a wider page range, so on a multi-shard machine its write
+// set's slots belong to several journal shards and the commit runs the
+// two-phase protocol. The trap sweep then injects a power failure between
+// every pair of durable writes — i.e. between each participant shard's
+// prepare flush, before and after the coordinator end record, and around
+// the data flushes — and recovery must keep each global transaction
+// all-or-nothing across every shard.
+func MakeCrossScript(seed uint64, n int) Script {
+	rng := engine.NewRNG(seed)
+	const pages = 8
+	var sc Script
+	for i := 0; i < n; i++ {
+		global := rng.Intn(2) == 0
+		var addrs []uint64
+		if global {
+			nPages := 2 + rng.Intn(3)
+			if nPages > pages {
+				nPages = pages
+			}
+			seen := map[int]bool{}
+			for len(seen) < nPages {
+				page := 1 + rng.Intn(pages)
+				if seen[page] {
+					continue
+				}
+				seen[page] = true
+				for j := 0; j <= rng.Intn(2); j++ {
+					line := rng.Intn(64)
+					addrs = append(addrs, ssp.HeapBase+uint64(page)*ssp.PageBytes+uint64(line)*ssp.LineBytes)
+				}
+			}
+		} else {
+			for j := 0; j <= rng.Intn(4); j++ {
+				page := 1 + rng.Intn(pages)
+				line := rng.Intn(64)
+				addrs = append(addrs, ssp.HeapBase+uint64(page)*ssp.PageBytes+uint64(line)*ssp.LineBytes)
+			}
+		}
+		sc.Txns = append(sc.Txns, addrs)
+		sc.Global = append(sc.Global, global)
 	}
 	return sc
 }
@@ -59,9 +124,11 @@ func ShardedConfig(b ssp.Backend, cores, journalShards int) ssp.Config {
 // or failed between transactions). Transactions round-robin across the
 // machine's cores — deterministically, one at a time — so on a multi-core
 // multi-shard machine consecutive commits land in different journal shards.
+// Script transactions marked Global open with BeginGlobal and commit via
+// the cross-shard two-phase protocol where the backend supports it.
 func RunScript(m *ssp.Machine, sc Script) (committed, boundary map[uint64]uint64) {
 	committed = map[uint64]uint64{}
-	m.Heap().EnsureMapped(1, 5)
+	m.Heap().EnsureMapped(1, sc.maxPage())
 	for i, addrs := range sc.Txns {
 		if m.Mem().PoweredOff() {
 			break
@@ -69,7 +136,11 @@ func RunScript(m *ssp.Machine, sc Script) (committed, boundary map[uint64]uint64
 		c := m.Core(i % m.Cores())
 		val := uint64(i + 1)
 		pending := map[uint64]uint64{}
-		c.Begin()
+		if sc.global(i) {
+			c.BeginGlobal()
+		} else {
+			c.Begin()
+		}
 		for _, va := range addrs {
 			c.Store64(va, val)
 			pending[va] = val
@@ -96,8 +167,23 @@ func SweepScript(b ssp.Backend, seed uint64, txns int, verbose bool, log io.Writ
 // SweepConfig is SweepScript over an arbitrary machine configuration
 // (multi-core, multi-shard, custom capacities).
 func SweepConfig(cfg ssp.Config, seed uint64, txns int, verbose bool, log io.Writer) (points, failures int) {
-	sc := MakeScript(seed, txns)
+	return SweepScriptConfig(cfg, MakeScript(seed, txns), verbose, log)
+}
 
+// SweepCrossConfig is the cross-shard sweep: a MakeCrossScript script —
+// roughly half the transactions global, spanning 2-4 pages whose slots
+// belong to different journal shards — trap-swept over cfg. It covers
+// every cross-shard commit trap point: between each participant shard's
+// prepare flush, before/after the coordinator end record, and around the
+// per-shard data flushes.
+func SweepCrossConfig(cfg ssp.Config, seed uint64, txns int, verbose bool, log io.Writer) (points, failures int) {
+	return SweepScriptConfig(cfg, MakeCrossScript(seed, txns), verbose, log)
+}
+
+// SweepScriptConfig runs one script's full trap sweep over cfg: a reference
+// run counts the durable NVRAM writes, then the script re-runs once per
+// possible trap point with recovery and all-or-nothing verification.
+func SweepScriptConfig(cfg ssp.Config, sc Script, verbose bool, log io.Writer) (points, failures int) {
 	ref := ssp.New(cfg)
 	setup := ref.Stats().NVRAMWriteLines
 	RunScript(ref, sc)
@@ -120,7 +206,7 @@ func SweepConfig(cfg ssp.Config, seed uint64, txns int, verbose bool, log io.Wri
 			failures++
 			continue
 		}
-		m.Heap().EnsureMapped(1, 5)
+		m.Heap().EnsureMapped(1, sc.maxPage())
 		if err := Verify(m, committed, boundary); err != nil {
 			logf("  trap %d: %v\n", k, err)
 			failures++

@@ -70,6 +70,115 @@ func TestTrapSweepJournalShards(t *testing.T) {
 	}
 }
 
+// TestTrapSweepCrossShard runs the trap sweep on a 4-core, 4-shard machine
+// with cross-shard (global) transactions: roughly half of each script's
+// transactions open with BeginGlobal and span 2-4 pages whose slots belong
+// to different journal shards, so their commits run the two-phase protocol
+// — prepare records flushed into every participant shard, then the
+// coordinator end record. The sweep cuts the durable write stream at every
+// point: between one participant's prepare flush and the next, immediately
+// before and after the coordinator end, and between the publication-time
+// writes that follow. Recovery must make every global transaction
+// all-or-nothing across all of its shards: rolled back everywhere when the
+// end record is missing, redone everywhere when it is durable — without
+// disturbing interleaved single-shard commits.
+func TestTrapSweepCrossShard(t *testing.T) {
+	scripts, txns := 2, 10
+	if testing.Short() {
+		scripts, txns = 1, 6
+	}
+	const cores, shards = 4, 4
+	total := 0
+	for s := 0; s < scripts; s++ {
+		seed := 0x6C0B + uint64(s)*1000003
+		cfg := ShardedConfig(ssp.SSP, cores, shards)
+		sc := MakeCrossScript(seed, txns)
+		globals := 0
+		for i := range sc.Txns {
+			if sc.global(i) {
+				globals++
+			}
+		}
+		if globals == 0 {
+			t.Fatalf("script %d has no global transactions", s)
+		}
+		// The sweep is only meaningful if the script genuinely drives the
+		// two-phase path on this machine (global write sets spanning shards).
+		ref := ssp.New(cfg)
+		RunScript(ref, sc)
+		ref.Drain()
+		if ref.Stats().GlobalCommits == 0 {
+			t.Fatalf("script %d (seed %#x) committed no cross-shard transactions", s, seed)
+		}
+		points, bad := SweepScriptConfig(cfg, sc, false, os.Stderr)
+		if bad != 0 {
+			t.Fatalf("script %d (seed %#x): %d of %d trap points violated the all-or-nothing contract",
+				s, seed, bad, points)
+		}
+		total += points
+	}
+	if total == 0 {
+		t.Fatal("cross-shard sweep checked no trap points")
+	}
+	t.Logf("%d trap points checked", total)
+}
+
+// TestTrapSweepCrossShardCheckpoints is the checkpoint-interleaved class of
+// cross-shard crash points: with tiny 1 KiB journal rings the script's
+// commits push shards past their high-water mark mid-run, so trap points
+// fall between a coordinator shard's checkpoint (which truncates global end
+// records) and the participant shards that still hold the matching prepare
+// records. A committed global transaction must survive — the coordinator
+// checkpoint persists its participant slots before the end record goes
+// away. (This sweep class is what catches end-record truncation bugs the
+// plain sweep above cannot: there the rings never fill.)
+func TestTrapSweepCrossShardCheckpoints(t *testing.T) {
+	scripts, txns := 2, 30
+	if testing.Short() {
+		scripts, txns = 1, 30
+	}
+	const cores, shards = 4, 4
+	total := 0
+	for s := 0; s < scripts; s++ {
+		seed := 0xCC99 + uint64(s)*1000003
+		cfg := ShardedConfig(ssp.SSP, cores, shards)
+		cfg.JournalKB = 1 // high-water after ~16 records: checkpoints mid-script
+		sc := MakeCrossScript(seed, txns)
+		ref := ssp.New(cfg)
+		RunScript(ref, sc)
+		ref.Drain()
+		if st := ref.Stats(); st.Checkpoints == 0 || st.GlobalCommits == 0 {
+			t.Fatalf("script %d (seed %#x) drove %d checkpoints / %d global commits; the sweep needs both",
+				s, seed, st.Checkpoints, st.GlobalCommits)
+		}
+		points, bad := SweepScriptConfig(cfg, sc, false, os.Stderr)
+		if bad != 0 {
+			t.Fatalf("script %d (seed %#x): %d of %d trap points violated the all-or-nothing contract",
+				s, seed, bad, points)
+		}
+		total += points
+	}
+	t.Logf("%d checkpoint-interleaved trap points checked", total)
+}
+
+// TestCrossScriptExercisesTwoPhase asserts the cross script actually drives
+// the two-phase protocol on the sharded machine (otherwise the sweep above
+// would vacuously pass sweeping only fast-path commits).
+func TestCrossScriptExercisesTwoPhase(t *testing.T) {
+	cfg := ShardedConfig(ssp.SSP, 4, 4)
+	m := ssp.New(cfg)
+	RunScript(m, MakeCrossScript(0xBEE5, 12))
+	m.Drain()
+	st := m.Stats()
+	if st.GlobalCommits == 0 {
+		t.Fatal("cross script committed no global transactions via the two-phase protocol")
+	}
+	if st.PrepareRecords < 2*st.GlobalCommits {
+		t.Fatalf("prepare records %d < 2x global commits %d: global write sets did not span shards",
+			st.PrepareRecords, st.GlobalCommits)
+	}
+}
+
 // TestVerifyCatchesCorruption guards the verifier itself: a machine whose
 // durable state was tampered with must fail verification.
 func TestVerifyCatchesCorruption(t *testing.T) {

@@ -18,6 +18,9 @@ type AblationRow struct {
 	TPS      float64
 	Writes   uint64 // total NVRAM write bytes
 	Fallback uint64 // transactions diverted to the software path
+	// Speedup is the parallel speedup over a serial 1-core baseline; only
+	// the concurrency ablations (write-back engines) fill it.
+	Speedup float64
 }
 
 // AblateSubPage compares 64 B sub-pages (the default) against 256 B
@@ -101,12 +104,56 @@ func AblateSSPCacheResidency(sc Scale) []AblationRow {
 	return rows
 }
 
-// RenderAblations formats ablation rows.
+// AblateRedoEngines compares REDO-LOG's single background write-back engine
+// (the modelled DHTM behaviour, which pins its parallel speedup near 1x)
+// against per-core engines on the 4-core concurrent memcached run — the
+// ROADMAP's write-back ablation. TPS is committed TPS of the parallel run;
+// Speedup is against the same serial 1-core baseline, so the engine count's
+// parallel-speedup delta reads directly off the column.
+func AblateRedoEngines(sc Scale) []AblationRow {
+	const cores = 4
+	serial := workload.Run(sc.params(workload.Memcached, ssp.RedoLog, 1))
+	sTPS := CommittedTPS(serial.Cycles, serial)
+	var rows []AblationRow
+	for _, engines := range []int{1, 2, cores} {
+		p := sc.params(workload.Memcached, ssp.RedoLog, cores)
+		p.Machine.RedoWriteBackEngines = engines
+		res := workload.RunParallel(p)
+		row := AblationRow{
+			Name:   fmt.Sprintf("wbengines=%d", engines),
+			Kind:   workload.Memcached,
+			TPS:    CommittedTPS(res.Cycles, res.Result),
+			Writes: res.Stats.TotalWriteBytes(),
+		}
+		if sTPS > 0 {
+			row.Speedup = row.TPS / sTPS
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderAblations formats ablation rows; the speedup column appears only
+// when a row carries one (the concurrency ablations).
 func RenderAblations(title string, rows []AblationRow) string {
-	out := title + "\n"
-	out += fmt.Sprintf("%-14s %-12s %12s %14s %10s\n", "Config", "Workload", "TPS", "NVRAM bytes", "Fallbacks")
+	withSpeedup := false
 	for _, r := range rows {
-		out += fmt.Sprintf("%-14s %-12s %12.0f %14d %10d\n", r.Name, r.Kind, r.TPS, r.Writes, r.Fallback)
+		if r.Speedup > 0 {
+			withSpeedup = true
+		}
+	}
+	out := title + "\n"
+	out += fmt.Sprintf("%-14s %-12s %12s %14s %10s", "Config", "Workload", "TPS", "NVRAM bytes", "Fallbacks")
+	if withSpeedup {
+		out += fmt.Sprintf(" %10s", "Speedup")
+	}
+	out += "\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%-14s %-12s %12.0f %14d %10d", r.Name, r.Kind, r.TPS, r.Writes, r.Fallback)
+		if withSpeedup {
+			out += fmt.Sprintf(" %9.2fx", r.Speedup)
+		}
+		out += "\n"
 	}
 	return out
 }

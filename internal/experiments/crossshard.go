@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+	"repro/ssp"
+)
+
+// This file is the cross-shard transaction experiment (beyond the paper):
+// it sweeps the global-transaction fraction of the MemcachedCross and
+// VacationCross mixes against the core count on a multi-shard SSP machine,
+// showing what distributed commits over multiple arenas cost the sharded
+// metadata journal. Every global commit pays prepare records in 2-4
+// participant shards plus one coordinator end record, so the per-commit
+// journal traffic — and the shard-lock coupling — grows with the cross
+// fraction; at fraction 0 the mix degenerates to the all-local PR 3
+// behaviour.
+
+// CrossPoint is one (cross-fraction, cores) cell of the sweep.
+type CrossPoint struct {
+	CrossPct int
+	Cores    int
+	Base     workload.ParallelResult // 1-core run, same fraction (all-local: one client has no peers)
+	Parallel workload.ParallelResult // cores-goroutine concurrent run
+	Speedup  float64                 // parallel committed TPS / 1-core committed TPS
+}
+
+// CrossShardSweep runs kind (MemcachedCross or VacationCross) under SSP for
+// every crossPct × cores combination, on `shards` journal shards and
+// `channels` memory channels. The 1-core baseline uses the parallel driver
+// too (the cross kinds shard state per client), so the speedup isolates
+// concurrency.
+func CrossShardSweep(sc Scale, kind workload.Kind, channels, shards int, fracs, coresList []int) []CrossPoint {
+	var points []CrossPoint
+	// One shared 1-core baseline: with a single client the mixes have no
+	// peers to span, so the cross fraction cannot change the run.
+	p := sc.params(kind, ssp.SSP, 1)
+	p.Machine.Channels = channels
+	p.Machine.JournalShards = shards
+	base := workload.RunParallel(p)
+	bTPS := CommittedTPS(base.Cycles, base.Result)
+	for _, frac := range fracs {
+		for _, cores := range coresList {
+			pp := sc.params(kind, ssp.SSP, cores)
+			pp.CrossPct = frac
+			pp.Machine.Channels = channels
+			pp.Machine.JournalShards = shards
+			par := workload.RunParallel(pp)
+			pt := CrossPoint{
+				CrossPct: frac,
+				Cores:    cores,
+				Base:     base,
+				Parallel: par,
+			}
+			if bTPS > 0 {
+				pt.Speedup = CommittedTPS(par.Cycles, par.Result) / bTPS
+			}
+			points = append(points, pt)
+		}
+	}
+	return points
+}
+
+// RenderCrossShard formats the sweep: one row per cross fraction with
+// committed TPS and speedup at every core count, then each parallel cell's
+// distributed-commit traffic (global commits, prepare records, rolled-up
+// commit-barrier wait) and journal pressure.
+func RenderCrossShard(points []CrossPoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	rowKeys, coresList, cellOf := gridAxes(points, func(pt CrossPoint) (int, int) { return pt.CrossPct, pt.Cores })
+	var b strings.Builder
+	b.WriteString(renderSweepGrid("cross%", rowKeys, coresList, func(row, cores int) (sweepCell, bool) {
+		pt, ok := cellOf(row, cores)
+		if !ok {
+			return sweepCell{}, false
+		}
+		return sweepCell{
+			Serial:  CommittedTPS(pt.Base.Cycles, pt.Base.Result),
+			TPS:     CommittedTPS(pt.Parallel.Cycles, pt.Parallel.Result),
+			Speedup: pt.Speedup,
+		}, true
+	}))
+	b.WriteString("\ndistributed-commit traffic (parallel windows):\n")
+	for _, frac := range rowKeys {
+		for _, c := range coresList {
+			pt, ok := cellOf(frac, c)
+			if !ok {
+				continue
+			}
+			st := pt.Parallel.Stats
+			globalShare := 0.0
+			if st.Commits > 0 {
+				globalShare = 100 * float64(st.GlobalCommits) / float64(st.Commits)
+			}
+			barrierPct := 0.0
+			if pt.Parallel.Cycles > 0 {
+				barrierPct = 100 * float64(st.CommitBarrierWait) / float64(uint64(pt.Parallel.Cycles)*uint64(c))
+			}
+			fmt.Fprintf(&b, "  %d%% x %dcore: %d global commits (%.1f%% of commits), %d prepare records, barrier wait %.1f%% of core-cycles\n",
+				frac, c, st.GlobalCommits, globalShare, st.PrepareRecords, barrierPct)
+			fmt.Fprintf(&b, "    journal: %s\n", JournalPressureLine(pt.Parallel.Result))
+		}
+	}
+	return b.String()
+}

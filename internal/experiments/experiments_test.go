@@ -366,6 +366,72 @@ func TestJournalSweep(t *testing.T) {
 	}
 }
 
+// TestCrossShardSweep runs the cross-shard experiment at tiny scale on both
+// mixes: global commits must appear exactly when the cross fraction is
+// non-zero and the machine has peers, each global commit must have spread
+// prepare records over at least two shards, and the cross fraction of
+// committed transactions must track the requested percentage.
+func TestCrossShardSweep(t *testing.T) {
+	sc := tinyScale()
+	for _, kind := range []workload.Kind{workload.MemcachedCross, workload.VacationCross} {
+		points := CrossShardSweep(sc, kind, 2, 4, []int{0, 25}, []int{1, 2})
+		if len(points) != 4 {
+			t.Fatalf("%s: expected 4 sweep points, got %d", kind, len(points))
+		}
+		for _, pt := range points {
+			st := pt.Parallel.Stats
+			if pt.CrossPct == 0 || pt.Cores == 1 {
+				if st.GlobalCommits != 0 {
+					t.Errorf("%s %d%% x %dcore: %d global commits, want 0",
+						kind, pt.CrossPct, pt.Cores, st.GlobalCommits)
+				}
+				continue
+			}
+			if st.GlobalCommits == 0 {
+				t.Errorf("%s %d%% x %dcore: no global commits", kind, pt.CrossPct, pt.Cores)
+				continue
+			}
+			if st.PrepareRecords < 2*st.GlobalCommits {
+				t.Errorf("%s %d%% x %dcore: %d prepare records for %d global commits (< 2 shards each)",
+					kind, pt.CrossPct, pt.Cores, st.PrepareRecords, st.GlobalCommits)
+			}
+			frac := float64(st.GlobalCommits) / float64(st.Commits)
+			if frac < 0.10 || frac > 0.45 {
+				t.Errorf("%s %d%% x %dcore: global fraction %.2f far from requested 0.25",
+					kind, pt.CrossPct, pt.Cores, frac)
+			}
+		}
+	}
+	if out := RenderCrossShard(CrossShardSweep(sc, workload.MemcachedCross, 2, 4, []int{25}, []int{2})); out == "" {
+		t.Error("RenderCrossShard returned empty output")
+	}
+}
+
+// TestAblateRedoEngines: per-core write-back engines must not slow the
+// 4-core parallel REDO run down, and the rows must carry speedups for the
+// render's delta column.
+func TestAblateRedoEngines(t *testing.T) {
+	rows := AblateRedoEngines(tinyScale())
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 {
+			t.Errorf("%s: speedup %.2f not positive", r.Name, r.Speedup)
+		}
+	}
+	// The single-engine run is the modelled DHTM floor; per-core engines
+	// must be at least as fast (cross-core timing is host-schedule
+	// dependent, so allow equality within noise).
+	if rows[len(rows)-1].TPS < 0.8*rows[0].TPS {
+		t.Errorf("per-core engines (%.0f TPS) much slower than single engine (%.0f TPS)",
+			rows[len(rows)-1].TPS, rows[0].TPS)
+	}
+	if out := RenderAblations("redo engines", rows); out == "" {
+		t.Error("RenderAblations returned empty output")
+	}
+}
+
 func TestSweepPowersOfTwo(t *testing.T) {
 	for _, tc := range []struct {
 		max  int

@@ -78,6 +78,18 @@ func RenderParallel(rows []ParallelRow) string {
 		}
 		b.WriteByte('\n')
 	}
+	b.WriteString("\nper-core commit-barrier wait (share of the core's window spent on data-flush fences):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-9s", r.Backend.String())
+		for _, cr := range r.Parallel.PerCore {
+			pct := 0.0
+			if cr.Cycles > 0 {
+				pct = 100 * float64(cr.BarrierWait) / float64(cr.Cycles)
+			}
+			fmt.Fprintf(&b, "  core%d %5.1f%%", cr.Core, pct)
+		}
+		b.WriteByte('\n')
+	}
 	for _, r := range rows {
 		if len(r.Parallel.Journal) == 0 {
 			continue

@@ -13,22 +13,58 @@ import (
 
 // RedoConfig tunes the REDO-LOG baseline.
 type RedoConfig struct {
-	// QueueLines bounds the post-commit write-back queue; a commit that
-	// finds the queue full stalls until there is room (DHTM's residual
+	// QueueLines bounds each post-commit write-back queue; a commit that
+	// finds its queue full stalls until there is room (DHTM's residual
 	// critical-path cost).
 	QueueLines int
+	// WriteBackEngines is the number of independent background write-back
+	// engines. The default 1 models DHTM's single engine per memory
+	// controller — every core's post-commit write-backs drain through one
+	// queue and one clock, which pins REDO's parallel speedup near 1x. With
+	// N engines core c drains through engine c mod N, so per-core engines
+	// remove the serialisation (the ROADMAP's ablation knob); the NVRAM
+	// banks underneath are still shared, so genuine bandwidth contention
+	// remains modelled.
+	WriteBackEngines int
 }
 
 // DefaultRedoConfig matches the tuned baseline of §5.1.
-func DefaultRedoConfig() RedoConfig { return RedoConfig{QueueLines: 64} }
+func DefaultRedoConfig() RedoConfig { return RedoConfig{QueueLines: 64, WriteBackEngines: 1} }
+
+// redoEngine is one background write-back engine: a bounded queue of
+// in-flight line write-backs and the engine's own simulated clock.
+//
+// pending holds completion times of in-flight background write-backs,
+// oldest first; mu serialises the engine. reserved counts lines that passed
+// queue admission but are not yet enqueued; a commit that would overrun
+// QueueLines counting reservations waits on cond until the reserving
+// commits enqueue, so concurrent commits cannot jointly overrun the queue
+// between admission and enqueue.
+type redoEngine struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []engine.Cycles
+	clock    engine.Cycles
+	reserved int
+}
+
+// reap removes completed write-backs from the queue head. Caller holds mu.
+func (e *redoEngine) reap(now engine.Cycles) {
+	i := 0
+	for i < len(e.pending) && e.pending[i] <= now {
+		i++
+	}
+	e.pending = e.pending[i:]
+}
 
 // Redo is the REDO-LOG baseline (DHTM-style hardware redo logging).
 //
 // Parallel mode: logs and write sets are per-core, the TID counter is
-// atomic, and the shared background write-back engine (pending queue and
-// its clock) is serialised by bgMu — the DHTM design has one such engine at
-// the memory controller, so commits contending on it is the modelled
-// behaviour, not an artefact.
+// atomic, and each background write-back engine (pending queue and clock)
+// is serialised by its own mutex. The default single engine is the DHTM
+// design — one engine at the memory controller — so commits contending on
+// it is the modelled behaviour, not an artefact; RedoConfig.WriteBackEngines
+// ablates that choice.
 type Redo struct {
 	env *txn.Env
 	cfg RedoConfig
@@ -40,17 +76,7 @@ type Redo struct {
 	tid   []uint32
 	wset  []map[memsim.PAddr]struct{} // speculative lines of the open txn
 
-	// pending holds completion times of in-flight background write-backs,
-	// oldest first; bgMu serialises the write-back engine. reserved counts
-	// lines that passed queue admission but are not yet enqueued; a commit
-	// that would overrun QueueLines counting reservations waits on bgCond
-	// until the reserving commits enqueue, so concurrent commits cannot
-	// jointly overrun the queue between admission and enqueue.
-	bgMu     sync.Mutex
-	bgCond   *sync.Cond
-	pending  []engine.Cycles
-	bgClock  engine.Cycles
-	reserved int
+	engines []*redoEngine
 }
 
 // NewRedo builds the baseline over env.
@@ -58,8 +84,15 @@ func NewRedo(env *txn.Env, cfg RedoConfig) *Redo {
 	if cfg.QueueLines <= 0 {
 		cfg = DefaultRedoConfig()
 	}
+	if cfg.WriteBackEngines <= 0 {
+		cfg.WriteBackEngines = 1
+	}
 	r := &Redo{env: env, cfg: cfg}
-	r.bgCond = sync.NewCond(&r.bgMu)
+	for i := 0; i < cfg.WriteBackEngines; i++ {
+		e := &redoEngine{}
+		e.cond = sync.NewCond(&e.mu)
+		r.engines = append(r.engines, e)
+	}
 	r.next.Store(1)
 	for c := 0; c < env.Cores(); c++ {
 		r.logs = append(r.logs, wal.NewStream(env.Mem, env.Layout.LogBase[c], env.Layout.Cfg.LogBytes, stats.CatRedoLog))
@@ -68,6 +101,11 @@ func NewRedo(env *txn.Env, cfg RedoConfig) *Redo {
 	r.inTxn = make([]bool, env.Cores())
 	r.tid = make([]uint32, env.Cores())
 	return r
+}
+
+// engineFor maps a committing core to its write-back engine.
+func (r *Redo) engineFor(core int) *redoEngine {
+	return r.engines[core%len(r.engines)]
 }
 
 // Name implements txn.Backend.
@@ -115,29 +153,30 @@ func (r *Redo) Commit(core int, at engine.Cycles) engine.Cycles {
 	}
 	t := at
 	lines := sortedSet(r.wset[core])
+	eng := r.engineFor(core)
 
-	// Queue admission: wait until the queue has room for this write set.
-	// If space reserved by concurrent commits would overrun the queue, wait
-	// (host-side) for those commits to enqueue first — their completion
-	// times then appear in pending, and the simulated-time stall below sees
-	// them, exactly as in the serial model.
-	r.bgMu.Lock()
-	r.reap(t)
-	for len(r.pending)+r.reserved+len(lines) > r.cfg.QueueLines && r.reserved > 0 {
-		r.bgCond.Wait()
-		r.reap(t)
+	// Queue admission: wait until this core's engine has room for the
+	// write set. If space reserved by concurrent commits would overrun the
+	// queue, wait (host-side) for those commits to enqueue first — their
+	// completion times then appear in pending, and the simulated-time stall
+	// below sees them, exactly as in the serial model.
+	eng.mu.Lock()
+	eng.reap(t)
+	for len(eng.pending)+eng.reserved+len(lines) > r.cfg.QueueLines && eng.reserved > 0 {
+		eng.cond.Wait()
+		eng.reap(t)
 	}
-	if len(r.pending)+len(lines) > r.cfg.QueueLines && len(r.pending) > 0 {
-		need := len(r.pending) + len(lines) - r.cfg.QueueLines
-		if need > len(r.pending) {
-			need = len(r.pending)
+	if len(eng.pending)+len(lines) > r.cfg.QueueLines && len(eng.pending) > 0 {
+		need := len(eng.pending) + len(lines) - r.cfg.QueueLines
+		if need > len(eng.pending) {
+			need = len(eng.pending)
 		}
-		t = engine.MaxCycles(t, r.pending[need-1])
-		r.reap(t)
+		t = engine.MaxCycles(t, eng.pending[need-1])
+		eng.reap(t)
 		r.env.StatsFor(core).WritebackStalls++
 	}
-	r.reserved += len(lines)
-	r.bgMu.Unlock()
+	eng.reserved += len(lines)
+	eng.mu.Unlock()
 
 	// Persist the redo log: predicted final state of each modified line.
 	log := r.logs[core]
@@ -154,17 +193,17 @@ func (r *Redo) Commit(core int, at engine.Cycles) engine.Cycles {
 	// Background: write the data back in place, overlapping subsequent
 	// execution. Functionally the lines become durable now (write order is
 	// preserved); only the core's clock ignores the latency.
-	r.bgMu.Lock()
-	r.reserved -= len(lines)
-	bg := engine.MaxCycles(t, r.bgClock)
+	eng.mu.Lock()
+	eng.reserved -= len(lines)
+	bg := engine.MaxCycles(t, eng.clock)
 	for _, la := range lines {
 		done, _ := r.env.Caches.Flush(core, la, bg, stats.CatData)
 		bg = done
-		r.pending = append(r.pending, done)
+		eng.pending = append(eng.pending, done)
 	}
-	r.bgClock = bg
-	r.bgCond.Broadcast()
-	r.bgMu.Unlock()
+	eng.clock = bg
+	eng.cond.Broadcast()
+	eng.mu.Unlock()
 
 	// The log can be reused: write-backs are durably ordered after the log
 	// records, so any crash either replays this transaction from the log
@@ -174,15 +213,6 @@ func (r *Redo) Commit(core int, at engine.Cycles) engine.Cycles {
 	r.inTxn[core] = false
 	r.env.StatsFor(core).Commits++
 	return t + r.env.BarrierCycles
-}
-
-// reap removes completed write-backs from the queue head.
-func (r *Redo) reap(now engine.Cycles) {
-	i := 0
-	for i < len(r.pending) && r.pending[i] <= now {
-		i++
-	}
-	r.pending = r.pending[i:]
 }
 
 // Abort implements txn.Backend: speculative lines exist only in the cache,
@@ -214,8 +244,11 @@ func (r *Redo) Crash() {
 		r.inTxn[c] = false
 		r.logs[c].Reset()
 	}
-	r.pending = nil
-	r.bgClock = 0
+	for _, e := range r.engines {
+		e.pending = nil
+		e.clock = 0
+		e.reserved = 0
+	}
 }
 
 // Recover implements txn.Backend: replay the log of every transaction whose
@@ -256,11 +289,14 @@ func (r *Redo) Recover() error {
 	return nil
 }
 
-// Drain implements txn.Backend: wait for the write-back queue to empty.
+// Drain implements txn.Backend: wait for every write-back queue to empty.
 func (r *Redo) Drain(at engine.Cycles) engine.Cycles {
-	r.bgMu.Lock()
-	defer r.bgMu.Unlock()
-	t := engine.MaxCycles(at, r.bgClock)
-	r.pending = nil
+	t := at
+	for _, e := range r.engines {
+		e.mu.Lock()
+		t = engine.MaxCycles(t, e.clock)
+		e.pending = nil
+		e.mu.Unlock()
+	}
 	return t
 }

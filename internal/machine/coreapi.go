@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/memsim"
+	"repro/internal/txn"
 )
 
 // Core is a simulated core's programming interface: the ISA extension of
@@ -48,16 +49,36 @@ func (c *Core) op() {
 	c.m.clocks[c.id] += c.m.cfg.OpCycles
 }
 
-// Begin opens a failure-atomic section.
-func (c *Core) Begin() {
+// begin is the shared section-opening bookkeeping; start is the backend's
+// Begin or BeginGlobal.
+func (c *Core) begin(start func(core int, at engine.Cycles) engine.Cycles) {
 	if c.inTxn {
 		panic("machine: nested Begin")
 	}
 	c.op()
-	c.m.clocks[c.id] = c.m.backend.Begin(c.id, c.m.clocks[c.id])
+	c.m.clocks[c.id] = start(c.id, c.m.clocks[c.id])
 	c.inTxn = true
 	c.wsLines = make(map[uint64]struct{})
 	c.wsPages = make(map[uint64]struct{})
+}
+
+// Begin opens a failure-atomic section.
+func (c *Core) Begin() { c.begin(c.m.backend.Begin) }
+
+// BeginGlobal opens a failure-atomic section that may write pages owned by
+// multiple arenas/journal shards — a cross-shard "global" transaction.
+// Commit then guarantees all-or-nothing durability across every shard the
+// section touched (SSP appends two-phase prepare/end records; see
+// internal/core). On backends without a distributed-commit protocol, or
+// when the machine runs a single metadata shard, it behaves exactly like
+// Begin. Isolation remains the program's job: acquire every involved
+// structure's Lock (in a consistent order) around the section.
+func (c *Core) BeginGlobal() {
+	if gb, ok := c.m.backend.(txn.GlobalBackend); ok {
+		c.begin(gb.BeginGlobal)
+		return
+	}
+	c.begin(c.m.backend.Begin)
 }
 
 // Commit closes the section; on return its writes are durable.

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/core"
@@ -288,6 +289,112 @@ func recycle(m *Machine) error {
 	m.Mem().PowerOn()
 	m.Mem().ResetTiming()
 	return m.Recover()
+}
+
+// TestParallelCrossShardCommits stresses concurrent global and local
+// commits under -race: 4 goroutine-backed cores over 4 journal shards share
+// a pool of pages, each guarded by a Lock. Roughly a quarter of every
+// core's transactions are global — BeginGlobal sections writing 2-3 shared
+// pages whose locks are acquired in ascending page order (the same total
+// order everywhere, so no deadlock) — and the rest are single-page locals.
+// Expected values are recorded in per-page maps mutated only while holding
+// that page's lock, so the final durable state is well-defined despite the
+// racy schedule. The test then checks the two-phase counters moved, the
+// frame invariant holds, and the multi-shard image still crash-recovers to
+// exactly the expected values.
+func TestParallelCrossShardCommits(t *testing.T) {
+	txns := 250
+	if testing.Short() {
+		txns = 60
+	}
+	const sharedPages = 8
+	cfg := testConfig(SSP, stressCores)
+	cfg.Layout.JournalShards = stressCores
+	m := New(cfg)
+	m.Heap().EnsureMapped(1, sharedPages)
+
+	locks := make([]*Lock, sharedPages+1) // 1-indexed by page
+	expect := make([]map[uint64]uint64, sharedPages+1)
+	for p := 1; p <= sharedPages; p++ {
+		locks[p] = m.NewLock()
+		expect[p] = map[uint64]uint64{}
+	}
+
+	m.Run(func(c *Core) {
+		rng := engine.NewRNG(0x6C0B + uint64(c.ID())*0x9E3779B97F4A7C15)
+		for i := 0; i < txns; i++ {
+			val := uint64(c.ID()+1)<<32 | uint64(i+1)
+			if rng.Intn(4) == 0 {
+				// Global: 2-3 distinct shared pages, ascending lock order.
+				n := 2 + rng.Intn(2)
+				seen := map[int]bool{}
+				var pages []int
+				for len(pages) < n {
+					p := 1 + rng.Intn(sharedPages)
+					if !seen[p] {
+						seen[p] = true
+						pages = append(pages, p)
+					}
+				}
+				sort.Ints(pages)
+				for _, p := range pages {
+					c.Acquire(locks[p])
+				}
+				c.BeginGlobal()
+				for _, p := range pages {
+					line := rng.Intn(64)
+					va := heapVA(p, line*64)
+					c.Store64(va, val)
+					expect[p][va] = val
+				}
+				c.Commit()
+				for j := len(pages) - 1; j >= 0; j-- {
+					c.Release(locks[pages[j]])
+				}
+				continue
+			}
+			// Local: one page under its lock.
+			p := 1 + rng.Intn(sharedPages)
+			c.Acquire(locks[p])
+			c.Begin()
+			line := rng.Intn(64)
+			va := heapVA(p, line*64)
+			c.Store64(va, val)
+			expect[p][va] = val
+			c.Commit()
+			c.Release(locks[p])
+		}
+	})
+	m.Drain()
+
+	st := *m.Stats()
+	if st.GlobalCommits == 0 {
+		t.Fatal("no global commits took the two-phase path")
+	}
+	if st.PrepareRecords < 2*st.GlobalCommits {
+		t.Errorf("prepare records %d < 2x global commits %d", st.PrepareRecords, st.GlobalCommits)
+	}
+	if s, ok := m.Backend().(*core.SSP); ok {
+		if msg := s.DebugCheckFrames(); msg != "" {
+			t.Fatalf("SSP frame invariant violated: %s", msg)
+		}
+	}
+	verify := func(stage string) {
+		c0 := m.Core(0)
+		for p := 1; p <= sharedPages; p++ {
+			for va, want := range expect[p] {
+				if got := c0.Load64(va); got != want {
+					t.Errorf("%s: %#x = %#x, want %#x", stage, va, got, want)
+				}
+			}
+		}
+	}
+	verify("post-run")
+
+	if err := recycle(m); err != nil {
+		t.Fatalf("post-parallel cross-shard recovery: %v", err)
+	}
+	verify("post-recovery")
 }
 
 // TestParallelHeapArenas exercises concurrent allocation: each core

@@ -142,10 +142,26 @@ type Stats struct {
 	JournalRecords    uint64
 	FallbackTxns      uint64 // transactions diverted to the software path
 
+	// CommitBarrierWait is the cycles commits spent blocked on their
+	// data-flush fence (stage 2 of the SSP commit pipeline): the wait
+	// between issuing the write-set clwbs and the slowest one landing.
+	// Charged to the committing core's shard, so per-core reporting shows
+	// which cores lose their window to flush overlap — the residual
+	// multi-core gap the ROADMAP attributes to "data-flush overlap and
+	// commit barriers".
+	CommitBarrierWait uint64
+
 	// Per-shard SSP metadata-journal counters (journal sharding). Indexed by
 	// shard; shards beyond LayoutConfig.JournalShards stay zero.
 	JournalShardRecords     [MaxJournalShards]uint64 // records appended per shard
 	JournalShardCheckpoints [MaxJournalShards]uint64 // checkpoints drained per shard
+
+	// Cross-shard (global) transaction counters: two-phase commits executed
+	// and prepare records appended to participant shards. A global
+	// transaction that resolves to a single shard commits on the fast path
+	// and counts in neither.
+	GlobalCommits  uint64
+	PrepareRecords uint64
 
 	// Logging mechanism counters.
 	UndoRecords     uint64
@@ -265,10 +281,13 @@ func (s *Stats) Add(o *Stats) {
 	s.Checkpoints += o.Checkpoints
 	s.JournalRecords += o.JournalRecords
 	s.FallbackTxns += o.FallbackTxns
+	s.CommitBarrierWait += o.CommitBarrierWait
 	for i := range s.JournalShardRecords {
 		s.JournalShardRecords[i] += o.JournalShardRecords[i]
 		s.JournalShardCheckpoints[i] += o.JournalShardCheckpoints[i]
 	}
+	s.GlobalCommits += o.GlobalCommits
+	s.PrepareRecords += o.PrepareRecords
 	s.UndoRecords += o.UndoRecords
 	s.RedoRecords += o.RedoRecords
 	s.WritebackStalls += o.WritebackStalls
@@ -319,6 +338,12 @@ func (s *Stats) Summary() string {
 	}
 	if s.NVRAMBankBusy[CatMetaJournal] > 0 {
 		fmt.Fprintf(&b, "journal bank busy cycles: %d\n", s.NVRAMBankBusy[CatMetaJournal])
+	}
+	if s.GlobalCommits > 0 {
+		fmt.Fprintf(&b, "cross-shard commits: %d (%d prepare records)\n", s.GlobalCommits, s.PrepareRecords)
+	}
+	if s.CommitBarrierWait > 0 {
+		fmt.Fprintf(&b, "commit-barrier wait cycles: %d\n", s.CommitBarrierWait)
 	}
 	fmt.Fprintf(&b, "undo/redo records: %d/%d, writeback stalls: %d\n", s.UndoRecords, s.RedoRecords, s.WritebackStalls)
 	fmt.Fprintf(&b, "commits: %d, aborts: %d, fallback txns: %d\n", s.Commits, s.Aborts, s.FallbackTxns)

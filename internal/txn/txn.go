@@ -125,6 +125,20 @@ type Backend interface {
 	Drain(at engine.Cycles) engine.Cycles
 }
 
+// GlobalBackend is implemented by backends with a distributed-commit
+// protocol for cross-shard (multi-arena) transactions. BeginGlobal opens a
+// failure-atomic section exactly like Begin, but marks it as one whose
+// write set may span structures owned by multiple metadata shards; the
+// backend's Commit then guarantees all-or-nothing atomicity across every
+// shard the section touched (for SSP: two-phase prepare/end records over
+// the participant journal shards). Drivers fall back to plain Begin on
+// backends without the interface — the logging designs are per-core-log
+// atomic for any write set, so the distinction only exists where commit
+// metadata is sharded.
+type GlobalBackend interface {
+	BeginGlobal(core int, at engine.Cycles) engine.Cycles
+}
+
 // ParallelAware is implemented by backends that support concurrent
 // goroutine-per-core execution (machine.Machine.Run). SetParallel(true) is
 // called before the core goroutines start, SetParallel(false) after they

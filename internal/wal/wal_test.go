@@ -241,6 +241,53 @@ func TestMergeWithInterleavedTornTails(t *testing.T) {
 	}
 }
 
+// TestMergeTornPrepareKeepsOtherShards is the cross-shard recovery hazard
+// of the distributed-commit protocol at the wal layer: shard 0 ends in a
+// torn prepare batch of a global transaction (TID 5) while shard 1 holds a
+// complete, unrelated single-shard batch with a HIGHER TID (6). Per-shard
+// scans are independent — the tear truncates only shard 0's stream — so the
+// merge must still deliver shard 1's batch intact, in TID order. (Whether
+// the surviving prepare records of TID 5 apply is decided above wal, by the
+// coordinator-end filter in internal/core.)
+func TestMergeTornPrepareKeepsOtherShards(t *testing.T) {
+	const kindPrepare, kindUpdateEnd = 6, 5
+	streams, bases, mem := multiStream(t, 2)
+	// Shard 0: a durable local batch (TID 2), then a global's prepare batch
+	// (TID 5) whose second record tears.
+	streams[0].Append(Record{TID: 2, Kind: kindUpdateEnd, Payload: []byte("local-a")}, 0)
+	streams[0].Append(Record{TID: 5, Kind: kindPrepare, Payload: []byte("prep-0")}, 0)
+	streams[0].Flush(0)
+	mark := streams[0].Used()
+	streams[0].Append(Record{TID: 5, Kind: kindPrepare, Payload: []byte("prep-1")}, 0)
+	streams[0].Flush(0)
+	mem.Poke(bases[0]+memsim.PAddr(mark)+4, []byte{0xFF, 0xFF}) // corrupt TID field
+
+	// Shard 1: an unrelated complete single-shard batch with a higher TID.
+	streams[1].Append(Record{TID: 6, Kind: kindUpdateEnd, Payload: []byte("local-b")}, 0)
+	streams[1].Flush(0)
+
+	shards := ScanShards(mem, bases, 8<<10)
+	if n := len(shards[0]); n != 2 {
+		t.Fatalf("shard 0 scanned %d records, want 2 (tear truncates only its own tail)", n)
+	}
+	if n := len(shards[1]); n != 1 {
+		t.Fatalf("shard 1 scanned %d records, want 1", n)
+	}
+	merged := Merge(shards)
+	want := []uint32{2, 5, 6}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d records, want %d", len(merged), len(want))
+	}
+	for i, r := range merged {
+		if r.TID != want[i] {
+			t.Errorf("merged[%d].TID = %d, want %d", i, r.TID, want[i])
+		}
+	}
+	if got := merged[2]; got.Kind != kindUpdateEnd || string(got.Payload) != "local-b" {
+		t.Errorf("higher-TID single-shard batch corrupted by the torn prepare: %+v", got)
+	}
+}
+
 func TestSetTIDFloorAcrossShards(t *testing.T) {
 	streams, bases, mem := multiStream(t, 2)
 	// Generation 1: shard 0 carries TIDs 1..4, shard 1 carries 5..8.

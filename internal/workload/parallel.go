@@ -24,6 +24,10 @@ type CoreResult struct {
 	Commits uint64     // committed durable transactions (from its stats shard)
 	Cycles  ssp.Cycles // the core's own simulated elapsed time
 	TPS     float64    // this core's committed transactions per simulated second
+
+	// BarrierWait is the core's commit-barrier wait: cycles its commits
+	// spent blocked on their data-flush fences (Stats.CommitBarrierWait).
+	BarrierWait uint64
 }
 
 // ParallelResult is a parallel run's measurements: the aggregate in Result
@@ -90,10 +94,11 @@ func RunParallel(p Params) ParallelResult {
 	for i := 0; i < p.Clients; i++ {
 		coreElapsed := m.Core(i).Now() - start
 		cr := CoreResult{
-			Core:    i,
-			Txns:    uint64(share[i]),
-			Commits: m.CoreStats(i).Commits,
-			Cycles:  coreElapsed,
+			Core:        i,
+			Txns:        uint64(share[i]),
+			Commits:     m.CoreStats(i).Commits,
+			Cycles:      coreElapsed,
+			BarrierWait: m.CoreStats(i).CommitBarrierWait,
 		}
 		if coreElapsed > 0 {
 			cr.TPS = float64(cr.Commits) / m.Seconds(coreElapsed)
@@ -119,6 +124,10 @@ func buildParallelClients(m *ssp.Machine, p Params) []*client {
 		return buildMemcachedParallel(m, p)
 	case Vacation:
 		return buildVacationParallel(m, p)
+	case MemcachedCross:
+		return buildMemcachedCross(m, p)
+	case VacationCross:
+		return buildVacationCross(m, p)
 	default:
 		panic("workload: kind not supported by the parallel driver")
 	}

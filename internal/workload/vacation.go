@@ -161,6 +161,14 @@ func vacDeleteCustomer(c *ssp.Core, st *vacationState, rng *engine.RNG) {
 // administrative mix component).
 func vacUpdateTables(c *ssp.Core, st *vacationState, rng *engine.RNG) {
 	c.Begin()
+	vacUpdateTablesBody(c, st, rng)
+	c.Commit()
+}
+
+// vacUpdateTablesBody is the update-tables write set without the section
+// brackets, so the cross-shard mix can apply it to several partitions
+// inside one global transaction (see crossmix.go).
+func vacUpdateTablesBody(c *ssp.Core, st *vacationState, rng *engine.RNG) {
 	n := 1 + rng.Intn(4)
 	for i := 0; i < n; i++ {
 		tbl := rng.Intn(vacResourceTables)
@@ -177,5 +185,4 @@ func vacUpdateTables(c *ssp.Core, st *vacationState, rng *engine.RNG) {
 		}
 		st.resources[tbl].Insert(c, id, packResource(free, price))
 	}
-	c.Commit()
 }

@@ -19,7 +19,12 @@ import (
 // Kind identifies one workload.
 type Kind int
 
-// The paper's workloads.
+// The paper's workloads, plus the cross-shard transaction mixes (beyond the
+// paper): MemcachedCross and VacationCross are the sharded memcached and
+// partitioned vacation deployments in which CrossPct percent of the
+// transactions are global — each touches 2-4 cores' shards/arenas under a
+// single BeginGlobal section, exercising the distributed commit protocol.
+// The cross kinds run on the parallel driver only.
 const (
 	BTreeRand Kind = iota
 	RBTreeRand
@@ -30,6 +35,8 @@ const (
 	HashZipf
 	Memcached
 	Vacation
+	MemcachedCross
+	VacationCross
 )
 
 // String returns the paper's workload name.
@@ -53,6 +60,10 @@ func (k Kind) String() string {
 		return "Memcached"
 	case Vacation:
 		return "Vacation"
+	case MemcachedCross:
+		return "Memcached-Cross"
+	case VacationCross:
+		return "Vacation-Cross"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -83,6 +94,11 @@ type Params struct {
 	Items      int // memcached capacity
 	ValueBytes int // memcached value size
 	Tuples     int // vacation rows per table
+
+	// CrossPct is the percentage of transactions that are cross-shard
+	// globals in the MemcachedCross/VacationCross mixes (0 = all-local;
+	// ignored by the other kinds and with a single client).
+	CrossPct int
 
 	Machine ssp.Config // base machine config; Backend/Cores overridden
 }
@@ -219,6 +235,8 @@ func buildClients(m *ssp.Machine, p Params) []*client {
 		return buildMemcached(m, p)
 	case Vacation:
 		return buildVacation(m, p)
+	case MemcachedCross, VacationCross:
+		panic("workload: cross-shard mixes require the parallel driver (RunParallel)")
 	default:
 		panic("workload: unknown kind")
 	}

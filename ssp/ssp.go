@@ -46,6 +46,16 @@
 // Allocation in concurrent code goes through per-core Arenas (Machine.
 // NewArena) rather than the shared Heap, so no two cores ever issue
 // transactional stores to the same allocator metadata line.
+//
+// # Cross-shard transactions
+//
+// Core.BeginGlobal opens a section that may write pages owned by multiple
+// arenas/journal shards (Config.JournalShards). SSP commits it with a
+// two-phase protocol over the participant shards — prepare records in each,
+// one coordinator end record — and recovery makes it all-or-nothing across
+// every shard. Acquire the Lock of every structure such a section touches,
+// in one consistent order, before BeginGlobal. On the logging backends, or
+// with a single journal shard, BeginGlobal behaves exactly like Begin.
 package ssp
 
 import (
@@ -178,8 +188,13 @@ type Config struct {
 	// shootdowns (§4.3's simpler-hardware alternative).
 	FlipViaShootdown bool
 
-	// REDO-LOG knob.
-	RedoQueueLines int // post-commit write-back queue bound
+	// REDO-LOG knobs.
+	RedoQueueLines int // post-commit write-back queue bound (per engine)
+	// RedoWriteBackEngines is the number of background write-back engines
+	// (default 1 = DHTM's single engine per memory controller, which pins
+	// REDO-LOG's parallel speedup near 1x; per-core engines ablate that
+	// serialisation — `sspbench -exp ablate`).
+	RedoWriteBackEngines int
 
 	// ConsolEpochCommits is the concurrent-mode consolidation epoch length:
 	// during Machine.Run, SSP batches page consolidation and drains the
@@ -265,6 +280,9 @@ func (c Config) apply() machine.Config {
 	mc.SSP.FlipViaShootdown = c.FlipViaShootdown
 	if c.RedoQueueLines > 0 {
 		mc.Redo.QueueLines = c.RedoQueueLines
+	}
+	if c.RedoWriteBackEngines > 0 {
+		mc.Redo.WriteBackEngines = c.RedoWriteBackEngines
 	}
 	if c.ConsolEpochCommits > 0 {
 		mc.SSP.EpochCommits = c.ConsolEpochCommits

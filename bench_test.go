@@ -184,6 +184,91 @@ func BenchmarkParallelSmoke(b *testing.B) {
 		if sTPS > 0 {
 			b.ReportMetric(pTPS/sTPS, "SSP_speedup")
 		}
+		// Tracked (not gated): the 4-core data-flush fence cost the
+		// commit-path knobs attack — see BenchmarkCommitPath.
+		b.ReportMetric(float64(par.Stats.CommitBarrierWait), "SSP_barrierwait_cycles")
+	}
+}
+
+// BenchmarkCrossShardSmoke is the distributed-commit companion of the
+// parallel smoke, gated in CI via cmd/benchjson: the 2-core memcached
+// cross-shard mix at a 50% global fraction over 4 journal shards — the
+// configuration where PR 4 measured parallel speedup collapsing to 0.55x.
+// The batched prepare fan-out (concurrent participant-shard flushes
+// overlapping the data fence) is what moves it.
+func BenchmarkCrossShardSmoke(b *testing.B) {
+	params := func(clients int) workload.Params {
+		p := workload.Params{
+			Kind:    workload.MemcachedCross,
+			Backend: ssp.SSP,
+			Clients: clients,
+			Ops:     4000,
+			Items:   4096,
+			Seed:    0xE0,
+		}
+		p.CrossPct = 50
+		p.Machine.Channels = 4
+		p.Machine.JournalShards = 4
+		return p
+	}
+	for i := 0; i < b.N; i++ {
+		base := workload.RunParallel(params(1))
+		par := workload.RunParallel(params(2))
+		bTPS := experiments.CommittedTPS(base.Cycles, base.Result)
+		pTPS := experiments.CommittedTPS(par.Cycles, par.Result)
+		b.ReportMetric(pTPS, "SSPCross_cTPS")
+		if bTPS > 0 {
+			b.ReportMetric(pTPS/bTPS, "SSPCross_speedup_50pct")
+		}
+		b.ReportMetric(float64(par.Stats.CommitBarrierWait), "SSPCross_barrierwait_cycles")
+	}
+}
+
+// BenchmarkCommitPath records the commit-path batching trajectory for
+// BENCH_5.json: the paper model versus both knobs on (eager write-behind
+// flushing + a 4096-cycle group-commit window) on the two 4-core
+// single-shard mixes. Reported rather than gated — the group rendezvous
+// depends on host scheduling, so the knobs-on numbers carry run-to-run
+// variance that a hard gate would turn into flakes.
+func BenchmarkCommitPath(b *testing.B) {
+	params := func(kind workload.Kind, eager bool, window int) workload.Params {
+		p := workload.Params{
+			Kind:    kind,
+			Backend: ssp.SSP,
+			Clients: 4,
+			Ops:     4000,
+			Items:   4096,
+			Tuples:  4096,
+			Seed:    0xE0,
+		}
+		p.Machine.Channels = 4
+		p.Machine.JournalShards = 1
+		if kind == workload.MemcachedCross {
+			// The distributed mix needs per-core shards to have cross-shard
+			// commits at all; the knobs then attack the fence and fan-out.
+			p.Machine.JournalShards = 4
+			p.CrossPct = 50
+		}
+		p.Machine.EagerFlush = eager
+		p.Machine.GroupCommitWindow = window
+		return p
+	}
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []workload.Kind{workload.Memcached, workload.Vacation, workload.MemcachedCross} {
+			name := kind.String()
+			base := workload.RunParallel(params(kind, false, 0))
+			knobs := workload.RunParallel(params(kind, true, 4096))
+			b.ReportMetric(experiments.CommittedTPS(base.Cycles, base.Result), name+"_base_cTPS")
+			b.ReportMetric(experiments.CommittedTPS(knobs.Cycles, knobs.Result), name+"_knobs_cTPS")
+			b.ReportMetric(float64(base.Stats.CommitBarrierWait), name+"_base_barrierwait_cycles")
+			b.ReportMetric(float64(knobs.Stats.CommitBarrierWait), name+"_knobs_barrierwait_cycles")
+			b.ReportMetric(100*experiments.BarrierWaitShare(base, 4), name+"_base_barrier_pct")
+			b.ReportMetric(100*experiments.BarrierWaitShare(knobs, 4), name+"_knobs_barrier_pct")
+			if knobs.Stats.GroupCommitBatches > 0 {
+				b.ReportMetric(float64(knobs.Stats.GroupCommitBatches+knobs.Stats.GroupCommitFollowers)/float64(knobs.Stats.GroupCommitBatches),
+					name+"_group_occupancy")
+			}
+		}
 	}
 }
 

@@ -1,58 +1,27 @@
 // Command sspbench regenerates the paper's tables and figures on the
-// simulated machine. Each experiment prints the same rows/series the paper
-// reports (normalised throughput, write traffic, breakdowns, sweeps).
+// simulated machine, plus the beyond-the-paper scaling experiments (the
+// concurrent engine, multi-channel memory, journal sharding, cross-shard
+// transactions and the commit-path batching knobs). Each experiment prints
+// the same rows/series the paper reports (normalised throughput, write
+// traffic, breakdowns, sweeps).
 //
 // Usage:
 //
 //	sspbench -exp all                 # everything, small scale
 //	sspbench -exp fig5a -scale full   # one experiment at full scale
-//	sspbench -list
+//	sspbench -list                    # experiment ids + one-line summaries
 //
-// Experiments: table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5
-// ablate recovery parallel channels all. See DESIGN.md §3 for the
-// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
-// results.
-//
-// The parallel experiment exercises the concurrent execution engine: each
-// simulated core runs on its own host goroutine (ssp.Machine.Run) over
-// per-core-sharded workload state, and the report compares aggregate
-// committed transactions per simulated second against the 1-core serial
-// run (plus per-core throughput and host wall-clock):
-//
-//	sspbench -exp parallel -cores 4
-//
-// The channels experiment sweeps the multi-channel interleaved memory model
-// (memory channels × cores) on the SSP backend, reporting committed TPS,
-// speedup over the 1-core serial run at the same channel count, and
-// per-channel bus utilization — the point where parallel scaling stops
-// being bandwidth-bound:
-//
-//	sspbench -exp channels -cores 4 -channels 8
-//
-// The journal experiment sweeps the SSP metadata journal's shard count
-// (ssp.Config.JournalShards) against the core count, reporting committed
-// TPS, speedup over the same-shard serial run, per-shard journal pressure
-// (records, ring fill, checkpoints) and the fraction of the window the
-// NVRAM banks spent absorbing journal records:
-//
-//	sspbench -exp journal -cores 4 -shards 4
-//
-// The crossshard experiment sweeps the cross-shard (global) transaction
-// fraction of the sharded memcached and partitioned vacation mixes against
-// the core count, on a multi-shard SSP machine: each global transaction
-// writes 2-4 cores' arenas under one BeginGlobal section and commits via
-// the two-phase prepare/end protocol over the participant journal shards.
-// The report shows committed TPS, speedup over the 1-core run, global
-// commit and prepare-record counts, commit-barrier wait and journal
-// pressure:
-//
-//	sspbench -exp crossshard -cores 4 -shards 4
+// The experiment ids, the usage text and the `all` ordering all come from
+// one table below, so they cannot drift apart; run -list for the live
+// index. See DESIGN.md §3 for details and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -60,19 +29,152 @@ import (
 	"repro/ssp"
 )
 
+// benchFlags carries the sweep-shaping flags into the experiment runners.
+type benchFlags struct {
+	cores    int
+	channels int
+	shards   int
+	window   int
+}
+
+// experiment is one -exp entry: the id, the one-line summary printed by
+// -list and the usage text, and the runner. The table is the single source
+// of truth for the id list, so new experiments cannot drift out of the
+// usage text or the `all` ordering.
+type experiment struct {
+	id      string
+	summary string
+	run     func(sc experiments.Scale, fl benchFlags)
+}
+
+var experimentTable = []experiment{
+	{"table3", "workload write-set characterisation", func(sc experiments.Scale, fl benchFlags) {
+		section("Table 3 — workload write-set characterisation")
+		fmt.Println(experiments.RenderTable3(experiments.Table3(sc)))
+	}},
+	{"fig5a", "microbenchmark TPS, 1 thread (normalised to UNDO-LOG)", func(sc experiments.Scale, fl benchFlags) {
+		section("Figure 5a — microbenchmark TPS, 1 thread (normalised to UNDO-LOG)")
+		fmt.Println(experiments.RenderFig5(experiments.Fig5(sc, 1), 1))
+	}},
+	{"fig5b", "microbenchmark TPS, 4 threads (normalised to UNDO-LOG)", func(sc experiments.Scale, fl benchFlags) {
+		section("Figure 5b — microbenchmark TPS, 4 threads (normalised to UNDO-LOG)")
+		fmt.Println(experiments.RenderFig5(experiments.Fig5(sc, 4), 4))
+	}},
+	{"fig6", "logging writes (normalised to UNDO-LOG)", func(sc experiments.Scale, fl benchFlags) {
+		section("Figure 6 — logging writes (normalised to UNDO-LOG, lower is better)")
+		fmt.Println(experiments.RenderFig6(experiments.Fig6(sc, 1)))
+	}},
+	{"fig7a", "total NVRAM writes (normalised to UNDO-LOG)", func(sc experiments.Scale, fl benchFlags) {
+		section("Figure 7a — NVRAM writes (normalised to UNDO-LOG, lower is better)")
+		fmt.Println(experiments.RenderFig7a(experiments.Fig7(sc, 1)))
+	}},
+	{"fig7b", "breakdown of SSP's NVRAM writes", func(sc experiments.Scale, fl benchFlags) {
+		section("Figure 7b — breakdown of NVRAM writes for SSP")
+		fmt.Println(experiments.RenderFig7b(experiments.Fig7(sc, 1)))
+	}},
+	{"fig8", "sensitivity to NVRAM latency", func(sc experiments.Scale, fl benchFlags) {
+		section("Figure 8 — sensitivity to NVRAM latency")
+		fmt.Println(experiments.RenderFig8(experiments.Fig8(sc)))
+	}},
+	{"fig9", "sensitivity to SSP cache latency", func(sc experiments.Scale, fl benchFlags) {
+		section("Figure 9 — sensitivity to SSP cache latency")
+		fmt.Println(experiments.RenderFig9(experiments.Fig9(sc)))
+	}},
+	{"table4", "real-workload performance improvement", func(sc experiments.Scale, fl benchFlags) {
+		section("Table 4 — real-workload performance improvement")
+		fmt.Println(experiments.RenderTable4(experiments.Table45(sc)))
+	}},
+	{"table5", "real-workload write-traffic saving", func(sc experiments.Scale, fl benchFlags) {
+		section("Table 5 — real-workload write-traffic saving")
+		fmt.Println(experiments.RenderTable5(experiments.Table45(sc)))
+	}},
+	{"ablate", "design-choice knob ablations", func(sc experiments.Scale, fl benchFlags) {
+		section("Ablations — design-choice knobs (beyond the paper)")
+		fmt.Println(experiments.RenderAblations("sub-page granularity (§4.3)", experiments.AblateSubPage(sc)))
+		fmt.Println(experiments.RenderAblations("write-set buffer capacity (§4.2)", experiments.AblateWSB(sc)))
+		fmt.Println(experiments.RenderAblations("REDO write-back queue bound", experiments.AblateRedoQueue(sc)))
+		fmt.Println(experiments.RenderAblations("SSP-cache L3 residency", experiments.AblateSSPCacheResidency(sc)))
+		fmt.Println(experiments.RenderAblations("consolidation policy (§3.4 eager vs lazy)", experiments.AblateConsolidationPolicy(sc)))
+		fmt.Println(experiments.RenderAblations("flip mechanism (§4.1.1 broadcast vs §4.3 shootdown)", experiments.AblateFlipMechanism(sc)))
+		fmt.Println(experiments.RenderAblations("REDO write-back engines (DHTM single vs per-core, 4-core parallel)", experiments.AblateRedoEngines(sc)))
+	}},
+	{"recovery", "recovery effort vs journal capacity", func(sc experiments.Scale, fl benchFlags) {
+		section("Recovery effort vs journal capacity (§4.1.2 checkpointing)")
+		fmt.Println(experiments.RenderRecovery(experiments.RecoveryEffort(sc)))
+	}},
+	{"parallel", "concurrent engine vs 1-core serial", func(sc experiments.Scale, fl benchFlags) {
+		section(fmt.Sprintf("Concurrent engine — %d goroutine-backed cores vs 1-core serial", fl.cores))
+		fmt.Println(experiments.RenderParallel(experiments.ParallelScaling(sc, workload.Memcached, fl.cores)))
+		fmt.Println(experiments.RenderParallel(experiments.ParallelScaling(sc, workload.Vacation, fl.cores)))
+	}},
+	{"channels", "multi-channel memory sweep (channels x cores)", func(sc experiments.Scale, fl benchFlags) {
+		chList := experiments.SweepPowersOfTwo(fl.channels)
+		coreList := experiments.SweepPowersOfTwo(fl.cores)
+		for _, k := range []workload.Kind{workload.Memcached, workload.Vacation} {
+			section(fmt.Sprintf("Multi-channel memory — SSP committed TPS on %s, %v channels x %v cores", k, chList, coreList))
+			fmt.Println(experiments.RenderChannels(experiments.ChannelSweep(sc, k, ssp.SSP, chList, coreList)))
+		}
+	}},
+	{"journal", "metadata-journal sharding sweep (shards x cores)", func(sc experiments.Scale, fl benchFlags) {
+		shList := experiments.SweepPowersOfTwo(fl.shards)
+		coreList := experiments.SweepPowersOfTwo(fl.cores)
+		for _, k := range []workload.Kind{workload.Memcached, workload.Vacation} {
+			section(fmt.Sprintf("Journal sharding — SSP committed TPS on %s, %v shards x %v cores (%d channels)", k, shList, coreList, fl.channels))
+			fmt.Println(experiments.RenderJournal(experiments.JournalSweep(sc, k, fl.channels, shList, coreList)))
+		}
+	}},
+	{"crossshard", "cross-shard transaction fraction sweep", func(sc experiments.Scale, fl benchFlags) {
+		fracs := []int{0, 10, 25, 50}
+		coreList := experiments.SweepPowersOfTwo(fl.cores)
+		for _, k := range []workload.Kind{workload.MemcachedCross, workload.VacationCross} {
+			section(fmt.Sprintf("Cross-shard transactions — SSP committed TPS on %s, %v%% global x %v cores (%d shards, %d channels)",
+				k, fracs, coreList, fl.shards, fl.channels))
+			fmt.Println(experiments.RenderCrossShard(experiments.CrossShardSweep(sc, k, fl.channels, fl.shards, fracs, coreList)))
+		}
+	}},
+	{"commitpath", "eager-flush x group-commit knob sweep", func(sc experiments.Scale, fl benchFlags) {
+		coreList := experiments.SweepPowersOfTwo(fl.cores)
+		for _, mix := range experiments.CommitPathMixes() {
+			section(fmt.Sprintf("Commit-path batching — SSP on %s (%d shards, %d channels, cross %d%%), window %d cycles x %v cores",
+				mix.Kind, mix.Shards, mix.Channels, mix.CrossPct, fl.window, coreList))
+			fmt.Println(experiments.RenderCommitPath(experiments.CommitPathSweep(sc, mix, fl.window, coreList)))
+		}
+	}},
+}
+
+func experimentIDs() []string {
+	ids := make([]string, len(experimentTable))
+	for i, e := range experimentTable {
+		ids[i] = e.id
+	}
+	return ids
+}
+
 func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sspbench [flags]\n\nexperiments (-exp):\n")
+		for _, e := range experimentTable {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", e.id, e.summary)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-11s every experiment above, in order\n\nflags:\n", "all")
+		flag.PrintDefaults()
+	}
 	exp := flag.String("exp", "all", "experiment id (see -list)")
 	scale := flag.String("scale", "small", "run scale: small | full")
 	list := flag.Bool("list", false, "list experiment ids")
 	ops := flag.Int("ops", 0, "override measured transactions per run")
 	seed := flag.Uint64("seed", 0, "override RNG seed")
-	cores := flag.Int("cores", 4, "max cores for -exp parallel/channels/journal (one goroutine each)")
-	channels := flag.Int("channels", 8, "max memory channels for -exp channels; fixed channel count for -exp journal")
-	shards := flag.Int("shards", 4, "max SSP journal shards for -exp journal")
+	cores := flag.Int("cores", 4, "max cores for the scaling sweeps (one goroutine each)")
+	channels := flag.Int("channels", 8, "max memory channels for -exp channels; fixed channel count for -exp journal/crossshard")
+	shards := flag.Int("shards", 4, "max SSP journal shards for -exp journal; fixed count for -exp crossshard")
+	window := flag.Int("window", 4096, "group-commit window in cycles for -exp commitpath")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("table3 fig5a fig5b fig6 fig7a fig7b fig8 fig9 table4 table5 ablate recovery parallel channels journal crossshard all")
+		for _, e := range experimentTable {
+			fmt.Printf("%-11s %s\n", e.id, e.summary)
+		}
+		fmt.Printf("%-11s every experiment above, in order\n", "all")
 		return
 	}
 
@@ -86,6 +188,10 @@ func main() {
 	}
 	if *cores < 1 {
 		fmt.Fprintf(os.Stderr, "-cores must be at least 1\n")
+		os.Exit(2)
+	}
+	if *window < 0 {
+		fmt.Fprintf(os.Stderr, "-window must be non-negative\n")
 		os.Exit(2)
 	}
 
@@ -106,91 +212,27 @@ func main() {
 		sc.Seed = *seed
 	}
 
-	run := func(id string) {
+	fl := benchFlags{cores: *cores, channels: *channels, shards: *shards, window: *window}
+	run := func(e experiment) {
 		start := time.Now()
-		switch id {
-		case "table3":
-			section("Table 3 — workload write-set characterisation")
-			fmt.Println(experiments.RenderTable3(experiments.Table3(sc)))
-		case "fig5a":
-			section("Figure 5a — microbenchmark TPS, 1 thread (normalised to UNDO-LOG)")
-			fmt.Println(experiments.RenderFig5(experiments.Fig5(sc, 1), 1))
-		case "fig5b":
-			section("Figure 5b — microbenchmark TPS, 4 threads (normalised to UNDO-LOG)")
-			fmt.Println(experiments.RenderFig5(experiments.Fig5(sc, 4), 4))
-		case "fig6":
-			section("Figure 6 — logging writes (normalised to UNDO-LOG, lower is better)")
-			fmt.Println(experiments.RenderFig6(experiments.Fig6(sc, 1)))
-		case "fig7a":
-			section("Figure 7a — NVRAM writes (normalised to UNDO-LOG, lower is better)")
-			fmt.Println(experiments.RenderFig7a(experiments.Fig7(sc, 1)))
-		case "fig7b":
-			section("Figure 7b — breakdown of NVRAM writes for SSP")
-			fmt.Println(experiments.RenderFig7b(experiments.Fig7(sc, 1)))
-		case "fig8":
-			section("Figure 8 — sensitivity to NVRAM latency")
-			fmt.Println(experiments.RenderFig8(experiments.Fig8(sc)))
-		case "fig9":
-			section("Figure 9 — sensitivity to SSP cache latency")
-			fmt.Println(experiments.RenderFig9(experiments.Fig9(sc)))
-		case "table4":
-			section("Table 4 — real-workload performance improvement")
-			fmt.Println(experiments.RenderTable4(experiments.Table45(sc)))
-		case "table5":
-			section("Table 5 — real-workload write-traffic saving")
-			fmt.Println(experiments.RenderTable5(experiments.Table45(sc)))
-		case "ablate":
-			section("Ablations — design-choice knobs (beyond the paper)")
-			fmt.Println(experiments.RenderAblations("sub-page granularity (§4.3)", experiments.AblateSubPage(sc)))
-			fmt.Println(experiments.RenderAblations("write-set buffer capacity (§4.2)", experiments.AblateWSB(sc)))
-			fmt.Println(experiments.RenderAblations("REDO write-back queue bound", experiments.AblateRedoQueue(sc)))
-			fmt.Println(experiments.RenderAblations("SSP-cache L3 residency", experiments.AblateSSPCacheResidency(sc)))
-			fmt.Println(experiments.RenderAblations("consolidation policy (§3.4 eager vs lazy)", experiments.AblateConsolidationPolicy(sc)))
-			fmt.Println(experiments.RenderAblations("flip mechanism (§4.1.1 broadcast vs §4.3 shootdown)", experiments.AblateFlipMechanism(sc)))
-			fmt.Println(experiments.RenderAblations("REDO write-back engines (DHTM single vs per-core, 4-core parallel)", experiments.AblateRedoEngines(sc)))
-		case "parallel":
-			section(fmt.Sprintf("Concurrent engine — %d goroutine-backed cores vs 1-core serial", *cores))
-			fmt.Println(experiments.RenderParallel(experiments.ParallelScaling(sc, workload.Memcached, *cores)))
-			fmt.Println(experiments.RenderParallel(experiments.ParallelScaling(sc, workload.Vacation, *cores)))
-		case "channels":
-			chList := experiments.SweepPowersOfTwo(*channels)
-			coreList := experiments.SweepPowersOfTwo(*cores)
-			for _, k := range []workload.Kind{workload.Memcached, workload.Vacation} {
-				section(fmt.Sprintf("Multi-channel memory — SSP committed TPS on %s, %v channels x %v cores", k, chList, coreList))
-				fmt.Println(experiments.RenderChannels(experiments.ChannelSweep(sc, k, ssp.SSP, chList, coreList)))
-			}
-		case "journal":
-			shList := experiments.SweepPowersOfTwo(*shards)
-			coreList := experiments.SweepPowersOfTwo(*cores)
-			for _, k := range []workload.Kind{workload.Memcached, workload.Vacation} {
-				section(fmt.Sprintf("Journal sharding — SSP committed TPS on %s, %v shards x %v cores (%d channels)", k, shList, coreList, *channels))
-				fmt.Println(experiments.RenderJournal(experiments.JournalSweep(sc, k, *channels, shList, coreList)))
-			}
-		case "crossshard":
-			fracs := []int{0, 10, 25, 50}
-			coreList := experiments.SweepPowersOfTwo(*cores)
-			for _, k := range []workload.Kind{workload.MemcachedCross, workload.VacationCross} {
-				section(fmt.Sprintf("Cross-shard transactions — SSP committed TPS on %s, %v%% global x %v cores (%d shards, %d channels)",
-					k, fracs, coreList, *shards, *channels))
-				fmt.Println(experiments.RenderCrossShard(experiments.CrossShardSweep(sc, k, *channels, *shards, fracs, coreList)))
-			}
-		case "recovery":
-			section("Recovery effort vs journal capacity (§4.1.2 checkpointing)")
-			fmt.Println(experiments.RenderRecovery(experiments.RecoveryEffort(sc)))
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
-		}
-		fmt.Printf("[%s done in %.1fs]\n\n", id, time.Since(start).Seconds())
+		e.run(sc, fl)
+		fmt.Printf("[%s done in %.1fs]\n\n", e.id, time.Since(start).Seconds())
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table3", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9", "table4", "table5", "ablate", "recovery", "parallel", "channels", "journal", "crossshard"} {
-			run(id)
+		for _, e := range experimentTable {
+			run(e)
 		}
 		return
 	}
-	run(*exp)
+	for _, e := range experimentTable {
+		if e.id == *exp {
+			run(e)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s, all; try -list)\n", *exp, strings.Join(experimentIDs(), " "))
+	os.Exit(2)
 }
 
 func section(title string) {

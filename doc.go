@@ -109,6 +109,56 @@
 // exact single-shard fast path: same records, 24-byte payloads on the
 // single-journal paper model, no extra traffic.
 //
+// # Commit-path batching: group commit and eager data flush
+//
+// The commit pipeline's persistence legs support batching and overlap
+// (PR 5), behind two knobs that default to the paper model — at the
+// defaults (EagerFlush off, GroupCommitWindow 0) serial throughput and the
+// Figure 6/7 write-traffic ratios reproduce the PR 2/3/4 figures
+// bit-for-bit.
+//
+// ssp.Config.EagerFlush turns the deferred commit-time data flush into a
+// write-behind: each store's unit is clwb'd as it ages out of a small
+// per-core queue (the two most recently stored units stay unflushed), so
+// the commit fence degenerates to a probe — clean lines cost nothing, the
+// fence is a max over the in-flight completions plus a write-back of the
+// few units dirtied since their eager flush (Stats.EagerFlushLines counts
+// the write-behind writes; re-dirtied units are the eager model's write
+// amplification). Crash semantics are unchanged: eagerly flushed data is
+// durable in the shadow locations that the committed bitmaps do not
+// reference until the journal End record, so every pre-End crash rolls it
+// back via the shadow slots (trap-swept by internal/crashsweep with the
+// knob on). The page's metadata barrier moves to first-store time: pending
+// consolidation/release records harden before the first eager flush may
+// land in the page's frames.
+//
+// ssp.Config.GroupCommitWindow (cycles) coalesces the journal legs of
+// commits concurrently bound for the same shard: the first committer (the
+// leader) opens a window, followers whose clocks fall within the window on
+// either side of the leader's append their batches behind it under the
+// same shard lock and wait — holding no locks; the flush-ticket wait sits
+// entirely outside the lock order — on the leader's flush ticket, and one
+// ring flush hardens every member (Stats.GroupCommitBatches/Followers;
+// batches + followers = commits routed through the group path). The ring
+// bytes are exactly the members' ordinary batches in append order, so
+// recovery's per-shard batch validation applies verbatim: a torn leader
+// flush takes every follower behind the tear down with it. Grouping only
+// forms when several cores share a shard (cores > JournalShards); serial
+// execution degenerates to batches of one, bit-identical to the
+// per-commit model.
+//
+// Independent of the knobs, two always-on simulated-hardware fixes take
+// redundant serialisation off the commit path: the commit-time metadata
+// barrier and the cross-shard prepare fan-out charge the max — not the sum
+// — of their independent per-shard ring flushes, and a global commit's
+// prepare leg (which carries no commit point) overlaps the data-flush
+// fence in simulated time, with only the coordinator End waiting for both.
+// Measured on the 4-shard 4-channel memcached cross-shard mix at a 50%
+// global fraction (small scale): 2-core speedup 0.51x -> 0.61x, 4-core
+// 0.39x -> 0.46x, and the 4-core commit-barrier wait falls from 4.8% to
+// 2.0% of core-cycles (-58%). `sspbench -exp commitpath` sweeps the knob
+// grid; BENCH_5.json records the trajectory.
+//
 // The aggregate-vs-serial equivalence and race-freedom are enforced by
 // `go test -race ./internal/machine -run TestParallel` and the workload
 // smoke tests; the benchmark entry points are
@@ -117,10 +167,13 @@
 // `go run ./cmd/sspbench -exp channels -cores 4`,
 // `go run ./cmd/sspbench -exp journal -cores 4 -shards 4` (journal-shard ×
 // core sweep with per-shard journal pressure and the CatMetaJournal bank
-// occupancy that motivates it) and
+// occupancy that motivates it),
 // `go run ./cmd/sspbench -exp crossshard -cores 4 -shards 4` (cross-shard
 // transaction fraction × cores on the sharded memcached / partitioned
-// vacation mixes, with global-commit and prepare-record traffic).
+// vacation mixes, with global-commit and prepare-record traffic) and
+// `go run ./cmd/sspbench -exp commitpath -cores 4` (the EagerFlush ×
+// GroupCommitWindow knob grid with commit-barrier-wait shares and
+// group-commit batch occupancy).
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation:

@@ -6,7 +6,6 @@ import (
 	"repro/internal/engine"
 	"repro/internal/memsim"
 	"repro/internal/stats"
-	"repro/internal/wal"
 )
 
 // This file is the transaction pipeline: Begin/Store/Load/Commit/Abort and
@@ -29,10 +28,15 @@ import (
 
 // commitProtocol is stages 3-4 of the commit pipeline: journal the
 // metadata batch for the (sorted, non-empty) write-set pages, harden it,
-// and publish the new slot states. Implementations return the core's clock
-// after the batch is durable.
+// and publish the new slot states. start is the core's clock at the head
+// of the commit (after the metadata barrier), fence the data-persistence
+// fence completion. Work that carries no commit point — a global
+// transaction's prepare records and their flushes — may overlap the data
+// fence in simulated time (charged from start); a batch's commit point
+// (the UpdateEnd-carrying flush, the coordinator End) must wait for fence.
+// Implementations return the core's clock after the batch is durable.
 type commitProtocol interface {
-	journalAndPublish(core int, pages []int, at engine.Cycles) engine.Cycles
+	journalAndPublish(core int, pages []int, start, fence engine.Cycles) engine.Cycles
 }
 
 // slotPub is one page's pending slot-shadow publication: the state
@@ -76,9 +80,45 @@ func (s *SSP) Store(core int, va uint64, data []byte, at engine.Cycles) engine.C
 	unit := s.unitOf(lineIdx)
 	bit := uint64(1) << uint(unit)
 
+	if s.cfg.EagerFlush {
+		p := &s.ePending[core]
+		switch {
+		case p[0].meta == meta && p[0].unit == unit:
+			// Clustered store to the most recent unit: no flush yet.
+		case p[1].meta == meta && p[1].unit == unit:
+			p[0], p[1] = p[1], p[0] // promote; no flush
+		default:
+			// A third distinct unit enters the queue: the oldest ages out
+			// and its write-behind flush is issued, now that its clustered
+			// stores are (very likely) over — a unit the transaction
+			// revisits later is simply caught dirty by the commit fence's
+			// probe. Keeping the two most recent units unflushed means the
+			// commit probe's write-backs never queue behind a just-issued
+			// redundant flush of the same line.
+			if p[1].meta != nil {
+				s.lockMeta(p[1].meta)
+				s.eagerFlushUnit(core, p[1].meta, p[1].unit, t)
+				s.unlockMeta(p[1].meta)
+			}
+			if bm == 0 {
+				// First write to this page in the transaction: eager
+				// flushes will land durably in the page's frames, so the
+				// metadata barrier of the deferred pipeline's stage 1
+				// moves here — pending consolidation/release records that
+				// still remap the frames must harden first. Before the
+				// page lock (journalMu precedes pageMeta.mu in the lock
+				// order).
+				t = s.eagerBarrier(meta, t)
+			}
+			p[1] = p[0]
+			p[0] = pendingEagerFlush{meta: meta, unit: unit}
+		}
+	}
+
 	s.lockMeta(meta)
 	defer s.unlockMeta(meta)
-	if bm&bit == 0 {
+	firstTouch := bm&bit == 0
+	if firstTouch {
 		// First write to this unit in the transaction: remap every line of
 		// the unit to the "other" page, flip the current bit, broadcast.
 		begin, end := s.unitLines(unit)
@@ -105,6 +145,69 @@ func (s *SSP) Store(core int, va uint64, data []byte, at engine.Cycles) engine.C
 	t = s.env.Caches.Store(core, target, data, t)
 	s.clock(t)
 	return t
+}
+
+// pendingEagerFlush names one unit in a core's write-behind queue (nil
+// meta = empty slot).
+type pendingEagerFlush struct {
+	meta *pageMeta
+	unit int
+}
+
+// eagerWriteBehind is one core's write-behind queue (Config.EagerFlush):
+// the two most recently stored units of its open transaction, most recent
+// first. Stores to a unit cluster, so a unit aging out of the queue has
+// almost always seen its last store — its eager flush then captures the
+// final bytes in one write, where a flush-per-store would queue redundant
+// writes behind each other on the line's bank and push the tail write-back
+// past the commit. Depth two (rather than one) keeps the transaction's
+// final units unflushed: their write-backs happen at the commit probe,
+// concurrently and without queueing behind a just-issued eager flush of
+// the same line.
+type eagerWriteBehind [2]pendingEagerFlush
+
+// eagerBarrier hardens the page's pending consolidation/release records
+// before any eager data flush may land in its frames — the per-page half of
+// barrierFlush, run at first-store time because EagerFlush moves the data
+// writes forward. The store waits for the completion (it orders the page's
+// first durable data write behind the records); with nothing pending it
+// costs nothing. The barrier mark is frozen for the whole transaction: a
+// consolidation needs coreRef == 0, and this store is about to hold a
+// reference.
+func (s *SSP) eagerBarrier(meta *pageMeta, at engine.Cycles) engine.Cycles {
+	s.lockMeta(meta)
+	ref := meta.barrier
+	s.unlockMeta(meta)
+	t := at
+	s.lockShard(ref.shard)
+	if !s.journals[ref.shard].Durable(ref.mark) {
+		t = s.journals[ref.shard].Flush(t)
+	}
+	s.unlockShard(ref.shard)
+	return t
+}
+
+// eagerFlushUnit issues the eager clwbs for one unit: every retagged line
+// — stored lines with their fresh data, plus (for multi-line units) the
+// untouched lines carrying the committed bytes renamed to the shadow frame
+// — is written back. The core does not wait; the completion is recorded in
+// the page's flushDone high-water for the commit fence. Lines the
+// transaction dirties again afterwards are caught by the fence's probe
+// flush (flushData). Caller holds the page lock.
+func (s *SSP) eagerFlushUnit(core int, meta *pageMeta, unit int, at engine.Cycles) {
+	cur := (meta.current >> uint(unit)) & 1
+	begin, end := s.unitLines(unit)
+	fl := meta.flushDone
+	for li := begin; li < end; li++ {
+		done, wrote := s.env.Caches.Flush(core, meta.lineAddr(li, cur), at, stats.CatData)
+		if wrote {
+			s.env.StatsFor(core).EagerFlushLines++
+		}
+		if done > fl {
+			fl = done
+		}
+	}
+	meta.flushDone = fl
 }
 
 // Load implements txn.Backend: address translation selects P0 or P1 per
@@ -146,14 +249,14 @@ func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
 	proto := s.protocolFor(core, pages)
 
 	// Stage 1: metadata barrier.
-	t := s.barrierFlush(pages, at)
+	start := s.barrierFlush(pages, at)
 
 	// Stage 2: data persistence.
-	t = s.flushData(core, pages, t)
+	t := s.flushData(core, pages, start)
 
 	// Stages 3-4: journal batch + publication (protocol-specific).
 	if len(pages) > 0 {
-		t = proto.journalAndPublish(core, pages, t)
+		t = proto.journalAndPublish(core, pages, start, t)
 	}
 
 	// Stage 5: release core references; pages that became inactive
@@ -178,12 +281,18 @@ func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
 // unless this is a global transaction whose write set actually spans more
 // than one journal shard (a global transaction confined to one shard — or
 // any transaction on a single-shard machine — degrades to the fast path,
-// so JournalShards=1 never pays an extra record).
+// so JournalShards=1 never pays an extra record). With a group-commit
+// window configured, the single-shard leg runs through the coalescing
+// groupCommit protocol instead (journal.go); the records on the ring are
+// identical either way.
 func (s *SSP) protocolFor(core int, pages []int) commitProtocol {
 	if s.globalTxn[core] && s.sharded() {
 		if shards := s.participantShards(pages); len(shards) > 1 {
 			return &commitGlobal{s: s, shards: shards}
 		}
+	}
+	if s.cfg.GroupCommitWindow > 0 {
+		return groupCommit{s: s}
 	}
 	return commitLocal{s: s}
 }
@@ -192,12 +301,25 @@ func (s *SSP) protocolFor(core int, pages []int) commitProtocol {
 // slowest flush (bank-level parallelism applies). The fence wait is
 // surfaced as Stats.CommitBarrierWait — the commit-critical-path cycles the
 // core spent blocked on its data-flush barrier.
+//
+// In eager mode (Config.EagerFlush) each unit's lines were written back at
+// first-store time, so the loop degenerates to a probe: lines the
+// transaction did not dirty again are already clean (the Flush performs no
+// write and costs no memory time) and the fence reduces to the max of the
+// pages' outstanding in-flight completions — only lines re-dirtied since
+// their eager flush still pay a commit-time write-back.
 func (s *SSP) flushData(core int, pages []int, at engine.Cycles) engine.Cycles {
 	fence := at
+	// The write-behind slot needs no separate flush: its unit is dirty and
+	// the probe below writes it back as part of the fence.
+	s.ePending[core] = eagerWriteBehind{}
 	for _, vpn := range pages {
 		meta := s.lookupMeta(vpn)
 		bm := s.wsb[core][vpn]
 		s.lockMeta(meta)
+		if s.cfg.EagerFlush && meta.flushDone > fence {
+			fence = meta.flushDone
+		}
 		for unit := 0; unit < memsim.LinesPerPage/s.cfg.SubPageLines; unit++ {
 			if bm&(1<<uint(unit)) == 0 {
 				continue
@@ -282,36 +404,20 @@ func (s *SSP) snapshotPage(core int, vpn int) slotPub {
 // slot array — proceed concurrently.
 type commitLocal struct{ s *SSP }
 
-func (l commitLocal) journalAndPublish(core int, pages []int, at engine.Cycles) engine.Cycles {
+// The single-shard batch cannot overlap the data fence: its flush hardens
+// the UpdateEnd seal — the commit point — so everything runs from fence.
+func (l commitLocal) journalAndPublish(core int, pages []int, _, fence engine.Cycles) engine.Cycles {
 	s := l.s
-	t := at
 	si := s.shardFor(core)
-	pubs := make([]slotPub, 0, len(pages))
 	s.lockShard(si)
-	tid := s.allocTID()
-	for i, vpn := range pages {
-		pub := s.snapshotPage(core, vpn)
-		kind := uint8(recUpdate)
-		if i == len(pages)-1 {
-			kind = recUpdateEnd
-		}
-		t = s.appendRecord(si, core, wal.Record{TID: tid, Kind: kind, Payload: s.journalPayload(pub.sid, pub.st)}, pub.sid, t)
-		pubs = append(pubs, pub)
-	}
-	t = s.journals[si].Flush(t)
-	s.publishSlots(pubs)
-	needCkpt := s.overHighWater(si)
+	t, needCkpt := s.localCommitLocked(si, core, pages, fence)
 	s.unlockShard(si)
 	if needCkpt && s.parallel {
 		// Serial mode checkpoints after stage 5's consolidations (Commit's
 		// tail); parallel mode drains here, re-acquiring structMu → shard
-		// lock in order. Only this core's shard is checkpointed, so one hot
-		// core cannot force global checkpoints.
-		s.lockStruct()
-		s.lockShard(si)
-		s.maybeCheckpointShard(si, t) // recheck under the locks
-		s.unlockShard(si)
-		s.unlockStruct()
+		// lock in order (drainShardCheckpoint rechecks the trigger under
+		// the locks).
+		s.drainShardCheckpoint(si, t)
 	}
 	return t
 }
@@ -321,20 +427,35 @@ func (l commitLocal) journalAndPublish(core int, pages []int, at engine.Cycles) 
 // consolidate.go): durably-flushed data must never land in a frame that
 // undrained journal records still remap. pages must be sorted so serial
 // runs flush shards in a deterministic order.
+//
+// The shard flushes are independent rings on independent NVRAM regions, so
+// they are issued concurrently in simulated time: each from `at`, the
+// barrier charging the max — not the sum — of their completions (the same
+// simulated-hardware rule as the cross-shard prepare fan-out in global.go).
+// A shard already flushed for an earlier page is skipped — that flush
+// drained everything pending, which covers every mark taken before this
+// commit began (the pages' barrier marks are frozen while core-referenced).
 func (s *SSP) barrierFlush(pages []int, at engine.Cycles) engine.Cycles {
-	t := at
+	fence := at
+	var flushed [stats.MaxJournalShards]bool
 	for _, vpn := range pages {
 		meta := s.lookupMeta(vpn)
 		s.lockMeta(meta)
 		ref := meta.barrier
 		s.unlockMeta(meta)
+		if flushed[ref.shard] {
+			continue
+		}
 		s.lockShard(ref.shard)
 		if !s.journals[ref.shard].Durable(ref.mark) {
-			t = s.journals[ref.shard].Flush(t)
+			if done := s.journals[ref.shard].Flush(at); done > fence {
+				fence = done
+			}
+			flushed[ref.shard] = true
 		}
 		s.unlockShard(ref.shard)
 	}
-	return t
+	return fence
 }
 
 // Abort implements txn.Backend: squash speculative lines and flip the
@@ -346,6 +467,7 @@ func (s *SSP) Abort(core int, at engine.Cycles) engine.Cycles {
 	if s.fallback[core] {
 		return s.fbAbort(core, at)
 	}
+	s.ePending[core] = eagerWriteBehind{} // squashed lines need no write-behind
 	t := at
 	for _, vpn := range s.sortedWS(core) {
 		meta := s.lookupMeta(vpn)

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// Tests for the commit-path batching knobs: eager (write-behind) data
+// flushing and group commit. Serial machines only — the parallel legs are
+// raced by internal/machine.TestParallelGroupCommit and trap-swept by
+// internal/crashsweep.
+
+// TestEagerFlushCommittedEquivalence runs the same transaction script with
+// the eager knob on and off and asserts identical committed state: the
+// knob changes only when data write-backs are issued, never what commits.
+func TestEagerFlushCommittedEquivalence(t *testing.T) {
+	script := func(s *SSP) {
+		for i := 0; i < 6; i++ {
+			core := 0
+			s.Begin(core, 0)
+			for j := 0; j <= i%3; j++ {
+				page := (i + j) % 2
+				line := (3*i + 5*j) % 64
+				s.Store(core, va(page, line), []byte{byte(0x10 + i)}, 0)
+				// A second store to the same line (clustered writes).
+				s.Store(core, va(page, line)+8, []byte{byte(0x20 + j)}, 0)
+			}
+			s.Commit(core, 0)
+		}
+	}
+	envA, a := testEnv(t, 1)
+	mapPage(envA, 0)
+	mapPage(envA, 1)
+	script(a)
+
+	envB, b := testEnv(t, 1)
+	b.cfg.EagerFlush = true
+	mapPage(envB, 0)
+	mapPage(envB, 1)
+	script(b)
+
+	if envB.Stats.EagerFlushLines == 0 {
+		t.Fatal("eager run issued no write-behind flushes")
+	}
+	if envA.Stats.EagerFlushLines != 0 {
+		t.Fatal("deferred run counted eager flushes")
+	}
+	if envA.Stats.Commits != envB.Stats.Commits || envA.Stats.JournalRecords != envB.Stats.JournalRecords {
+		t.Fatalf("commit accounting diverged: commits %d/%d, records %d/%d",
+			envA.Stats.Commits, envB.Stats.Commits, envA.Stats.JournalRecords, envB.Stats.JournalRecords)
+	}
+	// Crash both; recovered durable state must agree everywhere written.
+	crashRecover(t, envA, a)
+	crashRecover(t, envB, b)
+	var bufA, bufB [1]byte
+	for page := 0; page < 2; page++ {
+		for line := 0; line < 64; line++ {
+			a.Load(0, va(page, line), bufA[:], 0)
+			b.Load(0, va(page, line), bufB[:], 0)
+			if bufA[0] != bufB[0] {
+				t.Fatalf("page %d line %d: deferred %#x, eager %#x", page, line, bufA[0], bufB[0])
+			}
+		}
+	}
+}
+
+// TestEagerFlushRollsBackUncommitted is the eager crash class in unit
+// form: write-behind flushes land durably in the shadow frame BEFORE the
+// transaction commits, and a crash at that point must roll the data back
+// via the shadow slots — the committed bitmap never pointed at the eagerly
+// flushed lines.
+func TestEagerFlushRollsBackUncommitted(t *testing.T) {
+	env, s := testEnv(t, 1)
+	s.cfg.EagerFlush = true
+	mapPage(env, 0)
+
+	// Commit a baseline value so the page has durable committed data.
+	s.Begin(0, 0)
+	s.Store(0, va(0, 0), []byte{0x11}, 0)
+	s.Commit(0, 0)
+
+	// Open a transaction and write three distinct lines: the write-behind
+	// queue (depth 2) must have flushed the first line by the third store.
+	s.Begin(0, 0)
+	s.Store(0, va(0, 0), []byte{0x22}, 0)
+	s.Store(0, va(0, 1), []byte{0x33}, 0)
+	s.Store(0, va(0, 2), []byte{0x44}, 0)
+
+	meta := s.metaOf(0)
+	cur := (meta.current >> 0) & 1
+	var shadow [1]byte
+	env.Mem.Peek(meta.lineAddr(0, cur), shadow[:])
+	if shadow[0] != 0x22 {
+		t.Fatalf("line 0 not eagerly flushed to the shadow frame: %#x", shadow[0])
+	}
+	if meta.committed&1 == cur {
+		t.Fatal("committed bitmap moved before commit")
+	}
+
+	// Power failure before commit: recovery must restore the baseline.
+	crashRecover(t, env, s)
+	var buf [1]byte
+	s.Load(0, va(0, 0), buf[:], 0)
+	if buf[0] != 0x11 {
+		t.Fatalf("eagerly flushed uncommitted data survived: %#x, want 0x11", buf[0])
+	}
+}
+
+// TestGroupWindowSerialDegenerates asserts that a serial machine with a
+// group-commit window behaves exactly like the per-commit model: identical
+// journal record streams (no concurrent committer can ever join a serial
+// window) with every commit counted as a batch of one.
+func TestGroupWindowSerialDegenerates(t *testing.T) {
+	script := func(s *SSP) {
+		for i := 0; i < 5; i++ {
+			s.Begin(0, 0)
+			s.Store(0, va(i%2, i), []byte{byte(i + 1)}, 0)
+			s.Commit(0, 0)
+		}
+	}
+	envA, a := testEnv(t, 1)
+	mapPage(envA, 0)
+	mapPage(envA, 1)
+	script(a)
+
+	envB, b := testEnv(t, 1)
+	b.cfg.GroupCommitWindow = 4096
+	mapPage(envB, 0)
+	mapPage(envB, 1)
+	script(b)
+
+	recsA := wal.Scan(envA.Mem, envA.Layout.JournalBase[0], envA.Layout.Cfg.JournalBytes)
+	recsB := wal.Scan(envB.Mem, envB.Layout.JournalBase[0], envB.Layout.Cfg.JournalBytes)
+	if len(recsA) != len(recsB) {
+		t.Fatalf("record streams diverged: %d vs %d records", len(recsA), len(recsB))
+	}
+	for i := range recsA {
+		if recsA[i].Kind != recsB[i].Kind || recsA[i].TID != recsB[i].TID ||
+			string(recsA[i].Payload) != string(recsB[i].Payload) {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, recsA[i], recsB[i])
+		}
+	}
+	if got, want := envB.Stats.GroupCommitBatches, envB.Stats.Commits; got != want {
+		t.Errorf("serial group batches = %d, want one per commit (%d)", got, want)
+	}
+	if envB.Stats.GroupCommitFollowers != 0 {
+		t.Errorf("serial run counted %d followers", envB.Stats.GroupCommitFollowers)
+	}
+}
+
+// runGroupedPair drives the group-commit journal leg by hand on a serial
+// two-core machine: core 0 (the leader) and core 1 (the follower) each
+// append their one-page update batch to shard 0, and ONE flush hardens
+// both — exactly the ring state a parallel group window produces, but
+// deterministically, so a write trap can cut the flush at every point.
+// Returns the journal's flush-write count delta.
+func runGroupedPair(s *SSP) uint64 {
+	before := s.journals[0].FlushWrites()
+	var pubs []slotPub
+	t := engine.Cycles(0)
+	var pageSets [2][]int
+	for core := 0; core <= 1; core++ {
+		s.Begin(core, 0)
+		s.Store(core, va(core, 0), []byte{byte(0xA0 + core)}, 0)
+		pageSets[core] = s.sortedWS(core)
+		t = s.barrierFlush(pageSets[core], t)
+		t = s.flushData(core, pageSets[core], t)
+	}
+	for core := 0; core <= 1; core++ {
+		tid := s.allocTID()
+		p, tA := s.appendBatch(0, core, pageSets[core], tid, t)
+		pubs = append(pubs, p...)
+		t = tA
+	}
+	t = s.journals[0].Flush(t)
+	s.publishSlots(pubs)
+	for core := 0; core <= 1; core++ {
+		s.releaseWriteSet(core, pageSets[core], t)
+		clear(s.wsb[core])
+		s.inTxn[core] = false
+	}
+	return s.journals[0].FlushWrites() - before
+}
+
+// TestGroupFlushTornTail is the group-commit torn-tail crash class: two
+// members' batches ride one ring flush, and a power failure is injected
+// after every durable NVRAM write of the grouped commit. A torn leader
+// batch must take the follower's batch down with it (the follower's bytes
+// sit behind the leader's in the ring, so recovery's scan stops at the
+// tear); the follower may never survive a torn leader, and the preceding
+// committed transaction must survive every cut.
+func TestGroupFlushTornTail(t *testing.T) {
+	// Reference run: count the grouped commit's durable writes and check
+	// the flush coalescing (two batches, ONE tail-line flush write).
+	ref, sRef := testEnv(t, 2)
+	mapPage(ref, 0)
+	mapPage(ref, 1)
+	sRef.Begin(0, 0)
+	sRef.Store(0, va(0, 1), []byte{0x11}, 0)
+	sRef.Commit(0, 0)
+	baselineWrites := ref.Stats.NVRAMWriteLines
+	if flushes := runGroupedPair(sRef); flushes != 1 {
+		t.Fatalf("grouped pair performed %d flush writes, want 1", flushes)
+	}
+	groupWrites := int64(ref.Stats.NVRAMWriteLines - baselineWrites)
+	if groupWrites < 3 {
+		t.Fatalf("grouped commit performed only %d durable writes", groupWrites)
+	}
+
+	for k := int64(0); k <= groupWrites; k++ {
+		env, s := testEnv(t, 2)
+		mapPage(env, 0)
+		mapPage(env, 1)
+		s.Begin(0, 0)
+		s.Store(0, va(0, 1), []byte{0x11}, 0)
+		s.Commit(0, 0)
+
+		env.Mem.SetWriteTrap(k)
+		runGroupedPair(s)
+		env.Mem.SetWriteTrap(-1)
+		env.Mem.PowerOn()
+		env.Mem.ResetTiming()
+		crashRecover(t, env, s)
+
+		read := func(page, line int) byte {
+			var b [1]byte
+			s.Load(0, va(page, line), b[:], 0)
+			return b[0]
+		}
+		if got := read(0, 1); got != 0x11 {
+			t.Fatalf("trap %d: committed baseline lost: %#x", k, got)
+		}
+		leader, follower := read(0, 0) == 0xA0, read(1, 0) == 0xA1
+		if follower && !leader {
+			t.Fatalf("trap %d: follower batch survived a torn leader flush", k)
+		}
+	}
+}
+
+// TestBarrierFlushChargesMax pins the satellite fix: with pending
+// consolidation records in two DIFFERENT shards, the commit-time metadata
+// barrier charges the max of the two independent ring flushes, not their
+// sum. (memsim charges each flush's bank time either way; the fence is
+// what changes.)
+func TestBarrierFlushChargesMax(t *testing.T) {
+	env, s := shardEnv(t, 2, 2)
+	mapPage(env, 0)
+	mapPage(env, 1)
+	// Dirty both shards' rings with unflushed records and plant barrier
+	// marks on both pages.
+	for core := 0; core <= 1; core++ {
+		s.Begin(core, 0)
+		s.Store(core, va(core, 0), []byte{1}, 0)
+		s.Commit(core, 0)
+	}
+	for core := 0; core <= 1; core++ {
+		si := s.shardFor(core)
+		st := slotState{vpn: core, ppn0: s.lookupMeta(core).ppn0, ppn1: s.lookupMeta(core).ppn1, ver: s.allocVer()}
+		s.appendRecord(si, -1, wal.Record{TID: s.allocTID(), Kind: recConsolidate, Payload: s.journalPayload(s.lookupMeta(core).slot, st)}, s.lookupMeta(core).slot, 0)
+		s.lookupMeta(core).barrier = journalRef{shard: si, mark: s.journals[si].MarkHere()}
+	}
+	soloA := s.journals[0].Flush(0) // measure one shard's flush cost...
+	s.journals[0].Reset()
+	_ = soloA
+
+	// Re-plant shard 0's record (Reset dropped it) and time the barrier.
+	st := slotState{vpn: 0, ppn0: s.lookupMeta(0).ppn0, ppn1: s.lookupMeta(0).ppn1, ver: s.allocVer()}
+	s.appendRecord(0, -1, wal.Record{TID: s.allocTID(), Kind: recConsolidate, Payload: s.journalPayload(s.lookupMeta(0).slot, st)}, s.lookupMeta(0).slot, 0)
+	s.lookupMeta(0).barrier = journalRef{shard: 0, mark: s.journals[0].MarkHere()}
+
+	done := s.barrierFlush([]int{0, 1}, 0)
+	// Each ring flush alone costs at least one NVRAM write (~hundreds of
+	// cycles). Under the old sum rule the two-shard barrier would charge
+	// at least twice a single flush; the max rule stays within ~1.5x.
+	if soloA <= 0 {
+		t.Fatal("single-shard flush charged no time")
+	}
+	if done > soloA+soloA/2 {
+		t.Errorf("two-shard barrier charged %d cycles, more than 1.5x a single flush (%d): looks like a sum, not a max", done, soloA)
+	}
+}
+
+// TestCheckpointPersistsOpenGroupStates is the review-caught torn-group
+// regression guard: a checkpoint running while a group-commit window is
+// still open on the shard truncates the group's (possibly unflushed)
+// records and clears their dirty marks, so it MUST write the group's
+// pending publication states into the slot array first — otherwise a
+// later crash silently loses commits the members were told are durable.
+func TestCheckpointPersistsOpenGroupStates(t *testing.T) {
+	env, s := testEnv(t, 1)
+	s.cfg.GroupCommitWindow = 4096
+	mapPage(env, 0)
+	s.Begin(0, 0)
+	s.Store(0, va(0, 0), []byte{1}, 0)
+	s.Commit(0, 0)
+	// Arm the trigger by filling the ring directly with background
+	// records (commits would checkpoint themselves at the serial tail).
+	meta := s.metaOf(0)
+	base := slotState{vpn: 0, ppn0: meta.ppn0, ppn1: meta.ppn1, committed: meta.committed, ver: s.allocVer()}
+	for !s.overHighWater(0) {
+		s.appendRecord(0, -1, wal.Record{TID: s.allocTID(), Kind: recConsolidate, Payload: s.journalPayload(meta.slot, base)}, meta.slot, 0)
+	}
+	ckpts := env.Stats.Checkpoints
+
+	// An open group holds an appended-but-unpublished state for the slot:
+	// a distinct committed bitmap under a fresh version.
+	groupSt := base
+	groupSt.committed = base.committed | 1<<7
+	groupSt.ver = s.allocVer()
+	s.groups[0] = &commitGroup{done: make(chan struct{}), pubs: []slotPub{{meta: meta, sid: meta.slot, st: groupSt}}}
+
+	flushes := s.journals[0].FlushWrites()
+	s.maybeCheckpointShard(0, 0)
+	if env.Stats.Checkpoints != ckpts+1 {
+		t.Fatalf("checkpoint did not run (%d -> %d)", ckpts, env.Stats.Checkpoints)
+	}
+	// The ring must have been flushed before truncation: the members'
+	// records (End seals included) stay replayable, so a crash between
+	// the checkpoint's non-atomic slot writes cannot tear a member.
+	if s.journals[0].FlushWrites() != flushes+1 {
+		t.Fatalf("checkpoint truncated an open group without flushing its records (flush writes %d -> %d)",
+			flushes, s.journals[0].FlushWrites())
+	}
+	if s.journals[0].Used() != 0 {
+		t.Fatal("ring was not truncated")
+	}
+	buf := make([]byte, slotBytes)
+	env.Mem.Peek(s.slotAddr(meta.slot), buf)
+	got := decodeSlot(buf, env.Layout.FrameAddr)
+	if got.ver != groupSt.ver || got.committed != groupSt.committed {
+		t.Fatalf("slot array holds ver %d committed %#x; want the open group's ver %d committed %#x",
+			got.ver, got.committed, groupSt.ver, groupSt.committed)
+	}
+	s.groups[0] = nil
+}

@@ -17,8 +17,11 @@ import (
 //	Phase 1 (prepare): for every participant shard, in ascending shard
 //	  order, append one recPrepare record per write-set page owned by that
 //	  shard (payload identical to recUpdate, including the slot update
-//	  version) and flush the shard. After this phase every participant
-//	  holds the transaction's updates durably — but none may apply yet.
+//	  version); then flush every participant shard, issued concurrently in
+//	  simulated time — the independent rings absorb their flushes in
+//	  parallel, so the fence charges the max, not the sum, of the shard
+//	  flush latencies. After this phase every participant holds the
+//	  transaction's updates durably — but none may apply yet.
 //
 //	Phase 2 (decide): append a single recGlobalEnd record carrying the
 //	  global TID to the coordinator shard — the committing core's own
@@ -75,9 +78,15 @@ type commitGlobal struct {
 	shards []int // participant shards, ascending
 }
 
-func (g *commitGlobal) journalAndPublish(core int, pages []int, at engine.Cycles) engine.Cycles {
+func (g *commitGlobal) journalAndPublish(core int, pages []int, start, fence engine.Cycles) engine.Cycles {
 	s := g.s
-	t := at
+	// Prepare records carry no commit point, so their appends and flushes
+	// overlap the data-flush fence in simulated time: the controller may
+	// issue them while the write-set clwbs are still in flight, because
+	// only the coordinator End — which waits for both — orders the
+	// transaction. (Recovery of prepares without a durable End rolls back,
+	// so a crash in the overlap window is the ordinary phase-1 crash.)
+	t := start
 	coord := s.shardFor(core)
 
 	// Group the write set by owning shard (pages stay vpn-sorted within a
@@ -99,7 +108,12 @@ func (g *commitGlobal) journalAndPublish(core int, pages []int, at engine.Cycles
 	}
 	tid := s.allocTID()
 
-	// Phase 1: prepare records per participant shard, flushed per shard.
+	// Phase 1: prepare records appended into every participant shard first
+	// (ascending shard order, under the already-held locks), then the
+	// per-shard flushes issued concurrently in simulated time. The shards
+	// are independent rings in distinct NVRAM regions, so the fence charges
+	// the max — not the sum — of the shard flush completions; the old
+	// serialised fan-out was a modelling artefact, not hardware.
 	var mask uint32
 	pubs := make([]slotPub, 0, len(pages))
 	for _, si := range g.shards {
@@ -110,7 +124,23 @@ func (g *commitGlobal) journalAndPublish(core int, pages []int, at engine.Cycles
 			s.env.StatsFor(core).PrepareRecords++
 			pubs = append(pubs, pub)
 		}
-		t = s.journals[si].Flush(t)
+	}
+	prepDone := t
+	for _, si := range g.shards {
+		if done := s.journals[si].Flush(t); done > prepDone {
+			prepDone = done
+		}
+	}
+	// The commit point waits for both legs: every prepare durable AND
+	// every write-set line's data flush landed.
+	t = engine.MaxCycles(prepDone, fence)
+	// flushData charged the full fence wait to CommitBarrierWait, but the
+	// part hidden under the concurrently running prepare leg never blocked
+	// the core — only the fence tail past prepDone does. Refund the
+	// overlap so the counter keeps meaning "cycles blocked on the data
+	// barrier".
+	if hidden := min(fence, prepDone) - start; hidden > 0 {
+		s.env.StatsFor(core).CommitBarrierWait -= uint64(hidden)
 	}
 
 	// Phase 2: the coordinator end record is the commit point.

@@ -72,6 +72,23 @@ type Config struct {
 	// batch every EpochCommits commits (per backend, not per core). Serial
 	// runs consolidate inline and ignore this.
 	EpochCommits int
+	// EagerFlush issues each dirty write-set line's cache flush (clwb)
+	// immediately after the store instead of deferring it to the commit
+	// fence (Vilamb-style eager persistence). The commit-time fence then
+	// waits only on the tail of still-in-flight flushes — a max over the
+	// write set's outstanding completion cycles tracked in pageMeta — not
+	// on freshly issued write-backs. Repeated stores to a line re-flush
+	// it, so eager mode trades extra NVRAM data writes for critical-path
+	// latency. Off (the paper's deferred model) by default.
+	EagerFlush bool
+	// GroupCommitWindow, when positive, coalesces the journal leg of
+	// concurrent commits bound for the same shard: the first committer
+	// (the leader) holds its batch open for this many simulated cycles,
+	// followers arriving within the window append their batches to the
+	// same ring and wait on the leader's flush ticket, and one flush
+	// hardens them all. Zero (the paper model: one flush per commit) by
+	// default; serial execution degenerates to batches of one.
+	GroupCommitWindow engine.Cycles
 }
 
 // DefaultConfig returns the paper's SSP parameters.
@@ -119,6 +136,13 @@ type pageMeta struct {
 	// Protected by mu in parallel mode (it names a position in a specific
 	// shard's stream; the stream itself is touched under that shard's lock).
 	barrier journalRef
+
+	// flushDone is the latest completion cycle of an eager in-flight data
+	// flush issued against this page (Config.EagerFlush). The commit fence
+	// takes the max over its write-set pages instead of re-flushing; the
+	// value is monotone, so a commit can only over-wait (never under-wait)
+	// on another core's already-fenced flushes. Protected by mu.
+	flushDone engine.Cycles
 }
 
 // journalRef names a durable position in one journal shard.

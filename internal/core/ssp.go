@@ -65,6 +65,13 @@ type entryShard struct {
 // stores to different pages proceed concurrently. Commit-time page
 // consolidation, which would otherwise funnel every core through structMu
 // at commit, is deferred to a batched epoch drain (see consolidate.go).
+//
+// Group commit (Config.GroupCommitWindow > 0) adds one wait rule to the
+// order: a follower blocks on its leader's flush ticket holding NO locks —
+// the ticket wait sits entirely outside the lock order — and the leader
+// closes, flushes and publishes its group under the shard's journalMu
+// alone, so a ticket wait can never participate in a lock cycle (see
+// journal.go).
 type SSP struct {
 	env *txn.Env
 	cfg Config
@@ -86,6 +93,12 @@ type SSP struct {
 
 	dirtySlots []map[int]struct{} // per journal shard: slots needing a checkpoint write
 
+	// groups holds each journal shard's open group-commit window (nil when
+	// none): the leader's batch accumulating followers until the leader
+	// flushes (Config.GroupCommitWindow; see journal.go). Guarded by the
+	// shard's journalMu; only populated in parallel mode.
+	groups []*commitGroup
+
 	// pendingGlobalSlots tracks, per coordinator shard, the slots of global
 	// transactions whose end record lives in that shard's ring while their
 	// prepare records sit in OTHER shards' rings. A coordinator checkpoint
@@ -101,6 +114,12 @@ type SSP struct {
 	inTxn     []bool
 	globalTxn []bool
 	wsb       []map[int]uint64 // write-set buffer: vpn -> updated bitmap
+
+	// ePending is each core's write-behind queue (Config.EagerFlush): the
+	// units its open transaction stored to most recently, flushed eagerly
+	// as they age out (commit.go). Touched only by the owning core's
+	// goroutine.
+	ePending []eagerWriteBehind
 
 	// Software fall-back path (§3.5).
 	fallback []bool
@@ -165,12 +184,17 @@ func NewSSP(env *txn.Env, cfg Config, fresh bool) *SSP {
 		s.pendingGlobalSlots = append(s.pendingGlobalSlots, make(map[int]struct{}))
 	}
 	s.journalMu = make([]sync.Mutex, len(s.journals))
+	s.groups = make([]*commitGroup, len(s.journals))
+	if s.cfg.GroupCommitWindow < 0 {
+		s.cfg.GroupCommitWindow = 0
+	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[int]*pageMeta)
 	}
 	cores := env.Cores()
 	s.inTxn = make([]bool, cores)
 	s.globalTxn = make([]bool, cores)
+	s.ePending = make([]eagerWriteBehind, cores)
 	s.wsb = make([]map[int]uint64, cores)
 	s.fallback = make([]bool, cores)
 	s.fbTID = make([]uint32, cores)

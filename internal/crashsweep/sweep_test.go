@@ -205,3 +205,88 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 		t.Fatal("verifier accepted corrupted state")
 	}
 }
+
+// TestTrapSweepEagerFlush runs the single-core trap sweep with the eager
+// (write-behind) data-flush knob on: every store's unit is written back to
+// the shadow frame ahead of commit, so the sweep's pre-End trap points now
+// find durable-but-uncommitted data in NVRAM — recovery must roll every
+// one of them back via the shadow slots, and the extra data writes add
+// trap points of their own.
+func TestTrapSweepEagerFlush(t *testing.T) {
+	scripts, txns := 2, 10
+	if testing.Short() {
+		scripts, txns = 1, 6
+	}
+	total := 0
+	for s := 0; s < scripts; s++ {
+		seed := 0xEA6E + uint64(s)*1000003
+		cfg := Config(ssp.SSP)
+		cfg.EagerFlush = true
+		points, bad := SweepConfig(cfg, seed, txns, false, os.Stderr)
+		if bad != 0 {
+			t.Fatalf("script %d (seed %#x): %d of %d trap points violated the all-or-nothing contract", s, seed, bad, points)
+		}
+		total += points
+	}
+	if total == 0 {
+		t.Fatal("eager-flush sweep checked no trap points")
+	}
+	t.Logf("%d trap points checked", total)
+}
+
+// TestTrapSweepCommitKnobs re-runs every sweep class — local, journal
+// shards, cross-shard, and the checkpoint-interleaved tiny-ring class —
+// with BOTH commit-path knobs on (eager flush + a group-commit window).
+// The acceptance bar for the knobs is exactly this: all trap classes keep
+// the all-or-nothing contract with the batching enabled.
+func TestTrapSweepCommitKnobs(t *testing.T) {
+	txns := 10
+	if testing.Short() {
+		txns = 6
+	}
+	classes := []struct {
+		name  string
+		cfg   ssp.Config
+		cross bool
+		seed  uint64
+	}{
+		{"local", WithCommitKnobs(Config(ssp.SSP)), false, 0xEA60},
+		{"shards", WithCommitKnobs(ShardedConfig(ssp.SSP, 3, 3)), false, 0xEA61},
+		{"cross", WithCommitKnobs(ShardedConfig(ssp.SSP, 4, 4)), true, 0xEA62},
+	}
+	for _, cl := range classes {
+		cl := cl
+		t.Run(cl.name, func(t *testing.T) {
+			var points, bad int
+			if cl.cross {
+				points, bad = SweepCrossConfig(cl.cfg, cl.seed, txns, false, os.Stderr)
+			} else {
+				points, bad = SweepConfig(cl.cfg, cl.seed, txns, false, os.Stderr)
+			}
+			if bad != 0 {
+				t.Fatalf("%s (seed %#x): %d of %d trap points violated the all-or-nothing contract", cl.name, cl.seed, bad, points)
+			}
+			if points == 0 {
+				t.Fatalf("%s sweep checked no trap points", cl.name)
+			}
+			t.Logf("%s: %d trap points checked", cl.name, points)
+		})
+	}
+	t.Run("checkpoints", func(t *testing.T) {
+		cfg := WithCommitKnobs(ShardedConfig(ssp.SSP, 4, 4))
+		cfg.JournalKB = 1 // high-water after ~16 records: checkpoints mid-script
+		seed := uint64(0xCCEA)
+		sc := MakeCrossScript(seed, 30)
+		ref := ssp.New(cfg)
+		RunScript(ref, sc)
+		ref.Drain()
+		if st := ref.Stats(); st.Checkpoints == 0 || st.GlobalCommits == 0 {
+			t.Fatalf("script drove %d checkpoints / %d global commits; the sweep needs both", st.Checkpoints, st.GlobalCommits)
+		}
+		points, bad := SweepScriptConfig(cfg, sc, false, os.Stderr)
+		if bad != 0 {
+			t.Fatalf("(seed %#x): %d of %d trap points violated the all-or-nothing contract", seed, bad, points)
+		}
+		t.Logf("checkpoints: %d trap points checked", points)
+	})
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+	"repro/ssp"
+)
+
+// This file is the commit-path batching experiment (beyond the paper): it
+// sweeps the two persistence knobs that take durability work off the commit
+// critical path — eager async data flush (ssp.Config.EagerFlush) and
+// per-shard group commit (ssp.Config.GroupCommitWindow) — against the core
+// count, on the workload mixes where each mechanism has something to
+// amortise. Both knobs off is the paper model, so the first grid row of
+// every mix is the PR 4 behaviour and everything below it is the measured
+// effect of moving persistence off the critical path.
+//
+// Mix selection: memcached and vacation run on a SINGLE journal shard
+// (cores share the ring, so group commit has followers to coalesce and the
+// shared-journal Amdahl term is live); the memcached cross-shard mix runs
+// at 50% global fraction on per-core shards, where the batched prepare
+// fan-out and eager flushing attack the distributed-commit cost.
+
+// CommitPathKnobs is one configuration of the two batching knobs.
+type CommitPathKnobs struct {
+	Eager  bool
+	Window int // group-commit window in cycles; 0 = flush per commit
+}
+
+func (k CommitPathKnobs) String() string {
+	eager, group := "deferred", "per-commit"
+	if k.Eager {
+		eager = "eager"
+	}
+	if k.Window > 0 {
+		group = fmt.Sprintf("group(%d)", k.Window)
+	}
+	return eager + "+" + group
+}
+
+// CommitPathPoint is one (knobs, cores) cell of a mix's sweep.
+type CommitPathPoint struct {
+	Kind     workload.Kind
+	Knobs    CommitPathKnobs
+	Cores    int
+	Parallel workload.ParallelResult
+	BaseTPS  float64 // committed TPS of the same-core both-knobs-off run
+}
+
+// CommitPathMix names one workload mix of the sweep with its machine shape.
+type CommitPathMix struct {
+	Kind     workload.Kind
+	Shards   int
+	Channels int
+	CrossPct int
+}
+
+// CommitPathMixes returns the default mixes (see the file comment).
+func CommitPathMixes() []CommitPathMix {
+	return []CommitPathMix{
+		{Kind: workload.Memcached, Shards: 1, Channels: 4},
+		{Kind: workload.Vacation, Shards: 1, Channels: 4},
+		{Kind: workload.MemcachedCross, Shards: 4, Channels: 4, CrossPct: 50},
+	}
+}
+
+// CommitPathSweep runs one mix under SSP for every knob combination × core
+// count. The knob grid is fixed: both off (the paper model), eager only,
+// group only, both on.
+func CommitPathSweep(sc Scale, mix CommitPathMix, window int, coresList []int) []CommitPathPoint {
+	knobGrid := []CommitPathKnobs{
+		{false, 0},
+		{true, 0},
+		{false, window},
+		{true, window},
+	}
+	base := map[int]float64{} // cores -> both-knobs-off committed TPS
+	var points []CommitPathPoint
+	for _, k := range knobGrid {
+		for _, cores := range coresList {
+			p := sc.params(mix.Kind, ssp.SSP, cores)
+			p.Machine.Channels = mix.Channels
+			p.Machine.JournalShards = mix.Shards
+			p.Machine.EagerFlush = k.Eager
+			p.Machine.GroupCommitWindow = k.Window
+			p.CrossPct = mix.CrossPct
+			par := workload.RunParallel(p)
+			tps := CommittedTPS(par.Cycles, par.Result)
+			if !k.Eager && k.Window == 0 {
+				base[cores] = tps
+			}
+			points = append(points, CommitPathPoint{
+				Kind:     mix.Kind,
+				Knobs:    k,
+				Cores:    cores,
+				Parallel: par,
+				BaseTPS:  base[cores],
+			})
+		}
+	}
+	return points
+}
+
+// BarrierWaitShare returns CommitBarrierWait as a fraction of the run's
+// total core-cycles (window × cores) — the share of the machine's time
+// spent blocked on commit-critical persistence fences.
+func BarrierWaitShare(res workload.ParallelResult, cores int) float64 {
+	if res.Cycles <= 0 || cores <= 0 {
+		return 0
+	}
+	return float64(res.Stats.CommitBarrierWait) / (float64(res.Cycles) * float64(cores))
+}
+
+// RenderCommitPath formats one mix's sweep: a row per knob combination and
+// core count with committed TPS, the change against the paper model at the
+// same core count, the barrier-wait share, and the group-commit batch
+// occupancy (members per coalesced flush) where grouping was active.
+func RenderCommitPath(points []CommitPathPoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-6s %12s %8s %12s %10s %10s\n",
+		"knobs", "cores", "cTPS", "vs base", "barrier", "batches", "occupancy")
+	for _, pt := range points {
+		st := pt.Parallel.Stats
+		tps := CommittedTPS(pt.Parallel.Cycles, pt.Parallel.Result)
+		delta := "-"
+		if pt.BaseTPS > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(tps/pt.BaseTPS-1))
+		}
+		occupancy := "-"
+		batches := "-"
+		if st.GroupCommitBatches > 0 {
+			batches = fmt.Sprintf("%d", st.GroupCommitBatches)
+			occupancy = fmt.Sprintf("%.2f", float64(st.GroupCommitBatches+st.GroupCommitFollowers)/float64(st.GroupCommitBatches))
+		}
+		fmt.Fprintf(&b, "%-22s %-6d %12.0f %8s %11.1f%% %10s %10s\n",
+			pt.Knobs.String(), pt.Cores, tps, delta,
+			100*BarrierWaitShare(pt.Parallel, pt.Cores), batches, occupancy)
+	}
+	// The interesting per-cell traffic: eager-flush amplification and
+	// cross-shard fan-out, where present.
+	for _, pt := range points {
+		st := pt.Parallel.Stats
+		if st.EagerFlushLines == 0 && st.GlobalCommits == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s x %dcore:", pt.Knobs.String(), pt.Cores)
+		if st.EagerFlushLines > 0 {
+			perCommit := float64(st.EagerFlushLines)
+			if st.Commits > 0 {
+				perCommit /= float64(st.Commits)
+			}
+			fmt.Fprintf(&b, " %d eager flushes (%.2f per commit)", st.EagerFlushLines, perCommit)
+		}
+		if st.GlobalCommits > 0 {
+			fmt.Fprintf(&b, " %d global commits, %d prepares", st.GlobalCommits, st.PrepareRecords)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

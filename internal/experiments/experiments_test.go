@@ -452,3 +452,43 @@ func TestSweepPowersOfTwo(t *testing.T) {
 		}
 	}
 }
+
+// TestCommitPathSweep: the knob grid must carry its four combinations per
+// core count, the paper-model row must record zero eager flushes and no
+// group batches, and the knobs-on rows must actually exercise their
+// mechanisms (eager flush lines; group batches covering every group-path
+// commit).
+func TestCommitPathSweep(t *testing.T) {
+	sc := tinyScale()
+	mix := CommitPathMix{Kind: workload.Memcached, Shards: 1, Channels: 2}
+	points := CommitPathSweep(sc, mix, 2048, []int{1, 2})
+	if len(points) != 8 {
+		t.Fatalf("expected 8 sweep points, got %d", len(points))
+	}
+	for _, pt := range points {
+		st := pt.Parallel.Stats
+		if !pt.Knobs.Eager && st.EagerFlushLines != 0 {
+			t.Errorf("%s x %dcore: %d eager flushes with the knob off", pt.Knobs, pt.Cores, st.EagerFlushLines)
+		}
+		if pt.Knobs.Eager && st.EagerFlushLines == 0 {
+			t.Errorf("%s x %dcore: no eager flushes with the knob on", pt.Knobs, pt.Cores)
+		}
+		if pt.Knobs.Window == 0 && st.GroupCommitBatches != 0 {
+			t.Errorf("%s x %dcore: %d group batches with no window", pt.Knobs, pt.Cores, st.GroupCommitBatches)
+		}
+		if pt.Knobs.Window > 0 {
+			if st.GroupCommitBatches == 0 {
+				t.Errorf("%s x %dcore: no group batches with a window", pt.Knobs, pt.Cores)
+			}
+			if got, want := st.GroupCommitBatches+st.GroupCommitFollowers, st.Commits-st.GlobalCommits; got != want {
+				t.Errorf("%s x %dcore: batches+followers %d != group-path commits %d", pt.Knobs, pt.Cores, got, want)
+			}
+		}
+		if pt.BaseTPS <= 0 {
+			t.Errorf("%s x %dcore: missing paper-model baseline TPS", pt.Knobs, pt.Cores)
+		}
+	}
+	if out := RenderCommitPath(points); out == "" {
+		t.Error("RenderCommitPath returned empty output")
+	}
+}

@@ -97,5 +97,14 @@ func RenderParallel(rows []ParallelRow) string {
 		fmt.Fprintf(&b, "\n%s metadata-journal pressure (parallel window):\n  %s\n",
 			r.Backend.String(), JournalPressureLine(r.Parallel.Result))
 	}
+	for _, r := range rows {
+		st := r.Parallel.Stats
+		if st.GroupCommitBatches == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s group commit: %d batches, %d followers (%.2f members/flush)\n",
+			r.Backend.String(), st.GroupCommitBatches, st.GroupCommitFollowers,
+			float64(st.GroupCommitBatches+st.GroupCommitFollowers)/float64(st.GroupCommitBatches))
+	}
 	return b.String()
 }

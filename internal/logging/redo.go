@@ -171,9 +171,13 @@ func (r *Redo) Commit(core int, at engine.Cycles) engine.Cycles {
 		if need > len(eng.pending) {
 			need = len(eng.pending)
 		}
+		stallFrom := t
 		t = engine.MaxCycles(t, eng.pending[need-1])
 		eng.reap(t)
 		r.env.StatsFor(core).WritebackStalls++
+		// The queue-admission stall is REDO-LOG's commit-critical
+		// persistence wait, charged to the shared barrier-wait counter.
+		r.env.StatsFor(core).CommitBarrierWait += uint64(t - stallFrom)
 	}
 	eng.reserved += len(lines)
 	eng.mu.Unlock()

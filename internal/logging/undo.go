@@ -93,6 +93,10 @@ func (u *Undo) Commit(core int, at engine.Cycles) engine.Cycles {
 		done, _ := u.env.Caches.Flush(core, la, t, stats.CatData)
 		fence = engine.MaxCycles(fence, done)
 	}
+	// The write-set flush fence is UNDO-LOG's commit-critical persistence
+	// wait — the same quantity SSP surfaces, so the commit-path experiment
+	// compares designs on one counter.
+	u.env.StatsFor(core).CommitBarrierWait += uint64(fence - t)
 	t = fence
 	log := u.logs[core]
 	t = log.Append(wal.Record{TID: u.tid[core], Kind: kindCommit}, t)

@@ -456,3 +456,113 @@ type heapArena struct {
 	a    *pheap.Arena
 	live []uint64
 }
+
+// TestParallelGroupCommit stresses the group-commit and eager-flush knobs
+// under -race: 4 goroutine-backed cores over 2 journal shards (two cores
+// share each ring, so group windows genuinely form) run concurrent local
+// and global commits with EagerFlush on. Beyond data integrity and the
+// frame invariant, it checks the group-commit accounting identity: every
+// commit on the group path resolves as exactly one of leader/solo batch or
+// follower, so batches + followers must equal the commits that took it
+// (all commits except the multi-shard globals, which use the two-phase
+// protocol).
+func TestParallelGroupCommit(t *testing.T) {
+	txns := 250
+	if testing.Short() {
+		txns = 60
+	}
+	const sharedPages = 8
+	cfg := testConfig(SSP, stressCores)
+	cfg.Layout.JournalShards = 2
+	cfg.SSP.GroupCommitWindow = 4096
+	cfg.SSP.EagerFlush = true
+	m := New(cfg)
+	m.Heap().EnsureMapped(1, sharedPages)
+
+	locks := make([]*Lock, sharedPages+1)
+	expect := make([]map[uint64]uint64, sharedPages+1)
+	for p := 1; p <= sharedPages; p++ {
+		locks[p] = m.NewLock()
+		expect[p] = map[uint64]uint64{}
+	}
+	m.ResetStats()
+
+	m.Run(func(c *Core) {
+		rng := engine.NewRNG(0x6B0C + uint64(c.ID())*0x9E3779B97F4A7C15)
+		for i := 0; i < txns; i++ {
+			val := uint64(c.ID()+1)<<32 | uint64(i+1)
+			if rng.Intn(4) == 0 {
+				n := 2 + rng.Intn(2)
+				seen := map[int]bool{}
+				var pages []int
+				for len(pages) < n {
+					p := 1 + rng.Intn(sharedPages)
+					if !seen[p] {
+						seen[p] = true
+						pages = append(pages, p)
+					}
+				}
+				sort.Ints(pages)
+				for _, p := range pages {
+					c.Acquire(locks[p])
+				}
+				c.BeginGlobal()
+				for _, p := range pages {
+					line := rng.Intn(64)
+					va := heapVA(p, line*64)
+					c.Store64(va, val)
+					expect[p][va] = val
+				}
+				c.Commit()
+				for j := len(pages) - 1; j >= 0; j-- {
+					c.Release(locks[pages[j]])
+				}
+				continue
+			}
+			p := 1 + rng.Intn(sharedPages)
+			c.Acquire(locks[p])
+			c.Begin()
+			line := rng.Intn(64)
+			va := heapVA(p, line*64)
+			c.Store64(va, val)
+			expect[p][va] = val
+			c.Commit()
+			c.Release(locks[p])
+		}
+	})
+	m.Drain()
+
+	st := *m.Stats()
+	groupCommits := st.Commits - st.GlobalCommits
+	if got := st.GroupCommitBatches + st.GroupCommitFollowers; got != groupCommits {
+		t.Errorf("group accounting: batches %d + followers %d = %d, want %d group-path commits (commits %d - globals %d)",
+			st.GroupCommitBatches, st.GroupCommitFollowers, got, groupCommits, st.Commits, st.GlobalCommits)
+	}
+	if st.GroupCommitBatches == 0 {
+		t.Fatal("no group-commit batches recorded with GroupCommitWindow on")
+	}
+	if st.EagerFlushLines == 0 {
+		t.Fatal("no eager flushes recorded with EagerFlush on")
+	}
+	if s, ok := m.Backend().(*core.SSP); ok {
+		if msg := s.DebugCheckFrames(); msg != "" {
+			t.Fatalf("SSP frame invariant violated: %s", msg)
+		}
+	}
+	verify := func(stage string) {
+		c0 := m.Core(0)
+		for p := 1; p <= sharedPages; p++ {
+			for va, want := range expect[p] {
+				if got := c0.Load64(va); got != want {
+					t.Errorf("%s: %#x = %#x, want %#x", stage, va, got, want)
+				}
+			}
+		}
+	}
+	verify("post-run")
+
+	if err := recycle(m); err != nil {
+		t.Fatalf("post-parallel group-commit recovery: %v", err)
+	}
+	verify("post-recovery")
+}

@@ -148,8 +148,30 @@ type Stats struct {
 	// Charged to the committing core's shard, so per-core reporting shows
 	// which cores lose their window to flush overlap — the residual
 	// multi-core gap the ROADMAP attributes to "data-flush overlap and
-	// commit barriers".
+	// commit barriers". The logging baselines charge their equivalent
+	// commit-critical persistence waits here too: UNDO-LOG's write-set
+	// flush fence and REDO-LOG's write-back queue-admission stall.
 	CommitBarrierWait uint64
+
+	// EagerFlushLines counts cache-line write-backs issued by the eager
+	// async data-flush path (Config.EagerFlush): clwbs launched at store
+	// time instead of at the commit fence. Repeated stores to a line
+	// re-flush it, so EagerFlushLines exceeding the deferred model's data
+	// flushes is the write amplification eager flushing trades for commit
+	// latency.
+	EagerFlushLines uint64
+
+	// Group-commit counters (Config.GroupCommitWindow > 0).
+	// GroupCommitBatches counts journal-leg flushes on the group-commit
+	// path — a leader's coalesced flush or a latecomer's solo flush — and
+	// GroupCommitFollowers counts commits that rode another core's flush
+	// ticket instead of paying their own. Batches + Followers equals the
+	// commits routed through the group protocol — the journaling commits,
+	// i.e. Commits minus multi-shard globals, empty-write-set commits and
+	// fall-back commits — so followers/batches is the mean extra occupancy
+	// per coalesced flush.
+	GroupCommitBatches   uint64
+	GroupCommitFollowers uint64
 
 	// Per-shard SSP metadata-journal counters (journal sharding). Indexed by
 	// shard; shards beyond LayoutConfig.JournalShards stay zero.
@@ -282,6 +304,9 @@ func (s *Stats) Add(o *Stats) {
 	s.JournalRecords += o.JournalRecords
 	s.FallbackTxns += o.FallbackTxns
 	s.CommitBarrierWait += o.CommitBarrierWait
+	s.EagerFlushLines += o.EagerFlushLines
+	s.GroupCommitBatches += o.GroupCommitBatches
+	s.GroupCommitFollowers += o.GroupCommitFollowers
 	for i := range s.JournalShardRecords {
 		s.JournalShardRecords[i] += o.JournalShardRecords[i]
 		s.JournalShardCheckpoints[i] += o.JournalShardCheckpoints[i]
@@ -344,6 +369,12 @@ func (s *Stats) Summary() string {
 	}
 	if s.CommitBarrierWait > 0 {
 		fmt.Fprintf(&b, "commit-barrier wait cycles: %d\n", s.CommitBarrierWait)
+	}
+	if s.EagerFlushLines > 0 {
+		fmt.Fprintf(&b, "eager data flushes (lines): %d\n", s.EagerFlushLines)
+	}
+	if s.GroupCommitBatches > 0 {
+		fmt.Fprintf(&b, "group-commit batches: %d (%d followers)\n", s.GroupCommitBatches, s.GroupCommitFollowers)
 	}
 	fmt.Fprintf(&b, "undo/redo records: %d/%d, writeback stalls: %d\n", s.UndoRecords, s.RedoRecords, s.WritebackStalls)
 	fmt.Fprintf(&b, "commits: %d, aborts: %d, fallback txns: %d\n", s.Commits, s.Aborts, s.FallbackTxns)

@@ -28,6 +28,13 @@ type CoreResult struct {
 	// BarrierWait is the core's commit-barrier wait: cycles its commits
 	// spent blocked on their data-flush fences (Stats.CommitBarrierWait).
 	BarrierWait uint64
+
+	// Group-commit participation (Stats.GroupCommitBatches/Followers):
+	// journal-leg flushes this core led (or paid solo) and commits where it
+	// rode another core's flush ticket instead. Zero when the group-commit
+	// window is off.
+	GroupBatches   uint64
+	GroupFollowers uint64
 }
 
 // ParallelResult is a parallel run's measurements: the aggregate in Result
@@ -93,12 +100,15 @@ func RunParallel(p Params) ParallelResult {
 	}
 	for i := 0; i < p.Clients; i++ {
 		coreElapsed := m.Core(i).Now() - start
+		cst := m.CoreStats(i)
 		cr := CoreResult{
-			Core:        i,
-			Txns:        uint64(share[i]),
-			Commits:     m.CoreStats(i).Commits,
-			Cycles:      coreElapsed,
-			BarrierWait: m.CoreStats(i).CommitBarrierWait,
+			Core:           i,
+			Txns:           uint64(share[i]),
+			Commits:        cst.Commits,
+			Cycles:         coreElapsed,
+			BarrierWait:    cst.CommitBarrierWait,
+			GroupBatches:   cst.GroupCommitBatches,
+			GroupFollowers: cst.GroupCommitFollowers,
 		}
 		if coreElapsed > 0 {
 			cr.TPS = float64(cr.Commits) / m.Seconds(coreElapsed)

@@ -181,6 +181,29 @@ type Config struct {
 	SSPResident     int    // L3-resident SSP cache entries
 	SubPageLines    int    // persistence granularity in lines (§4.3; 1 or 4)
 	WSBEntries      int    // write-set buffer capacity in pages (§4.2)
+
+	// Commit-path batching knobs (beyond the paper; both default to the
+	// paper model, which reproduces every earlier figure bit-for-bit).
+	//
+	// EagerFlush issues each dirty write-set line's write-back (clwb)
+	// immediately after the store instead of deferring it to the commit
+	// fence, so the fence waits only on the tail of still-in-flight
+	// flushes (Stats.CommitBarrierWait collapses). Repeated stores to a
+	// line re-flush it — extra NVRAM data writes (Stats.EagerFlushLines)
+	// are the price of the shorter critical path. Crash semantics are
+	// unchanged: eagerly flushed data lands in the shadow locations the
+	// committed bitmaps do not reference until the journal End record, so
+	// a crash rolls it back exactly as before.
+	EagerFlush bool
+	// GroupCommitWindow, in cycles, coalesces the journal legs of commits
+	// concurrently bound for the same metadata-journal shard: the first
+	// committer holds its record batch open for the window, followers
+	// append behind it and wait on the leader's flush ticket, and one ring
+	// flush hardens every batch (Stats.GroupCommitBatches/
+	// GroupCommitFollowers). 0 = the paper's flush-per-commit model.
+	// Grouping only forms when several cores share a shard (cores >
+	// JournalShards); serial execution degenerates to batches of one.
+	GroupCommitWindow int
 	// LazyConsolidation defers consolidation until slot pressure demands
 	// it (the paper's §3.4 future-work variant).
 	LazyConsolidation bool
@@ -278,6 +301,10 @@ func (c Config) apply() machine.Config {
 	}
 	mc.SSP.LazyConsolidation = c.LazyConsolidation
 	mc.SSP.FlipViaShootdown = c.FlipViaShootdown
+	mc.SSP.EagerFlush = c.EagerFlush
+	if c.GroupCommitWindow > 0 {
+		mc.SSP.GroupCommitWindow = engine.Cycles(c.GroupCommitWindow)
+	}
 	if c.RedoQueueLines > 0 {
 		mc.Redo.QueueLines = c.RedoQueueLines
 	}

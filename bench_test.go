@@ -272,12 +272,54 @@ func BenchmarkCommitPath(b *testing.B) {
 	}
 }
 
+// BenchmarkRelaxedSmoke records the epoch-batched relaxed-durability
+// trajectory for BENCH_6.json: the 4-core single-shard memcached mix
+// synchronous versus relaxed with a 100k-cycle epoch (~10 transactions per
+// seal at this mix's commit rate). Committed (acknowledgment-window) TPS is
+// the relaxed mode's headline; durable TPS includes the closing drain that
+// hardens the tail epochs, so the two bracket the durability lag. Reported
+// rather than gated, except the sanity ratio: the barrier share must
+// collapse once commits stop waiting for their journal flush.
+func BenchmarkRelaxedSmoke(b *testing.B) {
+	params := func(epoch int) workload.Params {
+		p := workload.Params{
+			Kind:    workload.Memcached,
+			Backend: ssp.SSP,
+			Clients: 4,
+			Ops:     4000,
+			Items:   4096,
+			Seed:    0xE0,
+		}
+		p.Machine.Channels = 4
+		p.Machine.JournalShards = 1
+		p.Machine.DurabilityEpoch = epoch
+		p.Relaxed = epoch > 0
+		return p
+	}
+	const epoch = 100000
+	for i := 0; i < b.N; i++ {
+		sync := workload.RunParallel(params(0))
+		rel := workload.RunParallel(params(epoch))
+		b.ReportMetric(sync.CommittedTPS, "Relaxed_sync_cTPS")
+		b.ReportMetric(rel.CommittedTPS, "Relaxed_ack_cTPS")
+		b.ReportMetric(rel.TPS, "Relaxed_durable_TPS")
+		if sync.CommittedTPS > 0 {
+			b.ReportMetric(rel.CommittedTPS/sync.CommittedTPS, "Relaxed_ack_speedup")
+		}
+		b.ReportMetric(100*experiments.BarrierWaitShare(sync, 4), "Relaxed_sync_barrier_pct")
+		b.ReportMetric(100*experiments.BarrierWaitShare(rel, 4), "Relaxed_epoch_barrier_pct")
+		b.ReportMetric(float64(rel.Stats.RelaxedCommits), "Relaxed_commits")
+		b.ReportMetric(float64(rel.Stats.HardenedEpochs), "Relaxed_hardened_epochs")
+		b.ReportMetric(experiments.MeanHardenLag(rel.Stats), "Relaxed_harden_lag_cycles")
+	}
+}
+
 // BenchmarkTxnPath measures the raw per-transaction cost of each design on
 // a minimal two-store transaction (the mechanism overhead itself).
 func BenchmarkTxnPath(b *testing.B) {
 	for _, backend := range ssp.Backends() {
 		b.Run(backend.String(), func(b *testing.B) {
-			m := ssp.New(ssp.Config{Backend: backend, Cores: 1})
+			m := ssp.MustNew(ssp.Config{Backend: backend, Cores: 1})
 			c := m.Core(0)
 			m.Heap().EnsureMapped(1, 2)
 			b.ResetTimer()

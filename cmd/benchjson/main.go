@@ -46,22 +46,35 @@ type Report struct {
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
 // parseBench extracts benchmark metrics from `go test -bench` output.
+//
+// Non-benchmark lines (goos/goarch/pkg/cpu headers, PASS, ok, test logs)
+// are skipped; a line that DOES start with "Benchmark" but does not parse
+// as the name / iteration-count / (value, unit)-pairs format is an error —
+// silently dropping it would erase the very metrics CI gates on, and the
+// gate would then "fail open" as a missing-baseline leniency.
 func parseBench(r io.Reader) (Report, error) {
 	rep := Report{Benchmarks: map[string]map[string]float64{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
+	for ln := 1; sc.Scan(); ln++ {
 		line := strings.TrimSpace(sc.Text())
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
 		fields := strings.Fields(line)
-		// Name, iteration count, then (value, unit) pairs.
-		if len(fields) < 4 || len(fields)%2 != 0 {
+		if len(fields) == 1 {
+			// The bare announcement line `BenchmarkName` go test prints when
+			// a benchmark interleaves its own output; the metrics line with
+			// the same name follows later.
 			continue
 		}
+		// Name, iteration count, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return rep, fmt.Errorf("line %d: malformed benchmark line (%d fields, want name + count + value/unit pairs): %q",
+				ln, len(fields), line)
+		}
 		if _, err := strconv.Atoi(fields[1]); err != nil {
-			continue
+			return rep, fmt.Errorf("line %d: iteration count %q is not an integer: %q", ln, fields[1], line)
 		}
 		name := procSuffix.ReplaceAllString(fields[0], "")
 		metrics := rep.Benchmarks[name]
@@ -72,7 +85,8 @@ func parseBench(r io.Reader) (Report, error) {
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				continue
+				return rep, fmt.Errorf("line %d: value %q for unit %q is not a number: %q",
+					ln, fields[i], fields[i+1], line)
 			}
 			// Benchmarks that run multiple iterations report a metric once
 			// per line; the last value wins, which matches -benchtime=1x.

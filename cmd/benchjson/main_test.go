@@ -39,6 +39,40 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// TestParseBenchRejectsMalformed pins the strict half of the parser: a
+// line that claims to be a benchmark result but cannot be parsed must fail
+// the conversion (a silent skip would let a CI gate fail open by erasing
+// the gated metric), while genuinely non-benchmark lines stay ignored.
+func TestParseBenchRejectsMalformed(t *testing.T) {
+	bad := []struct {
+		name, input string
+	}{
+		{"odd fields", "BenchmarkFoo-8 \t 1 \t 123 ns/op \t 456\n"},
+		{"too few fields", "BenchmarkFoo-8 \t 1 \t 123\n"},
+		{"bad iteration count", "BenchmarkFoo-8 \t one \t 123 ns/op\n"},
+		{"bad metric value", "BenchmarkFoo-8 \t 1 \t fast ns/op\n"},
+		{"bad later metric", "BenchmarkFoo-8 \t 1 \t 123 ns/op \t oops SSP_cTPS\n"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parseBench(strings.NewReader(sample + tc.input)); err == nil {
+				t.Fatalf("parseBench accepted %q", tc.input)
+			}
+		})
+	}
+
+	// The bare announcement line (benchmark with interleaved output) and
+	// ordinary non-benchmark noise must still be skipped, not errors.
+	ok := sample + "BenchmarkNoisy\nsome log output\nBenchmarkNoisy-8 \t 1 \t 99 ns/op\n"
+	rep, err := parseBench(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("parseBench rejected valid output: %v", err)
+	}
+	if rep.Benchmarks["BenchmarkNoisy"]["ns/op"] != 99 {
+		t.Errorf("BenchmarkNoisy = %+v", rep.Benchmarks["BenchmarkNoisy"])
+	}
+}
+
 func TestLookup(t *testing.T) {
 	rep, err := parseBench(strings.NewReader(sample))
 	if err != nil {

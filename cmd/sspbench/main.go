@@ -140,6 +140,15 @@ var experimentTable = []experiment{
 			fmt.Println(experiments.RenderCommitPath(experiments.CommitPathSweep(sc, mix, fl.window, coreList)))
 		}
 	}},
+	{"epoch", "relaxed-durability epoch sweep (epoch x cores)", func(sc experiments.Scale, fl benchFlags) {
+		coreList := experiments.SweepPowersOfTwo(fl.cores)
+		epochs := experiments.EpochLengths()
+		for _, mix := range experiments.EpochMixes() {
+			section(fmt.Sprintf("Relaxed durability — SSP on %s (%d shards, %d channels), epochs %v x %v cores",
+				mix.Kind, mix.Shards, mix.Channels, epochs, coreList))
+			fmt.Println(experiments.RenderEpoch(experiments.EpochSweep(sc, mix, epochs, coreList)))
+		}
+	}},
 }
 
 func experimentIDs() []string {

@@ -159,6 +159,48 @@
 // 2.0% of core-cycles (-58%). `sspbench -exp commitpath` sweeps the knob
 // grid; BENCH_5.json records the trajectory.
 //
+// # Relaxed durability: epoch-batched commit (CommitRelaxed)
+//
+// Core.CommitRelaxed trades the durable-on-return guarantee for commit
+// latency, governed by ssp.Config.DurabilityEpoch (cycles; 0, the default,
+// makes CommitRelaxed identical to Commit and reproduces the synchronous
+// model bit-for-bit). With an epoch configured, a relaxed commit appends
+// its journal batch into its shard's ring and returns WITHOUT flushing:
+// the acknowledgment is immediate, and durability arrives when the shard's
+// open epoch hardens — an epoch-seal record is appended (reusing the
+// stream's last TID, so a seal can never regress the TID order) and the
+// ring flushes once for every commit buffered since the previous seal. An
+// epoch hardens when its age reaches DurabilityEpoch (checked inline on
+// the next commit), when Core.Sync is called (the explicit durability
+// barrier: hardens every shard and waits), when a synchronous Commit or a
+// checkpoint needs the shard flushed anyway, or at Machine.Drain.
+//
+// The crash contract, enforced per trap point by the
+// internal/crashsweep relaxed sweeps (TestTrapSweepRelaxed,
+// TestTrapSweepCrossRelaxed): a crash loses at most the open epochs —
+// every acknowledged-but-unhardened transaction disappears WHOLE (epoch
+// seals are the only replay cut points in recovery: each shard's records
+// past its last durable seal drop before the TID merge, so an epoch is
+// never torn), losses on each shard are a suffix of that shard's
+// acknowledgment order, and everything acknowledged before a completed
+// Sync survives. Cross-shard (BeginGlobal) relaxed commits keep two-phase
+// atomicity: prepares flush eagerly into participant shards, the
+// coordinator End buffers in the coordinator's open epoch, and recovery
+// treats prepares whose End sits in a lost epoch as absent — participant
+// checkpoints stall (prepHolds) until the coordinator epoch hardens.
+// Stats counters: RelaxedCommits, EpochSeals, HardenedEpochs,
+// EpochHardenLag (mean ack-to-durable lag = lag/hardened), and after a
+// recovery DroppedEpochRecords/LostEpochTxns, with survivors +
+// LostEpochTxns <= RelaxedCommits.
+//
+// Measured (small scale, 4-core single-shard 4-channel memcached — the
+// fence-floor-bound mix): the commit-barrier share of core-cycles falls
+// 36.5% -> 0% and acknowledged cTPS rises ~1.7x over synchronous commit,
+// at a mean harden lag of roughly the epoch length.
+// `sspbench -exp epoch` sweeps epoch length × cores and reports the
+// committed-vs-durable TPS spread; BENCH_6.json records the trajectory and
+// CI gates BenchmarkRelaxedSmoke/Relaxed_ack_cTPS.
+//
 // The aggregate-vs-serial equivalence and race-freedom are enforced by
 // `go test -race ./internal/machine -run TestParallel` and the workload
 // smoke tests; the benchmark entry points are
@@ -173,7 +215,10 @@
 // vacation mixes, with global-commit and prepare-record traffic) and
 // `go run ./cmd/sspbench -exp commitpath -cores 4` (the EagerFlush ×
 // GroupCommitWindow knob grid with commit-barrier-wait shares and
-// group-commit batch occupancy).
+// group-commit batch occupancy) and
+// `go run ./cmd/sspbench -exp epoch -cores 4` (the relaxed-durability
+// epoch-length × cores sweep with acknowledged-vs-durable TPS and mean
+// harden lag).
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation:

@@ -39,7 +39,7 @@ func cfg(b ssp.Backend) ssp.Config {
 
 func run(backend ssp.Backend) {
 	// Count the script's NVRAM writes first.
-	ref := ssp.New(cfg(backend))
+	ref := ssp.MustNew(cfg(backend))
 	before := ref.Stats().NVRAMWriteLines
 	execute(ref, -1)
 	ref.Drain()
@@ -47,7 +47,7 @@ func run(backend ssp.Backend) {
 
 	torn := 0
 	for k := int64(0); k <= writes; k++ {
-		m := ssp.New(cfg(backend))
+		m := ssp.MustNew(cfg(backend))
 		completed := execute(m, k)
 		m.Mem().SetWriteTrap(-1)
 		if err := m.Recover(); err != nil {

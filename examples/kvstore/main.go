@@ -21,7 +21,10 @@ func main() {
 }
 
 func run(backend ssp.Backend) {
-	m := ssp.New(ssp.Config{Backend: backend, Cores: 1})
+	m, err := ssp.New(ssp.Config{Backend: backend, Cores: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	c := m.Core(0)
 
 	c.Begin()

@@ -15,7 +15,10 @@ import (
 func main() {
 	// A machine with Shadow Sub-Paging as the atomicity mechanism. Try
 	// ssp.UndoLog or ssp.RedoLog: the programming model is identical.
-	m := ssp.New(ssp.Config{Backend: ssp.SSP, Cores: 1})
+	m, err := ssp.New(ssp.Config{Backend: ssp.SSP, Cores: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	c := m.Core(0)
 
 	// Everything inside Begin/Commit persists all-or-nothing.

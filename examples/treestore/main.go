@@ -14,7 +14,10 @@ import (
 )
 
 func main() {
-	m := ssp.New(ssp.Config{Backend: ssp.SSP, Cores: 1})
+	m, err := ssp.New(ssp.Config{Backend: ssp.SSP, Cores: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	c := m.Core(0)
 
 	c.Begin()

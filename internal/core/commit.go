@@ -181,7 +181,7 @@ func (s *SSP) eagerBarrier(meta *pageMeta, at engine.Cycles) engine.Cycles {
 	t := at
 	s.lockShard(ref.shard)
 	if !s.journals[ref.shard].Durable(ref.mark) {
-		t = s.journals[ref.shard].Flush(t)
+		t = s.flushShard(ref.shard, -1, t)
 	}
 	s.unlockShard(ref.shard)
 	return t
@@ -237,8 +237,25 @@ func (s *SSP) sortedWS(core int) []int {
 }
 
 // Commit implements txn.Backend: the five-stage pipeline documented at the
-// top of this file, with the journal leg selected by protocolFor.
+// top of this file, with the journal leg selected inside commit.
 func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
+	return s.commit(core, at, false)
+}
+
+// CommitRelaxed implements txn.RelaxedBackend: the same pipeline with the
+// durability point deferred. Stage 1 (the metadata barrier, extended with
+// the epoch leg — see barrierFlush) still runs synchronously; stage 2
+// issues the data flushes without fencing on them; stages 3-4 buffer the
+// journal batch into the shard's open epoch and defer publication until
+// the epoch hardens. The call returns — and the transaction is
+// ACKNOWLEDGED — as soon as the batch is buffered; durability follows
+// within Config.DurabilityEpoch cycles (or at Sync/Drain/checkpoint,
+// whichever is first). With DurabilityEpoch == 0 this is Commit exactly.
+func (s *SSP) CommitRelaxed(core int, at engine.Cycles) engine.Cycles {
+	return s.commit(core, at, s.cfg.DurabilityEpoch > 0)
+}
+
+func (s *SSP) commit(core int, at engine.Cycles, relaxed bool) engine.Cycles {
 	if !s.inTxn[core] {
 		panic("core: Commit outside transaction")
 	}
@@ -246,17 +263,60 @@ func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
 		return s.fbCommit(core, at)
 	}
 	pages := s.sortedWS(core)
-	proto := s.protocolFor(core, pages)
+
+	// Select the journal leg: the single-shard fast path unless this is a
+	// global transaction whose write set actually spans more than one
+	// journal shard (a global transaction confined to one shard — or any
+	// transaction on a single-shard machine — degrades to the fast path, so
+	// JournalShards=1 never pays an extra record). Resolved BEFORE the
+	// metadata barrier because the barrier's epoch leg may skip a page's
+	// unsealed lastUpdate shard only when this commit's own record for the
+	// page goes to the same shard — dest must see the destination exactly
+	// as the dispatch does.
+	var globalShards []int
+	if s.globalTxn[core] && s.sharded() {
+		if shards := s.participantShards(pages); len(shards) > 1 {
+			globalShards = shards
+		}
+	}
+	dest := func(meta *pageMeta) int {
+		if globalShards != nil {
+			return s.shardOfSlot(meta.slot)
+		}
+		return s.shardFor(core)
+	}
 
 	// Stage 1: metadata barrier.
-	start := s.barrierFlush(pages, at)
+	start := s.barrierFlush(core, pages, at, dest)
 
-	// Stage 2: data persistence.
-	t := s.flushData(core, pages, start)
+	var t engine.Cycles
+	if relaxed && len(pages) > 0 {
+		// Stage 2 issues the clwbs but does not fence; the fence moves into
+		// the shard epoch, paid at hardening. Stages 3-4 buffer the batch
+		// (journal.go relaxedLocalCommit / global.go relaxedGlobalCommit).
+		fence := s.flushDataAsync(core, pages, start)
+		if globalShards != nil {
+			t = s.relaxedGlobalCommit(core, globalShards, pages, start, fence)
+		} else {
+			t = s.relaxedLocalCommit(core, pages, start, fence)
+		}
+	} else {
+		// Stage 2: data persistence.
+		t = s.flushData(core, pages, start)
 
-	// Stages 3-4: journal batch + publication (protocol-specific).
-	if len(pages) > 0 {
-		t = proto.journalAndPublish(core, pages, start, t)
+		// Stages 3-4: journal batch + publication (protocol-specific).
+		if len(pages) > 0 {
+			var proto commitProtocol
+			switch {
+			case globalShards != nil:
+				proto = &commitGlobal{s: s, shards: globalShards}
+			case s.cfg.GroupCommitWindow > 0:
+				proto = groupCommit{s: s}
+			default:
+				proto = commitLocal{s: s}
+			}
+			t = proto.journalAndPublish(core, pages, start, t)
+		}
 	}
 
 	// Stage 5: release core references; pages that became inactive
@@ -275,26 +335,6 @@ func (s *SSP) Commit(core int, at engine.Cycles) engine.Cycles {
 	end := t + s.env.BarrierCycles
 	s.clock(end)
 	return end
-}
-
-// protocolFor selects the commit protocol: the single-shard fast path
-// unless this is a global transaction whose write set actually spans more
-// than one journal shard (a global transaction confined to one shard — or
-// any transaction on a single-shard machine — degrades to the fast path,
-// so JournalShards=1 never pays an extra record). With a group-commit
-// window configured, the single-shard leg runs through the coalescing
-// groupCommit protocol instead (journal.go); the records on the ring are
-// identical either way.
-func (s *SSP) protocolFor(core int, pages []int) commitProtocol {
-	if s.globalTxn[core] && s.sharded() {
-		if shards := s.participantShards(pages); len(shards) > 1 {
-			return &commitGlobal{s: s, shards: shards}
-		}
-	}
-	if s.cfg.GroupCommitWindow > 0 {
-		return groupCommit{s: s}
-	}
-	return commitLocal{s: s}
 }
 
 // flushData is stage 2: clwb every write-set line; the fence waits for the
@@ -317,7 +357,11 @@ func (s *SSP) flushData(core int, pages []int, at engine.Cycles) engine.Cycles {
 		meta := s.lookupMeta(vpn)
 		bm := s.wsb[core][vpn]
 		s.lockMeta(meta)
-		if s.cfg.EagerFlush && meta.flushDone > fence {
+		// The page's in-flight completion high-water covers eager-mode
+		// write-behind flushes and relaxed commits' issued-but-unfenced
+		// flushes alike: a synchronous fence over this page must not
+		// under-wait either.
+		if (s.cfg.EagerFlush || s.cfg.DurabilityEpoch > 0) && meta.flushDone > fence {
 			fence = meta.flushDone
 		}
 		for unit := 0; unit < memsim.LinesPerPage/s.cfg.SubPageLines; unit++ {
@@ -334,6 +378,46 @@ func (s *SSP) flushData(core int, pages []int, at engine.Cycles) engine.Cycles {
 		s.unlockMeta(meta)
 	}
 	s.env.StatsFor(core).CommitBarrierWait += uint64(fence - at)
+	return fence
+}
+
+// flushDataAsync is stage 2 of a relaxed commit: issue every write-set
+// line's clwb but do not fence — the core proceeds as soon as the flushes
+// are in flight. The max completion is returned for the shard epoch's
+// fence (hardening pays the wait instead of the committer, so no
+// CommitBarrierWait is charged) and recorded in each page's flushDone
+// high-water, so any later synchronous fence over the page over-waits
+// rather than under-waits.
+func (s *SSP) flushDataAsync(core int, pages []int, at engine.Cycles) engine.Cycles {
+	fence := at
+	s.ePending[core] = eagerWriteBehind{}
+	for _, vpn := range pages {
+		meta := s.lookupMeta(vpn)
+		bm := s.wsb[core][vpn]
+		s.lockMeta(meta)
+		if meta.flushDone > fence {
+			fence = meta.flushDone
+		}
+		fl := meta.flushDone
+		for unit := 0; unit < memsim.LinesPerPage/s.cfg.SubPageLines; unit++ {
+			if bm&(1<<uint(unit)) == 0 {
+				continue
+			}
+			cur := (meta.current >> uint(unit)) & 1
+			begin, end := s.unitLines(unit)
+			for li := begin; li < end; li++ {
+				done, _ := s.env.Caches.Flush(core, meta.lineAddr(li, cur), at, stats.CatData)
+				if done > fence {
+					fence = done
+				}
+				if done > fl {
+					fl = done
+				}
+			}
+		}
+		meta.flushDone = fl
+		s.unlockMeta(meta)
+	}
 	return fence
 }
 
@@ -435,25 +519,51 @@ func (l commitLocal) journalAndPublish(core int, pages []int, _, fence engine.Cy
 // A shard already flushed for an earlier page is skipped — that flush
 // drained everything pending, which covers every mark taken before this
 // commit began (the pages' barrier marks are frozen while core-referenced).
-func (s *SSP) barrierFlush(pages []int, at engine.Cycles) engine.Cycles {
+//
+// In relaxed-durability mode (Config.DurabilityEpoch > 0) the barrier
+// grows a second, epoch leg: each page's most recent update/prepare record
+// (pageMeta.lastUpdate) must be durable before a new record carries the
+// page's CUMULATIVE committed bitmap into a different shard — otherwise a
+// crash could seal the cumulative state while dropping the open epoch that
+// produced it, reviving the earlier transaction on this page alone and
+// tearing it across its other pages. dest names the shard this commit's
+// own record for the page will go to; a lastUpdate in the SAME shard needs
+// no barrier (ring-prefix order seals them together or drops them
+// together). A nil dest never skips (the fall-back path, whose in-place
+// data flushes have no journal destination at all).
+func (s *SSP) barrierFlush(core int, pages []int, at engine.Cycles, dest func(meta *pageMeta) int) engine.Cycles {
 	fence := at
 	var flushed [stats.MaxJournalShards]bool
 	for _, vpn := range pages {
 		meta := s.lookupMeta(vpn)
 		s.lockMeta(meta)
 		ref := meta.barrier
+		upd := meta.lastUpdate
 		s.unlockMeta(meta)
-		if flushed[ref.shard] {
+		if !flushed[ref.shard] {
+			s.lockShard(ref.shard)
+			if !s.journals[ref.shard].Durable(ref.mark) {
+				if done := s.flushShard(ref.shard, core, at); done > fence {
+					fence = done
+				}
+				flushed[ref.shard] = true
+			}
+			s.unlockShard(ref.shard)
+		}
+		if s.cfg.DurabilityEpoch <= 0 || flushed[upd.shard] {
 			continue
 		}
-		s.lockShard(ref.shard)
-		if !s.journals[ref.shard].Durable(ref.mark) {
-			if done := s.journals[ref.shard].Flush(at); done > fence {
+		if dest != nil && dest(meta) == upd.shard {
+			continue
+		}
+		s.lockShard(upd.shard)
+		if !s.journals[upd.shard].Durable(upd.mark) {
+			if done := s.hardenShardLocked(upd.shard, core, at); done > fence {
 				fence = done
 			}
-			flushed[ref.shard] = true
+			flushed[upd.shard] = true
 		}
-		s.unlockShard(ref.shard)
+		s.unlockShard(upd.shard)
 	}
 	return fence
 }
@@ -526,12 +636,19 @@ func (s *SSP) StoreNT(core int, va uint64, data []byte, at engine.Cycles) engine
 
 // Drain implements txn.Backend: any batched consolidation work runs to
 // completion (serial mode has none pending — consolidation and
-// checkpointing run synchronously in simulated time).
+// checkpointing run synchronously in simulated time), then — in
+// relaxed-durability mode — every shard's open epoch hardens, so a
+// quiescent machine is always fully durable (after the consolidation
+// drain, whose records the hardening must cover).
 func (s *SSP) Drain(at engine.Cycles) engine.Cycles {
 	t := engine.MaxCycles(at, s.nowCycles())
 	if s.parallel {
 		s.drainConsolQueue(t)
 		t = engine.MaxCycles(t, s.nowCycles())
+	}
+	if s.cfg.DurabilityEpoch > 0 {
+		t = s.hardenAllShards(-1, t)
+		s.clock(t)
 	}
 	return t
 }

@@ -22,6 +22,15 @@ import (
 // consolidate takes the page's own lock and the target journal shard's lock
 // itself, in structMu → journalMu → pageMeta.mu order.
 func (s *SSP) consolidate(meta *pageMeta, at engine.Cycles) {
+	// Relaxed-durability guard: the flip record below carries the page's
+	// CUMULATIVE state — frames holding every prior transaction's effects —
+	// into the slot's own shard. If the page's most recent update record is
+	// still in ANOTHER shard's open epoch, the flip could seal while that
+	// epoch drops, and recovery would revive the dropped transaction on
+	// this page alone (its bytes are baked into the survivor frame),
+	// tearing it across its other pages. Same-shard updates are safe: the
+	// ring prefix seals them with the flip or drops them both.
+	at = s.hardenPageUpdates(meta, s.shardOfSlot(meta.slot), at)
 	s.lockMeta(meta)
 	if meta.tlbRef != 0 || meta.coreRef != 0 {
 		panic("core: consolidating an active page")

@@ -165,7 +165,7 @@ func runGroupedPair(s *SSP) uint64 {
 		s.Begin(core, 0)
 		s.Store(core, va(core, 0), []byte{byte(0xA0 + core)}, 0)
 		pageSets[core] = s.sortedWS(core)
-		t = s.barrierFlush(pageSets[core], t)
+		t = s.barrierFlush(core, pageSets[core], t, nil)
 		t = s.flushData(core, pageSets[core], t)
 	}
 	for core := 0; core <= 1; core++ {
@@ -270,7 +270,7 @@ func TestBarrierFlushChargesMax(t *testing.T) {
 	s.appendRecord(0, -1, wal.Record{TID: s.allocTID(), Kind: recConsolidate, Payload: s.journalPayload(s.lookupMeta(0).slot, st)}, s.lookupMeta(0).slot, 0)
 	s.lookupMeta(0).barrier = journalRef{shard: 0, mark: s.journals[0].MarkHere()}
 
-	done := s.barrierFlush([]int{0, 1}, 0)
+	done := s.barrierFlush(0, []int{0, 1}, 0, nil)
 	// Each ring flush alone costs at least one NVRAM write (~hundreds of
 	// cycles). Under the old sum rule the two-shard barrier would charge
 	// at least twice a single flush; the max rule stays within ~1.5x.

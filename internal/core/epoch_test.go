@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// Tests for the relaxed-durability epoch engine's accounting identities.
+// The crash classes proper (every trap point, cross-shard epochs) are swept
+// by internal/crashsweep; these pin the deterministic counter contracts.
+
+// TestGroupCommitAccountingIdentity pins the group-path identity on the
+// serial machine: every commit that reaches the group-commit journal leg is
+// counted exactly once, as a batch leader or as a follower, so batches +
+// followers equals the group-path commits — total commits minus the
+// empty-write-set ones, which skip the journal leg entirely.
+func TestGroupCommitAccountingIdentity(t *testing.T) {
+	env, s := testEnv(t, 2)
+	s.cfg.GroupCommitWindow = 4096
+	mapPage(env, 0)
+	mapPage(env, 1)
+
+	const withWrites, empty = 8, 3
+	for i := 0; i < withWrites; i++ {
+		core := i % 2
+		s.Begin(core, 0)
+		s.Store(core, va(core, i), []byte{byte(i + 1)}, 0)
+		s.Commit(core, 0)
+	}
+	for i := 0; i < empty; i++ {
+		s.Begin(0, 0)
+		s.Commit(0, 0)
+	}
+
+	st := env.Stats
+	if st.Commits != withWrites+empty {
+		t.Fatalf("Commits = %d, want %d", st.Commits, withWrites+empty)
+	}
+	if got := st.GroupCommitBatches + st.GroupCommitFollowers; got != withWrites {
+		t.Errorf("batches %d + followers %d = %d, want %d group-path commits",
+			st.GroupCommitBatches, st.GroupCommitFollowers, got, withWrites)
+	}
+}
+
+// TestEpochAccountingIdentity drives the relaxed path through a Sync and a
+// crash and checks the loss accounting: acknowledged transactions before
+// the Sync all survive, the unhardened suffix is lost whole and in order
+// (a relaxed loss is always a suffix of one core's ack order), and the
+// counters bound each other as documented on stats.Stats.
+func TestEpochAccountingIdentity(t *testing.T) {
+	env, s := testEnv(t, 1)
+	s.cfg.DurabilityEpoch = 1 << 20 // far beyond the script: only Sync hardens
+	mapPage(env, 0)
+
+	const synced, unsynced = 5, 7
+	total := synced + unsynced
+	at := engine.Cycles(0)
+	for i := 0; i < total; i++ {
+		s.Begin(0, at)
+		// Two lines per transaction so a torn survivor is detectable.
+		s.Store(0, va(0, 2*i), []byte{byte(i + 1)}, at)
+		s.Store(0, va(0, 2*i+1), []byte{byte(i + 1)}, at)
+		at = s.CommitRelaxed(0, at)
+		if i == synced-1 {
+			at = s.Sync(0, at)
+		}
+	}
+	if got := env.Stats.RelaxedCommits; got != uint64(total) {
+		t.Fatalf("RelaxedCommits = %d, want %d", got, total)
+	}
+	if env.Stats.HardenedEpochs == 0 {
+		t.Fatal("Sync hardened no epoch")
+	}
+
+	crashRecover(t, env, s)
+
+	survivors := 0
+	prefix := true
+	for i := 0; i < total; i++ {
+		var a, b [1]byte
+		s.Load(0, va(0, 2*i), a[:], 0)
+		s.Load(0, va(0, 2*i+1), b[:], 0)
+		switch {
+		case a[0] == byte(i+1) && b[0] == byte(i+1):
+			if !prefix {
+				t.Fatalf("transaction %d survived after an earlier loss: relaxed losses must be a suffix", i)
+			}
+			survivors++
+		case a[0] == 0 && b[0] == 0:
+			prefix = false
+		default:
+			t.Fatalf("transaction %d torn: lines %#x/%#x", i, a[0], b[0])
+		}
+	}
+	if survivors < synced {
+		t.Fatalf("only %d survivors; the %d transactions behind the Sync must all survive", survivors, synced)
+	}
+	st := env.Stats
+	if uint64(survivors)+st.LostEpochTxns > uint64(total) {
+		t.Errorf("survivors %d + LostEpochTxns %d exceed %d acknowledged", survivors, st.LostEpochTxns, total)
+	}
+	if st.DroppedEpochRecords < st.LostEpochTxns {
+		t.Errorf("DroppedEpochRecords %d < LostEpochTxns %d", st.DroppedEpochRecords, st.LostEpochTxns)
+	}
+	t.Logf("%d acknowledged: %d survived, %d lost (%d with durable trace)",
+		total, survivors, total-survivors, st.LostEpochTxns)
+}
+
+// TestEpochAgeBoundHardens pins the epoch-length contract itself: with no
+// Sync at all, an epoch hardens once its age reaches DurabilityEpoch, so a
+// long-running relaxed workload still becomes durable in bounded lag.
+func TestEpochAgeBoundHardens(t *testing.T) {
+	env, s := testEnv(t, 1)
+	s.cfg.DurabilityEpoch = 2000
+	mapPage(env, 0)
+
+	at := engine.Cycles(0)
+	for i := 0; i < 40; i++ {
+		s.Begin(0, at)
+		s.Store(0, va(0, i%64), []byte{byte(i + 1)}, at)
+		at = s.CommitRelaxed(0, at)
+	}
+	if env.Stats.HardenedEpochs == 0 {
+		t.Fatalf("no epoch hardened over %d cycles with a 2000-cycle bound", at)
+	}
+	if env.Stats.EpochHardenLag == 0 {
+		t.Error("hardened epochs accumulated no lag")
+	}
+}

@@ -127,7 +127,10 @@ func (s *SSP) fbCommit(core int, at engine.Cycles) engine.Cycles {
 		pages = append(pages, vpn)
 	}
 	sort.Ints(pages)
-	t = s.barrierFlush(pages, t)
+	// A nil dest: the fall-back path writes data in place with no journal
+	// record of its own, so the epoch leg may never skip an unsealed
+	// lastUpdate shard.
+	t = s.barrierFlush(core, pages, t, nil)
 	fence := t
 	for _, la := range s.sortedFBLines(core) {
 		done, _ := s.env.Caches.Flush(core, la, t, stats.CatData)

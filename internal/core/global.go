@@ -121,13 +121,14 @@ func (g *commitGlobal) journalAndPublish(core int, pages []int, start, fence eng
 		for _, vpn := range groups[si] {
 			pub := s.snapshotPage(core, vpn)
 			t = s.appendRecord(si, core, wal.Record{TID: tid, Kind: recPrepare, Payload: s.journalPayload(pub.sid, pub.st)}, pub.sid, t)
+			s.noteUpdate(pub.meta, si)
 			s.env.StatsFor(core).PrepareRecords++
 			pubs = append(pubs, pub)
 		}
 	}
 	prepDone := t
 	for _, si := range g.shards {
-		if done := s.journals[si].Flush(t); done > prepDone {
+		if done := s.flushShard(si, core, t); done > prepDone {
 			prepDone = done
 		}
 	}
@@ -145,7 +146,8 @@ func (g *commitGlobal) journalAndPublish(core int, pages []int, start, fence eng
 
 	// Phase 2: the coordinator end record is the commit point.
 	t = s.journals[coord].Append(wal.Record{TID: tid, Kind: recGlobalEnd, Payload: encodeGlobalEndPayload(mask)}, t)
-	t = s.journals[coord].Flush(t)
+	s.markUnsealed(coord)
+	t = s.flushShard(coord, core, t)
 	s.env.StatsFor(core).JournalRecords++
 	s.env.Stats.JournalShardRecords[coord]++
 	s.env.StatsFor(core).GlobalCommits++
@@ -172,6 +174,127 @@ func (g *commitGlobal) journalAndPublish(core int, pages []int, start, fence eng
 	if len(need) > 0 && s.parallel {
 		// Same re-acquisition dance as the fast path: structMu → shard
 		// lock, rechecking the trigger under the locks.
+		s.lockStruct()
+		for _, si := range need {
+			s.lockShard(si)
+			s.maybeCheckpointShard(si, t)
+			s.unlockShard(si)
+		}
+		s.unlockStruct()
+	}
+	return t
+}
+
+// relaxedGlobalCommit is CommitRelaxed's cross-shard journal leg. Phase 1
+// is EAGER: the prepare records are appended and their participant shards
+// sealed and flushed immediately (hardening any open epochs there along the
+// way) — prepares carry no commit point, so there is nothing to relax, and
+// eager sealing keeps the wall-order invariant "coordinator End durable ⇒
+// its prepares durable" without any cross-shard hardening dependency.
+// Phase 2 is DEFERRED: the coordinator End record — the commit point — is
+// buffered into the coordinator's open epoch without a flush, and the whole
+// distributed batch's slot publication waits for that epoch to harden. A
+// crash before the harden finds durable prepares with no durable End and
+// rolls the transaction back on every shard (the ordinary phase-1 crash,
+// acknowledged-but-lost); a crash after redoes all of them — never a tear.
+//
+// The deferral leaves one cross-shard obligation: until the End hardens, a
+// PARTICIPANT shard must not checkpoint — its prepares would be truncated
+// away (with their pre-transaction slot states, publication being still
+// pending) while the End could yet harden, leaving a half-applied global
+// transaction for recovery. Each participant therefore takes a prepHold,
+// released when the coordinator's epoch hardens; checkpointShard defers
+// while holds are outstanding (the high-water trigger simply refires).
+func (s *SSP) relaxedGlobalCommit(core int, shards []int, pages []int, start, fence engine.Cycles) engine.Cycles {
+	t := start
+	coord := s.shardFor(core)
+
+	groups := make(map[int][]int, len(shards))
+	for _, vpn := range pages {
+		si := s.shardOfSlot(s.lookupMeta(vpn).slot)
+		groups[si] = append(groups[si], vpn)
+	}
+
+	locked := shards
+	if !slices.Contains(locked, coord) {
+		locked = append(append([]int{}, shards...), coord)
+		sort.Ints(locked)
+	}
+	for _, si := range locked {
+		s.lockShard(si)
+	}
+	tid := s.allocTID()
+
+	// Phase 1: prepares into every participant, then the eager per-shard
+	// seals issued concurrently in simulated time (max, not sum — the same
+	// rule as the synchronous protocol's prepare fan-out).
+	var mask uint32
+	pubs := make([]slotPub, 0, len(pages))
+	for _, si := range shards {
+		mask |= 1 << uint(si)
+		for _, vpn := range groups[si] {
+			pub := s.snapshotPage(core, vpn)
+			t = s.appendRecord(si, core, wal.Record{TID: tid, Kind: recPrepare, Payload: s.journalPayload(pub.sid, pub.st)}, pub.sid, t)
+			s.noteUpdate(pub.meta, si)
+			s.env.StatsFor(core).PrepareRecords++
+			pubs = append(pubs, pub)
+		}
+	}
+	prepDone := t
+	for _, si := range shards {
+		if done := s.flushShard(si, core, t); done > prepDone {
+			prepDone = done
+		}
+	}
+
+	// Phase 2, deferred: buffer the End record into the coordinator's open
+	// epoch. The acknowledgement waits only for the buffered append; the
+	// epoch's fence absorbs both the data flushes and the prepare seals, so
+	// the eventual harden — the real commit point — lands after every piece
+	// of the transaction is durable in simulated time too.
+	t = s.journals[coord].Append(wal.Record{TID: tid, Kind: recGlobalEnd, Payload: encodeGlobalEndPayload(mask)}, t)
+	s.markUnsealed(coord)
+	s.env.StatsFor(core).JournalRecords++
+	s.env.Stats.JournalShardRecords[coord]++
+	s.env.StatsFor(core).GlobalCommits++
+	s.env.StatsFor(core).RelaxedCommits++
+
+	ep := &s.epochs[coord]
+	if !ep.open {
+		ep.open = true
+		ep.openAt = start
+	}
+	if f := engine.MaxCycles(fence, prepDone); f > ep.fence {
+		ep.fence = f
+	}
+	ep.pubs = append(ep.pubs, pubs...)
+	for _, si := range shards {
+		if si != coord {
+			s.prepHolds[si].Add(1)
+			ep.holds = append(ep.holds, si)
+		}
+	}
+	// The coordinator's ring holds (or will hold, once hardened) the End
+	// that keeps the other shards' prepares applicable: its checkpoint must
+	// persist these slots before truncating it, exactly as in the
+	// synchronous protocol.
+	for _, p := range pubs {
+		s.pendingGlobalSlots[coord][p.sid] = struct{}{}
+	}
+	if start >= ep.openAt+s.cfg.DurabilityEpoch {
+		t = s.hardenShardLocked(coord, core, t)
+	}
+
+	var need []int
+	for _, si := range locked {
+		if s.overHighWater(si) {
+			need = append(need, si)
+		}
+	}
+	for i := len(locked) - 1; i >= 0; i-- {
+		s.unlockShard(locked[i])
+	}
+	if len(need) > 0 && s.parallel {
 		s.lockStruct()
 		for _, si := range need {
 			s.lockShard(si)

@@ -54,6 +54,7 @@ func (s *SSP) journalPayload(sid int, st slotState) []byte {
 // shard).
 func (s *SSP) appendRecord(si int, core int, rec wal.Record, sid int, at engine.Cycles) engine.Cycles {
 	t := s.journals[si].Append(rec, at)
+	s.markUnsealed(si)
 	s.dirtySlots[si][sid] = struct{}{}
 	if core >= 0 {
 		s.env.StatsFor(core).JournalRecords++
@@ -79,6 +80,7 @@ func (s *SSP) appendBatch(si, core int, pages []int, tid uint32, at engine.Cycle
 			kind = recUpdateEnd
 		}
 		t = s.appendRecord(si, core, wal.Record{TID: tid, Kind: kind, Payload: s.journalPayload(pub.sid, pub.st)}, pub.sid, t)
+		s.noteUpdate(pub.meta, si)
 		pubs = append(pubs, pub)
 	}
 	return pubs, t
@@ -93,7 +95,7 @@ func (s *SSP) appendBatch(si, core int, pages []int, tid uint32, at engine.Cycle
 func (s *SSP) localCommitLocked(si, core int, pages []int, at engine.Cycles) (engine.Cycles, bool) {
 	tid := s.allocTID()
 	pubs, t := s.appendBatch(si, core, pages, tid, at)
-	t = s.journals[si].Flush(t)
+	t = s.flushShard(si, core, t)
 	s.publishSlots(pubs)
 	return t, s.overHighWater(si)
 }
@@ -108,6 +110,194 @@ func (s *SSP) drainShardCheckpoint(si int, at engine.Cycles) {
 	s.maybeCheckpointShard(si, at)
 	s.unlockShard(si)
 	s.unlockStruct()
+}
+
+// ---------------------------------------------------------------------------
+// Relaxed-durability epoch engine (Config.DurabilityEpoch > 0). A relaxed
+// commit (CommitRelaxed) buffers its journal batch without flushing and
+// returns: the batch joins the shard's open EPOCH, together with the
+// commit's issued-but-unfenced data flushes and its deferred slot-shadow
+// publications. The epoch hardens — in one amortised step — when its age
+// reaches DurabilityEpoch cycles, at Sync or Drain, before any checkpoint
+// truncation, or piggybacked on any synchronous flush of the shard:
+// hardening waits (in simulated time) for the members' data fences,
+// appends one recEpochSeal record, flushes the ring once, and only then
+// installs the members' slot states. Every explicit flush goes through
+// flushShard, so a seal always precedes it and epoch boundaries are the
+// ONLY positions recovery may cut replay at — durable bytes past a shard's
+// last seal can only be incidental full-line drains of an epoch that never
+// hardened, and are treated as absent (recover.go).
+//
+// Locking: a shard's epoch state (shardEpoch) sits with the rest of the
+// shard's journal state under journalMu[si] — hardening takes no lock the
+// corresponding synchronous flush would not have taken, so the established
+// structMu → journalMu[i] → pageMeta.mu order is unchanged (the deferred
+// publications take page locks under the shard lock, exactly like
+// localCommitLocked's publish-after-flush).
+
+// shardEpoch is one journal shard's open relaxed-durability epoch.
+type shardEpoch struct {
+	open   bool          // at least one relaxed commit is buffered unsealed
+	openAt engine.Cycles // the first such commit's buffering time
+	fence  engine.Cycles // max in-flight data-flush completion of the members
+	pubs   []slotPub     // member publications deferred until the seal
+	dirty  bool          // any record appended since the last seal
+	holds  []int         // participant shards' prepHolds to release at the seal
+}
+
+// markUnsealed notes an append to shard si that the next flush must cover
+// with a seal. appendRecord calls it; direct Append sites (the global End,
+// group members ride appendRecord) must call it themselves. No-op in the
+// synchronous model. Caller holds journalMu[si] in parallel mode.
+func (s *SSP) markUnsealed(si int) {
+	if s.cfg.DurabilityEpoch > 0 {
+		s.epochs[si].dirty = true
+	}
+}
+
+// noteUpdate records the page's most recent update/prepare-record position
+// (pageMeta.lastUpdate) for the relaxed-durability cross-shard barrier.
+// No-op in the synchronous model. Caller holds journalMu[si].
+func (s *SSP) noteUpdate(meta *pageMeta, si int) {
+	if s.cfg.DurabilityEpoch <= 0 {
+		return
+	}
+	s.lockMeta(meta)
+	meta.lastUpdate = journalRef{shard: si, mark: s.journals[si].MarkHere()}
+	s.unlockMeta(meta)
+}
+
+// flushShard makes shard si's ring durable. In relaxed-durability mode
+// every explicit flush is an epoch boundary and diverts through
+// hardenShardLocked; with DurabilityEpoch == 0 it is a plain stream flush —
+// bit-for-bit the synchronous model. Caller holds journalMu[si] in parallel
+// mode; core routes the stats shard (negative = background/shared).
+func (s *SSP) flushShard(si, core int, at engine.Cycles) engine.Cycles {
+	if s.cfg.DurabilityEpoch <= 0 {
+		return s.journals[si].Flush(at)
+	}
+	return s.hardenShardLocked(si, core, at)
+}
+
+// hardenShardLocked seals and flushes shard si's unsealed records: wait (in
+// simulated time) for the open epoch's in-flight data fences, append one
+// recEpochSeal record, flush the ring, then install the epoch's deferred
+// slot publications. With nothing unsealed it degenerates to a plain (and
+// usually free) flush. Caller holds journalMu[si] in parallel mode.
+func (s *SSP) hardenShardLocked(si, core int, at engine.Cycles) engine.Cycles {
+	ep := &s.epochs[si]
+	if !ep.dirty {
+		return s.journals[si].Flush(at)
+	}
+	t := engine.MaxCycles(at, ep.fence)
+	// The seal reuses the stream's last TID: a fresh one could regress the
+	// stream when a commit still has to append records under the sealed
+	// TID's transaction (a global commit eagerly seals participant shards
+	// BEFORE its End record lands on the coordinator, which may be one of
+	// them). Recovery filters seals out before the TID merge, so the reuse
+	// is invisible there.
+	t = s.journals[si].Append(wal.Record{TID: s.journals[si].LastTID(), Kind: recEpochSeal}, t)
+	t = s.journals[si].Flush(t)
+	st := s.env.Stats
+	if core >= 0 {
+		st = s.env.StatsFor(core)
+	}
+	st.EpochSeals++
+	if ep.open {
+		st.HardenedEpochs++
+		st.EpochHardenLag += uint64(t - ep.openAt)
+	}
+	s.publishSlots(ep.pubs)
+	for _, h := range ep.holds {
+		s.prepHolds[h].Add(-1)
+	}
+	*ep = shardEpoch{}
+	return t
+}
+
+// relaxedLocalCommit is the single-shard journal leg of CommitRelaxed:
+// append the batch and return at the buffered-append completion — no flush,
+// no publication yet. The batch joins the shard's open epoch; hardening
+// installs its slot states. The committer whose buffering time crosses the
+// epoch's age bound pays the (amortised) harden itself, so an epoch's
+// un-hardened age is bounded by DurabilityEpoch under any commit cadence.
+func (s *SSP) relaxedLocalCommit(core int, pages []int, start, fence engine.Cycles) engine.Cycles {
+	si := s.shardFor(core)
+	s.lockShard(si)
+	tid := s.allocTID()
+	pubs, t := s.appendBatch(si, core, pages, tid, start)
+	ep := &s.epochs[si]
+	if !ep.open {
+		ep.open = true
+		ep.openAt = start
+	}
+	if fence > ep.fence {
+		ep.fence = fence
+	}
+	ep.pubs = append(ep.pubs, pubs...)
+	s.env.StatsFor(core).RelaxedCommits++
+	if start >= ep.openAt+s.cfg.DurabilityEpoch {
+		t = s.hardenShardLocked(si, core, t)
+	}
+	needCkpt := s.overHighWater(si)
+	s.unlockShard(si)
+	if needCkpt && s.parallel {
+		s.drainShardCheckpoint(si, t)
+	}
+	return t
+}
+
+// hardenPageUpdates hardens the shard holding the page's most recent
+// update/prepare record, unless that shard IS dest — the shard about to
+// receive a new record carrying the page's cumulative state (consolidation;
+// barrierFlush runs the commit-path equivalent inline). No-op in the
+// synchronous model and when the position is already durable. Takes the
+// page lock briefly, then the shard lock — separate acquisitions, inside
+// the established order.
+func (s *SSP) hardenPageUpdates(meta *pageMeta, dest int, at engine.Cycles) engine.Cycles {
+	if s.cfg.DurabilityEpoch <= 0 {
+		return at
+	}
+	s.lockMeta(meta)
+	upd := meta.lastUpdate
+	s.unlockMeta(meta)
+	if upd.shard == dest {
+		return at
+	}
+	s.lockShard(upd.shard)
+	if !s.journals[upd.shard].Durable(upd.mark) {
+		at = s.hardenShardLocked(upd.shard, -1, at)
+	}
+	s.unlockShard(upd.shard)
+	return at
+}
+
+// hardenAllShards hardens every shard's open epoch (Sync, Drain). The
+// shards are independent rings flushed concurrently in simulated time, so
+// the completion is the max — not the sum — of the per-shard hardens.
+func (s *SSP) hardenAllShards(core int, at engine.Cycles) engine.Cycles {
+	t := at
+	for si := range s.journals {
+		s.lockShard(si)
+		if done := s.hardenShardLocked(si, core, at); done > t {
+			t = done
+		}
+		s.unlockShard(si)
+	}
+	return t
+}
+
+// Sync implements txn.RelaxedBackend's durability upgrade barrier: on
+// return, every commit acknowledged before the call — relaxed or not — is
+// durable. With DurabilityEpoch == 0 everything already is, and Sync is
+// free.
+func (s *SSP) Sync(core int, at engine.Cycles) engine.Cycles {
+	if s.cfg.DurabilityEpoch <= 0 {
+		return at
+	}
+	t := s.hardenAllShards(core, at)
+	s.clock(t)
+	return t
 }
 
 // ---------------------------------------------------------------------------
@@ -231,7 +421,7 @@ func (g groupCommit) journalAndPublish(core int, pages []int, _, fence engine.Cy
 
 	s.lockShard(si)
 	s.groups[si] = nil // close the window: later arrivals lead new groups
-	t := s.journals[si].Flush(grp.appendDone)
+	t := s.flushShard(si, core, grp.appendDone)
 	grp.durable = t
 	// Publish every member's states under the shard lock, before any
 	// checkpoint can truncate the just-flushed records.
@@ -310,11 +500,24 @@ func (s *SSP) maybeCheckpointAll(at engine.Cycles) {
 // group a little early — every member's full batch is already in
 // grp.pubs, so each transaction stays all-or-nothing.
 func (s *SSP) checkpointShard(si int, at engine.Cycles) {
+	// Relaxed-durability legs. A participant shard whose prepare records
+	// still await their coordinator End's hardening must not truncate
+	// (relaxedGlobalCommit's prepHold) — defer; the high-water trigger
+	// refires once the hold clears. Otherwise harden this shard's own open
+	// epoch first: the members' records become durable and their slot
+	// states published, so the dirty-slot persistence below captures them
+	// and the truncation orphans nothing.
+	if s.cfg.DurabilityEpoch > 0 {
+		if s.prepHolds[si].Load() > 0 {
+			return
+		}
+		at = s.hardenShardLocked(si, -1, at)
+	}
 	dirty := s.dirtySlots[si]
 	pending := s.pendingGlobalSlots[si]
 	groupStates := map[int]slotState{}
 	if grp := s.groups[si]; grp != nil {
-		at = s.journals[si].Flush(at)
+		at = s.flushShard(si, -1, at)
 		for _, p := range grp.pubs {
 			if cur, ok := groupStates[p.sid]; !ok || p.st.ver > cur.ver {
 				groupStates[p.sid] = p.st

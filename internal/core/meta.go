@@ -89,6 +89,15 @@ type Config struct {
 	// hardens them all. Zero (the paper model: one flush per commit) by
 	// default; serial execution degenerates to batches of one.
 	GroupCommitWindow engine.Cycles
+	// DurabilityEpoch, when positive, enables the relaxed-durability commit
+	// mode (CommitRelaxed): a relaxed commit is acknowledged as soon as its
+	// journal batch is buffered, and each journal shard hardens its open
+	// epoch — data fences, a seal record and one ring flush — when the
+	// epoch's age reaches this many cycles (or earlier: at Sync, Drain, any
+	// synchronous flush of the shard, or a checkpoint). Zero (the paper's
+	// synchronous model, bit-for-bit) by default. See journal.go's epoch
+	// engine and recover.go's epoch-cut replay.
+	DurabilityEpoch engine.Cycles
 }
 
 // DefaultConfig returns the paper's SSP parameters.
@@ -138,11 +147,24 @@ type pageMeta struct {
 	barrier journalRef
 
 	// flushDone is the latest completion cycle of an eager in-flight data
-	// flush issued against this page (Config.EagerFlush). The commit fence
-	// takes the max over its write-set pages instead of re-flushing; the
-	// value is monotone, so a commit can only over-wait (never under-wait)
-	// on another core's already-fenced flushes. Protected by mu.
+	// flush issued against this page (Config.EagerFlush, and the issued-not-
+	// fenced data flushes of relaxed commits). The commit fence takes the
+	// max over its write-set pages instead of re-flushing; the value is
+	// monotone, so a commit can only over-wait (never under-wait) on
+	// another core's already-fenced flushes. Protected by mu.
 	flushDone engine.Cycles
+
+	// lastUpdate names the journal position of this page's most recent
+	// update/prepare record. Maintained only in relaxed-durability mode
+	// (Config.DurabilityEpoch > 0): a record about to carry this page's
+	// cumulative committed bitmap into a DIFFERENT shard must harden this
+	// position first (barrierFlush's epoch leg, consolidate's guard), or a
+	// crash could seal the cumulative state while dropping the open epoch
+	// that produced it — reviving the earlier transaction on this page only
+	// and tearing it across its other pages. Records bound for the same
+	// shard need no barrier: ring order seals them together or drops them
+	// together. Protected by mu.
+	lastUpdate journalRef
 }
 
 // journalRef names a durable position in one journal shard.
@@ -231,6 +253,13 @@ func decodeSlot(buf []byte, frameAddr func(int) memsim.PAddr) slotState {
 // whole distributed batch. Recovery applies a TID's prepare records from
 // every shard iff its coordinator end record is durable, so a crash before
 // the end rolls back every participant and a crash after it redoes them.
+//
+// Relaxed durability adds recEpochSeal: a zero-payload marker appended
+// immediately before every explicit ring flush when Config.DurabilityEpoch
+// > 0 (flushShard). Seals make epoch boundaries the only replay cut points:
+// recovery keeps each shard's records only up to its last durable seal, so
+// bytes an un-hardened epoch happened to drain line-by-line are treated as
+// absent (recover.go).
 const (
 	recUpdate      = 1
 	recEnd         = 2
@@ -239,6 +268,7 @@ const (
 	recUpdateEnd   = 5
 	recPrepare     = 6
 	recGlobalEnd   = 7
+	recEpochSeal   = 8
 )
 
 // journal record payload: u32 sid, u32 vpn, u32 ppn0Idx, u32 ppn1Idx,

@@ -36,6 +36,8 @@ func (s *SSP) Crash() {
 	for i := range s.journals {
 		s.journals[i].Reset()
 		s.pendingGlobalSlots[i] = make(map[int]struct{})
+		s.epochs[i] = shardEpoch{}
+		s.prepHolds[i].Store(0)
 	}
 	s.now.Store(0)
 	s.consolQ = nil
@@ -84,22 +86,56 @@ func (s *SSP) Recover() error {
 	// shard, merge the survivors by TID, and replay under the version
 	// guard.
 	raw := wal.ScanShards(s.env.Mem, s.env.Layout.JournalBase, s.env.Layout.Cfg.JournalBytes)
-	endTIDs := make(map[uint32]bool)
 	var maxTID uint32
 	for _, recs := range raw {
 		if m := wal.MaxTID(recs); m > maxTID {
 			maxTID = m
 		}
 		for _, r := range recs {
-			if r.Kind == recGlobalEnd {
-				endTIDs[r.TID] = true
-			}
-			// Versions consumed by dropped batches must stay below the next
-			// allocation, so the scan covers every record, applied or not.
+			// Versions and TIDs consumed by dropped batches — including
+			// everything the epoch cut below discards — must stay below the
+			// next allocation, so this scan covers every record, applied or
+			// not.
 			if len(r.Payload) == journalPayloadBytes || len(r.Payload) == journalPayloadVerBytes {
 				if _, st := decodeJournalPayload(r.Payload, s.env.Layout.FrameAddr); st.ver > maxVer {
 					maxVer = st.ver
 				}
+			}
+		}
+	}
+
+	// Epoch cut (Config.DurabilityEpoch > 0): each shard replays only up to
+	// its last recEpochSeal. Every explicit flush appends a seal first
+	// (flushShard), so bytes past the last seal can only be incidental
+	// full-line drains of an epoch that never hardened — relaxed commits the
+	// machine acknowledged but never promised durable yet. They are absent
+	// by definition, and dropping whole epochs (never parts of one) is what
+	// keeps a relaxed crash from tearing: in particular the end TIDs below
+	// come from the CUT lists, so a coordinator End sitting in an open epoch
+	// cannot commit its (durably sealed) prepares in other shards.
+	if s.cfg.DurabilityEpoch > 0 {
+		for i, recs := range raw {
+			cut := 0
+			for j, r := range recs {
+				if r.Kind == recEpochSeal {
+					cut = j + 1
+				}
+			}
+			for _, r := range recs[cut:] {
+				s.env.Stats.DroppedEpochRecords++
+				if r.Kind == recUpdateEnd || r.Kind == recGlobalEnd {
+					s.env.Stats.LostEpochTxns++
+				}
+			}
+			raw[i] = recs[:cut]
+		}
+	}
+
+	endTIDs := make(map[uint32]bool)
+	for _, recs := range raw {
+		for _, r := range recs {
+			if r.Kind == recGlobalEnd {
+				endTIDs[r.TID] = true
 			}
 		}
 	}
@@ -272,6 +308,10 @@ func (s *SSP) validShardRecords(recs []wal.Record, endTIDs, droppedGlobal map[ui
 		case recGlobalEnd:
 			// The commit point itself; carries no slot state. Its TIDs were
 			// collected in the caller's first pass.
+		case recEpochSeal:
+			// Epoch boundary marker: no slot state, and never inside a batch
+			// (seals are appended under the same shard lock as the batches
+			// they follow). Nothing to emit.
 		default:
 			return nil, fmt.Errorf("core: unknown journal record kind %d", r.Kind)
 		}

@@ -99,6 +99,18 @@ type SSP struct {
 	// shard's journalMu; only populated in parallel mode.
 	groups []*commitGroup
 
+	// epochs holds each journal shard's open relaxed-durability epoch
+	// (Config.DurabilityEpoch > 0; zero-valued and untouched otherwise).
+	// Guarded by the shard's journalMu, like the shard's stream — see the
+	// epoch engine in journal.go. prepHolds counts, per shard, the relaxed
+	// global transactions whose prepare records sit in that shard's ring
+	// while their coordinator End is still in another shard's open epoch;
+	// a held shard defers checkpoints (see relaxedGlobalCommit). Atomic
+	// because the coordinator's harden releases holds on other shards while
+	// holding only its own shard's lock.
+	epochs    []shardEpoch
+	prepHolds []atomic.Int32
+
 	// pendingGlobalSlots tracks, per coordinator shard, the slots of global
 	// transactions whose end record lives in that shard's ring while their
 	// prepare records sit in OTHER shards' rings. A coordinator checkpoint
@@ -149,6 +161,7 @@ type SSP struct {
 var _ txn.Backend = (*SSP)(nil)
 var _ txn.ParallelAware = (*SSP)(nil)
 var _ txn.GlobalBackend = (*SSP)(nil)
+var _ txn.RelaxedBackend = (*SSP)(nil)
 
 // NewSSP builds the SSP backend over env. When fresh is true the persistent
 // slot array is formatted (every slot assigned its spare frame up front,
@@ -185,8 +198,13 @@ func NewSSP(env *txn.Env, cfg Config, fresh bool) *SSP {
 	}
 	s.journalMu = make([]sync.Mutex, len(s.journals))
 	s.groups = make([]*commitGroup, len(s.journals))
+	s.epochs = make([]shardEpoch, len(s.journals))
+	s.prepHolds = make([]atomic.Int32, len(s.journals))
 	if s.cfg.GroupCommitWindow < 0 {
 		s.cfg.GroupCommitWindow = 0
+	}
+	if s.cfg.DurabilityEpoch < 0 {
+		s.cfg.DurabilityEpoch = 0
 	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[int]*pageMeta)

@@ -17,10 +17,13 @@ import (
 // Script is a deterministic transaction sequence: txn i writes value i+1 to
 // every address in its write set. Global marks transactions opened with
 // BeginGlobal (cross-shard two-phase commit on a multi-shard SSP machine);
-// a nil/short Global slice means all-local.
+// a nil/short Global slice means all-local. Sync marks transactions whose
+// committing core issues a durability-upgrade Sync right after the commit —
+// only meaningful to the relaxed runner (RunScriptRelaxed).
 type Script struct {
 	Txns   [][]uint64
 	Global []bool
+	Sync   []bool
 }
 
 // global reports whether txn i runs under BeginGlobal.
@@ -197,7 +200,7 @@ func SweepCrossConfig(cfg ssp.Config, seed uint64, txns int, verbose bool, log i
 // run counts the durable NVRAM writes, then the script re-runs once per
 // possible trap point with recovery and all-or-nothing verification.
 func SweepScriptConfig(cfg ssp.Config, sc Script, verbose bool, log io.Writer) (points, failures int) {
-	ref := ssp.New(cfg)
+	ref := ssp.MustNew(cfg)
 	setup := ref.Stats().NVRAMWriteLines
 	RunScript(ref, sc)
 	ref.Drain()
@@ -210,7 +213,7 @@ func SweepScriptConfig(cfg ssp.Config, sc Script, verbose bool, log io.Writer) (
 	}
 	for k := int64(0); k <= writes; k++ {
 		points++
-		m := ssp.New(cfg)
+		m := ssp.MustNew(cfg)
 		m.Mem().SetWriteTrap(k)
 		committed, boundary := RunScript(m, sc)
 		m.Mem().SetWriteTrap(-1)

@@ -104,7 +104,7 @@ func TestTrapSweepCrossShard(t *testing.T) {
 		}
 		// The sweep is only meaningful if the script genuinely drives the
 		// two-phase path on this machine (global write sets spanning shards).
-		ref := ssp.New(cfg)
+		ref := ssp.MustNew(cfg)
 		RunScript(ref, sc)
 		ref.Drain()
 		if ref.Stats().GlobalCommits == 0 {
@@ -144,7 +144,7 @@ func TestTrapSweepCrossShardCheckpoints(t *testing.T) {
 		cfg := ShardedConfig(ssp.SSP, cores, shards)
 		cfg.JournalKB = 1 // high-water after ~16 records: checkpoints mid-script
 		sc := MakeCrossScript(seed, txns)
-		ref := ssp.New(cfg)
+		ref := ssp.MustNew(cfg)
 		RunScript(ref, sc)
 		ref.Drain()
 		if st := ref.Stats(); st.Checkpoints == 0 || st.GlobalCommits == 0 {
@@ -166,7 +166,7 @@ func TestTrapSweepCrossShardCheckpoints(t *testing.T) {
 // would vacuously pass sweeping only fast-path commits).
 func TestCrossScriptExercisesTwoPhase(t *testing.T) {
 	cfg := ShardedConfig(ssp.SSP, 4, 4)
-	m := ssp.New(cfg)
+	m := ssp.MustNew(cfg)
 	RunScript(m, MakeCrossScript(0xBEE5, 12))
 	m.Drain()
 	st := m.Stats()
@@ -183,7 +183,7 @@ func TestCrossScriptExercisesTwoPhase(t *testing.T) {
 // durable state was tampered with must fail verification.
 func TestVerifyCatchesCorruption(t *testing.T) {
 	sc := MakeScript(7, 5)
-	m := ssp.New(Config(ssp.SSP))
+	m := ssp.MustNew(Config(ssp.SSP))
 	committed, _ := RunScript(m, sc)
 	m.Drain()
 	if len(committed) == 0 {
@@ -204,6 +204,111 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 	if err := Verify(m, committed, nil); err == nil {
 		t.Fatal("verifier accepted corrupted state")
 	}
+}
+
+// TestTrapSweepRelaxed trap-sweeps the relaxed-durability commit mode
+// (CommitRelaxed + epoch hardening): power failure after every durable
+// NVRAM write, recovery with the epoch cut, and the relaxed contract
+// verified — every transaction atomic, losses a per-shard suffix of the
+// acknowledgment order (at most the open epoch, never torn), everything
+// behind a completed Sync durable, and nothing invented. Classes cover the
+// single-core machine, a short epoch (inline age-bound hardens dominate),
+// journal shards, and both commit-path knobs stacked on top.
+func TestTrapSweepRelaxed(t *testing.T) {
+	txns := 12
+	if testing.Short() {
+		txns = 8
+	}
+	classes := []struct {
+		name  string
+		cfg   ssp.Config
+		epoch int
+		seed  uint64
+	}{
+		{"local", Config(ssp.SSP), 30000, 0x3E1A},
+		{"short-epoch", Config(ssp.SSP), 4000, 0x3E1B},
+		{"shards", ShardedConfig(ssp.SSP, 3, 3), 30000, 0x3E1C},
+		{"knobs", WithCommitKnobs(Config(ssp.SSP)), 30000, 0x3E1D},
+	}
+	for _, cl := range classes {
+		cl := cl
+		t.Run(cl.name, func(t *testing.T) {
+			cfg := cl.cfg
+			cfg.DurabilityEpoch = cl.epoch
+			sc := MakeRelaxedScript(cl.seed, txns, false)
+
+			// The sweep is only meaningful if the script drives the relaxed
+			// machinery, and an uncrashed run must lose nothing: after Drain
+			// every acknowledged transaction is durable.
+			ref := ssp.MustNew(cfg)
+			out := RunScriptRelaxed(ref, sc)
+			ref.Drain()
+			if st := ref.Stats(); st.RelaxedCommits == 0 || st.HardenedEpochs == 0 {
+				t.Fatalf("reference run drove %d relaxed commits / %d hardened epochs; the sweep needs both",
+					st.RelaxedCommits, st.HardenedEpochs)
+			}
+			out.SyncFloor = len(sc.Txns) - 1 // Drain = Sync over everything
+			if err := VerifyRelaxed(ref, cfg, sc, out); err != nil {
+				t.Fatalf("uncrashed reference run: %v", err)
+			}
+
+			points, bad := SweepRelaxedScript(cfg, sc, false, os.Stderr)
+			if bad != 0 {
+				t.Fatalf("%s (seed %#x): %d of %d trap points violated the relaxed contract",
+					cl.name, cl.seed, bad, points)
+			}
+			if points == 0 {
+				t.Fatalf("%s sweep checked no trap points", cl.name)
+			}
+			t.Logf("%s: %d trap points checked", cl.name, points)
+		})
+	}
+}
+
+// TestTrapSweepCrossRelaxed is the cross-shard relaxed class: global
+// transactions committed with CommitRelaxed leave their participant
+// prepares eagerly sealed but defer the coordinator End record into the
+// coordinator shard's OPEN epoch. The sweep therefore cuts the write
+// stream between a participant's durable prepare seal and the coordinator
+// epoch's harden — recovery must treat the durably-prepared transaction as
+// absent on EVERY shard (the end TIDs are collected from the cut record
+// lists), and a later Sync or age-bound harden must flip it to durable on
+// every shard at once.
+func TestTrapSweepCrossRelaxed(t *testing.T) {
+	txns := 12
+	if testing.Short() {
+		txns = 8
+	}
+	const cores, shards = 4, 4
+	cfg := ShardedConfig(ssp.SSP, cores, shards)
+	cfg.DurabilityEpoch = 30000
+	total := 0
+	for s := 0; s < 2; s++ {
+		seed := 0x3E2A + uint64(s)*1000003
+		sc := MakeRelaxedScript(seed, txns, true)
+		ref := ssp.MustNew(cfg)
+		RunScriptRelaxed(ref, sc)
+		ref.Drain()
+		st := ref.Stats()
+		if st.GlobalCommits == 0 || st.HardenedEpochs == 0 {
+			t.Fatalf("script %d (seed %#x) drove %d global commits / %d hardened epochs; the sweep needs both",
+				s, seed, st.GlobalCommits, st.HardenedEpochs)
+		}
+		if st.PrepareRecords < 2*st.GlobalCommits {
+			t.Fatalf("prepare records %d < 2x global commits %d: global write sets did not span shards",
+				st.PrepareRecords, st.GlobalCommits)
+		}
+		points, bad := SweepRelaxedScript(cfg, sc, false, os.Stderr)
+		if bad != 0 {
+			t.Fatalf("script %d (seed %#x): %d of %d trap points violated the relaxed contract",
+				s, seed, bad, points)
+		}
+		total += points
+	}
+	if total == 0 {
+		t.Fatal("cross-relaxed sweep checked no trap points")
+	}
+	t.Logf("%d trap points checked", total)
 }
 
 // TestTrapSweepEagerFlush runs the single-core trap sweep with the eager
@@ -272,12 +377,29 @@ func TestTrapSweepCommitKnobs(t *testing.T) {
 			t.Logf("%s: %d trap points checked", cl.name, points)
 		})
 	}
+	t.Run("epoch", func(t *testing.T) {
+		// DurabilityEpoch on with SYNCHRONOUS commits: Commit stays
+		// synchronous regardless, but every explicit flush now appends an
+		// epoch-seal record first, adding trap points inside each commit's
+		// journal leg. The strict contract still applies: everything
+		// committed survives every cut.
+		cfg := WithCommitKnobs(ShardedConfig(ssp.SSP, 3, 3))
+		cfg.DurabilityEpoch = 30000
+		points, bad := SweepConfig(cfg, 0xEA63, txns, false, os.Stderr)
+		if bad != 0 {
+			t.Fatalf("epoch (seed 0xEA63): %d of %d trap points violated the all-or-nothing contract", bad, points)
+		}
+		if points == 0 {
+			t.Fatal("epoch sweep checked no trap points")
+		}
+		t.Logf("epoch: %d trap points checked", points)
+	})
 	t.Run("checkpoints", func(t *testing.T) {
 		cfg := WithCommitKnobs(ShardedConfig(ssp.SSP, 4, 4))
 		cfg.JournalKB = 1 // high-water after ~16 records: checkpoints mid-script
 		seed := uint64(0xCCEA)
 		sc := MakeCrossScript(seed, 30)
-		ref := ssp.New(cfg)
+		ref := ssp.MustNew(cfg)
 		RunScript(ref, sc)
 		ref.Drain()
 		if st := ref.Stats(); st.Checkpoints == 0 || st.GlobalCommits == 0 {

@@ -40,7 +40,7 @@ func RecoveryEffort(sc Scale) []RecoveryRow {
 		if sc.STLB != 0 {
 			cfg.STLBEntries = sc.STLB
 		}
-		m := ssp.New(cfg)
+		m := ssp.MustNew(cfg)
 		c := m.Core(0)
 		c.Begin()
 		rb := pds.CreateRBTree(c, m.Heap())

@@ -92,6 +92,39 @@ func (c *Core) Commit() {
 	c.m.ws[c.id].record(len(c.wsLines), len(c.wsPages))
 }
 
+// CommitRelaxed closes the section with relaxed durability: on return its
+// writes are acknowledged and visible, and they become durable within the
+// backend's epoch bound (ssp.Config.DurabilityEpoch) — or at the next
+// Sync/Drain, whichever is first. A crash before then loses the section
+// atomically, never partially. On backends without the relaxed mode — or
+// with DurabilityEpoch = 0 — this is exactly Commit.
+func (c *Core) CommitRelaxed() {
+	if !c.inTxn {
+		panic("machine: Commit outside transaction")
+	}
+	rb, ok := c.m.backend.(txn.RelaxedBackend)
+	if !ok {
+		c.Commit()
+		return
+	}
+	c.op()
+	c.m.clocks[c.id] = rb.CommitRelaxed(c.id, c.m.clocks[c.id])
+	c.inTxn = false
+	c.m.ws[c.id].record(len(c.wsLines), len(c.wsPages))
+}
+
+// Sync is the durability upgrade barrier for relaxed commits: on return,
+// every section this machine acknowledged before the call — relaxed or not
+// — is durable. A no-op on backends without the relaxed mode.
+func (c *Core) Sync() {
+	rb, ok := c.m.backend.(txn.RelaxedBackend)
+	if !ok {
+		return
+	}
+	c.op()
+	c.m.clocks[c.id] = rb.Sync(c.id, c.m.clocks[c.id])
+}
+
 // Abort rolls the open section back.
 func (c *Core) Abort() {
 	if !c.inTxn {

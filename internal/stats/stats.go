@@ -173,6 +173,27 @@ type Stats struct {
 	GroupCommitBatches   uint64
 	GroupCommitFollowers uint64
 
+	// Relaxed-durability counters (Config.DurabilityEpoch > 0).
+	// RelaxedCommits counts transactions acknowledged by CommitRelaxed with
+	// their durability deferred into a shard epoch. EpochSeals counts
+	// recEpochSeal records appended (one per explicit ring flush);
+	// HardenedEpochs counts the subset that closed an OPEN epoch — one with
+	// at least one relaxed commit buffered — and EpochHardenLag accumulates,
+	// for those, the cycles from the epoch's first relaxed commit to its
+	// seal's durability (mean ack-to-durable lag = EpochHardenLag /
+	// HardenedEpochs). After a crash, every relaxed commit either survives
+	// recovery or is lost whole: LostEpochTxns counts the lost End records
+	// the epoch cut discarded from NVRAM and DroppedEpochRecords every
+	// record past a cut, so survivors + LostEpochTxns <= RelaxedCommits —
+	// the gap is End records that never left the ring's volatile tail line
+	// (lost the same way, just with no durable trace to count).
+	RelaxedCommits      uint64
+	EpochSeals          uint64
+	HardenedEpochs      uint64
+	EpochHardenLag      uint64
+	DroppedEpochRecords uint64
+	LostEpochTxns       uint64
+
 	// Per-shard SSP metadata-journal counters (journal sharding). Indexed by
 	// shard; shards beyond LayoutConfig.JournalShards stay zero.
 	JournalShardRecords     [MaxJournalShards]uint64 // records appended per shard
@@ -307,6 +328,12 @@ func (s *Stats) Add(o *Stats) {
 	s.EagerFlushLines += o.EagerFlushLines
 	s.GroupCommitBatches += o.GroupCommitBatches
 	s.GroupCommitFollowers += o.GroupCommitFollowers
+	s.RelaxedCommits += o.RelaxedCommits
+	s.EpochSeals += o.EpochSeals
+	s.HardenedEpochs += o.HardenedEpochs
+	s.EpochHardenLag += o.EpochHardenLag
+	s.DroppedEpochRecords += o.DroppedEpochRecords
+	s.LostEpochTxns += o.LostEpochTxns
 	for i := range s.JournalShardRecords {
 		s.JournalShardRecords[i] += o.JournalShardRecords[i]
 		s.JournalShardCheckpoints[i] += o.JournalShardCheckpoints[i]
@@ -375,6 +402,15 @@ func (s *Stats) Summary() string {
 	}
 	if s.GroupCommitBatches > 0 {
 		fmt.Fprintf(&b, "group-commit batches: %d (%d followers)\n", s.GroupCommitBatches, s.GroupCommitFollowers)
+	}
+	if s.RelaxedCommits > 0 {
+		fmt.Fprintf(&b, "relaxed commits: %d, epochs hardened: %d (seals: %d)\n", s.RelaxedCommits, s.HardenedEpochs, s.EpochSeals)
+		if s.HardenedEpochs > 0 {
+			fmt.Fprintf(&b, "mean epoch harden lag (cycles): %d\n", s.EpochHardenLag/s.HardenedEpochs)
+		}
+	}
+	if s.DroppedEpochRecords > 0 {
+		fmt.Fprintf(&b, "epoch-cut records dropped: %d (%d acknowledged txns lost)\n", s.DroppedEpochRecords, s.LostEpochTxns)
 	}
 	fmt.Fprintf(&b, "undo/redo records: %d/%d, writeback stalls: %d\n", s.UndoRecords, s.RedoRecords, s.WritebackStalls)
 	fmt.Fprintf(&b, "commits: %d, aborts: %d, fallback txns: %d\n", s.Commits, s.Aborts, s.FallbackTxns)

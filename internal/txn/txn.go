@@ -139,6 +139,31 @@ type GlobalBackend interface {
 	BeginGlobal(core int, at engine.Cycles) engine.Cycles
 }
 
+// RelaxedBackend is implemented by backends offering an epoch-batched
+// relaxed-durability commit mode alongside the synchronous Commit.
+//
+// CommitRelaxed closes the open section exactly like Commit — on return
+// the section is ACKNOWLEDGED and its writes are visible — but its
+// durability point is deferred: the backend guarantees the section becomes
+// durable within its configured epoch bound (for SSP:
+// Config.DurabilityEpoch cycles, or earlier at a Sync, a Drain, or any
+// synchronous flush of the section's metadata shard), and that a crash
+// before that point loses relaxed sections ATOMICALLY — each one entirely
+// present or entirely absent afterwards, never torn, and never reordered
+// against a later durable section on the same metadata stream.
+//
+// Sync is the durability upgrade barrier: on return every section
+// acknowledged before the call — relaxed or not — is durable. With the
+// relaxed mode disabled (DurabilityEpoch = 0) CommitRelaxed must be
+// bit-for-bit Commit and Sync free.
+//
+// Drivers fall back to Commit (and a no-op Sync) on backends without the
+// interface — the logging baselines persist at commit unconditionally.
+type RelaxedBackend interface {
+	CommitRelaxed(core int, at engine.Cycles) engine.Cycles
+	Sync(core int, at engine.Cycles) engine.Cycles
+}
+
 // ParallelAware is implemented by backends that support concurrent
 // goroutine-per-core execution (machine.Machine.Run). SetParallel(true) is
 // called before the core goroutines start, SetParallel(false) after they

@@ -194,6 +194,11 @@ type Mark struct {
 	off        int
 }
 
+// LastTID returns the TID of the most recently appended record, or the TID
+// floor if nothing was appended since the last Reset. Marker records that
+// must never regress the stream (epoch seals) reuse it.
+func (s *Stream) LastTID() uint32 { return s.lastTID }
+
 // MarkHere returns a Mark for the stream's current end: Durable(mark)
 // becomes true once everything appended so far has drained to NVRAM.
 func (s *Stream) MarkHere() Mark {

@@ -117,7 +117,7 @@ func buildMemcachedCross(m *ssp.Machine, p Params) []*client {
 				for _, s := range targets {
 					shards[s].Set(c, k, val)
 				}
-				c.Commit()
+				p.commit(c)
 				for j := len(targets) - 1; j >= 0; j-- {
 					c.Release(locks[targets[j]])
 				}
@@ -134,7 +134,7 @@ func buildMemcachedCross(m *ssp.Machine, p Params) []*client {
 			c.Acquire(locks[i])
 			c.Begin()
 			shards[i].Set(c, k, val)
-			c.Commit()
+			p.commit(c)
 			c.Release(locks[i])
 		}
 		clients = append(clients, cl)
@@ -161,7 +161,7 @@ func buildVacationCross(m *ssp.Machine, p Params) []*client {
 
 		c.Begin()
 		arena := m.NewArena(c, arenaPages)
-		st := &vacationState{tuples: perTuples, alloc: arena}
+		st := &vacationState{tuples: perTuples, alloc: arena, commit: p.commit}
 		for t := 0; t < vacResourceTables; t++ {
 			st.resources[t] = pds.CreateRBTree(c, arena)
 		}
@@ -199,7 +199,7 @@ func buildVacationCross(m *ssp.Machine, p Params) []*client {
 				for _, s := range targets {
 					vacUpdateTablesBody(c, states[s], crng)
 				}
-				c.Commit()
+				p.commit(c)
 				for j := len(targets) - 1; j >= 0; j-- {
 					c.Release(locks[targets[j]])
 				}

@@ -58,7 +58,7 @@ func buildMemcached(m *ssp.Machine, p Params) []*client {
 			c.Acquire(lock)
 			c.Begin()
 			cache.Set(c, k, val)
-			c.Commit()
+			p.commit(c)
 			c.Release(lock)
 		}
 		clients = append(clients, cl)

@@ -63,7 +63,7 @@ func buildMicroKV(m *ssp.Machine, p Params) []*client {
 			} else {
 				s.Insert(c, k, vrng.Uint64())
 			}
-			c.Commit()
+			p.commit(c)
 			c.Release(lock)
 		}
 		clients = append(clients, cl)
@@ -100,7 +100,7 @@ func buildSPS(m *ssp.Machine, p Params) []*client {
 			c.Acquire(lock)
 			c.Begin()
 			arr.Swap(c, i, j)
-			c.Commit()
+			p.commit(c)
 			c.Release(lock)
 		}
 		clients = append(clients, cl)

@@ -51,7 +51,7 @@ type ParallelResult struct {
 // serially (deterministically); only the measured window is concurrent.
 func RunParallel(p Params) ParallelResult {
 	p = p.Defaults()
-	m := ssp.New(p.Machine)
+	m := ssp.MustNew(p.Machine)
 	clients := buildParallelClients(m, p)
 
 	// Measurement window: reset counters after setup, align clocks.
@@ -79,24 +79,29 @@ func RunParallel(p Params) ParallelResult {
 		}
 	})
 	wall := time.Since(wallStart)
+	acked := m.MaxClock() - start
 	m.Drain()
 
 	elapsed := m.MaxClock() - start
 	res := ParallelResult{
 		Result: Result{
-			Kind:     p.Kind,
-			Backend:  p.Backend,
-			Clients:  p.Clients,
-			Txns:     uint64(p.Ops),
-			Cycles:   elapsed,
-			Stats:    *m.Stats(),
-			WriteSet: *m.WriteSet(),
-			Journal:  m.JournalPressure(),
+			Kind:      p.Kind,
+			Backend:   p.Backend,
+			Clients:   p.Clients,
+			Txns:      uint64(p.Ops),
+			Cycles:    elapsed,
+			AckCycles: acked,
+			Stats:     *m.Stats(),
+			WriteSet:  *m.WriteSet(),
+			Journal:   m.JournalPressure(),
 		},
 		Wall: wall,
 	}
 	if elapsed > 0 {
 		res.TPS = float64(p.Ops) / m.Seconds(elapsed)
+	}
+	if acked > 0 {
+		res.CommittedTPS = float64(p.Ops) / m.Seconds(acked)
 	}
 	for i := 0; i < p.Clients; i++ {
 		coreElapsed := m.Core(i).Now() - start
@@ -202,7 +207,7 @@ func buildMicroKVParallel(m *ssp.Machine, p Params) []*client {
 			} else {
 				s.Insert(c, k, vrng.Uint64())
 			}
-			c.Commit()
+			p.commit(c)
 			c.Release(lock)
 		}
 		clients = append(clients, cl)
@@ -265,7 +270,7 @@ func buildMemcachedParallel(m *ssp.Machine, p Params) []*client {
 			c.Acquire(lock)
 			c.Begin()
 			shard.Set(c, k, val)
-			c.Commit()
+			p.commit(c)
 			c.Release(lock)
 		}
 		clients = append(clients, cl)
@@ -290,7 +295,7 @@ func buildVacationParallel(m *ssp.Machine, p Params) []*client {
 
 		c.Begin()
 		arena := m.NewArena(c, arenaPages)
-		st := &vacationState{tuples: perTuples, alloc: arena}
+		st := &vacationState{tuples: perTuples, alloc: arena, commit: p.commit}
 		for t := 0; t < vacResourceTables; t++ {
 			st.resources[t] = pds.CreateRBTree(c, arena)
 		}

@@ -24,6 +24,10 @@ type vacationState struct {
 	customers *pds.RBTree
 	tuples    int
 	alloc     ssp.Allocator // reservation-entry allocator (heap or per-core arena)
+
+	// commit closes a measured transaction (Params.commit: synchronous or
+	// relaxed). The helpers below commit internally, so the mode rides here.
+	commit func(*ssp.Core)
 }
 
 // packResource packs (free count, price) into a tree value.
@@ -35,7 +39,7 @@ func unpackResource(v uint64) (free, price uint32) {
 
 func buildVacation(m *ssp.Machine, p Params) []*client {
 	boot := m.Core(0)
-	st := &vacationState{tuples: p.Tuples, alloc: m.Heap()}
+	st := &vacationState{tuples: p.Tuples, alloc: m.Heap(), commit: p.commit}
 
 	boot.Begin()
 	for i := 0; i < vacResourceTables; i++ {
@@ -129,7 +133,7 @@ func vacMakeReservation(c *ssp.Core, st *vacationState, rng *engine.RNG) {
 		listHead = entry
 	}
 	st.customers.Insert(c, custID, listHead)
-	c.Commit()
+	st.commit(c)
 }
 
 // vacDeleteCustomer releases all of a customer's reservations and removes
@@ -139,7 +143,7 @@ func vacDeleteCustomer(c *ssp.Core, st *vacationState, rng *engine.RNG) {
 	c.Begin()
 	listHead, ok := st.customers.Get(c, custID)
 	if !ok {
-		c.Commit()
+		st.commit(c)
 		return
 	}
 	for e := listHead; e != 0; {
@@ -154,7 +158,7 @@ func vacDeleteCustomer(c *ssp.Core, st *vacationState, rng *engine.RNG) {
 		e = next
 	}
 	st.customers.Delete(c, custID)
-	c.Commit()
+	st.commit(c)
 }
 
 // vacUpdateTables changes prices or adds capacity for a few resources (the
@@ -162,7 +166,7 @@ func vacDeleteCustomer(c *ssp.Core, st *vacationState, rng *engine.RNG) {
 func vacUpdateTables(c *ssp.Core, st *vacationState, rng *engine.RNG) {
 	c.Begin()
 	vacUpdateTablesBody(c, st, rng)
-	c.Commit()
+	st.commit(c)
 }
 
 // vacUpdateTablesBody is the update-tables write set without the section

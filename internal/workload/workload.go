@@ -100,7 +100,24 @@ type Params struct {
 	// ignored by the other kinds and with a single client).
 	CrossPct int
 
+	// Relaxed commits every MEASURED transaction with Core.CommitRelaxed
+	// instead of Core.Commit: the epoch-batched relaxed-durability mode,
+	// governed by Machine.DurabilityEpoch (with an epoch of 0 the run is
+	// bit-for-bit the synchronous one). Setup and prefill stay synchronous.
+	// The run's Result then separates CommittedTPS (acknowledgment-time
+	// throughput) from TPS (durable, including the closing drain).
+	Relaxed bool
+
 	Machine ssp.Config // base machine config; Backend/Cores overridden
+}
+
+// commit closes one measured transaction in the run's durability mode.
+func (p Params) commit(c *ssp.Core) {
+	if p.Relaxed {
+		c.CommitRelaxed()
+	} else {
+		c.Commit()
+	}
 }
 
 // Defaults fills in simulation-friendly defaults.
@@ -150,10 +167,18 @@ type Result struct {
 	Clients int
 
 	Txns     uint64
-	Cycles   ssp.Cycles // measured-window wall clock
-	TPS      float64    // transactions per simulated second
+	Cycles   ssp.Cycles // measured-window wall clock (through the drain)
+	TPS      float64    // durable transactions per simulated second
 	Stats    ssp.Stats  // measured-window counters
 	WriteSet ssp.WriteSetStats
+
+	// AckCycles is the window up to the last transaction's acknowledgment,
+	// BEFORE the closing drain that hardens outstanding relaxed epochs, and
+	// CommittedTPS the throughput over it. The committed-vs-durable spread
+	// is the relaxed mode's gain; synchronous runs see the two match up to
+	// the (cheap) drain.
+	AckCycles    ssp.Cycles
+	CommittedTPS float64
 
 	// Journal is the SSP metadata journal's per-shard pressure at the end
 	// of the measured window (nil for the logging backends).
@@ -170,7 +195,7 @@ type client struct {
 // window (setup and prefill excluded).
 func Run(p Params) Result {
 	p = p.Defaults()
-	m := ssp.New(p.Machine)
+	m := ssp.MustNew(p.Machine)
 	clients := buildClients(m, p)
 
 	// Measurement window: reset counters after setup, align clocks.
@@ -205,21 +230,26 @@ func Run(p Params) Result {
 		clients[best].op()
 		remaining[best]--
 	}
+	acked := m.MaxClock() - start
 	m.Drain()
 
 	elapsed := m.MaxClock() - start
 	res := Result{
-		Kind:     p.Kind,
-		Backend:  p.Backend,
-		Clients:  p.Clients,
-		Txns:     uint64(p.Ops),
-		Cycles:   elapsed,
-		Stats:    *m.Stats(),
-		WriteSet: *m.WriteSet(),
-		Journal:  m.JournalPressure(),
+		Kind:      p.Kind,
+		Backend:   p.Backend,
+		Clients:   p.Clients,
+		Txns:      uint64(p.Ops),
+		Cycles:    elapsed,
+		AckCycles: acked,
+		Stats:     *m.Stats(),
+		WriteSet:  *m.WriteSet(),
+		Journal:   m.JournalPressure(),
 	}
 	if elapsed > 0 {
 		res.TPS = float64(p.Ops) / m.Seconds(elapsed)
+	}
+	if acked > 0 {
+		res.CommittedTPS = float64(p.Ops) / m.Seconds(acked)
 	}
 	return res
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func newMachine(b ssp.Backend) *ssp.Machine {
-	return ssp.New(ssp.Config{Backend: b, Cores: 1, NVRAMMB: 48, DRAMMB: 2, MaxHeapPages: 6144})
+	return ssp.MustNew(ssp.Config{Backend: b, Cores: 1, NVRAMMB: 48, DRAMMB: 2, MaxHeapPages: 6144})
 }
 
 func val(tag byte, n int) []byte {

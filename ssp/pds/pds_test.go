@@ -8,7 +8,7 @@ import (
 )
 
 func newMachine(b ssp.Backend) *ssp.Machine {
-	return ssp.New(ssp.Config{
+	return ssp.MustNew(ssp.Config{
 		Backend:      b,
 		Cores:        1,
 		NVRAMMB:      48,

@@ -1,0 +1,86 @@
+package ssp
+
+import (
+	"testing"
+)
+
+// TestRelaxedCommitRoundTrip exercises the public relaxed-durability
+// surface end to end: CommitRelaxed acknowledges, Sync upgrades to durable,
+// and a crash after the Sync keeps every synced transaction while losing an
+// acknowledged-but-unhardened one atomically.
+func TestRelaxedCommitRoundTrip(t *testing.T) {
+	cfg := Config{Backend: SSP, Cores: 1, DurabilityEpoch: 500_000}
+	m := MustNew(cfg)
+	c := m.Core(0)
+	m.Heap().EnsureMapped(1, 2)
+	page := uint64(HeapBase) + uint64(PageBytes)
+
+	for i := 0; i < 8; i++ {
+		c.Begin()
+		c.Store64(page+uint64(i)*8, uint64(i+1))
+		c.CommitRelaxed()
+	}
+	c.Sync()
+	st := m.Stats()
+	if st.RelaxedCommits != 8 {
+		t.Fatalf("RelaxedCommits = %d, want 8", st.RelaxedCommits)
+	}
+	if st.HardenedEpochs == 0 || st.EpochSeals == 0 {
+		t.Fatalf("Sync hardened no epoch (hardened %d, seals %d)", st.HardenedEpochs, st.EpochSeals)
+	}
+
+	// One more relaxed commit with no Sync behind it: the crash may lose it,
+	// but only whole.
+	c.Begin()
+	c.Store64(page+512, 0xDEAD)
+	c.CommitRelaxed()
+
+	img := m.Crash()
+	m2, err := Restore(cfg, img)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	c2 := m2.Core(0)
+	m2.Heap().EnsureMapped(1, 2)
+	for i := 0; i < 8; i++ {
+		if got := c2.Load64(page + uint64(i)*8); got != uint64(i+1) {
+			t.Fatalf("synced transaction %d lost or torn: read %#x", i, got)
+		}
+	}
+	if got := c2.Load64(page + 512); got != 0 && got != 0xDEAD {
+		t.Fatalf("unhardened transaction torn: read %#x", got)
+	}
+}
+
+// TestRelaxedDisabledIsSynchronous pins the DurabilityEpoch = 0 contract:
+// CommitRelaxed is bit-for-bit Commit (same clock, same traffic, same
+// journal activity) and Sync is free.
+func TestRelaxedDisabledIsSynchronous(t *testing.T) {
+	run := func(relaxed bool) (Cycles, uint64, uint64, uint64) {
+		m := MustNew(Config{Backend: SSP, Cores: 1})
+		c := m.Core(0)
+		m.Heap().EnsureMapped(1, 2)
+		for i := 0; i < 32; i++ {
+			c.Begin()
+			c.Store64(HeapBase+PageBytes+uint64(i%16)*64, uint64(i))
+			if relaxed {
+				c.CommitRelaxed()
+			} else {
+				c.Commit()
+			}
+		}
+		c.Sync()
+		m.Drain()
+		st := m.Stats()
+		return c.Now(), st.NVRAMWriteLines, st.JournalRecords, st.RelaxedCommits
+	}
+	syncClock, syncWrites, syncRecs, _ := run(false)
+	relClock, relWrites, relRecs, relaxedCommits := run(true)
+	if syncClock != relClock || syncWrites != relWrites || syncRecs != relRecs {
+		t.Fatalf("DurabilityEpoch=0 diverged: clock %d vs %d, writes %d vs %d, records %d vs %d",
+			syncClock, relClock, syncWrites, relWrites, syncRecs, relRecs)
+	}
+	if relaxedCommits != 0 {
+		t.Fatalf("RelaxedCommits = %d with the mode disabled", relaxedCommits)
+	}
+}

@@ -5,7 +5,8 @@
 //
 // Quick start:
 //
-//	m := ssp.New(ssp.Config{Backend: ssp.SSP, Cores: 1})
+//	m, err := ssp.New(ssp.Config{Backend: ssp.SSP, Cores: 1})
+//	if err != nil { ... }           // out-of-range Config field
 //	c := m.Core(0)
 //
 //	c.Begin()                       // ATOMIC_BEGIN
@@ -29,7 +30,7 @@
 // its own goroutine, so the simulated cores genuinely run in parallel on
 // the host:
 //
-//	m := ssp.New(ssp.Config{Backend: ssp.SSP, Cores: 4})
+//	m := ssp.MustNew(ssp.Config{Backend: ssp.SSP, Cores: 4})
 //	m.Run(func(c *ssp.Core) {
 //	    for i := 0; i < txnsPerCore; i++ { ... c.Begin(); ...; c.Commit() }
 //	})
@@ -59,6 +60,8 @@
 package ssp
 
 import (
+	"fmt"
+
 	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/memsim"
@@ -195,6 +198,19 @@ type Config struct {
 	// committed bitmaps do not reference until the journal End record, so
 	// a crash rolls it back exactly as before.
 	EagerFlush bool
+	// DurabilityEpoch, in cycles, enables the relaxed-durability commit
+	// mode: Core.CommitRelaxed acknowledges a transaction as soon as its
+	// journal batch is buffered, and each metadata-journal shard hardens
+	// its open epoch — pending data fences, one epoch-seal record, one ring
+	// flush, slot publication — once the epoch's age reaches this bound (or
+	// earlier: at Core.Sync, Machine.Drain, any synchronous flush of the
+	// shard, or a checkpoint). A crash loses at most the open epochs, each
+	// atomically: recovery replays every shard only up to its last epoch
+	// seal, so an acknowledged-but-unhardened transaction disappears
+	// entirely — never partially — and Stats.LostEpochTxns counts it.
+	// 0 = the paper's synchronous model, bit-for-bit; Core.Commit is always
+	// synchronous regardless.
+	DurabilityEpoch int
 	// GroupCommitWindow, in cycles, coalesces the journal legs of commits
 	// concurrently bound for the same metadata-journal shard: the first
 	// committer holds its record batch open for the window, followers
@@ -305,6 +321,9 @@ func (c Config) apply() machine.Config {
 	if c.GroupCommitWindow > 0 {
 		mc.SSP.GroupCommitWindow = engine.Cycles(c.GroupCommitWindow)
 	}
+	if c.DurabilityEpoch > 0 {
+		mc.SSP.DurabilityEpoch = engine.Cycles(c.DurabilityEpoch)
+	}
 	if c.RedoQueueLines > 0 {
 		mc.Redo.QueueLines = c.RedoQueueLines
 	}
@@ -323,14 +342,66 @@ type Machine struct {
 	cfg Config
 }
 
-// New builds and formats a fresh machine.
-func New(cfg Config) *Machine {
-	return &Machine{Machine: machine.New(cfg.apply()), cfg: cfg}
+// Validate checks every Config field against its legal range. New and
+// Restore call it; the zero value of any field is always legal (it selects
+// the default).
+func (c Config) Validate() error {
+	if c.Cores < 0 {
+		return fmt.Errorf("ssp: Cores is %d, want >= 0 (0 selects the default, 1)", c.Cores)
+	}
+	if c.Channels < 0 || c.Channels > MaxChannels {
+		return fmt.Errorf("ssp: Channels is %d, want 0..%d (0 selects the default, 1)", c.Channels, MaxChannels)
+	}
+	if c.JournalShards < 0 || c.JournalShards > MaxJournalShards {
+		return fmt.Errorf("ssp: JournalShards is %d, want 0..%d (0 selects the default, 1)", c.JournalShards, MaxJournalShards)
+	}
+	if c.NVRAMReadNS < 0 {
+		return fmt.Errorf("ssp: NVRAMReadNS is %v, want >= 0 (0 selects the Table 2 default)", c.NVRAMReadNS)
+	}
+	if c.NVRAMWriteNS < 0 {
+		return fmt.Errorf("ssp: NVRAMWriteNS is %v, want >= 0 (0 selects the Table 2 default)", c.NVRAMWriteNS)
+	}
+	if c.DRAMNS < 0 {
+		return fmt.Errorf("ssp: DRAMNS is %v, want >= 0 (0 selects the Table 2 default)", c.DRAMNS)
+	}
+	if c.SubPageLines != 0 && c.SubPageLines != 1 && c.SubPageLines != 4 {
+		return fmt.Errorf("ssp: SubPageLines is %d, want 1 or 4 (0 selects the default, 1)", c.SubPageLines)
+	}
+	if c.GroupCommitWindow < 0 {
+		return fmt.Errorf("ssp: GroupCommitWindow is %d cycles, want >= 0 (0 disables group commit)", c.GroupCommitWindow)
+	}
+	if c.DurabilityEpoch < 0 {
+		return fmt.Errorf("ssp: DurabilityEpoch is %d cycles, want >= 0 (0 keeps every commit synchronous)", c.DurabilityEpoch)
+	}
+	return nil
+}
+
+// New builds and formats a fresh machine. It returns an error — naming the
+// offending field and its legal range — when the configuration is out of
+// range (see Config.Validate).
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{Machine: machine.New(cfg.apply()), cfg: cfg}, nil
+}
+
+// MustNew is New for call sites with no useful error path (examples, tests,
+// benchmark drivers): it panics when the configuration is out of range.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // Restore boots a machine from a crashed machine's NVRAM image and runs
 // recovery. The configuration must match the image's.
 func Restore(cfg Config, image []byte) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	m, err := machine.Restore(cfg.apply(), image)
 	if err != nil {
 		return nil, err

@@ -5,7 +5,7 @@ import (
 )
 
 func TestConfigDefaultsApply(t *testing.T) {
-	m := New(Config{})
+	m := MustNew(Config{})
 	if m.Cores() != 1 {
 		t.Errorf("default cores = %d", m.Cores())
 	}
@@ -29,7 +29,7 @@ func TestConfigOverridesApply(t *testing.T) {
 		NVRAMMB:         64,
 		MaxHeapPages:    512,
 	}
-	m := New(cfg)
+	m := MustNew(cfg)
 	if m.Cores() != 2 {
 		t.Errorf("cores = %d", m.Cores())
 	}
@@ -38,7 +38,7 @@ func TestConfigOverridesApply(t *testing.T) {
 	}
 	// Higher NVRAM latency must slow down commits.
 	slow := txnCycles(m)
-	fast := txnCycles(New(Config{Backend: SSP, Cores: 2, NVRAMMB: 64, MaxHeapPages: 512, SubPageLines: 4}))
+	fast := txnCycles(MustNew(Config{Backend: SSP, Cores: 2, NVRAMMB: 64, MaxHeapPages: 512, SubPageLines: 4}))
 	if slow <= fast {
 		t.Errorf("150/600ns machine (%d cycles) not slower than 50/200ns (%d)", slow, fast)
 	}
@@ -57,7 +57,7 @@ func txnCycles(m *Machine) Cycles {
 }
 
 func TestRootsRoundTrip(t *testing.T) {
-	m := New(Config{Backend: UndoLog})
+	m := MustNew(Config{Backend: UndoLog})
 	c := m.Core(0)
 	c.Begin()
 	p := m.Heap().Alloc(c, 64)

@@ -14,11 +14,17 @@
 //	    -baseline ci/bench_baseline.json \
 //	    -gate BenchmarkParallelSmoke/SSP_cTPS -threshold 0.20
 //
-// A gated metric fails the run when current < baseline*(1-threshold) —
-// higher is assumed better for gated metrics, so use throughput-style
-// metrics, not latencies. Gated metrics missing from the baseline are
-// reported but do not fail (new benchmarks land before their baseline).
-// Refresh the baseline with -update after an intentional change:
+// Each gate spec may carry a direction suffix: `spec:max` (the default)
+// gates a higher-is-better metric and fails when
+// current < baseline*(1-threshold); `spec:min` gates a lower-is-better
+// metric (latency percentiles) and fails when
+// current > baseline*(1+threshold):
+//
+//	-gate BenchmarkParallelSmoke/SSP_cTPS,BenchmarkServeSmoke/Serve_p99:min
+//
+// Gated metrics missing from the baseline are reported but do not fail (new
+// benchmarks land before their baseline). Refresh the baseline with -update
+// after an intentional change:
 //
 //	benchjson -in bench.txt -update -baseline ci/bench_baseline.json
 package main
@@ -134,8 +140,8 @@ func main() {
 	in := flag.String("in", "-", "benchmark output file (- for stdin)")
 	out := flag.String("out", "BENCH_ci.json", "JSON report to write")
 	baseline := flag.String("baseline", "", "baseline JSON to compare against")
-	gates := flag.String("gate", "", "comma-separated Benchmark/metric specs to gate (higher is better)")
-	threshold := flag.Float64("threshold", 0.20, "allowed fractional drop below baseline")
+	gates := flag.String("gate", "", "comma-separated Benchmark/metric[:min|:max] specs to gate (default :max, higher is better)")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression against baseline (drop for :max gates, rise for :min)")
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
 	flag.Parse()
 
@@ -175,37 +181,67 @@ func main() {
 		fatal(fmt.Errorf("reading baseline: %w", err))
 	}
 
+	lines, failed := checkGates(rep, base, *gates, *threshold)
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkGates evaluates every gate spec against the baseline and returns the
+// report lines plus whether any gate failed. A spec's ":min"/":max" suffix
+// selects the regression direction (":max", the default, fails on drops;
+// ":min" fails on rises).
+func checkGates(rep, base Report, gates string, threshold float64) ([]string, bool) {
+	var lines []string
 	failed := false
-	specs := strings.Split(*gates, ",")
+	specs := strings.Split(gates, ",")
 	sort.Strings(specs)
 	for _, spec := range specs {
 		spec = strings.TrimSpace(spec)
 		if spec == "" {
 			continue
 		}
+		lowerIsBetter := false
+		if s, ok := strings.CutSuffix(spec, ":min"); ok {
+			spec, lowerIsBetter = s, true
+		} else if s, ok := strings.CutSuffix(spec, ":max"); ok {
+			spec = s
+		}
 		cur, ok := lookup(rep, spec)
 		if !ok {
-			fmt.Printf("benchjson: FAIL %s: metric missing from this run\n", spec)
+			lines = append(lines, fmt.Sprintf("benchjson: FAIL %s: metric missing from this run", spec))
 			failed = true
 			continue
 		}
 		want, ok := lookup(base, spec)
 		if !ok {
-			fmt.Printf("benchjson: %s = %.0f (no baseline yet; run -update to record)\n", spec, cur)
+			lines = append(lines, fmt.Sprintf("benchjson: %s = %.0f (no baseline yet; run -update to record)", spec, cur))
 			continue
 		}
-		floor := want * (1 - *threshold)
+		if lowerIsBetter {
+			ceil := want * (1 + threshold)
+			if cur > ceil {
+				lines = append(lines, fmt.Sprintf("benchjson: FAIL %s = %.0f, above %.0f (baseline %.0f + %d%%)",
+					spec, cur, ceil, want, int(threshold*100)))
+				failed = true
+			} else {
+				lines = append(lines, fmt.Sprintf("benchjson: OK %s = %.0f (baseline %.0f, ceiling %.0f)", spec, cur, want, ceil))
+			}
+			continue
+		}
+		floor := want * (1 - threshold)
 		if cur < floor {
-			fmt.Printf("benchjson: FAIL %s = %.0f, below %.0f (baseline %.0f - %d%%)\n",
-				spec, cur, floor, want, int(*threshold*100))
+			lines = append(lines, fmt.Sprintf("benchjson: FAIL %s = %.0f, below %.0f (baseline %.0f - %d%%)",
+				spec, cur, floor, want, int(threshold*100)))
 			failed = true
 		} else {
-			fmt.Printf("benchjson: OK %s = %.0f (baseline %.0f, floor %.0f)\n", spec, cur, want, floor)
+			lines = append(lines, fmt.Sprintf("benchjson: OK %s = %.0f (baseline %.0f, floor %.0f)", spec, cur, want, floor))
 		}
 	}
-	if failed {
-		os.Exit(1)
-	}
+	return lines, failed
 }
 
 func fatal(err error) {

@@ -73,6 +73,56 @@ func TestParseBenchRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestCheckGates pins direction-aware gating: ":max" (default) fails on
+// drops, ":min" fails on rises, and missing baselines stay lenient.
+func TestCheckGates(t *testing.T) {
+	rep := Report{Benchmarks: map[string]map[string]float64{
+		"BenchmarkServeSmoke": {"Serve_cTPS": 1000, "Serve_p99": 5000},
+	}}
+	base := Report{Benchmarks: map[string]map[string]float64{
+		"BenchmarkServeSmoke": {"Serve_cTPS": 1000, "Serve_p99": 5000},
+	}}
+	cases := []struct {
+		name       string
+		cTPS, p99  float64
+		gates      string
+		wantFailed bool
+	}{
+		{"all at baseline", 1000, 5000, "BenchmarkServeSmoke/Serve_cTPS,BenchmarkServeSmoke/Serve_p99:min", false},
+		{"throughput within threshold", 850, 5000, "BenchmarkServeSmoke/Serve_cTPS", false},
+		{"throughput regressed", 700, 5000, "BenchmarkServeSmoke/Serve_cTPS", true},
+		{"explicit max suffix", 700, 5000, "BenchmarkServeSmoke/Serve_cTPS:max", true},
+		{"latency improved", 1000, 2000, "BenchmarkServeSmoke/Serve_p99:min", false},
+		{"latency within threshold", 1000, 5800, "BenchmarkServeSmoke/Serve_p99:min", false},
+		{"latency regressed", 1000, 6500, "BenchmarkServeSmoke/Serve_p99:min", true},
+		// Without :min a latency rise would (wrongly) pass — the suffix is
+		// what makes the metric gateable at all.
+		{"latency rise without min passes", 1000, 6500, "BenchmarkServeSmoke/Serve_p99", false},
+		{"missing metric fails", 1000, 5000, "BenchmarkServeSmoke/Nope:min", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := Report{Benchmarks: map[string]map[string]float64{
+				"BenchmarkServeSmoke": {"Serve_cTPS": tc.cTPS, "Serve_p99": tc.p99},
+			}}
+			lines, failed := checkGates(cur, base, tc.gates, 0.20)
+			if failed != tc.wantFailed {
+				t.Fatalf("failed = %v, want %v; output:\n%s", failed, tc.wantFailed, strings.Join(lines, "\n"))
+			}
+		})
+	}
+
+	// A gated metric with no baseline entry reports but does not fail.
+	empty := Report{Benchmarks: map[string]map[string]float64{}}
+	lines, failed := checkGates(rep, empty, "BenchmarkServeSmoke/Serve_p99:min", 0.20)
+	if failed {
+		t.Fatalf("missing baseline should not fail:\n%s", strings.Join(lines, "\n"))
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "no baseline yet") {
+		t.Fatalf("unexpected output: %v", lines)
+	}
+}
+
 func TestLookup(t *testing.T) {
 	rep, err := parseBench(strings.NewReader(sample))
 	if err != nil {

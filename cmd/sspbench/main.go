@@ -149,6 +149,15 @@ var experimentTable = []experiment{
 			fmt.Println(experiments.RenderEpoch(experiments.EpochSweep(sc, mix, epochs, coreList)))
 		}
 	}},
+	{"serve", "open-loop serve latency (skew x load x cores, sync vs relaxed)", func(sc experiments.Scale, fl benchFlags) {
+		coreList := experiments.SweepPowersOfTwo(fl.cores)
+		skews := experiments.ServeSkews()
+		loads := experiments.ServeLoads()
+		const epoch = 100000 // ~10 txns per epoch, the epoch sweep's mid point
+		section(fmt.Sprintf("Open-loop serve — SSP kv shards (1 journal shard, 4 channels), skews %v x loads %v%% x %v cores, epoch %d",
+			skews, loads, coreList, epoch))
+		fmt.Println(experiments.RenderServe(experiments.ServeSweep(sc, skews, loads, coreList, epoch)))
+	}},
 }
 
 func experimentIDs() []string {

@@ -1,0 +1,156 @@
+// Command sspserver exposes the simulated SSP machine as a network KV
+// service: a line-oriented TCP front end (GET/SET/DEL/SYNC/STATS/QUIT) over
+// per-core ssp/kv shards, with synchronous or relaxed-durability
+// acknowledgment — the deployment shape for driving the machine with real
+// concurrent traffic instead of an in-process driver.
+//
+// Usage:
+//
+//	sspserver -addr 127.0.0.1:7070 -cores 4
+//	sspserver -addr 127.0.0.1:7070 -cores 4 -relaxed -epoch 100000
+//	sspserver -smoke   # self-test: boot on a loopback port, drive it, exit
+//
+// The -smoke mode is the CI entry point: it boots the server on an
+// ephemeral loopback port, runs the open-loop load generator against it
+// over real sockets, verifies clean shutdown and that every driven write
+// was committed, prints the counters, and exits non-zero on any failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+	"repro/ssp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	cores := flag.Int("cores", 4, "simulated cores = server workers")
+	channels := flag.Int("channels", 4, "memory channels")
+	shards := flag.Int("shards", 1, "SSP metadata-journal shards")
+	items := flag.Int("items", 4096, "per-core cache capacity")
+	valueBytes := flag.Int("value", 64, "max value bytes")
+	relaxed := flag.Bool("relaxed", false, "ack writes after CommitRelaxed (requires -epoch)")
+	epoch := flag.Int("epoch", 0, "durability epoch in cycles (0 = synchronous model)")
+	smoke := flag.Bool("smoke", false, "boot on a loopback port, drive with the load generator, verify, exit")
+	smokeOps := flag.Int("smoke-ops", 4000, "operations for -smoke")
+	smokeConns := flag.Int("smoke-conns", 8, "connections for -smoke")
+	flag.Parse()
+
+	cfg := server.Config{
+		Addr: *addr,
+		Machine: ssp.Config{
+			Backend:         ssp.SSP,
+			Cores:           *cores,
+			Channels:        *channels,
+			JournalShards:   *shards,
+			DurabilityEpoch: *epoch,
+		},
+		Items:      *items,
+		ValueBytes: *valueBytes,
+		Relaxed:    *relaxed,
+	}
+
+	if *smoke {
+		os.Exit(runSmoke(cfg, *smokeOps, *smokeConns))
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mode := "sync"
+	if *relaxed {
+		mode = fmt.Sprintf("relaxed (epoch %d cycles)", *epoch)
+	}
+	fmt.Printf("sspserver listening on %s — %d cores, %d channels, %d journal shards, %s acks\n",
+		s.Addr(), *cores, *channels, *shards, mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down...")
+	s.Close()
+	printCounters(s)
+}
+
+// runSmoke is the CI self-test; both ack modes are exercised.
+func runSmoke(cfg server.Config, ops, conns int) int {
+	for _, relaxed := range []bool{false, true} {
+		cfg := cfg
+		cfg.Addr = "127.0.0.1:0"
+		cfg.Relaxed = relaxed
+		if relaxed && cfg.Machine.DurabilityEpoch == 0 {
+			cfg.Machine.DurabilityEpoch = 100000
+		}
+		mode := "sync"
+		if relaxed {
+			mode = "relaxed"
+		}
+
+		s, err := server.New(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smoke %s: %v\n", mode, err)
+			return 1
+		}
+		res, err := loadgen.RunTCP(loadgen.TCPConfig{
+			Addr:      s.Addr().String(),
+			Conns:     conns,
+			Ops:       ops,
+			Stream:    loadgen.Config{Keys: 2048, Skew: 0.99, ReadPct: 40, DelPct: 10, Seed: 0xC1},
+			SyncEvery: 200,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smoke %s: loadgen: %v\n", mode, err)
+			s.Close()
+			return 1
+		}
+		snap := s.Snapshot()
+		if err := s.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "smoke %s: close: %v\n", mode, err)
+			return 1
+		}
+
+		fail := func(format string, args ...any) int {
+			fmt.Fprintf(os.Stderr, "smoke %s: "+format+"\n", append([]any{mode}, args...)...)
+			return 1
+		}
+		if res.Errors != 0 || snap.Errors != 0 {
+			return fail("errors: client %d server %d", res.Errors, snap.Errors)
+		}
+		if res.Ops != uint64(ops) {
+			return fail("completed %d/%d ops", res.Ops, ops)
+		}
+		if snap.Committed == 0 || snap.Committed != res.Writes {
+			return fail("committed %d, client wrote %d", snap.Committed, res.Writes)
+		}
+		mst := s.MachineStats()
+		if mst.Commits < snap.Committed {
+			return fail("machine commits %d < acked writes %d", mst.Commits, snap.Committed)
+		}
+		if relaxed && mst.RelaxedCommits == 0 {
+			return fail("relaxed mode made no relaxed commits")
+		}
+
+		fmt.Printf("smoke %s: ok — %d ops (%d writes) over %d conns in %v, client p50/p99 %d/%d ns, machine commits %d relaxed %d\n",
+			mode, res.Ops, res.Writes, conns, res.Elapsed.Round(1000),
+			res.Hist.Percentile(50), res.Hist.Percentile(99), mst.Commits, mst.RelaxedCommits)
+	}
+	return 0
+}
+
+func printCounters(s *server.Server) {
+	snap := s.Snapshot()
+	fmt.Printf("served: conns=%d gets=%d sets=%d dels=%d syncs=%d misses=%d committed=%d errors=%d\n",
+		snap.Conns, snap.Gets, snap.Sets, snap.Dels, snap.Syncs, snap.Misses, snap.Committed, snap.Errors)
+	fmt.Printf("ack latency (host ns): %s\n", snap.Hist.String())
+	mst := s.MachineStats()
+	fmt.Printf("machine: commits=%d relaxed=%d epochs hardened=%d\n",
+		mst.Commits, mst.RelaxedCommits, mst.HardenedEpochs)
+}

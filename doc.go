@@ -201,6 +201,31 @@
 // committed-vs-durable TPS spread; BENCH_6.json records the trajectory and
 // CI gates BenchmarkRelaxedSmoke/Relaxed_ack_cTPS.
 //
+// # Network KV front end and open-loop serve latency
+//
+// internal/server and cmd/sspserver expose the machine as a line-oriented
+// TCP KV service (GET/SET/DEL/SYNC/STATS/QUIT): connection-handler
+// goroutines parse requests and enqueue them to per-core worker queues;
+// exactly Cores worker goroutines run inside Machine.Run, each owning one
+// Core, one arena and one ssp/kv shard (keys route by key % Cores, SYNC to
+// core 0), so the one-goroutine-per-Core contract holds with no ssp.Lock
+// on the serve path. server.Config.Relaxed selects the acknowledgment
+// model for writes: ack after Commit (including the journal fence) or
+// after CommitRelaxed (durability bounded by DurabilityEpoch).
+//
+// internal/loadgen generates deterministic open-loop traffic — Zipfian or
+// uniform keys, a seeded GET/SET/DEL mix, and index-computed arrival times
+// (arrival_i = start + i*interval, no drift), so latency measured from the
+// scheduled arrival to the ack includes queueing delay, the honest
+// open-loop number. The same Stream/Pacer drive real sockets
+// (loadgen.RunTCP, host nanoseconds) and the in-process serve driver
+// (workload.RunServe, simulated cycles), and internal/stats.Histogram — a
+// fixed-bucket log-scale histogram mergeable across cores — turns either
+// into p50/p99/p999. `go run ./cmd/sspbench -exp serve` sweeps skew ×
+// offered load × cores for sync vs relaxed acks;
+// `go run ./cmd/sspserver -smoke` boots the real server on a loopback
+// port and drives it over TCP (the CI smoke).
+//
 // The aggregate-vs-serial equivalence and race-freedom are enforced by
 // `go test -race ./internal/machine -run TestParallel` and the workload
 // smoke tests; the benchmark entry points are

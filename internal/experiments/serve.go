@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+	"repro/ssp"
+)
+
+// This file is the serve experiment (beyond the paper): the open-loop
+// latency view of the relaxed-durability trade Vilamb argues for. For each
+// (skew, cores) cell it first probes closed-loop synchronous capacity, then
+// offers fixed fractions of that capacity — the same offered load — to a
+// synchronous and a relaxed server, and reports acknowledgment-latency
+// percentiles (p50/p99/p999, simulated cycles) beside throughput and the
+// relaxed mode's staleness price (mean harden lag). The machine shape is
+// the epoch experiment's fence-floor mix — one journal shard, four channels
+// — where the journal flush dominates the sync ack path, so the sweep
+// answers the question cTPS alone cannot: what tail latency does each
+// durability mode deliver at the load the deployment actually runs?
+
+// ServePoint is one (skew, cores, load, mode) cell.
+type ServePoint struct {
+	Skew       float64
+	Cores      int
+	LoadPct    int     // percent of this cell's probed sync capacity (0 = the probe itself)
+	OfferedTPS float64 // offered ops per simulated second (0 = closed loop)
+	Relaxed    bool
+	Res        workload.ParallelResult
+}
+
+// ServeSkews returns the default key-skew sweep: uniform, YCSB-style, and
+// hot-key-dominated.
+func ServeSkews() []float64 { return []float64{0, 0.99, 1.2} }
+
+// ServeLoads returns the default offered-load points as percent of probed
+// synchronous capacity.
+func ServeLoads() []int { return []int{50, 80, 95} }
+
+// serveParams maps a Scale onto ServeParams.
+func (sc Scale) serveParams(cores int, skew float64) workload.ServeParams {
+	return workload.ServeParams{
+		Backend: ssp.SSP,
+		Clients: cores,
+		Ops:     sc.Ops,
+		Items:   sc.Items,
+		Skew:    skew,
+		Seed:    sc.Seed,
+		Machine: ssp.Config{Channels: 4, JournalShards: 1},
+	}
+}
+
+// ServeSweep runs skew × load × {sync, relaxed} for every core count. Each
+// (skew, cores) cell is anchored by a closed-loop synchronous probe (its
+// LoadPct-0 point); sync and relaxed then run at identical offered loads so
+// their percentiles compare directly. epoch is the relaxed runs'
+// DurabilityEpoch in cycles.
+func ServeSweep(sc Scale, skews []float64, loads []int, coresList []int, epoch int) []ServePoint {
+	var points []ServePoint
+	for _, skew := range skews {
+		for _, cores := range coresList {
+			probe := workload.RunServe(sc.serveParams(cores, skew))
+			points = append(points, ServePoint{
+				Skew: skew, Cores: cores, Res: probe,
+			})
+			capacity := probe.CommittedTPS
+			for _, pct := range loads {
+				rate := capacity * float64(pct) / 100
+				for _, relaxed := range []bool{false, true} {
+					p := sc.serveParams(cores, skew)
+					p.OfferedTPS = rate
+					p.Relaxed = relaxed
+					if relaxed {
+						p.Machine.DurabilityEpoch = epoch
+					}
+					points = append(points, ServePoint{
+						Skew: skew, Cores: cores, LoadPct: pct,
+						OfferedTPS: rate, Relaxed: relaxed,
+						Res: workload.RunServe(p),
+					})
+				}
+			}
+		}
+	}
+	return points
+}
+
+// RenderServe formats the sweep: one row per point with acknowledgment
+// percentiles in cycles, acknowledged throughput, and the relaxed rows'
+// mean harden lag (the staleness bound actually paid).
+func RenderServe(points []ServePoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-6s %-6s %-8s %12s %12s %9s %9s %9s %10s\n",
+		"skew", "cores", "load", "mode", "offered", "ackTPS", "p50", "p99", "p999", "lag(cyc)")
+	for _, pt := range points {
+		mode, load := "sync", "probe"
+		if pt.Relaxed {
+			mode = "relaxed"
+		}
+		if pt.LoadPct > 0 {
+			load = fmt.Sprintf("%d%%", pt.LoadPct)
+		}
+		lag := "-"
+		if pt.Relaxed {
+			lag = fmt.Sprintf("%.0f", MeanHardenLag(pt.Res.Stats))
+		}
+		fmt.Fprintf(&b, "%-6.2f %-6d %-6s %-8s %12.0f %12.0f %9d %9d %9d %10s\n",
+			pt.Skew, pt.Cores, load, mode, pt.OfferedTPS, pt.Res.CommittedTPS,
+			pt.Res.LatencyP50, pt.Res.LatencyP99, pt.Res.LatencyP999, lag)
+	}
+	return b.String()
+}

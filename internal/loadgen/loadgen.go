@@ -1,0 +1,180 @@
+// Package loadgen is the open-loop traffic generator behind the network KV
+// front end: a deterministic per-seed stream of GET/SET/DEL operations with
+// Zipfian key skew and a configurable read/write mix, plus fixed-rate
+// open-loop pacing. The same Stream drives both consumers — the in-process
+// serve driver (workload.RunServe, arrivals in simulated cycles) and the TCP
+// client (RunTCP, arrivals in host nanoseconds) — so a TCP run and an
+// in-process run at the same seed issue the same operation sequence.
+//
+// Open loop means arrivals are scheduled by the clock, not by completions:
+// operation i arrives at start + i/rate whether or not earlier operations
+// have finished, so a server that cannot keep up accumulates queueing delay
+// instead of silently throttling the offered load — the behaviour closed-loop
+// drivers hide, and the reason latency percentiles (not just throughput) are
+// the metric here.
+package loadgen
+
+import (
+	"repro/internal/engine"
+)
+
+// OpKind classifies one generated operation.
+type OpKind uint8
+
+// The operation mix.
+const (
+	OpGet OpKind = iota
+	OpSet
+	OpDel
+)
+
+// String returns the protocol verb.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "GET"
+	case OpSet:
+		return "SET"
+	case OpDel:
+		return "DEL"
+	default:
+		return "OP?"
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// Config shapes a Stream. The zero value of each field selects the default.
+type Config struct {
+	Keys uint64 // key space size (default 16384)
+	// Skew is the Zipf exponent of the key distribution: 0 selects uniform,
+	// anything above 0 a true Zipf(s) over the key space (0.99 is the
+	// YCSB-style default skew; >1 concentrates most traffic on a handful of
+	// hot keys).
+	Skew    float64
+	ReadPct int // percent of operations that are GETs (default 50)
+	DelPct  int // percent of operations that are DELs (default 5); the rest are SETs
+	Seed    uint64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Keys == 0 {
+		c.Keys = 16384
+	}
+	if c.ReadPct == 0 {
+		c.ReadPct = 50
+	}
+	if c.DelPct == 0 {
+		c.DelPct = 5
+	}
+	if c.ReadPct+c.DelPct > 100 {
+		panic("loadgen: ReadPct + DelPct exceeds 100")
+	}
+	return c
+}
+
+// Stream generates a deterministic operation sequence: the same Config
+// (including Seed) always yields the same keys and kinds, independent of the
+// consumer's pacing. Not safe for concurrent use; fork one per worker with
+// distinct seeds (Fork).
+type Stream struct {
+	cfg  Config
+	dist engine.Dist
+	rng  *engine.RNG // op-mix draws, independent of the key draws
+}
+
+// New builds a stream.
+func New(cfg Config) *Stream {
+	cfg = cfg.withDefaults()
+	keyRNG := engine.NewRNG(cfg.Seed)
+	var d engine.Dist
+	if cfg.Skew > 0 {
+		d = engine.NewZipf(cfg.Keys, cfg.Skew, keyRNG)
+	} else {
+		d = engine.NewUniform(cfg.Keys, keyRNG)
+	}
+	return &Stream{cfg: cfg, dist: d, rng: engine.NewRNG(cfg.Seed ^ 0xC0FFEE)}
+}
+
+// Fork returns a stream with the same shape but an independent seed — one
+// per connection or per core, deterministically derived from the parent's
+// seed and the worker index.
+func (s *Stream) Fork(worker int) *Stream {
+	cfg := s.cfg
+	cfg.Seed = s.cfg.Seed + 0x9E3779B97F4A7C15*uint64(worker+1)
+	return New(cfg)
+}
+
+// Next returns the next operation.
+func (s *Stream) Next() Op {
+	op := Op{Key: s.dist.Next()}
+	r := s.rng.Intn(100)
+	switch {
+	case r < s.cfg.ReadPct:
+		op.Kind = OpGet
+	case r < s.cfg.ReadPct+s.cfg.DelPct:
+		op.Kind = OpDel
+	default:
+		op.Kind = OpSet
+	}
+	return op
+}
+
+// Config returns the stream's effective (default-filled) configuration.
+func (s *Stream) Config() Config { return s.cfg }
+
+// Pacer schedules open-loop arrivals at a fixed rate in an arbitrary time
+// unit: Arrival(i) = start + i*interval, computed from the index so rounding
+// never drifts. A zero interval (rate 0 or infinite) degrades to closed-loop
+// arrivals at the consumer's own pace (Arrival returns start; the consumer
+// clamps to "now").
+type Pacer struct {
+	start    uint64
+	interval float64 // time units per operation
+}
+
+// NewPacer builds a pacer issuing opsPerUnit operations per 1e9 time units
+// (i.e. ops/second when the unit is nanoseconds or rate*freq when it is
+// cycles — see CyclePacer). rate <= 0 disables pacing.
+func NewPacer(start uint64, interval float64) *Pacer {
+	if interval < 0 {
+		interval = 0
+	}
+	return &Pacer{start: start, interval: interval}
+}
+
+// CyclePacer builds a pacer in simulated cycles for a machine running at
+// freqGHz issuing opsPerSec operations per simulated second. opsPerSec <= 0
+// disables pacing (closed loop).
+func CyclePacer(start engine.Cycles, freqGHz, opsPerSec float64) *Pacer {
+	if opsPerSec <= 0 {
+		return NewPacer(uint64(start), 0)
+	}
+	return NewPacer(uint64(start), freqGHz*1e9/opsPerSec)
+}
+
+// NanoPacer builds a pacer in host nanoseconds issuing opsPerSec operations
+// per wall-clock second. opsPerSec <= 0 disables pacing.
+func NanoPacer(opsPerSec float64) *Pacer {
+	if opsPerSec <= 0 {
+		return NewPacer(0, 0)
+	}
+	return NewPacer(0, 1e9/opsPerSec)
+}
+
+// Arrival returns operation i's scheduled arrival time.
+func (p *Pacer) Arrival(i int) uint64 {
+	if p.interval == 0 {
+		return p.start
+	}
+	return p.start + uint64(float64(i)*p.interval)
+}
+
+// Interval returns the mean inter-arrival gap in the pacer's unit (0 when
+// pacing is off).
+func (p *Pacer) Interval() float64 { return p.interval }

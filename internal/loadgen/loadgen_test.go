@@ -1,0 +1,125 @@
+package loadgen
+
+import "testing"
+
+// TestStreamDeterminism: the same config yields the same op stream; a
+// different seed yields a different one.
+func TestStreamDeterminism(t *testing.T) {
+	cfg := Config{Keys: 1024, Skew: 0.99, ReadPct: 60, DelPct: 10, Seed: 42}
+	a, b := New(cfg), New(cfg)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa != ob {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, oa, ob)
+		}
+	}
+
+	cfg.Seed = 43
+	c := New(cfg)
+	d := New(Config{Keys: 1024, Skew: 0.99, ReadPct: 60, DelPct: 10, Seed: 42})
+	same := 0
+	for i := 0; i < n; i++ {
+		if c.Next() == d.Next() {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("distinct seeds produced identical streams")
+	}
+}
+
+// TestStreamMix checks the op mix tracks ReadPct/DelPct and keys stay in
+// range, for both uniform and skewed key distributions.
+func TestStreamMix(t *testing.T) {
+	for _, skew := range []float64{0, 0.99} {
+		s := New(Config{Keys: 512, Skew: skew, ReadPct: 70, DelPct: 10, Seed: 7})
+		const n = 50000
+		counts := map[OpKind]int{}
+		for i := 0; i < n; i++ {
+			op := s.Next()
+			counts[op.Kind]++
+			if op.Key >= 512 {
+				t.Fatalf("key %d out of range", op.Key)
+			}
+		}
+		if g := float64(counts[OpGet]) / n; g < 0.67 || g > 0.73 {
+			t.Errorf("skew %v: GET share %.3f, want ~0.70", skew, g)
+		}
+		if d := float64(counts[OpDel]) / n; d < 0.07 || d > 0.13 {
+			t.Errorf("skew %v: DEL share %.3f, want ~0.10", skew, d)
+		}
+	}
+}
+
+// TestStreamSkew checks that a high Zipf exponent actually concentrates
+// traffic: the hottest key must see far more than the uniform share.
+func TestStreamSkew(t *testing.T) {
+	const keys, n = 1024, 50000
+	hot := func(skew float64) int {
+		s := New(Config{Keys: keys, Skew: skew, Seed: 9})
+		freq := make(map[uint64]int)
+		for i := 0; i < n; i++ {
+			freq[s.Next().Key]++
+		}
+		max := 0
+		for _, c := range freq {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	uniform, skewed := hot(0), hot(1.2)
+	if skewed < 10*uniform {
+		t.Fatalf("skew 1.2 hottest key %d ops vs uniform %d — not skewed enough", skewed, uniform)
+	}
+}
+
+// TestFork checks forked streams are deterministic and mutually distinct.
+func TestFork(t *testing.T) {
+	parent := New(Config{Keys: 256, Skew: 0.99, Seed: 5})
+	f1, f2 := parent.Fork(1), parent.Fork(2)
+	f1b := New(Config{Keys: 256, Skew: 0.99, Seed: 5}).Fork(1)
+	same12, same11 := 0, 0
+	for i := 0; i < 5000; i++ {
+		o1, o2, o1b := f1.Next(), f2.Next(), f1b.Next()
+		if o1 == o2 {
+			same12++
+		}
+		if o1 == o1b {
+			same11++
+		}
+	}
+	if same11 != 5000 {
+		t.Fatalf("Fork(1) not deterministic: %d/5000 ops matched", same11)
+	}
+	if same12 == 5000 {
+		t.Fatalf("Fork(1) and Fork(2) produced identical streams")
+	}
+}
+
+// TestPacer checks open-loop arrival arithmetic.
+func TestPacer(t *testing.T) {
+	// 2 GHz machine, 1e6 ops/s → 2000 cycles between arrivals.
+	p := CyclePacer(100, 2.0, 1e6)
+	if got := p.Arrival(0); got != 100 {
+		t.Fatalf("Arrival(0) = %d, want 100", got)
+	}
+	if got := p.Arrival(10); got != 100+20000 {
+		t.Fatalf("Arrival(10) = %d, want %d", got, 100+20000)
+	}
+	// Arrivals are computed from the index, so they never drift: arrival(2i)
+	// is exactly twice as far out as arrival(i).
+	if a, b := p.Arrival(500)-100, p.Arrival(1000)-100; 2*a != b {
+		t.Fatalf("pacer drift: 2*%d != %d", a, b)
+	}
+	if got := NanoPacer(1e9).Interval(); got != 1 {
+		t.Fatalf("NanoPacer(1e9).Interval() = %v, want 1", got)
+	}
+	// rate <= 0 → closed loop: arrivals pinned at start.
+	cl := CyclePacer(7, 2.0, 0)
+	if cl.Arrival(12345) != 7 || cl.Interval() != 0 {
+		t.Fatalf("closed-loop pacer should pin arrivals at start")
+	}
+}

@@ -1,0 +1,157 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TCPConfig shapes an open-loop run against a live sspserver.
+type TCPConfig struct {
+	Addr      string  // server address
+	Conns     int     // concurrent connections (default 4)
+	Ops       int     // total operations across all connections (default 4000)
+	Rate      float64 // offered ops/sec across all connections; 0 = closed loop
+	Stream    Config  // op stream shape; each connection forks its own seed
+	SyncEvery int     // per-conn: issue SYNC after every n ops (0 = never)
+}
+
+// TCPResult is the client-side view of a run.
+type TCPResult struct {
+	Ops     uint64          // responses received
+	Gets    uint64          // GETs issued
+	Writes  uint64          // SETs + DELs issued
+	Hits    uint64          // GET responses carrying a value
+	Deleted uint64          // DELs that found their key (non-empty write set)
+	Errors  uint64          // ERR responses and transport errors
+	Hist    stats.Histogram // latency in host ns, scheduled-arrival → response
+	Elapsed time.Duration
+}
+
+// RunTCP drives the server open loop: each connection schedules operation k
+// at start + k*interval and measures latency from that scheduled arrival,
+// not from the actual send — when the server (or the pipe) falls behind,
+// queueing delay lands in the histogram instead of silently shrinking the
+// offered load.
+func RunTCP(cfg TCPConfig) (TCPResult, error) {
+	if cfg.Conns == 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 4000
+	}
+	parent := New(cfg.Stream)
+
+	type connResult struct {
+		TCPResult
+		err error
+	}
+	results := make([]connResult, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Conns; i++ {
+		share := cfg.Ops / cfg.Conns
+		if i < cfg.Ops%cfg.Conns {
+			share++
+		}
+		wg.Add(1)
+		go func(i, share int) {
+			defer wg.Done()
+			results[i].TCPResult, results[i].err = runConn(cfg, parent.Fork(i), i, share, start)
+		}(i, share)
+	}
+	wg.Wait()
+
+	var res TCPResult
+	res.Elapsed = time.Since(start)
+	var firstErr error
+	for _, r := range results {
+		res.Ops += r.Ops
+		res.Gets += r.Gets
+		res.Writes += r.Writes
+		res.Hits += r.Hits
+		res.Deleted += r.Deleted
+		res.Errors += r.Errors
+		res.Hist.Merge(&r.Hist)
+		if firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	return res, firstErr
+}
+
+func runConn(cfg TCPConfig, s *Stream, id, share int, start time.Time) (TCPResult, error) {
+	var res TCPResult
+	conn, err := net.DialTimeout("tcp", cfg.Addr, 5*time.Second)
+	if err != nil {
+		res.Errors++
+		return res, fmt.Errorf("loadgen: conn %d: %w", id, err)
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	wr := bufio.NewWriter(conn)
+
+	pacer := NanoPacer(cfg.Rate / float64(cfg.Conns))
+	for k := 0; k < share; k++ {
+		arrival := start.Add(time.Duration(pacer.Arrival(k)))
+		if d := time.Until(arrival); d > 0 {
+			time.Sleep(d)
+		} else if pacer.Interval() == 0 {
+			arrival = time.Now() // closed loop: latency is pure service time
+		}
+
+		op := s.Next()
+		switch op.Kind {
+		case OpGet:
+			fmt.Fprintf(wr, "GET %d\n", op.Key)
+			res.Gets++
+		case OpSet:
+			fmt.Fprintf(wr, "SET %d v%d\n", op.Key, op.Key)
+			res.Writes++
+		case OpDel:
+			fmt.Fprintf(wr, "DEL %d\n", op.Key)
+			res.Writes++
+		}
+		if err := wr.Flush(); err != nil {
+			res.Errors++
+			return res, fmt.Errorf("loadgen: conn %d write: %w", id, err)
+		}
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			res.Errors++
+			return res, fmt.Errorf("loadgen: conn %d read: %w", id, err)
+		}
+		res.Ops++
+		lat := time.Since(arrival)
+		if lat < 0 {
+			lat = 0
+		}
+		res.Hist.Record(uint64(lat))
+		switch {
+		case strings.HasPrefix(line, "VALUE"):
+			res.Hits++
+		case strings.HasPrefix(line, "DELETED"):
+			res.Deleted++
+		case strings.HasPrefix(line, "ERR"):
+			res.Errors++
+		}
+
+		if cfg.SyncEvery > 0 && (k+1)%cfg.SyncEvery == 0 {
+			fmt.Fprintf(wr, "SYNC\n")
+			if err := wr.Flush(); err != nil {
+				res.Errors++
+				return res, fmt.Errorf("loadgen: conn %d sync write: %w", id, err)
+			}
+			if _, err := rd.ReadString('\n'); err != nil {
+				res.Errors++
+				return res, fmt.Errorf("loadgen: conn %d sync read: %w", id, err)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram is a fixed-bucket latency histogram with logarithmic bucket
+// spacing: values below 16 land in exact unit buckets, and every power-of-two
+// octave above that splits into histSubBuckets geometric sub-buckets, so a
+// recorded value's bucket bound is within 1/histSubBuckets (12.5%) of the
+// value across the whole uint64 range. The layout is fixed — no allocation on
+// the record path, Merge is a plain element-wise sum — so per-worker shards
+// can record concurrently under their own locks and be merged for reporting
+// (exactly the stats.Sharded idiom).
+//
+// The unit is the caller's: the in-process serve driver records simulated
+// cycles, the TCP load generator records host nanoseconds.
+type Histogram struct {
+	Count   uint64
+	Sum     uint64
+	MinSeen uint64 // smallest recorded value; meaningless when Count == 0
+	MaxSeen uint64 // largest recorded value
+	Buckets [HistBuckets]uint64
+}
+
+// histSubBuckets is the number of geometric sub-buckets per octave; the
+// worst-case relative quantile error is 1/histSubBuckets.
+const histSubBuckets = 8
+
+// HistBuckets is the fixed bucket count: 16 exact unit buckets, then 8
+// sub-buckets for each of the 60 remaining octaves of the uint64 range.
+const HistBuckets = 16 + histSubBuckets*60
+
+// histBucket maps a value to its bucket index. Values 0..15 map to
+// themselves; a value in [2^e, 2^(e+1)) for e >= 4 maps into octave e's
+// sub-bucket selected by the three bits below the leading bit, keeping the
+// index monotone in the value.
+func histBucket(v uint64) int {
+	if v < 16 {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // 4..63
+	sub := int((v >> (uint(e) - 3)) & (histSubBuckets - 1))
+	return 16 + (e-4)*histSubBuckets + sub
+}
+
+// histBucketMax returns the largest value bucket idx can hold (the inclusive
+// upper bound Percentile reports).
+func histBucketMax(idx int) uint64 {
+	if idx < 16 {
+		return uint64(idx)
+	}
+	e := (idx-16)/histSubBuckets + 4
+	sub := uint64((idx - 16) % histSubBuckets)
+	lo := (8 + sub) << (uint(e) - 3)
+	width := uint64(1) << (uint(e) - 3)
+	return lo + width - 1
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	if h.Count == 0 || v < h.MinSeen {
+		h.MinSeen = v
+	}
+	if v > h.MaxSeen {
+		h.MaxSeen = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[histBucket(v)]++
+}
+
+// Merge accumulates o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.MinSeen < h.MinSeen {
+		h.MinSeen = o.MinSeen
+	}
+	if o.MaxSeen > h.MaxSeen {
+		h.MaxSeen = o.MaxSeen
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the arithmetic mean of the recorded values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile returns an upper bound for the p-th percentile (p in (0,100]):
+// the inclusive upper bound of the bucket holding the ceil(p/100*Count)-th
+// smallest observation, clamped to the largest value actually recorded. At
+// least p percent of the recorded values are <= the returned value, and the
+// bound overshoots the true sample quantile by at most one sub-bucket width
+// (12.5%). Returns 0 when the histogram is empty.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(h.Count))
+	if float64(rank)*100 < p*float64(h.Count) {
+		rank++ // ceil
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var seen uint64
+	for i := range h.Buckets {
+		seen += h.Buckets[i]
+		if seen >= rank {
+			v := histBucketMax(i)
+			if v > h.MaxSeen {
+				v = h.MaxSeen
+			}
+			return v
+		}
+	}
+	return h.MaxSeen
+}
+
+// String summarises the distribution (count, mean, p50/p99/p999, max).
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "histogram: empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "count=%d mean=%.0f p50=%d p99=%d p999=%d max=%d",
+		h.Count, h.Mean(), h.Percentile(50), h.Percentile(99), h.Percentile(99.9), h.MaxSeen)
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestHistogramBucketLayout checks the bucket map is monotone, total, and
+// consistent with the reported bucket bounds.
+func TestHistogramBucketLayout(t *testing.T) {
+	if got := histBucket(0); got != 0 {
+		t.Fatalf("histBucket(0) = %d, want 0", got)
+	}
+	// Every bucket's inclusive max must map back to that bucket, and the
+	// next value must map to the next bucket.
+	for idx := 0; idx < HistBuckets; idx++ {
+		mx := histBucketMax(idx)
+		if got := histBucket(mx); got != idx {
+			t.Fatalf("histBucket(histBucketMax(%d)=%d) = %d", idx, mx, got)
+		}
+		if mx < ^uint64(0) {
+			if got := histBucket(mx + 1); got != idx+1 && idx+1 < HistBuckets {
+				t.Fatalf("histBucket(%d) = %d, want %d", mx+1, got, idx+1)
+			}
+		}
+	}
+	if got := histBucket(^uint64(0)); got != HistBuckets-1 {
+		t.Fatalf("histBucket(max uint64) = %d, want %d", got, HistBuckets-1)
+	}
+}
+
+// TestHistogramPercentileOracle validates percentiles against a sorted-sample
+// oracle: the reported value must cover the oracle sample (>=) while
+// overshooting by at most one sub-bucket width.
+func TestHistogramPercentileOracle(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(rng *engine.RNG, i int) uint64
+		n    int
+	}{
+		{"uniform", func(rng *engine.RNG, i int) uint64 { return rng.Uint64n(1 << 20) }, 20000},
+		{"heavytail", func(rng *engine.RNG, i int) uint64 {
+			v := rng.Uint64n(1000) + 1
+			if rng.Intn(100) == 0 {
+				v *= 10000 // 1% tail three orders of magnitude out
+			}
+			return v
+		}, 20000},
+		{"constant", func(rng *engine.RNG, i int) uint64 { return 4242 }, 5000},
+		{"small", func(rng *engine.RNG, i int) uint64 { return uint64(i % 7) }, 700},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := engine.NewRNG(0xFEED)
+			var h Histogram
+			samples := make([]uint64, tc.n)
+			for i := range samples {
+				v := tc.gen(rng, i)
+				samples[i] = v
+				h.Record(v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			if h.Count != uint64(tc.n) {
+				t.Fatalf("Count = %d, want %d", h.Count, tc.n)
+			}
+			var sum uint64
+			for _, v := range samples {
+				sum += v
+			}
+			if h.Sum != sum {
+				t.Fatalf("Sum = %d, want %d", h.Sum, sum)
+			}
+			if h.MinSeen != samples[0] || h.MaxSeen != samples[tc.n-1] {
+				t.Fatalf("Min/Max = %d/%d, want %d/%d", h.MinSeen, h.MaxSeen, samples[0], samples[tc.n-1])
+			}
+			for _, p := range []float64{1, 25, 50, 90, 99, 99.9, 100} {
+				rank := int(p / 100 * float64(tc.n))
+				if float64(rank)*100 < p*float64(tc.n) {
+					rank++
+				}
+				if rank < 1 {
+					rank = 1
+				}
+				oracle := samples[rank-1]
+				got := h.Percentile(p)
+				if got < oracle {
+					t.Errorf("p%v = %d undershoots oracle %d", p, got, oracle)
+				}
+				// Upper bound: the oracle's bucket max (one sub-bucket of
+				// slack), clamped like Percentile clamps.
+				bound := histBucketMax(histBucket(oracle))
+				if bound > h.MaxSeen {
+					bound = h.MaxSeen
+				}
+				if got > bound {
+					t.Errorf("p%v = %d overshoots bucket bound %d (oracle %d)", p, got, bound, oracle)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramMerge checks Merge equals recording the union.
+func TestHistogramMerge(t *testing.T) {
+	rng := engine.NewRNG(7)
+	var a, b, both Histogram
+	for i := 0; i < 5000; i++ {
+		v := rng.Uint64n(1 << uint(4+i%40))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	a.Merge(&b)
+	if a != both {
+		t.Fatalf("merged histogram differs from union")
+	}
+	var empty Histogram
+	empty.Merge(&a)
+	if empty != both {
+		t.Fatalf("merge into empty differs from source")
+	}
+	a.Merge(&Histogram{})
+	if a != both {
+		t.Fatalf("merging an empty histogram changed the receiver")
+	}
+}
+
+// TestHistogramEmpty checks the zero value is usable.
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(99) != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram reports non-zero summary")
+	}
+}

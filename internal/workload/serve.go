@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/loadgen"
+	"repro/internal/stats"
+	"repro/ssp"
+	"repro/ssp/kv"
+)
+
+// This file is the in-process complement of the TCP front end
+// (internal/server + loadgen.RunTCP): the same sharded-kv service and the
+// same open-loop arrival schedule, but with arrivals and latencies in
+// simulated cycles — deterministic, and measuring the modeled hardware
+// (commit path, journal, epochs) rather than host scheduling noise. Each
+// core plays both its connection handlers and its worker: operation k is
+// scheduled at start + k*interval on the core's own clock; if the core is
+// still busy when the arrival comes due, the operation queues and its
+// latency includes the wait, exactly like a backed-up worker queue.
+
+// ServeParams configures an open-loop serve run.
+type ServeParams struct {
+	Backend ssp.Backend
+	Clients int // cores = server workers (default 1)
+
+	Ops        int     // total operations across clients (default 4000)
+	Keys       uint64  // key space per core shard (default = Items)
+	Items      int     // per-core cache capacity (default 4096)
+	ValueBytes int     // value size (default 64)
+	ReadPct    int     // percent GETs (default 50)
+	DelPct     int     // percent DELs (default 5)
+	Skew       float64 // Zipf exponent of the key distribution (0 = uniform)
+
+	// OfferedTPS is the total offered load in operations per simulated
+	// second across all clients; 0 runs closed loop (each op arrives when
+	// the previous completes — a capacity probe).
+	OfferedTPS float64
+
+	Relaxed bool // ack writes with CommitRelaxed (needs Machine.DurabilityEpoch)
+	Seed    uint64
+
+	Machine ssp.Config // base machine config; Backend/Cores overridden
+}
+
+// Defaults fills zero fields like Params.Defaults.
+func (p ServeParams) Defaults() ServeParams {
+	if p.Clients <= 0 {
+		p.Clients = 1
+	}
+	if p.Ops <= 0 {
+		p.Ops = 4000
+	}
+	if p.Items <= 0 {
+		p.Items = 4096
+	}
+	if p.Keys == 0 {
+		p.Keys = uint64(p.Items)
+	}
+	if p.ValueBytes <= 0 {
+		p.ValueBytes = 64
+	}
+	if p.ReadPct == 0 {
+		p.ReadPct = 50
+	}
+	if p.DelPct == 0 {
+		p.DelPct = 5
+	}
+	if p.Seed == 0 {
+		p.Seed = 0x55AA1234
+	}
+	p.Machine.Backend = p.Backend
+	p.Machine.Cores = p.Clients
+	if p.Machine.NVRAMMB == 0 {
+		p.Machine.NVRAMMB = 192
+	}
+	if p.Machine.DRAMMB == 0 {
+		p.Machine.DRAMMB = 4
+	}
+	if p.Machine.MaxHeapPages == 0 {
+		p.Machine.MaxHeapPages = 36 << 10
+	}
+	return p
+}
+
+// RunServe executes the serve workload concurrently (one goroutine per
+// core via Machine.Run) and returns aggregate plus per-core measurements,
+// with Result.AckHist and the latency percentiles populated.
+func RunServe(p ServeParams) ParallelResult {
+	p = p.Defaults()
+	m := ssp.MustNew(p.Machine)
+
+	// Serial setup: one kv shard per core, prefilled to capacity so GETs
+	// hit and steady-state SETs of fresh keys evict.
+	entry := 40 + p.ValueBytes
+	arenaPages := pagesFor(p.Items*entry + (p.Items/4)*8)
+	shards := make([]*kv.Cache, p.Clients)
+	for i := 0; i < p.Clients; i++ {
+		c := m.Core(i)
+		c.Begin()
+		arena := m.NewArena(c, arenaPages)
+		shards[i] = kv.Create(c, arena, kv.Config{
+			Buckets:    p.Items / 4,
+			Capacity:   p.Items,
+			ValueBytes: p.ValueBytes,
+		})
+		c.Commit()
+		fill := make([]byte, p.ValueBytes)
+		for k := uint64(0); k < p.Keys && k < uint64(p.Items); k++ {
+			fill[0] = byte(k)
+			c.Begin()
+			shards[i].Set(c, k, fill)
+			c.Commit()
+		}
+	}
+
+	// Measurement window: aligned clocks, clean counters.
+	m.Drain()
+	start := m.MaxClock()
+	for i := 0; i < p.Clients; i++ {
+		m.Core(i).SetNow(start)
+	}
+	m.ResetStats()
+
+	share := make([]int, p.Clients)
+	for i := range share {
+		share[i] = p.Ops / p.Clients
+	}
+	for i := 0; i < p.Ops%p.Clients; i++ {
+		share[i]++
+	}
+
+	parent := loadgen.New(loadgen.Config{
+		Keys:    p.Keys,
+		Skew:    p.Skew,
+		ReadPct: p.ReadPct,
+		DelPct:  p.DelPct,
+		Seed:    p.Seed,
+	})
+	hists := make([]stats.Histogram, p.Clients)
+	perRate := p.OfferedTPS / float64(p.Clients)
+	freq := m.FreqGHz()
+
+	wallStart := time.Now()
+	m.Run(func(c *ssp.Core) {
+		id := c.ID()
+		shard := shards[id]
+		stream := parent.Fork(id)
+		pacer := loadgen.CyclePacer(start, freq, perRate)
+		hist := &hists[id]
+		val := make([]byte, p.ValueBytes)
+		buf := make([]byte, p.ValueBytes)
+		for k := 0; k < share[id]; k++ {
+			arrival := engine.Cycles(pacer.Arrival(k))
+			if pacer.Interval() == 0 {
+				arrival = c.Now() // closed loop: latency is pure service time
+			} else if c.Now() < arrival {
+				c.SetNow(arrival) // idle until the scheduled arrival
+			}
+			op := stream.Next()
+			switch op.Kind {
+			case loadgen.OpGet:
+				shard.Get(c, op.Key, buf)
+			case loadgen.OpSet:
+				val[0] = byte(op.Key)
+				c.Begin()
+				shard.Set(c, op.Key, val)
+				if p.Relaxed {
+					c.CommitRelaxed()
+				} else {
+					c.Commit()
+				}
+			case loadgen.OpDel:
+				c.Begin()
+				shard.Delete(c, op.Key)
+				if p.Relaxed {
+					c.CommitRelaxed()
+				} else {
+					c.Commit()
+				}
+			}
+			hist.Record(uint64(c.Now() - arrival))
+		}
+	})
+	wall := time.Since(wallStart)
+	acked := m.MaxClock() - start
+	m.Drain()
+
+	merged := &stats.Histogram{}
+	for i := range hists {
+		merged.Merge(&hists[i])
+	}
+
+	elapsed := m.MaxClock() - start
+	res := ParallelResult{
+		Result: Result{
+			Kind:        Memcached,
+			Backend:     p.Backend,
+			Clients:     p.Clients,
+			Txns:        uint64(p.Ops),
+			Cycles:      elapsed,
+			AckCycles:   acked,
+			Stats:       *m.Stats(),
+			WriteSet:    *m.WriteSet(),
+			Journal:     m.JournalPressure(),
+			AckHist:     merged,
+			LatencyP50:  ssp.Cycles(merged.Percentile(50)),
+			LatencyP99:  ssp.Cycles(merged.Percentile(99)),
+			LatencyP999: ssp.Cycles(merged.Percentile(99.9)),
+			OfferedTPS:  p.OfferedTPS,
+		},
+		Wall: wall,
+	}
+	if elapsed > 0 {
+		res.TPS = float64(p.Ops) / m.Seconds(elapsed)
+	}
+	if acked > 0 {
+		res.CommittedTPS = float64(p.Ops) / m.Seconds(acked)
+	}
+	for i := 0; i < p.Clients; i++ {
+		coreElapsed := m.Core(i).Now() - start
+		cst := m.CoreStats(i)
+		cr := CoreResult{
+			Core:        i,
+			Txns:        uint64(share[i]),
+			Commits:     cst.Commits,
+			Cycles:      coreElapsed,
+			BarrierWait: cst.CommitBarrierWait,
+		}
+		if coreElapsed > 0 {
+			cr.TPS = float64(cr.Commits) / m.Seconds(coreElapsed)
+		}
+		res.PerCore = append(res.PerCore, cr)
+	}
+	return res
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/ssp"
+)
+
+// TestRunServeClosedLoop checks the capacity probe: every op recorded, sane
+// percentile ordering, committed throughput positive.
+func TestRunServeClosedLoop(t *testing.T) {
+	res := RunServe(ServeParams{
+		Backend: ssp.SSP,
+		Clients: 2,
+		Ops:     2000,
+		Items:   512,
+		Skew:    0.99,
+		Machine: ssp.Config{Channels: 2, JournalShards: 2},
+	})
+	if res.AckHist == nil || res.AckHist.Count != 2000 {
+		t.Fatalf("AckHist count = %v, want 2000", res.AckHist)
+	}
+	if res.LatencyP50 > res.LatencyP99 || res.LatencyP99 > res.LatencyP999 {
+		t.Fatalf("percentiles out of order: p50=%d p99=%d p999=%d",
+			res.LatencyP50, res.LatencyP99, res.LatencyP999)
+	}
+	if res.LatencyP50 == 0 {
+		t.Fatalf("p50 = 0; every op should cost cycles")
+	}
+	if res.CommittedTPS <= 0 || res.TPS <= 0 {
+		t.Fatalf("throughput not positive: cTPS=%v TPS=%v", res.CommittedTPS, res.TPS)
+	}
+	if res.Stats.Commits == 0 {
+		t.Fatalf("no transactions committed")
+	}
+}
+
+// TestRunServeOpenLoop checks pacing: at an offered load well below
+// capacity, ack latency is far below the inter-arrival gap (no queueing) and
+// the measured window spans roughly ops/rate simulated seconds.
+func TestRunServeOpenLoop(t *testing.T) {
+	probe := RunServe(ServeParams{
+		Backend: ssp.SSP,
+		Clients: 2,
+		Ops:     1000,
+		Items:   512,
+		Machine: ssp.Config{Channels: 2, JournalShards: 2},
+	})
+	rate := probe.CommittedTPS * 0.4
+	res := RunServe(ServeParams{
+		Backend:    ssp.SSP,
+		Clients:    2,
+		Ops:        1000,
+		Items:      512,
+		OfferedTPS: rate,
+		Machine:    ssp.Config{Channels: 2, JournalShards: 2},
+	})
+	if res.AckHist.Count != 1000 {
+		t.Fatalf("AckHist count = %d, want 1000", res.AckHist.Count)
+	}
+	// At 40% load the paced run must ack close to the offered rate, not at
+	// the closed-loop rate.
+	if res.CommittedTPS > rate*1.2 || res.CommittedTPS < rate*0.5 {
+		t.Fatalf("paced cTPS %.0f, offered %.0f — pacing not effective", res.CommittedTPS, rate)
+	}
+	// And p50 should be far below the inter-arrival gap (no queue build-up).
+	gapCycles := float64(res.Cycles) / 500 // per-core gap: 500 ops each
+	if float64(res.LatencyP50) > gapCycles {
+		t.Fatalf("p50 %d exceeds inter-arrival gap %.0f at 40%% load", res.LatencyP50, gapCycles)
+	}
+}
+
+// TestRunServeRelaxedTail is the PR's qualitative acceptance check at test
+// scale: at equal offered load, relaxed acknowledgment must beat synchronous
+// acknowledgment at the tail, because the journal-flush fence leaves the ack
+// path entirely.
+func TestRunServeRelaxedTail(t *testing.T) {
+	base := ServeParams{
+		Backend: ssp.SSP,
+		Clients: 2,
+		Ops:     2000,
+		Items:   512,
+		Skew:    0.99,
+		Machine: ssp.Config{Channels: 4, JournalShards: 1},
+	}
+	probe := RunServe(base)
+	rate := probe.CommittedTPS * 0.7
+
+	syncP := base
+	syncP.OfferedTPS = rate
+	syncRes := RunServe(syncP)
+
+	relP := base
+	relP.OfferedTPS = rate
+	relP.Relaxed = true
+	relP.Machine.DurabilityEpoch = 100000
+	relRes := RunServe(relP)
+
+	if relRes.LatencyP99 >= syncRes.LatencyP99 {
+		t.Fatalf("relaxed p99 %d >= sync p99 %d at offered %.0f ops/s",
+			relRes.LatencyP99, syncRes.LatencyP99, rate)
+	}
+	if relRes.Stats.RelaxedCommits == 0 {
+		t.Fatalf("relaxed run recorded no relaxed commits")
+	}
+	if relRes.Stats.HardenedEpochs == 0 || relRes.Stats.EpochHardenLag == 0 {
+		t.Fatalf("relaxed run hardened no epochs (lag unobservable)")
+	}
+}

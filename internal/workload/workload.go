@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/stats"
 	"repro/ssp"
 )
 
@@ -183,6 +184,16 @@ type Result struct {
 	// Journal is the SSP metadata journal's per-shard pressure at the end
 	// of the measured window (nil for the logging backends).
 	Journal []ssp.JournalShardPressure
+
+	// AckHist is the per-operation acknowledgment-latency histogram in
+	// simulated cycles, recorded only by drivers that schedule arrivals
+	// (RunServe); nil elsewhere. Latency is measured from each operation's
+	// scheduled open-loop arrival to its acknowledgment, so queueing delay
+	// under overload is included. LatencyP50/P99/P999 are its percentiles
+	// and OfferedTPS the offered load (0 = closed loop).
+	AckHist                             *stats.Histogram
+	LatencyP50, LatencyP99, LatencyP999 ssp.Cycles
+	OfferedTPS                          float64
 }
 
 // client is one simulated client: a core plus its per-transaction op.

@@ -363,6 +363,45 @@ func BenchmarkServeSmoke(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheSmoke is the DRAM-buffer-tier CI gate (see cmd/benchjson
+// and .github/workflows/ci.yml): the cache experiment's serve mix — 4 cores,
+// Zipfian keys, GET-path recency stamps, a 256 KiB L3 so the working set
+// reaches memory — run bare and with a 1024-frame buffer tier. The cached
+// run's committed TPS is the gated metric (Cache_cTPS); the bare row doubles
+// as a sentinel that DRAMCacheFrames = 0 still models the bare-NVRAM machine
+// (its numbers must track the historical serve figures at this mix). Hit
+// rate, both runs' NVRAM data-write lines, and the speedup ride along
+// un-gated.
+func BenchmarkCacheSmoke(b *testing.B) {
+	params := func(frames int) workload.ServeParams {
+		return workload.ServeParams{
+			Backend:    ssp.SSP,
+			Clients:    4,
+			Ops:        8000,
+			Items:      4096,
+			Skew:       0.99,
+			ReadPct:    70,
+			TouchOnGet: true,
+			Seed:       0xE0,
+			Machine:    ssp.Config{L3KB: 256, DRAMCacheFrames: frames},
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		bare := workload.RunServe(params(0))
+		cached := workload.RunServe(params(1024))
+		b.ReportMetric(cached.CommittedTPS, "Cache_cTPS")
+		b.ReportMetric(bare.CommittedTPS, "Cache_bare_cTPS")
+		if r := cached.Stats.DRAMCacheReads; r > 0 {
+			b.ReportMetric(100*float64(cached.Stats.DRAMCacheHits)/float64(r), "Cache_hit_pct")
+		}
+		b.ReportMetric(float64(experiments.DataWriteLines(bare.Stats)), "Cache_bare_dataWr_lines")
+		b.ReportMetric(float64(experiments.DataWriteLines(cached.Stats)), "Cache_dataWr_lines")
+		if bare.CommittedTPS > 0 {
+			b.ReportMetric(cached.CommittedTPS/bare.CommittedTPS, "Cache_speedup")
+		}
+	}
+}
+
 // BenchmarkTxnPath measures the raw per-transaction cost of each design on
 // a minimal two-store transaction (the mechanism overhead itself).
 func BenchmarkTxnPath(b *testing.B) {

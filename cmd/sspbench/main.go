@@ -149,6 +149,20 @@ var experimentTable = []experiment{
 			fmt.Println(experiments.RenderEpoch(experiments.EpochSweep(sc, mix, epochs, coreList)))
 		}
 	}},
+	{"cache", "DRAM buffer cache sweep (frames x cores x skew)", func(sc experiments.Scale, fl benchFlags) {
+		coreList := experiments.SweepPowersOfTwo(fl.cores)
+		skews := experiments.CacheSkews()
+		frames := experiments.CacheFrames()
+		section(fmt.Sprintf("DRAM buffer cache — SSP serve mix (4 channels), skews %v x %v cores x frames %v",
+			skews, coreList, frames))
+		fmt.Println(experiments.RenderCache(experiments.CacheSweep(sc, skews, coreList, frames)))
+	}},
+	{"wear", "software wear-leveling sweep (rotation threshold)", func(sc experiments.Scale, fl benchFlags) {
+		thresholds := experiments.WearThresholds()
+		section(fmt.Sprintf("Software wear-leveling — hot-key serve mix (skew 1.2, 10%% reads), %d cores, rotation thresholds %v",
+			fl.cores, thresholds))
+		fmt.Println(experiments.RenderWear(experiments.WearSweep(sc, fl.cores, thresholds)))
+	}},
 	{"serve", "open-loop serve latency (skew x load x cores, sync vs relaxed)", func(sc experiments.Scale, fl benchFlags) {
 		coreList := experiments.SweepPowersOfTwo(fl.cores)
 		skews := experiments.ServeSkews()

@@ -152,6 +152,85 @@ type dirEntry struct {
 	owner   int8   // core with a dirty private copy, or -1
 }
 
+// Mem is the memory tier below the cache hierarchy. The hierarchy issues
+// all sub-L3 traffic through this interface, so a buffer tier (a DRAM page
+// cache, internal/buffercache) can interpose between the caches and the
+// durable memsim image without the hierarchy knowing. Wrap skips the
+// indirection: a bare memsim.Memory behaves bit-for-bit like the historical
+// direct coupling.
+//
+// The distinction between the three write entry points is durability:
+//
+//   - EvictLine is a capacity write-back of a victim line. The hierarchy
+//     never waits on it and nothing above relies on it reaching NVRAM — a
+//     buffer tier may absorb it in DRAM.
+//   - PersistLine is an explicit persistence request (clwb with a fence
+//     behind it): the line MUST reach the durable image, and the returned
+//     completion time is what the fence waits on.
+//   - HardenLine is the fence backstop for lines with no dirty CPU-cache
+//     copy: if the tier below holds a dirty (absorbed) copy of the line, it
+//     must write it through to NVRAM now and report (done, true); if it
+//     holds nothing dirty the line is already durable and it reports
+//     (at, false).
+//
+// All methods are called under the hierarchy's interconnect lock, on the
+// invoking core's goroutine.
+type Mem interface {
+	// ReadLine fills buf with the line at pa and returns the completion
+	// time, charged to the fastest tier holding a valid copy.
+	ReadLine(core int, pa memsim.PAddr, buf []byte, at engine.Cycles) engine.Cycles
+	// EvictLine accepts a dirty victim line written back for capacity.
+	EvictLine(core int, pa memsim.PAddr, data []byte, at engine.Cycles, cat stats.WriteCat)
+	// PersistLine writes the line through to the durable image and returns
+	// the completion time of the durable write.
+	PersistLine(core int, pa memsim.PAddr, data []byte, at engine.Cycles, cat stats.WriteCat) engine.Cycles
+	// HardenLine persists a dirty buffered copy of pa's line, if one exists
+	// below the CPU caches; reports whether a write happened.
+	HardenLine(core int, pa memsim.PAddr, at engine.Cycles, cat stats.WriteCat) (engine.Cycles, bool)
+	// DirtyLine reports whether the tier holds a dirty (not yet durable)
+	// copy of pa's line.
+	DirtyLine(pa memsim.PAddr) bool
+	// InjectLine updates any buffered copy of pa's line in place with data
+	// just written durably (cache injection; untimed).
+	InjectLine(pa memsim.PAddr, data []byte)
+	// Peek resolves the freshest value of the bytes at pa without timing:
+	// a buffered copy if present, else the durable image.
+	Peek(pa memsim.PAddr, buf []byte)
+}
+
+// directMem couples the hierarchy straight to memsim with no buffer tier —
+// the paper's bare-NVRAM model. Every method is a transparent forward;
+// HardenLine reports no buffered state so flushLocked's no-dirty-copy path
+// is byte-identical to the historical one.
+type directMem struct {
+	mem *memsim.Memory
+}
+
+// Wrap adapts a bare memsim.Memory to the Mem interface.
+func Wrap(mem *memsim.Memory) Mem { return directMem{mem} }
+
+func (d directMem) ReadLine(core int, pa memsim.PAddr, buf []byte, at engine.Cycles) engine.Cycles {
+	return d.mem.ReadLine(pa, buf, at)
+}
+
+func (d directMem) EvictLine(core int, pa memsim.PAddr, data []byte, at engine.Cycles, cat stats.WriteCat) {
+	d.mem.WriteLine(pa, data, at, cat)
+}
+
+func (d directMem) PersistLine(core int, pa memsim.PAddr, data []byte, at engine.Cycles, cat stats.WriteCat) engine.Cycles {
+	return d.mem.WriteLine(pa, data, at, cat)
+}
+
+func (d directMem) HardenLine(core int, pa memsim.PAddr, at engine.Cycles, cat stats.WriteCat) (engine.Cycles, bool) {
+	return at, false
+}
+
+func (d directMem) DirtyLine(pa memsim.PAddr) bool { return false }
+
+func (d directMem) InjectLine(pa memsim.PAddr, data []byte) {}
+
+func (d directMem) Peek(pa memsim.PAddr, buf []byte) { d.mem.Peek(pa, buf) }
+
 // Hierarchy is the full multi-core cache system in front of one Memory.
 //
 // Concurrency: one mutex serialises every operation — the software analogue
@@ -168,7 +247,7 @@ type dirEntry struct {
 // model.
 type Hierarchy struct {
 	cfg Config
-	mem *memsim.Memory
+	mem Mem
 	st  *stats.Stats
 
 	mu     sync.Mutex
@@ -177,8 +256,14 @@ type Hierarchy struct {
 	dir    map[uint64]dirEntry
 }
 
-// New builds the hierarchy described by cfg on top of mem.
+// New builds the hierarchy described by cfg directly on top of mem (no
+// buffer tier); see NewWithMem for interposing one.
 func New(cfg Config, mem *memsim.Memory, st *stats.Stats) *Hierarchy {
+	return NewWithMem(cfg, Wrap(mem), st)
+}
+
+// NewWithMem builds the hierarchy on top of an arbitrary memory tier.
+func NewWithMem(cfg Config, mem Mem, st *stats.Stats) *Hierarchy {
 	if cfg.Cores <= 0 || cfg.Cores > 64 {
 		panic(fmt.Sprintf("cachesim: unsupported core count %d", cfg.Cores))
 	}
@@ -241,8 +326,8 @@ func (h *Hierarchy) dropSharerIfGone(core int, la uint64) {
 // ---------------------------------------------------------------------------
 // Fill/evict plumbing.
 
-// installL3 places data into L3, evicting as needed.
-func (h *Hierarchy) installL3(la uint64, data *[memsim.LineBytes]byte, dirty, tx bool, at engine.Cycles) {
+// installL3 places data into L3 on behalf of core, evicting as needed.
+func (h *Hierarchy) installL3(core int, la uint64, data *[memsim.LineBytes]byte, dirty, tx bool, at engine.Cycles) {
 	if cur := h.l3.lookup(la); cur != nil {
 		cur.data = *data
 		cur.dirty = cur.dirty || dirty
@@ -254,7 +339,7 @@ func (h *Hierarchy) installL3(la uint64, data *[memsim.LineBytes]byte, dirty, tx
 		if v.tx {
 			h.st.TxLineSpills++
 		}
-		h.mem.WriteLine(memsim.PAddr(v.tag)<<memsim.LineShift, v.data[:], at, stats.CatData)
+		h.mem.EvictLine(core, memsim.PAddr(v.tag)<<memsim.LineShift, v.data[:], at, stats.CatData)
 	}
 	h.l3.tick++
 	*v = line{tag: la, valid: true, dirty: dirty, tx: tx, lru: h.l3.tick, data: *data}
@@ -294,7 +379,7 @@ func (h *Hierarchy) evictPrivateVictim(core int, v *line, at engine.Cycles) {
 		l1c.valid = false
 	}
 	v.valid = false
-	h.installL3(la, &data, dirty, tx, at)
+	h.installL3(core, la, &data, dirty, tx, at)
 	h.dropSharerIfGone(core, la)
 }
 
@@ -353,7 +438,7 @@ func (h *Hierarchy) fetchAuthority(core int, la uint64, at engine.Cycles) ([mems
 		if !found {
 			panic(fmt.Sprintf("cachesim: directory owner %d has no dirty copy of %#x", o, la))
 		}
-		h.installL3(la, &data, true, tx, t)
+		h.installL3(core, la, &data, true, tx, t)
 		e.owner = -1
 		e.sharers |= 1 << uint(o)
 		h.dirPut(la, e)
@@ -365,8 +450,8 @@ func (h *Hierarchy) fetchAuthority(core int, la uint64, at engine.Cycles) ([mems
 	}
 	h.st.CacheMisses[2]++
 	var buf [memsim.LineBytes]byte
-	done := h.mem.ReadLine(memsim.PAddr(la)<<memsim.LineShift, buf[:], t+h.cfg.L3Lat)
-	h.installL3(la, &buf, false, false, done)
+	done := h.mem.ReadLine(core, memsim.PAddr(la)<<memsim.LineShift, buf[:], t+h.cfg.L3Lat)
+	h.installL3(core, la, &buf, false, false, done)
 	return buf, done
 }
 
@@ -466,7 +551,7 @@ func (h *Hierarchy) exclusiveLine(core int, la uint64, at engine.Cycles) (*line,
 		}
 		if haveRemote {
 			// The remote dirty value moves into L3 so the fill below sees it.
-			h.installL3(la, &data, true, tx, t)
+			h.installL3(core, la, &data, true, tx, t)
 		}
 		e.sharers &= 1 << uint(core)
 		if e.owner >= 0 && int(e.owner) != core {
@@ -538,9 +623,14 @@ func (h *Hierarchy) flushLocked(core int, pa memsim.PAddr, at engine.Cycles, cat
 		}
 	}
 	if data == nil {
+		// No dirty CPU copy. A buffer tier below may still hold a dirty
+		// absorbed copy; harden it so the caller's fence covers it.
+		if done, wrote := h.mem.HardenLine(core, memsim.PAddr(la)<<memsim.LineShift, at, cat); wrote {
+			return done, true
+		}
 		return at + h.cfg.L1Lat, false
 	}
-	done := h.mem.WriteLine(memsim.PAddr(la)<<memsim.LineShift, data[:], at, cat)
+	done := h.mem.PersistLine(core, memsim.PAddr(la)<<memsim.LineShift, data[:], at, cat)
 	return done, true
 }
 
@@ -641,6 +731,7 @@ func (h *Hierarchy) injectLineLocked(pa memsim.PAddr, data []byte) {
 		apply(h.l2[o].peek(la))
 	}
 	apply(h.l3.peek(la))
+	h.mem.InjectLine(memsim.PAddr(la)<<memsim.LineShift, data)
 }
 
 // InvalidateLine drops all cached copies of pa's line without writing back;
@@ -661,7 +752,8 @@ func (h *Hierarchy) WritebackInvalidate(pa memsim.PAddr, at engine.Cycles, cat s
 	return done, wrote
 }
 
-// dirtyAnywhere reports whether any cached copy of la is dirty.
+// dirtyAnywhere reports whether any cached copy of la is dirty, in the CPU
+// hierarchy or absorbed in the buffer tier below it.
 func (h *Hierarchy) dirtyAnywhere(la uint64) bool {
 	e := h.dirGet(la)
 	if e.owner >= 0 {
@@ -670,7 +762,7 @@ func (h *Hierarchy) dirtyAnywhere(la uint64) bool {
 	if c := h.l3.peek(la); c != nil && c.dirty {
 		return true
 	}
-	return false
+	return h.mem.DirtyLine(memsim.PAddr(la) << memsim.LineShift)
 }
 
 // DirtyAnywhere reports whether any cached copy of pa's line is dirty

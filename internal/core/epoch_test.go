@@ -107,6 +107,57 @@ func TestEpochAccountingIdentity(t *testing.T) {
 		total, survivors, total-survivors, st.LostEpochTxns)
 }
 
+// TestHardenIdleDrainsOpenEpoch pins the idle-hardener contract: a shard
+// whose core went idle right after a relaxed commit holds an open dirty
+// epoch indefinitely (the age bound is only checked when the NEXT commit
+// arrives); HardenIdle closes it without a Sync, making the acknowledged
+// data crash-durable, and a second call finds nothing to do.
+func TestHardenIdleDrainsOpenEpoch(t *testing.T) {
+	env, s := testEnv(t, 1)
+	s.cfg.DurabilityEpoch = 1 << 20 // no commit-path hardening in this script
+	mapPage(env, 0)
+
+	at := engine.Cycles(0)
+	s.Begin(0, at)
+	s.Store(0, va(0, 0), []byte{0xAB}, at)
+	at = s.CommitRelaxed(0, at)
+
+	done, hardened := s.HardenIdle(0, at)
+	if !hardened {
+		t.Fatal("HardenIdle found no open dirty epoch after a relaxed commit")
+	}
+	if done < at {
+		t.Errorf("HardenIdle completion %d precedes its start %d", done, at)
+	}
+	if _, again := s.HardenIdle(0, done); again {
+		t.Error("second HardenIdle hardened an already-clean shard")
+	}
+	if env.Stats.HardenedEpochs == 0 {
+		t.Fatal("HardenIdle hardened no epoch in the stats")
+	}
+
+	crashRecover(t, env, s)
+	var b [1]byte
+	s.Load(0, va(0, 0), b[:], 0)
+	if b[0] != 0xAB {
+		t.Fatalf("idle-hardened commit lost across crash: %#x", b[0])
+	}
+}
+
+// TestHardenIdleRequiresEpochMode: with strict durability (DurabilityEpoch
+// 0) every commit is already durable at its fence, so HardenIdle must be a
+// no-op.
+func TestHardenIdleRequiresEpochMode(t *testing.T) {
+	env, s := testEnv(t, 1)
+	mapPage(env, 0)
+	s.Begin(0, 0)
+	s.Store(0, va(0, 0), []byte{1}, 0)
+	s.Commit(0, 0)
+	if _, hardened := s.HardenIdle(0, 0); hardened {
+		t.Error("HardenIdle reported work in strict-durability mode")
+	}
+}
+
 // TestEpochAgeBoundHardens pins the epoch-length contract itself: with no
 // Sync at all, an epoch hardens once its age reaches DurabilityEpoch, so a
 // long-running relaxed workload still becomes durable in bounded lag.

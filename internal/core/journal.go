@@ -272,6 +272,29 @@ func (s *SSP) hardenPageUpdates(meta *pageMeta, dest int, at engine.Cycles) engi
 	return at
 }
 
+// HardenIdle implements txn.IdleHardener: it hardens the calling core's
+// own metadata shard's open epoch, if one is open, and reports whether a
+// harden ran. relaxedLocalCommit bills the epoch age bound to the NEXT
+// committer crossing it, so a shard whose cores all go quiet would hold
+// its last acknowledged epoch volatile until a Sync or Drain; a serving
+// loop's idle path calls this instead. No age check here: an idle core's
+// clock is frozen, so the caller decides "idle long enough" in host time.
+func (s *SSP) HardenIdle(core int, at engine.Cycles) (engine.Cycles, bool) {
+	if s.cfg.DurabilityEpoch <= 0 {
+		return at, false
+	}
+	si := s.shardFor(core)
+	s.lockShard(si)
+	if !s.epochs[si].dirty {
+		s.unlockShard(si)
+		return at, false
+	}
+	t := s.hardenShardLocked(si, core, at)
+	s.unlockShard(si)
+	s.clock(t)
+	return t, true
+}
+
 // hardenAllShards hardens every shard's open epoch (Sync, Drain). The
 // shards are independent rings flushed concurrently in simulated time, so
 // the completion is the max — not the sum — of the per-shard hardens.

@@ -72,6 +72,13 @@ type Config struct {
 	// batch every EpochCommits commits (per backend, not per core). Serial
 	// runs consolidate inline and ignore this.
 	EpochCommits int
+	// WearRotateWrites, when positive, retires hot physical frames at
+	// consolidation time (SoftWear-style software wear-leveling): a frame
+	// whose cumulative NVRAM write count (memsim.Memory.PageWrites) has
+	// reached this threshold is swapped for a cold frame from the
+	// allocator, with the flip journaled by the same consolidation record.
+	// 0 disables rotation.
+	WearRotateWrites uint64
 	// EagerFlush issues each dirty write-set line's cache flush (clwb)
 	// immediately after the store instead of deferring it to the commit
 	// fence (Vilamb-style eager persistence). The commit-time fence then

@@ -135,6 +135,73 @@ func WithCommitKnobs(cfg ssp.Config) ssp.Config {
 	return cfg
 }
 
+// BufferedConfig is Config with the DRAM buffer tier interposed and a
+// shrunken cache hierarchy: 16 buffer frames in front of a 32 KiB L2 and a
+// 64 KiB L3, so the buffered sweep's non-transactional spray
+// (RunScriptBuffered) overflows every SRAM tier — dirty victim write-backs
+// are absorbed in DRAM, buffer frames are evicted with NVRAM write-backs
+// mid-script, and commit fences run with the tier in the path. Every one of
+// those NVRAM writes is a trap point.
+func BufferedConfig(b ssp.Backend) ssp.Config {
+	cfg := Config(b)
+	cfg.DRAMCacheFrames = 16
+	cfg.L2KB = 32
+	cfg.L3KB = 64
+	return cfg
+}
+
+// The buffered runner's non-transactional spray range: disjoint from the
+// script generators' transaction pages (1..8), so volatile spray data never
+// shares a page with verified committed data.
+const ntFirstPage, ntPages = 16, 32
+
+// RunScriptBuffered is RunScript with a non-transactional store spray woven
+// between the transactions: before each transaction, plain stores fill
+// three whole pages of a 32-page window — enough cumulative footprint to
+// overflow BufferedConfig's 64 KiB LLC and its 16-frame buffer both. The
+// sprayed values are legally volatile (never verified); their role is to
+// keep the buffer tier churning — absorbs, frame evictions, write-backs —
+// so the trap sweep cuts the write stream inside every buffer window while
+// the commit path's own durability contract is checked as usual.
+func RunScriptBuffered(m *ssp.Machine, sc Script) (committed, boundary map[uint64]uint64) {
+	committed = map[uint64]uint64{}
+	last := sc.maxPage()
+	if last < ntFirstPage+ntPages-1 {
+		last = ntFirstPage + ntPages - 1
+	}
+	m.Heap().EnsureMapped(1, last)
+	for i, addrs := range sc.Txns {
+		if m.Mem().PoweredOff() {
+			break
+		}
+		c := m.Core(i % m.Cores())
+		for j := 0; j < 3*64; j++ {
+			page := ntFirstPage + (i*3+j/64)%ntPages
+			line := j % 64
+			c.Store64(ssp.HeapBase+uint64(page)*ssp.PageBytes+uint64(line)*ssp.LineBytes, uint64(i*192+j+1))
+		}
+		val := uint64(i + 1)
+		pending := map[uint64]uint64{}
+		if sc.global(i) {
+			c.BeginGlobal()
+		} else {
+			c.Begin()
+		}
+		for _, va := range addrs {
+			c.Store64(va, val)
+			pending[va] = val
+		}
+		c.Commit()
+		if m.Mem().PoweredOff() {
+			return committed, pending
+		}
+		for va, v := range pending {
+			committed[va] = v
+		}
+	}
+	return committed, nil
+}
+
 // RunScript executes sc until done or power-off, returning the guaranteed
 // committed state and the boundary transaction's writes (nil if power held
 // or failed between transactions). Transactions round-robin across the
@@ -200,9 +267,25 @@ func SweepCrossConfig(cfg ssp.Config, seed uint64, txns int, verbose bool, log i
 // run counts the durable NVRAM writes, then the script re-runs once per
 // possible trap point with recovery and all-or-nothing verification.
 func SweepScriptConfig(cfg ssp.Config, sc Script, verbose bool, log io.Writer) (points, failures int) {
+	return sweepScript(cfg, sc, RunScript, verbose, log)
+}
+
+// SweepBufferedScript is the buffered sweep class: the script runs through
+// RunScriptBuffered on a machine with the DRAM buffer tier in the path
+// (BufferedConfig, optionally with more knobs stacked), and the trap sweep
+// cuts the durable write stream inside the tier's windows — between a dirty
+// frame eviction's write-backs, around commit-fence hardens, between a
+// fence's write-through and the journal record. Committed transactions must
+// survive every cut; the sprayed volatile lines are allowed to vanish.
+func SweepBufferedScript(cfg ssp.Config, sc Script, verbose bool, log io.Writer) (points, failures int) {
+	return sweepScript(cfg, sc, RunScriptBuffered, verbose, log)
+}
+
+// sweepScript is the sweep engine shared by the runner variants.
+func sweepScript(cfg ssp.Config, sc Script, run func(*ssp.Machine, Script) (map[uint64]uint64, map[uint64]uint64), verbose bool, log io.Writer) (points, failures int) {
 	ref := ssp.MustNew(cfg)
 	setup := ref.Stats().NVRAMWriteLines
-	RunScript(ref, sc)
+	run(ref, sc)
 	ref.Drain()
 	writes := int64(ref.Stats().NVRAMWriteLines - setup)
 
@@ -215,7 +298,7 @@ func SweepScriptConfig(cfg ssp.Config, sc Script, verbose bool, log io.Writer) (
 		points++
 		m := ssp.MustNew(cfg)
 		m.Mem().SetWriteTrap(k)
-		committed, boundary := RunScript(m, sc)
+		committed, boundary := run(m, sc)
 		m.Mem().SetWriteTrap(-1)
 		if err := m.Recover(); err != nil {
 			logf("  trap %d: recovery error: %v\n", k, err)

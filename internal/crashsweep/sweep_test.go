@@ -179,6 +179,64 @@ func TestCrossScriptExercisesTwoPhase(t *testing.T) {
 	}
 }
 
+// TestTrapSweepBuffered is the DRAM-buffer-tier crash class: the script
+// runs with 16 buffer frames in front of a 64 KiB L3 while a
+// non-transactional spray keeps the tier churning, so trap points fall
+// inside every buffer window — after a dirty absorb (the absorbed line is
+// DRAM-only and legally lost), between a frame eviction's write-backs, and
+// around the commit fence's write-throughs. Committed transactions must
+// survive every cut with the tier in the path; classes stack the
+// commit-path knobs (eager flush + group commit) and a DurabilityEpoch on
+// top.
+func TestTrapSweepBuffered(t *testing.T) {
+	scripts, txns := 1, 10 // the spray makes each sweep ~8x a plain script's
+	if testing.Short() {
+		scripts, txns = 1, 6
+	}
+	epoch := WithCommitKnobs(BufferedConfig(ssp.SSP))
+	epoch.DurabilityEpoch = 30000
+	classes := []struct {
+		name string
+		cfg  ssp.Config
+		seed uint64
+	}{
+		{"plain", BufferedConfig(ssp.SSP), 0xB0F1},
+		{"knobs", WithCommitKnobs(BufferedConfig(ssp.SSP)), 0xB0F2},
+		{"epoch", epoch, 0xB0F3},
+	}
+	for _, cl := range classes {
+		cl := cl
+		t.Run(cl.name, func(t *testing.T) {
+			total := 0
+			for s := 0; s < scripts; s++ {
+				seed := cl.seed + uint64(s)*1000003
+				sc := MakeScript(seed, txns)
+				// The sweep is only meaningful if the run genuinely drives
+				// the buffer windows: dirty absorbs and frame-eviction
+				// write-backs must both occur.
+				ref := ssp.MustNew(cl.cfg)
+				RunScriptBuffered(ref, sc)
+				ref.Drain()
+				st := ref.Stats()
+				if st.DRAMCacheAbsorbed == 0 || st.DRAMCacheWriteBacks == 0 {
+					t.Fatalf("script %d (seed %#x) drove %d absorbs / %d write-backs; the sweep needs both",
+						s, seed, st.DRAMCacheAbsorbed, st.DRAMCacheWriteBacks)
+				}
+				points, bad := SweepBufferedScript(cl.cfg, sc, false, os.Stderr)
+				if bad != 0 {
+					t.Fatalf("script %d (seed %#x): %d of %d trap points violated the all-or-nothing contract",
+						s, seed, bad, points)
+				}
+				total += points
+			}
+			if total == 0 {
+				t.Fatal("buffered sweep checked no trap points")
+			}
+			t.Logf("%s: %d trap points checked", cl.name, total)
+		})
+	}
+}
+
 // TestVerifyCatchesCorruption guards the verifier itself: a machine whose
 // durable state was tampered with must fail verification.
 func TestVerifyCatchesCorruption(t *testing.T) {

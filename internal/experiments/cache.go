@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/ssp"
+)
+
+// This file is the DRAM buffer cache experiment (beyond the paper): the
+// open-loop serve mix run bare and with a pager-style DRAM buffer tier
+// (ssp.Config.DRAMCacheFrames) in front of the NVRAM frame pool, swept over
+// frame count, core count, and key skew. The mix models the regime a buffer
+// tier exists for — a working set well past the LLC (L3KB shrinks the L3 so
+// the small scale reaches it) with memcached-style GET-path recency stamps
+// (ServeParams.TouchOnGet), non-transactional writes with no durability
+// requirement. Bare, every LLC miss queues on the NVRAM banks behind 200 ns
+// writes and every dirty stamp victim is written back to NVRAM; with the
+// buffer, refills hit DRAM banks and the stamps are absorbed, so NVRAM
+// data-write lines drop and committed throughput rises — most at high skew,
+// where the hot keys' frames stay resident.
+
+// CachePoint is one (skew, cores, frames) cell: the same serve mix bare and
+// cached.
+type CachePoint struct {
+	Skew   float64
+	Cores  int
+	Frames int
+	Base   workload.ParallelResult // DRAMCacheFrames = 0, same seed and mix
+	Cached workload.ParallelResult
+
+	HitRate float64 // buffer hits / buffer reads of the cached run
+	Speedup float64 // cached committed TPS / base committed TPS
+	DataCut float64 // fraction of the bare run's NVRAM data-write lines removed
+}
+
+// cacheServeParams maps a Scale onto the cache sweep's serve mix: the
+// multi-channel machine of the serve experiment with the buffer tier dialed
+// by frames.
+func (sc Scale) cacheServeParams(cores int, skew float64, frames int) workload.ServeParams {
+	return workload.ServeParams{
+		Backend:    ssp.SSP,
+		Clients:    cores,
+		Ops:        sc.Ops,
+		Items:      sc.Items,
+		Skew:       skew,
+		ReadPct:    70,
+		TouchOnGet: true,
+		Seed:       sc.Seed,
+		Machine:    ssp.Config{L3KB: 256, DRAMCacheFrames: frames},
+	}
+}
+
+// CacheFrames returns the default frame-count sweep (the serve machine's
+// 4 MiB DRAM fits 1024).
+func CacheFrames() []int { return []int{128, 512, 1024} }
+
+// CacheSkews returns the default key-skew sweep: uniform and Zipfian.
+func CacheSkews() []float64 { return []float64{0, 0.99} }
+
+// CacheSweep runs skew × cores × frames. Each (skew, cores) cell is anchored
+// by one bare run (Frames = 0 in its CachePoint is implied by Base); every
+// frames value then replays the identical mix through the buffer tier.
+func CacheSweep(sc Scale, skews []float64, coresList, framesList []int) []CachePoint {
+	var points []CachePoint
+	for _, skew := range skews {
+		for _, cores := range coresList {
+			base := workload.RunServe(sc.cacheServeParams(cores, skew, 0))
+			for _, frames := range framesList {
+				cached := workload.RunServe(sc.cacheServeParams(cores, skew, frames))
+				points = append(points, makeCachePoint(skew, cores, frames, base, cached))
+			}
+		}
+	}
+	return points
+}
+
+func makeCachePoint(skew float64, cores, frames int, base, cached workload.ParallelResult) CachePoint {
+	pt := CachePoint{Skew: skew, Cores: cores, Frames: frames, Base: base, Cached: cached}
+	if r := cached.Stats.DRAMCacheReads; r > 0 {
+		pt.HitRate = float64(cached.Stats.DRAMCacheHits) / float64(r)
+	}
+	if base.CommittedTPS > 0 {
+		pt.Speedup = cached.CommittedTPS / base.CommittedTPS
+	}
+	if b := DataWriteLines(base.Stats); b > 0 {
+		pt.DataCut = 1 - float64(DataWriteLines(cached.Stats))/float64(b)
+	}
+	return pt
+}
+
+// DataWriteLines is the bare metric the buffer attacks: NVRAM data-category
+// write lines.
+func DataWriteLines(st stats.Stats) uint64 {
+	return st.WriteBytes(stats.CatData) / 64
+}
+
+// RenderCache formats the sweep: one row per (skew, cores, frames) with the
+// cached run's hit rate, both committed TPS figures, and the data-write cut.
+func RenderCache(points []CachePoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	header := []string{"skew", "cores", "frames", "hit%", "bare cTPS", "cached cTPS", "speedup", "bare dataWr", "cached dataWr", "cut%"}
+	var body [][]string
+	for _, pt := range points {
+		body = append(body, []string{
+			fmt.Sprintf("%.2f", pt.Skew),
+			fmt.Sprintf("%d", pt.Cores),
+			fmt.Sprintf("%d", pt.Frames),
+			fmt.Sprintf("%.1f", 100*pt.HitRate),
+			fmt.Sprintf("%.0f", pt.Base.CommittedTPS),
+			fmt.Sprintf("%.0f", pt.Cached.CommittedTPS),
+			fmt.Sprintf("%.2fx", pt.Speedup),
+			fmt.Sprintf("%d", DataWriteLines(pt.Base.Stats)),
+			fmt.Sprintf("%d", DataWriteLines(pt.Cached.Stats)),
+			fmt.Sprintf("%.1f", 100*pt.DataCut),
+		})
+	}
+	var b strings.Builder
+	b.WriteString(stats.Table(header, body))
+	b.WriteString("\ncached-run buffer traffic (largest sweep point):\n")
+	last := points[len(points)-1].Cached.Stats
+	fmt.Fprintf(&b, "  reads %d (hits %d, misses %d), absorbed %d, hardened %d, writebacks %d, evictions %d\n",
+		last.DRAMCacheReads, last.DRAMCacheHits, last.DRAMCacheMisses,
+		last.DRAMCacheAbsorbed, last.DRAMCacheHardens, last.DRAMCacheWriteBacks, last.DRAMCacheEvictions)
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/ssp"
+)
+
+// This file is the software wear-leveling experiment (beyond the paper,
+// SoftWear-style): a skewed write-heavy serve mix concentrates NVRAM writes
+// on the hot keys' frames, and the per-frame write counters (memsim) expose
+// the imbalance as max/mean skew. With ssp.Config.WearRotateWrites set, page
+// consolidation retires frames whose cumulative write count crossed the
+// threshold, so the same mix spreads its writes across the pool and the
+// skew drops.
+
+// WearPoint is one rotation-threshold cell of the sweep; Threshold 0 is the
+// unrotated baseline.
+type WearPoint struct {
+	Threshold int
+	Res       workload.ParallelResult
+
+	Max       uint64  // hottest frame's write count
+	Mean      float64 // mean writes over frames written at least once
+	Skew      float64 // max / mean
+	Rotations uint64
+}
+
+// wearServeParams is the wear mix: hot-key-dominated and write-heavy, so a
+// few frames soak up most data writes.
+func (sc Scale) wearServeParams(cores int, threshold int) workload.ServeParams {
+	return workload.ServeParams{
+		Backend: ssp.SSP,
+		Clients: cores,
+		Ops:     sc.Ops,
+		Items:   sc.Items,
+		Skew:    1.2,
+		ReadPct: 10,
+		Seed:    sc.Seed,
+		// Rotation piggybacks on consolidation, and a page only consolidates
+		// once it has left the TLB hierarchy. A tiny TLB (16 entries, no
+		// STLB) cycles even the hot pages through consolidation, so the
+		// policy gets to see every frame's wear.
+		Machine: ssp.Config{Channels: 4, TLBEntries: 16, STLBEntries: -1, WearRotateWrites: threshold},
+	}
+}
+
+// WearThresholds returns the default rotation-threshold sweep in per-frame
+// write counts.
+func WearThresholds() []int { return []int{256, 64} }
+
+// WearSweep runs the wear mix unrotated, then once per threshold.
+func WearSweep(sc Scale, cores int, thresholds []int) []WearPoint {
+	points := []WearPoint{makeWearPoint(0, workload.RunServe(sc.wearServeParams(cores, 0)))}
+	for _, thr := range thresholds {
+		points = append(points, makeWearPoint(thr, workload.RunServe(sc.wearServeParams(cores, thr))))
+	}
+	return points
+}
+
+func makeWearPoint(threshold int, res workload.ParallelResult) WearPoint {
+	pt := WearPoint{Threshold: threshold, Res: res, Max: res.Stats.FrameWriteMax, Rotations: res.Stats.WearRotations}
+	if res.Stats.FramesWritten > 0 {
+		pt.Mean = float64(res.Stats.FrameWriteTotal) / float64(res.Stats.FramesWritten)
+	}
+	if pt.Mean > 0 {
+		pt.Skew = float64(pt.Max) / pt.Mean
+	}
+	return pt
+}
+
+// RenderWear formats the sweep: per threshold, the frames touched, the
+// write-count max/mean/skew, and the rotations paid for the leveling.
+func RenderWear(points []WearPoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	header := []string{"threshold", "frames written", "max writes", "mean writes", "skew(max/mean)", "rotations", "cTPS"}
+	var body [][]string
+	for _, pt := range points {
+		thr := "off"
+		if pt.Threshold > 0 {
+			thr = fmt.Sprintf("%d", pt.Threshold)
+		}
+		body = append(body, []string{
+			thr,
+			fmt.Sprintf("%d", pt.Res.Stats.FramesWritten),
+			fmt.Sprintf("%d", pt.Max),
+			fmt.Sprintf("%.1f", pt.Mean),
+			fmt.Sprintf("%.2f", pt.Skew),
+			fmt.Sprintf("%d", pt.Rotations),
+			fmt.Sprintf("%.0f", pt.Res.CommittedTPS),
+		})
+	}
+	return stats.Table(header, body)
+}

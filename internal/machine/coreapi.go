@@ -125,6 +125,27 @@ func (c *Core) Sync() {
 	c.m.clocks[c.id] = rb.Sync(c.id, c.m.clocks[c.id])
 }
 
+// HardenIdle hardens this core's own metadata shard's open
+// relaxed-durability epoch, if any, and reports whether a harden ran. The
+// epoch age bound is billed to the next committer, so a core that goes
+// quiet can leave acknowledged-but-volatile sections pending until the
+// next Sync or Drain; serving loops call HardenIdle from their idle path
+// instead (judging "idle" in host time — an idle core's simulated clock
+// is frozen). A no-op, returning false, on backends without the relaxed
+// mode and when the shard has nothing unsealed.
+func (c *Core) HardenIdle() bool {
+	ih, ok := c.m.backend.(txn.IdleHardener)
+	if !ok {
+		return false
+	}
+	done, hardened := ih.HardenIdle(c.id, c.m.clocks[c.id])
+	if !hardened {
+		return false // free: an idle poll that finds nothing charges nothing
+	}
+	c.m.clocks[c.id] = done
+	return true
+}
+
 // Abort rolls the open section back.
 func (c *Core) Abort() {
 	if !c.inTxn {

@@ -19,8 +19,10 @@ package machine
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 
+	"repro/internal/buffercache"
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -74,6 +76,12 @@ type Config struct {
 	SSP         core.Config
 	Redo        logging.RedoConfig
 
+	// DRAMCacheFrames interposes a DRAM buffer tier of this many 4 KiB
+	// frames (internal/buffercache) between the cache hierarchy and the
+	// NVRAM data frame pool. 0 (default) couples the caches directly to
+	// memory — the paper's bare-NVRAM model, bit-for-bit.
+	DRAMCacheFrames int
+
 	// BarrierCycles is the cost of ATOMIC_BEGIN/ATOMIC_END full barriers.
 	BarrierCycles engine.Cycles
 	// OpCycles is the per-operation front-end cost charged by Compute and
@@ -121,6 +129,7 @@ type Machine struct {
 	cfg    Config
 	shards *stats.Sharded
 	mem    *memsim.Memory
+	bcache *buffercache.Cache // nil unless Config.DRAMCacheFrames > 0
 	caches *cachesim.Hierarchy
 	tlbs   []*tlbsim.TLB
 	pt     *vm.PageTable
@@ -240,11 +249,24 @@ func build(cfg Config, image []byte) (*Machine, error) {
 	}
 	mem.AttachChannelStats(shards.ChannelShards(mem.Channels()))
 	layout := vm.NewLayout(cfg.Mem, cfg.Layout)
+	// The memory tier below the caches: bare NVRAM, or a DRAM buffer cache
+	// over the data frame pool when configured.
+	below := cachesim.Wrap(mem)
+	var bcache *buffercache.Cache
+	if cfg.DRAMCacheFrames > 0 {
+		bcache = buffercache.New(buffercache.Config{
+			Frames: cfg.DRAMCacheFrames,
+			Lo:     layout.FramePoolBase,
+			Hi:     layout.FramePoolEnd,
+		}, mem, shards)
+		below = bcache
+	}
 	m := &Machine{
 		cfg:    cfg,
 		shards: shards,
 		mem:    mem,
-		caches: cachesim.New(cfg.Cache, mem, shared),
+		bcache: bcache,
+		caches: cachesim.NewWithMem(cfg.Cache, below, shared),
 		pt:     vm.NewPageTable(mem, layout),
 		frames: vm.NewFrameAlloc(layout),
 		layout: layout,
@@ -332,7 +354,30 @@ func (m *Machine) Config() Config { return m.cfg }
 // quiesce first.
 func (m *Machine) Stats() *stats.Stats {
 	agg := m.shards.Aggregate()
+	m.fillWear(&agg)
 	return &agg
+}
+
+// fillWear snapshots memsim's per-page NVRAM write counters over the data
+// frame pool into st's wear fields (histogram, max, total). The counters
+// live in memsim rather than a shard, so they are folded in at snapshot
+// time; shards carry zeros for these fields.
+func (m *Machine) fillWear(st *stats.Stats) {
+	for _, w := range m.mem.WearProfile(m.layout.FramePoolBase, m.layout.Frames) {
+		if w == 0 {
+			continue
+		}
+		st.FramesWritten++
+		st.FrameWriteTotal += w
+		if w > st.FrameWriteMax {
+			st.FrameWriteMax = w
+		}
+		b := bits.Len64(w) - 1
+		if b >= len(st.FrameWrites) {
+			b = len(st.FrameWrites) - 1
+		}
+		st.FrameWrites[b]++
+	}
 }
 
 // CoreStats returns core i's private counter shard (per-core reporting).
@@ -364,6 +409,7 @@ func (m *Machine) WriteSet() *WriteSetStats {
 // clocks and durable state are untouched.
 func (m *Machine) ResetStats() {
 	m.shards.Reset()
+	m.mem.ResetWear()
 	for i := range m.ws {
 		m.ws[i] = WriteSetStats{}
 	}
@@ -500,6 +546,9 @@ func (m *Machine) Crash() []byte {
 // dropVolatile clears every volatile structure.
 func (m *Machine) dropVolatile() {
 	m.caches.DropAll()
+	if m.bcache != nil {
+		m.bcache.DropAll()
+	}
 	for _, t := range m.tlbs {
 		t.Drop()
 	}

@@ -35,6 +35,7 @@ package memsim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/stats"
@@ -347,6 +348,12 @@ type Memory struct {
 	chans     []channel
 	busCycles engine.Cycles
 
+	// wear counts durable line writes per NVRAM page — the media-endurance
+	// profile software wear-leveling consumes. Updated atomically: with
+	// line-granular interleaving one page's lines hit different channels, so
+	// a page's counter can be bumped under different channel locks at once.
+	wear []uint64
+
 	powerMu    sync.Mutex
 	powerOff   bool
 	trapAfter  int64 // remaining NVRAM writes before power-off; <0 disabled
@@ -382,6 +389,7 @@ func New(cfg Config, st *stats.Stats) *Memory {
 		nvram:     make([]byte, cfg.NVRAMBytes),
 		chans:     make([]channel, nCh),
 		busCycles: engine.NSToCycles(cfg.BusNS, cfg.FreqGHz),
+		wear:      make([]uint64, (cfg.NVRAMBytes+PageBytes-1)/PageBytes),
 		trapAfter: -1,
 	}
 	for i := range m.chans {
@@ -544,6 +552,7 @@ func (m *Memory) access(pa PAddr, write bool, at engine.Cycles, cat stats.WriteC
 			lat = m.cfg.NVRAMWrite
 			c.st.NVRAMWriteLines++ // line count maintained here; bytes by caller category
 			c.st.NVRAMWriteBytes[cat] += uint64(nbytes)
+			atomic.AddUint64(&m.wear[(pa-m.cfg.NVRAMBase)>>PageShift], 1)
 		} else {
 			lat = m.cfg.NVRAMRead
 			c.st.NVRAMReadLines++
@@ -738,6 +747,39 @@ func (m *Memory) NVRAMImage() []byte {
 	img := make([]byte, len(m.nvram))
 	m.copyOut(m.cfg.NVRAMBase, img)
 	return img
+}
+
+// PageWrites returns how many durable line writes the NVRAM page containing
+// pa has absorbed since construction (or the last ResetWear) — the page's
+// media wear. Safe to call concurrently with simulated execution.
+func (m *Memory) PageWrites(pa PAddr) uint64 {
+	if !m.IsNVRAM(pa) {
+		return 0
+	}
+	return atomic.LoadUint64(&m.wear[(pa-m.cfg.NVRAMBase)>>PageShift])
+}
+
+// WearProfile copies the per-page write counters for the `pages` NVRAM
+// pages starting at base (base must be page-aligned NVRAM). Index i is the
+// wear of the page at base + i*PageBytes.
+func (m *Memory) WearProfile(base PAddr, pages int) []uint64 {
+	if !m.IsNVRAM(base) || base%PageBytes != 0 {
+		panic(fmt.Sprintf("memsim: WearProfile base %#x is not an NVRAM page", base))
+	}
+	first := (base - m.cfg.NVRAMBase) >> PageShift
+	out := make([]uint64, pages)
+	for i := range out {
+		out[i] = atomic.LoadUint64(&m.wear[int(first)+i])
+	}
+	return out
+}
+
+// ResetWear zeroes the per-page write counters (after warm-up, with
+// measurement-window statistics).
+func (m *Memory) ResetWear() {
+	for i := range m.wear {
+		atomic.StoreUint64(&m.wear[i], 0)
+	}
 }
 
 // ResetTiming clears bank/bus timelines and open-row state on every channel

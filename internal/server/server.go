@@ -101,7 +101,14 @@ type Server struct {
 	// Server-level op counters (machine stats are quiescent-only, so the
 	// live STATS command reports these).
 	conns64, gets, sets, dels, syncs, misses, committed, errs atomic.Uint64
+	idleHardens                                               atomic.Uint64
 }
+
+// idleHardenAfter is how long a relaxed worker's queue must stay empty in
+// host time before it hardens its shard's open epoch. Host time because an
+// idle core's simulated clock is frozen — there is no simulated moment at
+// which the epoch "ages out" without traffic.
+const idleHardenAfter = 2 * time.Millisecond
 
 // New builds the machine, shards the cache one kv.Cache per core, starts
 // the worker goroutines inside Machine.Run, and begins accepting on
@@ -167,8 +174,40 @@ func New(cfg Config) (*Server, error) {
 	go func() {
 		m.Run(func(c *ssp.Core) {
 			w := s.workers[c.ID()]
-			for req := range w.queue {
-				s.execute(c, w, req)
+			if !cfg.Relaxed {
+				for req := range w.queue {
+					s.execute(c, w, req)
+				}
+				return
+			}
+			// Relaxed mode: the epoch age bound is billed to the next
+			// committer, so a worker whose queue suddenly empties would
+			// leave its shard's last acknowledged epoch volatile until the
+			// next SYNC or Close. After idleHardenAfter of host-time quiet,
+			// harden the core's own shard (Core.HardenIdle); the timer only
+			// rearms while there is something left to harden.
+			idle := time.NewTimer(idleHardenAfter)
+			defer idle.Stop()
+			for {
+				select {
+				case req, ok := <-w.queue:
+					if !ok {
+						return
+					}
+					s.execute(c, w, req)
+					if !idle.Stop() {
+						select {
+						case <-idle.C:
+						default:
+						}
+					}
+					idle.Reset(idleHardenAfter)
+				case <-idle.C:
+					if c.HardenIdle() {
+						s.idleHardens.Add(1)
+						idle.Reset(idleHardenAfter)
+					}
+				}
 			}
 		})
 		close(s.runDone)
@@ -368,20 +407,22 @@ func trimZero(b []byte) []byte {
 // Snapshot is the server-level counter set, readable while serving.
 type Snapshot struct {
 	Conns, Gets, Sets, Dels, Syncs, Misses, Committed, Errors uint64
+	IdleHardens                                               uint64          // epochs hardened from workers' idle paths
 	Hist                                                      stats.Histogram // ack latency, host ns, all workers merged
 }
 
 // Snapshot reads the live counters and merges the per-worker histograms.
 func (s *Server) Snapshot() Snapshot {
 	snap := Snapshot{
-		Conns:     s.conns64.Load(),
-		Gets:      s.gets.Load(),
-		Sets:      s.sets.Load(),
-		Dels:      s.dels.Load(),
-		Syncs:     s.syncs.Load(),
-		Misses:    s.misses.Load(),
-		Committed: s.committed.Load(),
-		Errors:    s.errs.Load(),
+		Conns:       s.conns64.Load(),
+		Gets:        s.gets.Load(),
+		Sets:        s.sets.Load(),
+		Dels:        s.dels.Load(),
+		Syncs:       s.syncs.Load(),
+		Misses:      s.misses.Load(),
+		Committed:   s.committed.Load(),
+		Errors:      s.errs.Load(),
+		IdleHardens: s.idleHardens.Load(),
 	}
 	for _, w := range s.workers {
 		w.mu.Lock()
@@ -393,8 +434,8 @@ func (s *Server) Snapshot() Snapshot {
 
 func (s *Server) writeStats(out *bufio.Writer) {
 	snap := s.Snapshot()
-	fmt.Fprintf(out, "STAT cores=%d relaxed=%v conns=%d gets=%d sets=%d dels=%d syncs=%d misses=%d committed=%d errors=%d\n",
-		len(s.workers), s.cfg.Relaxed, snap.Conns, snap.Gets, snap.Sets, snap.Dels, snap.Syncs, snap.Misses, snap.Committed, snap.Errors)
+	fmt.Fprintf(out, "STAT cores=%d relaxed=%v conns=%d gets=%d sets=%d dels=%d syncs=%d misses=%d committed=%d errors=%d idle_hardens=%d\n",
+		len(s.workers), s.cfg.Relaxed, snap.Conns, snap.Gets, snap.Sets, snap.Dels, snap.Syncs, snap.Misses, snap.Committed, snap.Errors, snap.IdleHardens)
 	fmt.Fprintf(out, "STAT lat_ns %s\n", snap.Hist.String())
 	fmt.Fprintf(out, "END\n")
 }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/loadgen"
 	"repro/ssp"
@@ -199,6 +200,40 @@ func TestServerStress(t *testing.T) {
 				t.Errorf("sync server made %d relaxed commits", mst.RelaxedCommits)
 			}
 		})
+	}
+}
+
+// TestServerIdleHardener: a relaxed worker that goes idle right after an
+// acked write must not hold its epoch open indefinitely — the idle path
+// hardens it within idleHardenAfter, without any SYNC from the client. The
+// huge DurabilityEpoch rules the commit-path age bound out, so a hardened
+// epoch can only have come from the idle hardener.
+func TestServerIdleHardener(t *testing.T) {
+	s, err := New(Config{
+		Addr:    "127.0.0.1:0",
+		Machine: ssp.Config{Cores: 2, DurabilityEpoch: 1 << 30},
+		Relaxed: true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	conn, rd := dial(t, s)
+	if got := roundTrip(t, conn, rd, "SET 3 v"); got != "STORED" {
+		t.Fatalf("SET = %q, want STORED", got)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Snapshot().IdleHardens == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle worker never hardened its open epoch")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if mst := s.MachineStats(); mst.HardenedEpochs == 0 {
+		t.Error("IdleHardens counted but no epoch hardened in the machine stats")
 	}
 }
 

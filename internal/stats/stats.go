@@ -91,6 +91,11 @@ const MaxChannels = 16
 // (vm.LayoutConfig.JournalShards; keep the two limits in sync).
 const MaxJournalShards = 16
 
+// FrameWriteBuckets sizes the log2 histogram of per-frame NVRAM write
+// counts (Stats.FrameWrites): bucket i counts frames whose write count has
+// bit length i+1, i.e. lies in [2^i, 2^(i+1)).
+const FrameWriteBuckets = 24
+
 // Stats is the full counter set for one simulation run. It is plain data;
 // the zero value is ready to use.
 type Stats struct {
@@ -193,6 +198,41 @@ type Stats struct {
 	EpochHardenLag      uint64
 	DroppedEpochRecords uint64
 	LostEpochTxns       uint64
+
+	// DRAM buffer-cache counters (ssp.Config.DRAMCacheFrames > 0; all zero
+	// in the paper's bare-NVRAM model). The buffer tier routes data-range
+	// traffic between the CPU caches and NVRAM: reads that hit a DRAM frame
+	// pay DRAM timing (DRAMCacheHits), misses fill from NVRAM
+	// (DRAMCacheMisses; hits + misses == DRAMCacheReads), capacity
+	// write-backs of victim lines are absorbed in DRAM instead of reaching
+	// NVRAM (DRAMCacheAbsorbed — the tier's NVRAM write saving), commit
+	// fences write dirty buffered lines through (DRAMCacheHardens — the
+	// durability backstop), and evicting a dirty frame writes its dirty
+	// lines back to NVRAM (DRAMCacheWriteBacks, over DRAMCacheEvictions
+	// frame evictions).
+	DRAMCacheReads      uint64
+	DRAMCacheHits       uint64
+	DRAMCacheMisses     uint64
+	DRAMCacheAbsorbed   uint64
+	DRAMCacheHardens    uint64
+	DRAMCacheWriteBacks uint64
+	DRAMCacheEvictions  uint64
+
+	// Software wear-leveling counters. WearRotations counts hot frames
+	// retired by the rotation policy (core.Config.WearRotateWrites). The
+	// remaining fields are a snapshot of memsim's per-frame NVRAM write
+	// counters over the data frame pool, filled when the machine aggregates
+	// its statistics: FrameWrites is a log2 histogram of per-frame write
+	// counts (bucket i = frames with writes in [2^i, 2^(i+1))),
+	// FrameWriteMax the hottest frame, FrameWriteTotal the sum and
+	// FramesWritten the number of frames written at all — so max/mean =
+	// FrameWriteMax / (FrameWriteTotal/FramesWritten) is the wear skew the
+	// -exp wear sweep reports.
+	WearRotations   uint64
+	FrameWrites     [FrameWriteBuckets]uint64
+	FrameWriteMax   uint64
+	FrameWriteTotal uint64
+	FramesWritten   uint64
 
 	// Per-shard SSP metadata-journal counters (journal sharding). Indexed by
 	// shard; shards beyond LayoutConfig.JournalShards stay zero.
@@ -334,6 +374,22 @@ func (s *Stats) Add(o *Stats) {
 	s.EpochHardenLag += o.EpochHardenLag
 	s.DroppedEpochRecords += o.DroppedEpochRecords
 	s.LostEpochTxns += o.LostEpochTxns
+	s.DRAMCacheReads += o.DRAMCacheReads
+	s.DRAMCacheHits += o.DRAMCacheHits
+	s.DRAMCacheMisses += o.DRAMCacheMisses
+	s.DRAMCacheAbsorbed += o.DRAMCacheAbsorbed
+	s.DRAMCacheHardens += o.DRAMCacheHardens
+	s.DRAMCacheWriteBacks += o.DRAMCacheWriteBacks
+	s.DRAMCacheEvictions += o.DRAMCacheEvictions
+	s.WearRotations += o.WearRotations
+	for i := range s.FrameWrites {
+		s.FrameWrites[i] += o.FrameWrites[i]
+	}
+	if o.FrameWriteMax > s.FrameWriteMax {
+		s.FrameWriteMax = o.FrameWriteMax
+	}
+	s.FrameWriteTotal += o.FrameWriteTotal
+	s.FramesWritten += o.FramesWritten
 	for i := range s.JournalShardRecords {
 		s.JournalShardRecords[i] += o.JournalShardRecords[i]
 		s.JournalShardCheckpoints[i] += o.JournalShardCheckpoints[i]
@@ -411,6 +467,16 @@ func (s *Stats) Summary() string {
 	}
 	if s.DroppedEpochRecords > 0 {
 		fmt.Fprintf(&b, "epoch-cut records dropped: %d (%d acknowledged txns lost)\n", s.DroppedEpochRecords, s.LostEpochTxns)
+	}
+	if s.DRAMCacheReads > 0 {
+		fmt.Fprintf(&b, "DRAM cache reads: %d (hits %d, misses %d)\n", s.DRAMCacheReads, s.DRAMCacheHits, s.DRAMCacheMisses)
+		fmt.Fprintf(&b, "DRAM cache absorbed/hardened/writeback lines: %d/%d/%d (%d frame evictions)\n",
+			s.DRAMCacheAbsorbed, s.DRAMCacheHardens, s.DRAMCacheWriteBacks, s.DRAMCacheEvictions)
+	}
+	if s.FramesWritten > 0 {
+		mean := float64(s.FrameWriteTotal) / float64(s.FramesWritten)
+		fmt.Fprintf(&b, "frame wear: %d frames written, max %d, mean %.1f (skew %.2f), rotations %d\n",
+			s.FramesWritten, s.FrameWriteMax, mean, float64(s.FrameWriteMax)/mean, s.WearRotations)
 	}
 	fmt.Fprintf(&b, "undo/redo records: %d/%d, writeback stalls: %d\n", s.UndoRecords, s.RedoRecords, s.WritebackStalls)
 	fmt.Fprintf(&b, "commits: %d, aborts: %d, fallback txns: %d\n", s.Commits, s.Aborts, s.FallbackTxns)

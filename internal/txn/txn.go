@@ -164,6 +164,21 @@ type RelaxedBackend interface {
 	Sync(core int, at engine.Cycles) engine.Cycles
 }
 
+// IdleHardener is the optional idle-path extension of RelaxedBackend. The
+// relaxed epoch age bound is enforced by committers: the commit whose
+// timestamp crosses the bound pays the harden. A shard whose cores all go
+// quiet therefore holds its last acknowledged-but-volatile epoch open
+// until the next Sync or Drain — unbounded in host time. HardenIdle closes
+// that gap: it hardens the calling core's own metadata shard's open epoch,
+// if any, and reports whether a harden ran. Serving loops call it when a
+// core has been idle long enough that no imminent commit will pick up the
+// bill (the caller judges "long enough" in host time; simulated time does
+// not advance on an idle core). A no-op on backends without the relaxed
+// mode and on shards with nothing unsealed.
+type IdleHardener interface {
+	HardenIdle(core int, at engine.Cycles) (engine.Cycles, bool)
+}
+
 // ParallelAware is implemented by backends that support concurrent
 // goroutine-per-core execution (machine.Machine.Run). SetParallel(true) is
 // called before the core goroutines start, SetParallel(false) after they

@@ -159,6 +159,22 @@ func (fa *FrameAlloc) Free(pa memsim.PAddr) {
 	fa.free = append(fa.free, idx)
 }
 
+// FreeCold returns a frame to the cold end of the pool, so it is reused
+// only after every other free frame. Wear rotation retires hot frames this
+// way: with the plain LIFO Free, a retired frame would be the very next
+// Alloc's pick and the same physical frame would keep soaking up the hot
+// page's writes.
+func (fa *FrameAlloc) FreeCold(pa memsim.PAddr) {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	idx := fa.layout.FrameIndex(pa)
+	if !fa.used[idx] {
+		panic(fmt.Sprintf("vm: double free of frame %#x", pa))
+	}
+	fa.used[idx] = false
+	fa.free = append([]int{idx}, fa.free...)
+}
+
 // Reserve marks a frame used during recovery rebuilds; reserving an
 // already-used frame is an error.
 func (fa *FrameAlloc) Reserve(pa memsim.PAddr) {

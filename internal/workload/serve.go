@@ -38,6 +38,15 @@ type ServeParams struct {
 	// the previous completes — a capacity probe).
 	OfferedTPS float64
 
+	// TouchOnGet stamps each GET's key into a per-core recency table — one
+	// line per key, written with a plain non-transactional store, the way
+	// memcached bumps an item's LRU metadata on every hit. The stamps are
+	// legally volatile (a crash may lose them), so in the bare-NVRAM model
+	// they surface as dirty cache victims written back to NVRAM, and a DRAM
+	// buffer tier (Machine.DRAMCacheFrames) can absorb them entirely.
+	// Default off: the historical serve mix, bit-for-bit.
+	TouchOnGet bool
+
 	Relaxed bool // ack writes with CommitRelaxed (needs Machine.DurabilityEpoch)
 	Seed    uint64
 
@@ -94,8 +103,16 @@ func RunServe(p ServeParams) ParallelResult {
 	// Serial setup: one kv shard per core, prefilled to capacity so GETs
 	// hit and steady-state SETs of fresh keys evict.
 	entry := 40 + p.ValueBytes
-	arenaPages := pagesFor(p.Items*entry + (p.Items/4)*8)
+	shardBytes := p.Items*entry + (p.Items/4)*8
+	recencyBytes := 0
+	if p.TouchOnGet {
+		// One full line per key: memcached keeps an item's LRU metadata in
+		// its header line, so each hot key dirties its own line.
+		recencyBytes = int(p.Keys) * 64
+	}
+	arenaPages := pagesFor(shardBytes + recencyBytes)
 	shards := make([]*kv.Cache, p.Clients)
+	recency := make([]uint64, p.Clients)
 	for i := 0; i < p.Clients; i++ {
 		c := m.Core(i)
 		c.Begin()
@@ -105,6 +122,9 @@ func RunServe(p ServeParams) ParallelResult {
 			Capacity:   p.Items,
 			ValueBytes: p.ValueBytes,
 		})
+		if p.TouchOnGet {
+			recency[i] = arena.Alloc(c, recencyBytes)
+		}
 		c.Commit()
 		fill := make([]byte, p.ValueBytes)
 		for k := uint64(0); k < p.Keys && k < uint64(p.Items); k++ {
@@ -162,6 +182,11 @@ func RunServe(p ServeParams) ParallelResult {
 			switch op.Kind {
 			case loadgen.OpGet:
 				shard.Get(c, op.Key, buf)
+				if p.TouchOnGet {
+					// Plain store outside any transaction: an LRU-style
+					// recency stamp with no durability requirement.
+					c.Store64(recency[id]+(op.Key%p.Keys)*64, uint64(k))
+				}
 			case loadgen.OpSet:
 				val[0] = byte(op.Key)
 				c.Begin()

@@ -167,6 +167,8 @@ type Config struct {
 	LogKB        int // per-core undo/redo log region
 	TLBEntries   int // per-core L1 DTLB entries (default 64)
 	STLBEntries  int // per-core L2 STLB entries (default 1024; -1 disables)
+	L2KB         int // per-core L2 capacity in KiB (default 256; min 32)
+	L3KB         int // shared L3 capacity in KiB (default 12288; min 64)
 
 	// JournalShards splits the SSP metadata journal into independent
 	// per-core regions (default 1 = the paper's single shared journal; max
@@ -220,6 +222,25 @@ type Config struct {
 	// Grouping only forms when several cores share a shard (cores >
 	// JournalShards); serial execution degenerates to batches of one.
 	GroupCommitWindow int
+	// DRAMCacheFrames interposes a pager-style DRAM buffer cache of this
+	// many 4 KiB frames between the CPU cache hierarchy and the NVRAM data
+	// frame pool (beyond the paper). Clean fills and re-reads are served at
+	// DRAM timing; clean cache victims evicted by capacity pressure are
+	// absorbed in DRAM instead of rewritten to NVRAM, cutting NVRAM data
+	// writes. Durability is unchanged: commit-path flushes write through to
+	// NVRAM, and a fence over a line whose only dirty copy sits in the
+	// buffer hardens it first. The frames must fit in DRAMMB. 0 (default)
+	// is the paper's bare-NVRAM model, bit-for-bit.
+	DRAMCacheFrames int
+	// WearRotateWrites, when positive, enables SoftWear-style software
+	// wear-leveling (beyond the paper): at page consolidation, a physical
+	// frame whose cumulative NVRAM write count has reached this threshold
+	// is retired — the page's committed lines are copied into a cold frame
+	// from the allocator, the frame flip rides the same journaled
+	// consolidation record, and the hot frame returns to the pool
+	// (Stats.WearRotations, Stats.FrameWriteMax). 0 (default) disables
+	// rotation, bit-for-bit.
+	WearRotateWrites int
 	// LazyConsolidation defers consolidation until slot pressure demands
 	// it (the paper's §3.4 future-work variant).
 	LazyConsolidation bool
@@ -282,6 +303,12 @@ func (c Config) apply() machine.Config {
 	if c.LogKB > 0 {
 		mc.Layout.LogBytes = c.LogKB << 10
 	}
+	if c.L2KB > 0 {
+		mc.Cache.L2Bytes = c.L2KB << 10
+	}
+	if c.L3KB > 0 {
+		mc.Cache.L3Bytes = c.L3KB << 10
+	}
 	if c.TLBEntries > 0 {
 		mc.TLBEntries = c.TLBEntries
 	}
@@ -314,6 +341,10 @@ func (c Config) apply() machine.Config {
 	}
 	if c.WSBEntries > 0 {
 		mc.SSP.WSBEntries = c.WSBEntries
+	}
+	mc.DRAMCacheFrames = c.DRAMCacheFrames
+	if c.WearRotateWrites > 0 {
+		mc.SSP.WearRotateWrites = uint64(c.WearRotateWrites)
 	}
 	mc.SSP.LazyConsolidation = c.LazyConsolidation
 	mc.SSP.FlipViaShootdown = c.FlipViaShootdown
@@ -372,6 +403,28 @@ func (c Config) Validate() error {
 	}
 	if c.DurabilityEpoch < 0 {
 		return fmt.Errorf("ssp: DurabilityEpoch is %d cycles, want >= 0 (0 keeps every commit synchronous)", c.DurabilityEpoch)
+	}
+	if c.L2KB < 0 || (c.L2KB > 0 && c.L2KB < 32) {
+		return fmt.Errorf("ssp: L2KB is %d, want 0 or >= 32 (0 selects the default, 256)", c.L2KB)
+	}
+	if c.L3KB < 0 || (c.L3KB > 0 && c.L3KB < 64) {
+		return fmt.Errorf("ssp: L3KB is %d, want 0 or >= 64 (0 selects the default, 12288)", c.L3KB)
+	}
+	if c.DRAMCacheFrames < 0 {
+		return fmt.Errorf("ssp: DRAMCacheFrames is %d, want >= 0 (0 disables the DRAM buffer cache)", c.DRAMCacheFrames)
+	}
+	if c.DRAMCacheFrames > 0 {
+		dramBytes := uint64(32) << 20
+		if c.DRAMMB > 0 {
+			dramBytes = uint64(c.DRAMMB) << 20
+		}
+		if uint64(c.DRAMCacheFrames)*PageBytes > dramBytes {
+			return fmt.Errorf("ssp: DRAMCacheFrames is %d (%d KiB), want <= DRAM capacity %d MiB",
+				c.DRAMCacheFrames, c.DRAMCacheFrames*4, dramBytes>>20)
+		}
+	}
+	if c.WearRotateWrites < 0 {
+		return fmt.Errorf("ssp: WearRotateWrites is %d, want >= 0 (0 disables wear rotation)", c.WearRotateWrites)
 	}
 	return nil
 }

@@ -190,6 +190,47 @@ func BenchmarkParallelSmoke(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleSmoke is the deterministic-scheduler CI gate (see
+// cmd/benchjson and .github/workflows/ci.yml): SSP on the sharded memcached
+// workload with 8 goroutine-backed cores under the bounded-lag window
+// scheduler (TimeWindow 4096, 4 channels, 4 journal shards, group-commit
+// window on). Because the windowed run is a pure function of simulated
+// state, every reported metric is exactly reproducible — CI gates
+// Scale_cTPS at ±5%, which only a behavioural change can trip.
+func BenchmarkScaleSmoke(b *testing.B) {
+	params := func(clients int) workload.Params {
+		p := workload.Params{
+			Kind:    workload.Memcached,
+			Backend: ssp.SSP,
+			Clients: clients,
+			Ops:     4000,
+			Items:   4096,
+			Seed:    0xE0,
+		}
+		p.Machine.Channels = 4
+		p.Machine.JournalShards = 4
+		p.Machine.GroupCommitWindow = 4096
+		p.Machine.TimeWindow = 4096
+		return p
+	}
+	for i := 0; i < b.N; i++ {
+		serial := workload.Run(params(1))
+		par := workload.RunParallel(params(8))
+		sTPS := experiments.CommittedTPS(serial.Cycles, serial)
+		pTPS := experiments.CommittedTPS(par.Cycles, par.Result)
+		b.ReportMetric(pTPS, "Scale_cTPS")
+		if sTPS > 0 {
+			b.ReportMetric(pTPS/sTPS, "Scale_speedup")
+		}
+		// Tracked (not gated): the scheduler's deterministic activity and
+		// the group-commit identity members (batches + followers = commits
+		// exactly under TimeWindow > 0).
+		b.ReportMetric(float64(par.WindowSched.Windows), "Scale_windows")
+		b.ReportMetric(float64(par.Stats.GroupCommitBatches), "Scale_groupbatches")
+		b.ReportMetric(float64(par.Stats.GroupCommitFollowers), "Scale_groupfollowers")
+	}
+}
+
 // BenchmarkCrossShardSmoke is the distributed-commit companion of the
 // parallel smoke, gated in CI via cmd/benchjson: the 2-core memcached
 // cross-shard mix at a 50% global fraction over 4 journal shards — the

@@ -163,6 +163,15 @@ var experimentTable = []experiment{
 			fl.cores, thresholds))
 		fmt.Println(experiments.RenderWear(experiments.WearSweep(sc, fl.cores, thresholds)))
 	}},
+	{"scale", "deterministic window-scheduler scale-out (window x cores)", func(sc experiments.Scale, fl benchFlags) {
+		coreList := experiments.SweepPowersOfTwo(fl.cores)
+		windows := experiments.ScaleWindows()
+		for _, k := range []workload.Kind{workload.Memcached, workload.Vacation} {
+			section(fmt.Sprintf("Window-scheduler scale-out — SSP committed TPS on %s, windows %v cycles x %v cores (4 shards, 4 channels, group window 4096)",
+				k, windows, coreList))
+			fmt.Println(experiments.RenderScale(experiments.ScaleSweep(sc, k, windows, coreList)))
+		}
+	}},
 	{"serve", "open-loop serve latency (skew x load x cores, sync vs relaxed)", func(sc experiments.Scale, fl benchFlags) {
 		coreList := experiments.SweepPowersOfTwo(fl.cores)
 		skews := experiments.ServeSkews()

@@ -31,7 +31,44 @@
 //   - Per-core results are deterministic for fixed seeds; aggregate
 //     statistics are order-independent sums over per-core shards, while
 //     cross-core timing (bank contention, lock hand-off order) depends on
-//     the host schedule.
+//     the host schedule — unless the window scheduler below is on, which
+//     makes the whole run, cross-core timing included, reproducible.
+//
+// # Deterministic bounded-lag window scheduler
+//
+// ssp.Config.TimeWindow (cycles; 0, the default, keeps the free-running
+// mode above bit-for-bit) runs Machine.Run under a conservative bounded-lag
+// scheduler (internal/machine/winsched.go): cores advance in lockstep
+// windows of W simulated cycles, and within each window exactly one core
+// executes at a time — always the ready core with the smallest
+// (clock, core index) — so every shared-hardware arbitration the
+// free-running mode resolves in host order (memory bank and bus wheels,
+// row-buffer transitions, cache ownership transfers, lock hand-off,
+// group-commit leader election, epoch hardening) resolves in simulated-time
+// order with a deterministic core-index tie-break. Two runs with the same
+// seed and core count then produce byte-identical Stats, histograms
+// included (workload.TestWindowedRunsByteIdentical), and the group-commit
+// identity batches + followers = group-path commits holds exactly rather
+// than approximately. Locks integrate with the scheduler (release hands the
+// lock to the waiter with the smallest resume clock, not to whichever
+// goroutine the host wakes); group-commit followers park on flush tickets
+// and leaders hold their windows open via a rendezvous that excludes parked
+// cores, so the serialisation cannot deadlock. The price is host
+// parallelism: execution is serialised, so wall-clock gains from extra host
+// cores disappear while SIMULATED speedup curves are unaffected
+// (conservative windows only fix the interleaving). Machine.WindowStats
+// reports windows/grants/barrier stalls (deterministic) plus the host-side
+// barrier-wait share used to pick the default W — at small scale W=4096
+// keeps the barrier-wait share near the serialisation floor while bounding
+// cross-core lag, and is the recommended setting. The server path's
+// host-channel waits (Core.BlockExternal) remain live but host-dependent;
+// everything inside the simulated machine is covered. The windowed
+// crash class (crashsweep.TestTrapSweepWindowed) trap-sweeps a windowed
+// 4-core machine with journal sharding, group commit and durability epochs
+// composed, proving window barriers cannot reorder durability points.
+// `sspbench -exp scale` sweeps window size × cores (1-16) and reports
+// speedup, barrier-wait share and per-shard journal pressure; CI gates the
+// windowed 8-core BenchmarkScaleSmoke at ±5%.
 //
 // # Multi-channel memory model
 //

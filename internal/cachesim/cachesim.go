@@ -16,6 +16,16 @@
 //     'other' page").
 //   - Flush (clwb) writes a line back to memory while keeping a clean copy
 //     cached, as used by transaction commit.
+//
+// Determinism contract: coherence arbitration — ownership transfers,
+// invalidation order, shared-L3 replacement — resolves in the order
+// requests arrive under the interconnect lock. Free-running concurrent
+// cores (machine.Config.TimeWindow == 0) arrive in host order, so
+// cross-core transfer timing is host-schedule dependent; under the
+// bounded-lag window scheduler cores execute serially in simulated-time
+// order and every transfer here becomes deterministic, with no changes to
+// this package. Code here must not let host time or host scheduling
+// influence simulated timing or line contents.
 package cachesim
 
 import (

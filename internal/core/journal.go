@@ -348,6 +348,7 @@ type commitGroup struct {
 	pubs       []slotPub     // every member's pending slot publications
 	durable    engine.Cycles // leader's flush completion; valid once done closes
 	done       chan struct{} // the flush ticket: closed after flush + publication
+	cores      []int         // windowed mode: follower cores parked on the ticket
 }
 
 // admits reports whether a commit at simulated time `at` may join the
@@ -385,7 +386,20 @@ func (s *SSP) groupHostWait() {
 // 3-4 of the pipeline with the shard flush amortised over every member of
 // the window. Serial execution — where no concurrent committer can exist —
 // degenerates to batches of one with the exact single-shard behaviour.
+//
+// Windowed mode (env.Sched.Windowed()): the two host-time blocking points —
+// the leader's rendezvous sleep and the followers' flush-ticket channel
+// wait — divert through the window scheduler (WaitCommitWindow, TicketPark/
+// TicketWake). Admission is then decided purely in simulated time, so which
+// commits group together — and hence GroupCommitBatches/Followers — is
+// deterministic, where free-running mode depends on the host schedule.
 type groupCommit struct{ s *SSP }
+
+// windowed reports whether the deterministic window scheduler governs this
+// run (it never changes while a core is executing).
+func (s *SSP) windowed() bool {
+	return s.env.Sched != nil && s.env.Sched.Windowed()
+}
 
 // Like commitLocal, a group's flush hardens the members' UpdateEnd seals —
 // the commit points — so everything runs from fence.
@@ -398,6 +412,7 @@ func (g groupCommit) journalAndPublish(core int, pages []int, _, fence engine.Cy
 		s.env.StatsFor(core).GroupCommitBatches++
 		return t
 	}
+	windowed := s.windowed()
 
 	s.lockShard(si)
 	if grp := s.groups[si]; grp != nil {
@@ -410,6 +425,17 @@ func (g groupCommit) journalAndPublish(core int, pages []int, _, fence engine.Cy
 				grp.appendDone = tA
 			}
 			s.env.StatsFor(core).GroupCommitFollowers++
+			if windowed {
+				// Park on the scheduler's ticket instead of the channel:
+				// the leader (itself parked in its rendezvous) can only
+				// flush after this core yields the execution slot, and
+				// TicketWake's scheduler hand-off orders the read of
+				// grp.durable after the leader's write.
+				grp.cores = append(grp.cores, core)
+				s.unlockShard(si)
+				s.env.Sched.TicketPark(core)
+				return engine.MaxCycles(at, grp.durable)
+			}
 			s.unlockShard(si)
 			<-grp.done // no locks held: the ticket wait is outside the lock order
 			return engine.MaxCycles(at, grp.durable)
@@ -437,9 +463,17 @@ func (g groupCommit) journalAndPublish(core int, pages []int, _, fence engine.Cy
 	if (s.env.Cores()+len(s.journals)-1-si)/len(s.journals) > 1 {
 		// The rendezvous only makes sense when another core maps to THIS
 		// shard (cores c with c mod shards == si); with one core on the
-		// shard no follower can ever arrive and the sleep would be pure
+		// shard no follower can ever arrive and the wait would be pure
 		// wall-clock waste.
-		s.groupHostWait()
+		if windowed {
+			// Deterministic rendezvous: park until no schedulable core's
+			// clock is <= the window's simulated deadline — every core
+			// that could still be admitted has either joined or provably
+			// commits outside the window.
+			s.env.Sched.WaitCommitWindow(core, grp.deadline)
+		} else {
+			s.groupHostWait()
+		}
 	}
 
 	s.lockShard(si)
@@ -452,6 +486,11 @@ func (g groupCommit) journalAndPublish(core int, pages []int, _, fence engine.Cy
 	s.env.StatsFor(core).GroupCommitBatches++
 	need := s.overHighWater(si)
 	s.unlockShard(si)
+	if len(grp.cores) > 0 {
+		// Windowed followers: ready them through the scheduler (grants
+		// resume in deterministic clock order at this core's next yield).
+		s.env.Sched.TicketWake(grp.cores)
+	}
 	close(grp.done)
 	if need {
 		s.drainShardCheckpoint(si, t)

@@ -106,5 +106,14 @@ func RenderParallel(rows []ParallelRow) string {
 			r.Backend.String(), st.GroupCommitBatches, st.GroupCommitFollowers,
 			float64(st.GroupCommitBatches+st.GroupCommitFollowers)/float64(st.GroupCommitBatches))
 	}
+	if rows[0].Parallel.TimeWindow == 0 {
+		b.WriteString("\nnote: per-core timing, occupancy and the group-commit batch/follower split above\n" +
+			"are host-schedule dependent in free-running mode; set Config.TimeWindow > 0 (e.g. 4096)\n" +
+			"for byte-identical repeats (batches + followers = group-path commits holds either way).\n")
+	} else {
+		ws := rows[0].Parallel.WindowSched
+		fmt.Fprintf(&b, "\ndeterministic window scheduler: W=%d cycles, %d windows, %d grants, %d barrier stalls\n",
+			ws.Window, ws.Windows, ws.Grants, ws.BarrierStalls)
+	}
 	return b.String()
 }

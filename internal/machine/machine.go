@@ -89,6 +89,14 @@ type Config struct {
 	OpCycles engine.Cycles
 	// LockCycles is the hand-off cost of the simulated lock.
 	LockCycles engine.Cycles
+
+	// TimeWindow, in cycles, enables the deterministic bounded-lag window
+	// scheduler for Run: cores advance in lockstep windows of this many
+	// simulated cycles, execution within a window is serialised in
+	// min-(clock, core-index) order, and two runs with the same inputs
+	// produce byte-identical Stats (see winsched.go). 0 (default) is the
+	// free-running concurrent mode, bit-for-bit the historical behaviour.
+	TimeWindow engine.Cycles
 }
 
 // DefaultConfig returns the paper's system parameters for the given design
@@ -149,6 +157,10 @@ type Machine struct {
 	// after they join), so reads from the core goroutines are race-free.
 	parallel bool
 	mapMu    sync.Mutex // serialises ensureMapped's check-then-map
+
+	// sched is the deterministic window scheduler, non-nil exactly when
+	// Config.TimeWindow > 0. It is armed for the duration of each Run.
+	sched *winSched
 }
 
 // WriteSetStats accumulates the per-transaction write-set characterisation
@@ -289,6 +301,10 @@ func build(cfg Config, image []byte) (*Machine, error) {
 		PerCore:       perCore,
 		BarrierCycles: cfg.BarrierCycles,
 		STLBCycles:    cfg.STLBLat,
+	}
+	if cfg.TimeWindow > 0 {
+		m.sched = newWinSched(m, cfg.TimeWindow)
+		m.env.Sched = m.sched
 	}
 	switch cfg.Backend {
 	case SSP:
@@ -490,10 +506,14 @@ func (m *Machine) MaxClock() engine.Cycles {
 //     isolation remains the program's job via Lock, as in the paper.
 //   - Machine-level operations (Stats, Drain, Crash, Recover, ResetStats,
 //     MaxClock) must not be called until Run returns.
-//   - Per-core work is deterministic given fixed per-core inputs;
-//     cross-core timing (bank contention, lock hand-off order) depends on
-//     the host schedule, and aggregate counters are order-independent
-//     sums.
+//   - Per-core work is deterministic given fixed per-core inputs. With
+//     Config.TimeWindow == 0 (free-running mode), cross-core timing (bank
+//     contention, lock hand-off order) depends on the host schedule, and
+//     aggregate counters are order-independent sums. With TimeWindow > 0
+//     the window scheduler serialises cross-core interleaving in simulated
+//     time (see winsched.go) and the ENTIRE run — Stats included — is
+//     deterministic, unless a core blocks on a host-side event via
+//     BlockExternal (the server path).
 //
 // Serial execution outside Run is unchanged and remains bit-for-bit
 // deterministic.
@@ -501,17 +521,39 @@ func (m *Machine) Run(fn func(c *Core)) {
 	if m.parallel {
 		panic("machine: nested Run")
 	}
+	if m.sched != nil {
+		m.sched.start()
+	}
 	m.setParallel(true)
 	var wg sync.WaitGroup
 	for _, c := range m.cores {
 		wg.Add(1)
 		go func(c *Core) {
 			defer wg.Done()
+			if m.sched != nil {
+				m.sched.enter(c.id)
+				defer m.sched.exit(c.id)
+			}
 			fn(c)
 		}(c)
 	}
 	wg.Wait()
 	m.setParallel(false)
+	if m.sched != nil {
+		m.sched.stop()
+	}
+}
+
+// WindowStats returns the window scheduler's activity during the most
+// recent Run — zero-valued when Config.TimeWindow == 0. Quiescent-only,
+// like Stats. The counters are deterministic; HostWait is host time (the
+// barrier's wall-clock cost) and is reported here, outside Stats, so
+// byte-identity of Stats across same-seed runs holds exactly.
+func (m *Machine) WindowStats() WindowStats {
+	if m.sched == nil {
+		return WindowStats{}
+	}
+	return m.sched.snapshot()
 }
 
 // setParallel flips concurrent mode on the machine and, when supported, the
@@ -581,13 +623,22 @@ func (m *Machine) Recover() error {
 }
 
 // Lock is a simulated mutex: acquisition serialises critical sections in
-// simulated time without spinning (DESIGN.md §5). In concurrent mode the
-// simulated hand-off is backed by a real mutex held between Acquire and
-// Release, so host-level mutual exclusion matches the simulated one.
+// simulated time without spinning (DESIGN.md §5). In free-running
+// concurrent mode the simulated hand-off is backed by a real mutex held
+// between Acquire and Release, so host-level mutual exclusion matches the
+// simulated one. In windowed mode (Config.TimeWindow > 0) the scheduler
+// manages the queue instead and hands the lock to the waiting core with
+// the lowest (clock, core-index) pair — a deterministic grant order, where
+// a host mutex would wake waiters in host order.
 type Lock struct {
 	mu     sync.Mutex
 	freeAt engine.Cycles
+
+	// Windowed-mode state, guarded by the scheduler's mutex: the holding
+	// core (-1 free) and the parked waiters.
+	holder int
+	q      []int
 }
 
 // NewLock returns an unlocked lock.
-func (m *Machine) NewLock() *Lock { return &Lock{} }
+func (m *Machine) NewLock() *Lock { return &Lock{holder: -1} }

@@ -30,6 +30,20 @@
 // survives. PowerOff and SetWriteTrap make the durable image stop accepting
 // writes, which is how the crash-consistency tests cut the write stream at
 // arbitrary points.
+//
+// # Determinism contract under the window scheduler
+//
+// The bank wheels, bus ledgers and row-buffer state in this package update
+// in ARRIVAL order: with free-running concurrent cores
+// (machine.Config.TimeWindow == 0) that order is the host schedule, so
+// cross-core timing is approximate and run-to-run variable. The bounded-lag
+// window scheduler (internal/machine/winsched.go) serialises core execution
+// in simulated-time order, which makes every arbitration here — bank
+// queueing, bus occupancy, row hits vs misses — a pure function of
+// simulated state with no changes to this package's timing code. Nothing in
+// this package may therefore consult host time or host identity (goroutine,
+// map iteration order) in a way that feeds back into timing or the durable
+// image; the per-channel locks exist for the free-running mode only.
 package memsim
 
 import (

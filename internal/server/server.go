@@ -173,12 +173,24 @@ func New(cfg Config) (*Server, error) {
 
 	go func() {
 		m.Run(func(c *ssp.Core) {
+			// Queue receives wrap in Core.BlockExternal: under a windowed
+			// machine (Machine.TimeWindow > 0) a worker blocked on its host
+			// channel must not hold the lockstep window open for the other
+			// cores. Request ARRIVAL stays host-ordered either way — a
+			// network server cannot be deterministic — but the windowed
+			// scheduler still bounds cross-core clock lag while requests
+			// execute. With TimeWindow == 0, BlockExternal is a plain call.
 			w := s.workers[c.ID()]
 			if !cfg.Relaxed {
-				for req := range w.queue {
+				for {
+					var req request
+					var ok bool
+					c.BlockExternal(func() { req, ok = <-w.queue })
+					if !ok {
+						return
+					}
 					s.execute(c, w, req)
 				}
-				return
 			}
 			// Relaxed mode: the epoch age bound is billed to the next
 			// committer, so a worker whose queue suddenly empties would
@@ -189,25 +201,33 @@ func New(cfg Config) (*Server, error) {
 			idle := time.NewTimer(idleHardenAfter)
 			defer idle.Stop()
 			for {
-				select {
-				case req, ok := <-w.queue:
-					if !ok {
-						return
+				var req request
+				var ok, timedOut bool
+				c.BlockExternal(func() {
+					select {
+					case req, ok = <-w.queue:
+					case <-idle.C:
+						timedOut = true
 					}
-					s.execute(c, w, req)
-					if !idle.Stop() {
-						select {
-						case <-idle.C:
-						default:
-						}
-					}
-					idle.Reset(idleHardenAfter)
-				case <-idle.C:
+				})
+				if timedOut {
 					if c.HardenIdle() {
 						s.idleHardens.Add(1)
 						idle.Reset(idleHardenAfter)
 					}
+					continue
 				}
+				if !ok {
+					return
+				}
+				s.execute(c, w, req)
+				if !idle.Stop() {
+					select {
+					case <-idle.C:
+					default:
+					}
+				}
+				idle.Reset(idleHardenAfter)
 			}
 		})
 		close(s.runDone)

@@ -44,6 +44,15 @@ type ParallelResult struct {
 	Result
 	PerCore []CoreResult
 	Wall    time.Duration
+
+	// TimeWindow is the machine's deterministic-scheduler window size and
+	// WindowSched the scheduler's activity during the measured Run — both
+	// zero in free-running mode (Machine.TimeWindow == 0). When TimeWindow
+	// > 0 the whole Result, Stats and histograms included, is byte-identical
+	// across same-seed runs; at 0, cross-core timing, occupancy lines and
+	// the group-commit batch/follower split are host-schedule dependent.
+	TimeWindow  ssp.Cycles
+	WindowSched ssp.WindowStats
 }
 
 // RunParallel executes the workload with one goroutine per client and
@@ -95,7 +104,9 @@ func RunParallel(p Params) ParallelResult {
 			WriteSet:  *m.WriteSet(),
 			Journal:   m.JournalPressure(),
 		},
-		Wall: wall,
+		Wall:        wall,
+		TimeWindow:  ssp.Cycles(p.Machine.TimeWindow),
+		WindowSched: m.WindowStats(),
 	}
 	if elapsed > 0 {
 		res.TPS = float64(p.Ops) / m.Seconds(elapsed)

@@ -235,7 +235,9 @@ func RunServe(p ServeParams) ParallelResult {
 			LatencyP999: ssp.Cycles(merged.Percentile(99.9)),
 			OfferedTPS:  p.OfferedTPS,
 		},
-		Wall: wall,
+		Wall:        wall,
+		TimeWindow:  ssp.Cycles(p.Machine.TimeWindow),
+		WindowSched: m.WindowStats(),
 	}
 	if elapsed > 0 {
 		res.TPS = float64(p.Ops) / m.Seconds(elapsed)

@@ -29,6 +29,7 @@ func TestConfigValidation(t *testing.T) {
 		{"negative subpage lines", Config{SubPageLines: -4}, "SubPageLines"},
 		{"negative group window", Config{GroupCommitWindow: -1}, "GroupCommitWindow"},
 		{"negative epoch", Config{DurabilityEpoch: -100}, "DurabilityEpoch"},
+		{"negative time window", Config{TimeWindow: -4096}, "TimeWindow"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -58,6 +59,7 @@ func TestConfigValidationAccepts(t *testing.T) {
 		{SubPageLines: 1},
 		{SubPageLines: 4},
 		{DurabilityEpoch: 1 << 20, GroupCommitWindow: 4096},
+		{TimeWindow: 4096},
 	} {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("Validate rejected legal config %+v: %v", cfg, err)

@@ -41,8 +41,11 @@
 // of application data remains the program's job via Lock, exactly as in
 // the paper. Machine-level calls (Stats, Drain, Crash, Recover, Restore)
 // must not overlap a Run. Per-core results are deterministic for fixed
-// per-core inputs; cross-core timing depends on the host schedule, and
-// aggregate statistics are order-independent sums of per-core shards.
+// per-core inputs; with Config.TimeWindow == 0 cross-core timing depends
+// on the host schedule (aggregate statistics are order-independent sums of
+// per-core shards), while Config.TimeWindow > 0 runs the deterministic
+// bounded-lag window scheduler and the whole run — Stats included — is
+// byte-identical across same-seed executions.
 //
 // Allocation in concurrent code goes through per-core Arenas (Machine.
 // NewArena) rather than the shared Heap, so no two cores ever issue
@@ -109,6 +112,10 @@ type Stats = stats.Stats
 // WriteSetStats is the per-transaction write-set characterisation
 // (Table 3).
 type WriteSetStats = machine.WriteSetStats
+
+// WindowStats is the deterministic window scheduler's per-Run activity
+// report (Config.TimeWindow; see Machine.WindowStats).
+type WindowStats = machine.WindowStats
 
 // Cycles is simulated time in core clock cycles (3.7 GHz by default).
 type Cycles = engine.Cycles
@@ -213,6 +220,19 @@ type Config struct {
 	// 0 = the paper's synchronous model, bit-for-bit; Core.Commit is always
 	// synchronous regardless.
 	DurabilityEpoch int
+	// TimeWindow, in cycles, enables the deterministic bounded-lag window
+	// scheduler for Machine.Run: cores advance in lockstep windows of this
+	// many simulated cycles and execution within a window is serialised in
+	// min-(clock, core-index) order, so all shared-hardware arbitration —
+	// memory bank and bus occupancy, row-buffer transitions, cache
+	// ownership transfers, group-commit admission, epoch hardening — is
+	// resolved in simulated-time order and two runs with the same seed and
+	// core count produce byte-identical Stats (see Machine.WindowStats for
+	// the scheduler's own counters). The host-parallelism of Run is
+	// forfeited — a windowed run uses one host core — while simulated
+	// speedup curves are unaffected; 4096 is a good default window.
+	// 0 (default) is the free-running concurrent mode, bit-for-bit.
+	TimeWindow int
 	// GroupCommitWindow, in cycles, coalesces the journal legs of commits
 	// concurrently bound for the same metadata-journal shard: the first
 	// committer holds its record batch open for the window, followers
@@ -349,6 +369,9 @@ func (c Config) apply() machine.Config {
 	mc.SSP.LazyConsolidation = c.LazyConsolidation
 	mc.SSP.FlipViaShootdown = c.FlipViaShootdown
 	mc.SSP.EagerFlush = c.EagerFlush
+	if c.TimeWindow > 0 {
+		mc.TimeWindow = engine.Cycles(c.TimeWindow)
+	}
 	if c.GroupCommitWindow > 0 {
 		mc.SSP.GroupCommitWindow = engine.Cycles(c.GroupCommitWindow)
 	}
@@ -397,6 +420,9 @@ func (c Config) Validate() error {
 	}
 	if c.SubPageLines != 0 && c.SubPageLines != 1 && c.SubPageLines != 4 {
 		return fmt.Errorf("ssp: SubPageLines is %d, want 1 or 4 (0 selects the default, 1)", c.SubPageLines)
+	}
+	if c.TimeWindow < 0 {
+		return fmt.Errorf("ssp: TimeWindow is %d cycles, want >= 0 (0 selects free-running concurrent mode)", c.TimeWindow)
 	}
 	if c.GroupCommitWindow < 0 {
 		return fmt.Errorf("ssp: GroupCommitWindow is %d cycles, want >= 0 (0 disables group commit)", c.GroupCommitWindow)

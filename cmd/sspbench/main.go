@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -209,6 +211,8 @@ func main() {
 	channels := flag.Int("channels", 8, "max memory channels for -exp channels; fixed channel count for -exp journal/crossshard")
 	shards := flag.Int("shards", 4, "max SSP journal shards for -exp journal; fixed count for -exp crossshard")
 	window := flag.Int("window", 4096, "group-commit window in cycles for -exp commitpath")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -251,6 +255,41 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+
+	// Profiling hooks: -cpuprofile covers the experiment run (started here,
+	// stopped before the memory profile is written); -memprofile snapshots
+	// the heap after a final GC. Inspect with `go tool pprof`.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if *cpuprofile != "" {
+				pprof.StopCPUProfile() // idempotent; order the profiles
+			}
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
 	}
 
 	fl := benchFlags{cores: *cores, channels: *channels, shards: *shards, window: *window}

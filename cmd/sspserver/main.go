@@ -19,6 +19,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,7 +42,18 @@ func main() {
 	smoke := flag.Bool("smoke", false, "boot on a loopback port, drive with the load generator, verify, exit")
 	smokeOps := flag.Int("smoke-ops", 4000, "operations for -smoke")
 	smokeConns := flag.Int("smoke-conns", 8, "connections for -smoke")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// The default mux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	cfg := server.Config{
 		Addr: *addr,

@@ -53,7 +53,7 @@ func run(backend ssp.Backend) {
 		if err := m.Recover(); err != nil {
 			log.Fatalf("%s: recovery failed at trap %d: %v", backend, k, err)
 		}
-		m.Heap().EnsureMapped(1, 2)
+		m.Heap().EnsureMapped(nil, 1, 2)
 		if !consistent(m, completed) {
 			torn++
 			fmt.Printf("%s: trap %d left a torn state!\n", backend, k)
@@ -70,7 +70,7 @@ func run(backend ssp.Backend) {
 // returning how many transactions committed with power still on.
 func execute(m *ssp.Machine, k int64) int {
 	c := m.Core(0)
-	m.Heap().EnsureMapped(1, 2)
+	m.Heap().EnsureMapped(nil, 1, 2)
 	if k >= 0 {
 		m.Mem().SetWriteTrap(k)
 	}

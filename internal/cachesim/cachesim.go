@@ -917,6 +917,35 @@ func (h *Hierarchy) Load(core int, pa memsim.PAddr, buf []byte, at engine.Cycles
 	return h.loadLocked(core, pa, buf, at)
 }
 
+// PeekLine copies the hierarchy's current value of the full line containing
+// pa into buf (LineBytes) without advancing time or touching LRU, directory,
+// or counter state, following the value-authority chain: a dirty private
+// copy in the owning core's L1/L2, then a (possibly dirty) L3 copy. Returns
+// false when no cached copy exists — the tier below is then authoritative.
+// Quiescent-only (the machine's speculative-image seeding).
+func (h *Hierarchy) PeekLine(pa memsim.PAddr, buf []byte) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	la := uint64(pa >> memsim.LineShift)
+	e := h.dirGet(la)
+	if e.owner >= 0 {
+		o := int(e.owner)
+		if c := h.l1[o].peek(la); c != nil && c.dirty {
+			copy(buf, c.data[:])
+			return true
+		}
+		if c := h.l2[o].peek(la); c != nil && c.dirty {
+			copy(buf, c.data[:])
+			return true
+		}
+	}
+	if c := h.l3.peek(la); c != nil {
+		copy(buf, c.data[:])
+		return true
+	}
+	return false
+}
+
 // Store writes data at pa (within one line) into core's L1 with exclusive
 // ownership (write-allocate) and returns the completion time. The data
 // becomes durable only on write-back or Flush.

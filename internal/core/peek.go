@@ -1,0 +1,26 @@
+package core
+
+import (
+	"repro/internal/memsim"
+	"repro/internal/vm"
+)
+
+// PeekLineAddr implements txn.Peeker: the physical line address holding the
+// program-visible value of the line containing va. With a transient cache
+// entry the value lives on the side the unit's current bit selects (§3.2's
+// redirection); without one the page has been consolidated (or never
+// shadowed) and the home frame from the page table is authoritative.
+// Untimed and quiescent-only: no TLB, cache, or metadata state changes.
+func (s *SSP) PeekLineAddr(va uint64) (memsim.PAddr, bool) {
+	vpn := vm.VPNOf(va)
+	lineIdx := int(va&(memsim.PageBytes-1)) >> memsim.LineShift
+	if meta := s.lookupMeta(vpn); meta != nil {
+		bit := (meta.current >> uint(s.unitOf(lineIdx))) & 1
+		return meta.lineAddr(lineIdx, bit), true
+	}
+	ppn, ok := s.env.PT.Lookup(vpn)
+	if !ok {
+		return 0, false
+	}
+	return ppn + memsim.PAddr(lineIdx*memsim.LineBytes), true
+}

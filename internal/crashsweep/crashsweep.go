@@ -169,7 +169,7 @@ func RunScriptBuffered(m *ssp.Machine, sc Script) (committed, boundary map[uint6
 	if last < ntFirstPage+ntPages-1 {
 		last = ntFirstPage + ntPages - 1
 	}
-	m.Heap().EnsureMapped(1, last)
+	m.Heap().EnsureMapped(nil, 1, last)
 	for i, addrs := range sc.Txns {
 		if m.Mem().PoweredOff() {
 			break
@@ -211,7 +211,7 @@ func RunScriptBuffered(m *ssp.Machine, sc Script) (committed, boundary map[uint6
 // the cross-shard two-phase protocol where the backend supports it.
 func RunScript(m *ssp.Machine, sc Script) (committed, boundary map[uint64]uint64) {
 	committed = map[uint64]uint64{}
-	m.Heap().EnsureMapped(1, sc.maxPage())
+	m.Heap().EnsureMapped(nil, 1, sc.maxPage())
 	for i, addrs := range sc.Txns {
 		if m.Mem().PoweredOff() {
 			break
@@ -305,7 +305,7 @@ func sweepScript(cfg ssp.Config, sc Script, run func(*ssp.Machine, Script) (map[
 			failures++
 			continue
 		}
-		m.Heap().EnsureMapped(1, sc.maxPage())
+		m.Heap().EnsureMapped(nil, 1, sc.maxPage())
 		if err := Verify(m, committed, boundary); err != nil {
 			logf("  trap %d: %v\n", k, err)
 			failures++

@@ -79,7 +79,7 @@ type RelaxedOutcome struct {
 // cores, like RunScript) and the script's Sync points.
 func RunScriptRelaxed(m *ssp.Machine, sc Script) RelaxedOutcome {
 	out := RelaxedOutcome{Acked: make([]bool, len(sc.Txns)), SyncFloor: -1}
-	m.Heap().EnsureMapped(1, sc.maxPage())
+	m.Heap().EnsureMapped(nil, 1, sc.maxPage())
 	for i, addrs := range sc.Txns {
 		if m.Mem().PoweredOff() {
 			break
@@ -206,7 +206,7 @@ func SweepRelaxedScript(cfg ssp.Config, sc Script, verbose bool, log io.Writer) 
 			failures++
 			continue
 		}
-		m.Heap().EnsureMapped(1, sc.maxPage())
+		m.Heap().EnsureMapped(nil, 1, sc.maxPage())
 		if err := VerifyRelaxed(m, cfg, sc, out); err != nil {
 			logf("  trap %d: %v\n", k, err)
 			failures++

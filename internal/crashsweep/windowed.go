@@ -46,7 +46,7 @@ func WindowedConfig(cores int) ssp.Config {
 // DurabilityEpoch > 0 every acknowledged transaction must survive.
 func runWindowed(m *ssp.Machine, sc Script) (committed map[uint64]uint64, boundaries []map[uint64]uint64) {
 	cores := m.Cores()
-	m.Heap().EnsureMapped(1, sc.maxPage()+(cores-1)*windowedPageStride)
+	m.Heap().EnsureMapped(nil, 1, sc.maxPage()+(cores-1)*windowedPageStride)
 	perCommitted := make([]map[uint64]uint64, cores)
 	boundaries = make([]map[uint64]uint64, cores)
 	m.Run(func(c *ssp.Core) {
@@ -153,7 +153,7 @@ func SweepWindowedScript(cfg ssp.Config, sc Script, verbose bool, log io.Writer)
 			failures++
 			continue
 		}
-		m.Heap().EnsureMapped(1, sc.maxPage()+(m.Cores()-1)*windowedPageStride)
+		m.Heap().EnsureMapped(nil, 1, sc.maxPage()+(m.Cores()-1)*windowedPageStride)
 		if err := VerifyWindowed(m, committed, boundaries); err != nil {
 			logf("  trap %d: %v\n", k, err)
 			failures++

@@ -28,7 +28,7 @@ func TestDRAMCacheAccountingIdentity(t *testing.T) {
 	// 96 pages = 384 KiB, three times the shrunken L3 but within the test
 	// config's SSP slot pool.
 	const pages = 96
-	m.Heap().EnsureMapped(0, pages-1)
+	m.Heap().EnsureMapped(nil, 0, pages-1)
 
 	// Non-transactional stores dirty one line per page and strided loads
 	// force refills; with the working set far past the LLC, victims and
@@ -63,7 +63,7 @@ func TestDRAMCacheAccountingIdentity(t *testing.T) {
 func TestDRAMCacheCommittedSurvivesCrash(t *testing.T) {
 	m := New(cacheConfig(64))
 	c := m.Core(0)
-	m.Heap().EnsureMapped(1, 2)
+	m.Heap().EnsureMapped(nil, 1, 2)
 
 	c.Begin()
 	c.Store64(heapVA(1, 0), 0xD00D)
@@ -90,7 +90,7 @@ func TestWearRotationLevelsAndPreservesData(t *testing.T) {
 	m := New(cfg)
 	c := m.Core(0)
 	const pages, lines = 16, 8
-	m.Heap().EnsureMapped(0, pages-1)
+	m.Heap().EnsureMapped(nil, 0, pages-1)
 
 	var want [pages][lines]uint64
 	for i := 0; i < 400; i++ {

@@ -40,7 +40,7 @@ func makeCrashScript(seed uint64) crashScript {
 func runScript(m *Machine, sc crashScript) (committed map[uint64]uint64, boundary map[uint64]uint64, done int) {
 	committed = map[uint64]uint64{}
 	c := m.Core(0)
-	m.Heap().EnsureMapped(1, 4)
+	m.Heap().EnsureMapped(nil, 1, 4)
 	for i, addrs := range sc.txns {
 		if m.Mem().PoweredOff() {
 			break
@@ -101,7 +101,7 @@ func TestCrashTrapSweep(t *testing.T) {
 				// A trap during the initial page mapping loses (leaks) the
 				// unmapped pages; remapping them yields zeroed frames,
 				// which is consistent with nothing having committed there.
-				m.Heap().EnsureMapped(1, 4)
+				m.Heap().EnsureMapped(nil, 1, 4)
 				if err := verifyState(m, committed, boundary); err != nil {
 					t.Fatalf("trap %d: %v", k, err)
 				}
@@ -191,7 +191,7 @@ func TestCrashTrapSweepMultiPage(t *testing.T) {
 				if err := m.Recover(); err != nil {
 					t.Fatalf("trap %d: recovery failed: %v", k, err)
 				}
-				m.Heap().EnsureMapped(1, 4)
+				m.Heap().EnsureMapped(nil, 1, 4)
 				if err := verifyState(m, committed, boundary); err != nil {
 					t.Fatalf("trap %d: %v", k, err)
 				}
@@ -232,7 +232,7 @@ func TestCrashDuringRecovery(t *testing.T) {
 				if err := m3.Recover(); err != nil {
 					t.Fatalf("second recovery failed: %v", err)
 				}
-				m3.Heap().EnsureMapped(1, 4)
+				m3.Heap().EnsureMapped(nil, 1, 4)
 				if err := verifyState(m3, committed, boundary); err != nil {
 					t.Fatalf("double-crash trap %d: %v", k, err)
 				}

@@ -32,7 +32,7 @@ func TestCommitIsDurableAcrossCrash(t *testing.T) {
 		t.Run(b.String(), func(t *testing.T) {
 			m := New(testConfig(b, 1))
 			c := m.Core(0)
-			m.Heap().EnsureMapped(1, 2)
+			m.Heap().EnsureMapped(nil, 1, 2)
 
 			c.Begin()
 			c.Store64(heapVA(1, 0), 0xAAAA)
@@ -57,7 +57,7 @@ func TestUncommittedIsInvisibleAfterCrash(t *testing.T) {
 		t.Run(b.String(), func(t *testing.T) {
 			m := New(testConfig(b, 1))
 			c := m.Core(0)
-			m.Heap().EnsureMapped(1, 1)
+			m.Heap().EnsureMapped(nil, 1, 1)
 
 			c.Begin()
 			c.Store64(heapVA(1, 0), 0x1111)
@@ -85,7 +85,7 @@ func TestAbortRollsBack(t *testing.T) {
 		t.Run(b.String(), func(t *testing.T) {
 			m := New(testConfig(b, 1))
 			c := m.Core(0)
-			m.Heap().EnsureMapped(1, 1)
+			m.Heap().EnsureMapped(nil, 1, 1)
 
 			c.Begin()
 			c.Store64(heapVA(1, 0), 0x7777)
@@ -113,7 +113,7 @@ func TestRepeatedUpdatesSameLine(t *testing.T) {
 		t.Run(b.String(), func(t *testing.T) {
 			m := New(testConfig(b, 1))
 			c := m.Core(0)
-			m.Heap().EnsureMapped(1, 1)
+			m.Heap().EnsureMapped(nil, 1, 1)
 			for i := uint64(1); i <= 10; i++ {
 				c.Begin()
 				c.Store64(heapVA(1, 0), i)
@@ -139,7 +139,7 @@ func TestRestoreFromImage(t *testing.T) {
 			cfg := testConfig(b, 1)
 			m := New(cfg)
 			c := m.Core(0)
-			m.Heap().EnsureMapped(1, 1)
+			m.Heap().EnsureMapped(nil, 1, 1)
 			c.Begin()
 			c.Store64(heapVA(1, 8), 0xFEED)
 			c.Commit()
@@ -227,7 +227,7 @@ func TestMultiCoreSharing(t *testing.T) {
 	for _, b := range allBackends() {
 		t.Run(b.String(), func(t *testing.T) {
 			m := New(testConfig(b, 4))
-			m.Heap().EnsureMapped(1, 1)
+			m.Heap().EnsureMapped(nil, 1, 1)
 			lock := m.NewLock()
 			// Four cores increment a shared counter under a lock,
 			// transactionally.
@@ -262,7 +262,7 @@ func TestConcurrentOpenTransactionsSamePage(t *testing.T) {
 	for _, b := range allBackends() {
 		t.Run(b.String(), func(t *testing.T) {
 			m := New(testConfig(b, 2))
-			m.Heap().EnsureMapped(1, 1)
+			m.Heap().EnsureMapped(nil, 1, 1)
 			c0, c1 := m.Core(0), m.Core(1)
 
 			c0.Begin()
@@ -298,7 +298,7 @@ func TestDeterminism(t *testing.T) {
 		t.Run(b.String(), func(t *testing.T) {
 			run := func() (uint64, uint64, int64) {
 				m := New(testConfig(b, 2))
-				m.Heap().EnsureMapped(1, 8)
+				m.Heap().EnsureMapped(nil, 1, 8)
 				for i := 0; i < 50; i++ {
 					c := m.Core(i % 2)
 					c.Begin()
@@ -324,7 +324,7 @@ func TestSSPWritesLessLoggingTraffic(t *testing.T) {
 	for _, b := range allBackends() {
 		m := New(testConfig(b, 1))
 		c := m.Core(0)
-		m.Heap().EnsureMapped(1, 4)
+		m.Heap().EnsureMapped(nil, 1, 4)
 		// Table-3-shaped transactions: 8 distinct lines across 2 pages.
 		for i := 0; i < 200; i++ {
 			c.Begin()
@@ -351,7 +351,7 @@ func TestStoreBytesCrossesLines(t *testing.T) {
 		t.Run(b.String(), func(t *testing.T) {
 			m := New(testConfig(b, 1))
 			c := m.Core(0)
-			m.Heap().EnsureMapped(1, 2)
+			m.Heap().EnsureMapped(nil, 1, 2)
 			// A 200-byte blob starting 8 bytes before a line boundary,
 			// crossing a page boundary too.
 			va := heapVA(1, 4096-72)
@@ -386,7 +386,7 @@ func TestStoreBytesCrossesLines(t *testing.T) {
 func TestUnalignedWordOpsPanic(t *testing.T) {
 	m := New(testConfig(SSP, 1))
 	c := m.Core(0)
-	m.Heap().EnsureMapped(1, 1)
+	m.Heap().EnsureMapped(nil, 1, 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("unaligned Store64 should panic")

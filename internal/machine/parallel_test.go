@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"reflect"
 	"sort"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/memsim"
 	"repro/internal/pheap"
+	"repro/internal/stats"
 )
 
 // The parallel stress test: N goroutine-backed cores × M transactions per
@@ -61,7 +63,7 @@ func stressScript(c *Core, txns int, seed uint64, final map[uint64]uint64) {
 func stressMachine(b BackendKind) *Machine {
 	cfg := testConfig(b, stressCores)
 	m := New(cfg)
-	m.Heap().EnsureMapped(1, stressCores*stressPagesPer)
+	m.Heap().EnsureMapped(nil, 1, stressCores*stressPagesPer)
 	return m
 }
 
@@ -166,7 +168,7 @@ func TestParallelMultiChannel(t *testing.T) {
 	}
 	runParallel := func(cfg Config) *Machine {
 		m := New(cfg)
-		m.Heap().EnsureMapped(1, stressCores*stressPagesPer)
+		m.Heap().EnsureMapped(nil, 1, stressCores*stressPagesPer)
 		m.Run(func(c *Core) {
 			stressScript(c, txns, 0xBEEF, map[uint64]uint64{})
 		})
@@ -192,7 +194,7 @@ func TestParallelMultiChannel(t *testing.T) {
 
 			// Serial reference on an identical 4-channel machine.
 			ref := New(channelCfg(b, 4))
-			ref.Heap().EnsureMapped(1, stressCores*stressPagesPer)
+			ref.Heap().EnsureMapped(nil, 1, stressCores*stressPagesPer)
 			for i := 0; i < stressCores; i++ {
 				stressScript(ref.Core(i), txns, 0xBEEF, map[uint64]uint64{})
 			}
@@ -228,7 +230,7 @@ func TestParallelJournalShards(t *testing.T) {
 
 	// Serial reference.
 	ref := New(shardCfg())
-	ref.Heap().EnsureMapped(1, stressCores*stressPagesPer)
+	ref.Heap().EnsureMapped(nil, 1, stressCores*stressPagesPer)
 	refFinal := make([]map[uint64]uint64, stressCores)
 	for i := 0; i < stressCores; i++ {
 		refFinal[i] = map[uint64]uint64{}
@@ -238,7 +240,7 @@ func TestParallelJournalShards(t *testing.T) {
 	refStats := *ref.Stats()
 
 	m := New(shardCfg())
-	m.Heap().EnsureMapped(1, stressCores*stressPagesPer)
+	m.Heap().EnsureMapped(nil, 1, stressCores*stressPagesPer)
 	m.Run(func(c *Core) {
 		stressScript(c, txns, 0x5A4D, map[uint64]uint64{})
 	})
@@ -311,7 +313,7 @@ func TestParallelCrossShardCommits(t *testing.T) {
 	cfg := testConfig(SSP, stressCores)
 	cfg.Layout.JournalShards = stressCores
 	m := New(cfg)
-	m.Heap().EnsureMapped(1, sharedPages)
+	m.Heap().EnsureMapped(nil, 1, sharedPages)
 
 	locks := make([]*Lock, sharedPages+1) // 1-indexed by page
 	expect := make([]map[uint64]uint64, sharedPages+1)
@@ -408,7 +410,7 @@ func TestParallelHeapArenas(t *testing.T) {
 	for _, b := range allBackends() {
 		t.Run(b.String(), func(t *testing.T) {
 			m := New(testConfig(b, stressCores))
-			m.Heap().EnsureMapped(0, 0)
+			m.Heap().EnsureMapped(nil, 0, 0)
 			arenas := make([]*heapArena, stressCores)
 			for i := 0; i < stressCores; i++ {
 				c := m.Core(i)
@@ -457,6 +459,124 @@ type heapArena struct {
 	live []uint64
 }
 
+// winParStress runs the local+global mixed commit script (the
+// TestParallelGroupCommit shape: 4 cores × 2 journal shards, lock-guarded
+// shared pages, 25% multi-shard globals) on a fresh machine and returns
+// its aggregate stats plus the written values. windowParallel selects the
+// speculate-and-replay mode; the window scheduler is on either way.
+func winParStress(t *testing.T, txns int, windowParallel bool) (stats.Stats, []map[uint64]uint64) {
+	t.Helper()
+	const sharedPages = 8
+	cfg := testConfig(SSP, stressCores)
+	cfg.Layout.JournalShards = 2
+	cfg.SSP.GroupCommitWindow = 4096
+	cfg.TimeWindow = 4096
+	cfg.WindowParallel = windowParallel
+	m := New(cfg)
+	m.Heap().EnsureMapped(nil, 1, sharedPages)
+
+	locks := make([]*Lock, sharedPages+1)
+	expect := make([]map[uint64]uint64, sharedPages+1)
+	for p := 1; p <= sharedPages; p++ {
+		locks[p] = m.NewLock()
+		expect[p] = map[uint64]uint64{}
+	}
+	m.ResetStats()
+
+	m.Run(func(c *Core) {
+		rng := engine.NewRNG(0x10AD + uint64(c.ID())*0x9E3779B97F4A7C15)
+		for i := 0; i < txns; i++ {
+			val := uint64(c.ID()+1)<<32 | uint64(i+1)
+			if rng.Intn(4) == 0 {
+				n := 2 + rng.Intn(2)
+				seen := map[int]bool{}
+				var pages []int
+				for len(pages) < n {
+					p := 1 + rng.Intn(sharedPages)
+					if !seen[p] {
+						seen[p] = true
+						pages = append(pages, p)
+					}
+				}
+				sort.Ints(pages)
+				for _, p := range pages {
+					c.Acquire(locks[p])
+				}
+				c.BeginGlobal()
+				for _, p := range pages {
+					line := rng.Intn(64)
+					va := heapVA(p, line*64)
+					old := c.Load64(va) // exercise the speculative read path
+					c.Store64(va, val^old>>48)
+					expect[p][va] = val ^ old>>48
+				}
+				c.Commit()
+				for j := len(pages) - 1; j >= 0; j-- {
+					c.Release(locks[pages[j]])
+				}
+				continue
+			}
+			p := 1 + rng.Intn(sharedPages)
+			c.Acquire(locks[p])
+			c.Begin()
+			line := rng.Intn(64)
+			va := heapVA(p, line*64)
+			c.Store64(va, val)
+			expect[p][va] = val
+			if rng.Intn(8) == 0 { // occasional rollback through the replayer
+				c.Abort()
+				delete(expect[p], va)
+			} else {
+				c.Commit()
+			}
+			c.Release(locks[p])
+		}
+	})
+	m.Drain()
+
+	st := *m.Stats()
+	if s, ok := m.Backend().(*core.SSP); ok {
+		if msg := s.DebugCheckFrames(); msg != "" {
+			t.Fatalf("SSP frame invariant violated: %s", msg)
+		}
+	}
+	c0 := m.Core(0)
+	for p := 1; p <= sharedPages; p++ {
+		for va, want := range expect[p] {
+			if got := c0.Load64(va); got != want {
+				t.Errorf("windowParallel=%v: %#x = %#x, want %#x", windowParallel, va, got, want)
+			}
+		}
+	}
+	if err := recycle(m); err != nil {
+		t.Fatalf("post-run recovery: %v", err)
+	}
+	return st, expect
+}
+
+// TestWindowParallelStress is the -race gate for the speculate-and-replay
+// path (Config.WindowParallel): the TestParallelGroupCommit mix — 4 cores
+// over 2 journal shards, lock-guarded shared pages, global multi-shard
+// commits, plus aborts driving the shadow-heap rollback — run under
+// speculation, with data, frame invariants and crash recovery audited,
+// and the aggregate Stats required byte-identical to the serial-grant
+// scheduler on the same script.
+func TestWindowParallelStress(t *testing.T) {
+	txns := 250
+	if testing.Short() {
+		txns = 60
+	}
+	serial, _ := winParStress(t, txns, false)
+	spec, _ := winParStress(t, txns, true)
+	if serial.Commits == 0 || serial.Aborts == 0 || serial.GlobalCommits == 0 {
+		t.Fatalf("stress mix degenerate: commits %d aborts %d globals %d",
+			serial.Commits, serial.Aborts, serial.GlobalCommits)
+	}
+	if !reflect.DeepEqual(serial, spec) {
+		t.Errorf("WindowParallel stats diverged from serial-grant:\nserial: %+v\nspec:   %+v", serial, spec)
+	}
+}
+
 // TestParallelGroupCommit stresses the group-commit and eager-flush knobs
 // under -race: 4 goroutine-backed cores over 2 journal shards (two cores
 // share each ring, so group windows genuinely form) run concurrent local
@@ -477,7 +597,7 @@ func TestParallelGroupCommit(t *testing.T) {
 	cfg.SSP.GroupCommitWindow = 4096
 	cfg.SSP.EagerFlush = true
 	m := New(cfg)
-	m.Heap().EnsureMapped(1, sharedPages)
+	m.Heap().EnsureMapped(nil, 1, sharedPages)
 
 	locks := make([]*Lock, sharedPages+1)
 	expect := make([]map[uint64]uint64, sharedPages+1)

@@ -1,0 +1,511 @@
+package machine
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/memsim"
+	"repro/internal/txn"
+	"repro/internal/vm"
+)
+
+// This file is the host-parallel windowed execution mode
+// (Config.WindowParallel, requires Config.TimeWindow > 0): a
+// speculate-and-replay split that recovers host parallelism from the
+// serial-grant window scheduler without giving up one bit of its
+// determinism.
+//
+// The problem. The bounded-lag scheduler (winsched.go) owns a single
+// execution slot, so a windowed Run uses one core's worth of host CPU no
+// matter how many cores it simulates. But the slot only needs to serialise
+// the SIMULATED side of each operation — the bank bookings, cache ownership
+// transfers, journal appends — not the program logic deciding what to do
+// next.
+//
+// The split. Each simulated core becomes two goroutines:
+//
+//   - The SPECULATOR runs the program (Run's fn). Core methods route here
+//     via Core.spec: loads and stores execute against a functional heap
+//     image (the run's shared shadow heap plus a per-core overlay) with no
+//     clocks, no caches, no backend — and every operation is appended to
+//     the core's ordered op log.
+//   - The REPLAYER consumes the log and drives each operation through the
+//     real exec* paths (coreapi.go) under the UNCHANGED serial-grant
+//     scheduler: it enters the scheduler as the core, parks on lock queues,
+//     tickets and window barriers exactly as the program goroutine did in
+//     serial-grant mode. Every arbitration — grant order, lock hand-off,
+//     group-commit admission — is therefore resolved by the same code in
+//     the same (simulated clock, core index) order, and Stats, histograms
+//     and per-core rows come out byte-identical to serial-grant for the
+//     same seed.
+//
+// Speculators run concurrently on the host with no shared-hardware
+// coupling; the op channel's bounded capacity keeps each one a bounded
+// number of operations ahead of its replayer (the host-side analogue of
+// the bounded-lag window).
+//
+// Synchronisation points. Operations whose RESULT the program needs —
+// Acquire (cross-core visibility), Now (the canonical clock), Abort (the
+// rollback image), HardenIdle, BlockExternal, heap page mapping — park the
+// speculator until the replayer has executed them canonically. The park
+// reply doubles as the memory fence: on wake the speculator discards its
+// overlay (epoch bump) and reads through to the shadow heap, which at that
+// moment reflects every canonically-ordered prior store. For
+// lock-disciplined programs (the repo's contract: shared persistent data is
+// accessed under a Lock) the Acquire park gives the speculator
+// happens-before with every store the previous holder made, so speculation
+// never observes a value the canonical execution would not have. The
+// replayer cross-checks regardless: every speculated load is re-executed
+// canonically and compared byte-for-byte, so an unsynchronised sharing bug
+// panics with a divergence report instead of silently corrupting the run.
+//
+// What WindowParallel cannot speed up: the replayers still serialise all
+// simulated-hardware work on the scheduler's single slot, so by Amdahl's
+// law the host speedup is bounded by the share of host time the program
+// logic (now off the critical path) used to occupy. In this simulator the
+// exec paths dominate — see the measured bound in ROADMAP.md §PR 10 —
+// making the win modest by construction; the mode's value is the
+// architecture (program execution off the arbitration path) plus unchanged
+// determinism, not a large wall-clock cut.
+
+// Speculative operation kinds (specOp.kind). Parking ops (the speculator
+// blocks for a reply) are marked P.
+const (
+	opStore         = uint8(iota) // one ≤line-sized store segment
+	opLoad                        // one ≤line-sized load segment + observed bytes
+	opCompute                     // Compute(arg cycles)
+	opBegin                       // Begin
+	opBeginGlobal                 // BeginGlobal
+	opCommit                      // Commit
+	opCommitRelaxed               // CommitRelaxed
+	opSync                        // Sync
+	opRelease                     // Release(lk)
+	opSetNow                      // SetNow(arg)
+	opAcquire                     // P: Acquire(lk); reply fences the overlay
+	opNow                         // P: Now(); reply carries the clock
+	opHardenIdle                  // P: HardenIdle(); reply carries the bool
+	opAbort                       // P: Abort; shadow reverted before reply
+	opEnsureMapped                // P: map heap VPNs [va, arg]
+	opExternal                    // P: BlockExternal(specCore.wait)
+	opDone                        // fn returned; replayer exits
+)
+
+// specOp is one logged operation. Store/load segments are split at cache
+// line boundaries exactly as the exec paths split them, so the replayed
+// instruction stream is identical to the serial-grant one.
+type specOp struct {
+	kind uint8
+	n    uint8 // data length for opStore/opLoad
+	va   uint64
+	arg  uint64
+	lk   *Lock
+	data [memsim.LineBytes]byte
+}
+
+// specReply is a parking op's result.
+type specReply struct {
+	t engine.Cycles
+	b bool
+}
+
+const (
+	specBatchOps    = 16 // ops per channel send (amortises channel cost)
+	specChanBatches = 64 // in-flight batches: the speculation lag bound
+)
+
+// ovPage is one page of a speculator's private overlay: bytes it stored
+// since its last park, bit-masked per byte. epoch lazily invalidates the
+// whole overlay at a park reply without touching memory.
+type ovPage struct {
+	epoch uint64
+	mask  [memsim.PageBytes / 64]uint64
+	data  [memsim.PageBytes]byte
+}
+
+// specCore is one core's speculative state during a WindowParallel Run.
+// Only the speculator goroutine touches overlay/epoch/batch/inTxn; ops and
+// reply connect it to the replayer.
+type specCore struct {
+	sh    *winShadow
+	ops   chan []specOp
+	reply chan specReply
+	batch []specOp
+	wait  func() // side slot for opExternal (set before the park)
+
+	inTxn   bool // program-visible InTxn (the exec-side flag lags behind)
+	epoch   uint64
+	overlay []*ovPage
+
+	specOps, specParks uint64
+}
+
+func (s *specCore) push(op specOp) {
+	s.specOps++
+	s.batch = append(s.batch, op)
+	if len(s.batch) >= specBatchOps {
+		s.flush()
+	}
+}
+
+func (s *specCore) flush() {
+	if len(s.batch) == 0 {
+		return
+	}
+	s.ops <- s.batch
+	s.batch = make([]specOp, 0, specBatchOps)
+}
+
+// park logs op, waits for the replayer to execute it canonically, and
+// invalidates the overlay: the shadow heap is current as of the park, so
+// reading through is both correct and what re-converges speculation with
+// canonical state (after an Abort's rollback, for instance).
+func (s *specCore) park(op specOp) specReply {
+	s.specParks++
+	s.push(op)
+	s.flush()
+	r := <-s.reply
+	s.epoch++
+	return r
+}
+
+func (s *specCore) begin(op specOp) {
+	if s.inTxn {
+		panic("machine: nested Begin")
+	}
+	s.push(op)
+	s.inTxn = true
+}
+
+func (s *specCore) commit(op specOp) {
+	if !s.inTxn {
+		panic("machine: Commit outside transaction")
+	}
+	s.push(op)
+	s.inTxn = false
+}
+
+func (s *specCore) abort() {
+	if !s.inTxn {
+		panic("machine: Abort outside transaction")
+	}
+	s.park(specOp{kind: opAbort})
+	s.inTxn = false
+}
+
+func (s *specCore) ensureMapped(first, last int) {
+	s.park(specOp{kind: opEnsureMapped, va: uint64(first), arg: uint64(last)})
+}
+
+func (s *specCore) blockExternal(wait func()) {
+	s.wait = wait
+	s.park(specOp{kind: opExternal})
+	s.wait = nil
+}
+
+// store speculatively executes a StoreBytes: overlay write + log, split at
+// line boundaries like execStoreBytes.
+func (s *specCore) store(va uint64, data []byte) {
+	for len(data) > 0 {
+		n := memsim.LineBytes - int(va&(memsim.LineBytes-1))
+		if n > len(data) {
+			n = len(data)
+		}
+		s.write(va, data[:n])
+		op := specOp{kind: opStore, n: uint8(n), va: va}
+		copy(op.data[:], data[:n])
+		s.push(op)
+		va += uint64(n)
+		data = data[n:]
+	}
+}
+
+// load speculatively executes a LoadBytes: overlay∪shadow read + log with
+// the observed bytes, which the replayer cross-checks against the
+// canonical value.
+func (s *specCore) load(va uint64, buf []byte) {
+	for len(buf) > 0 {
+		n := memsim.LineBytes - int(va&(memsim.LineBytes-1))
+		if n > len(buf) {
+			n = len(buf)
+		}
+		s.read(va, buf[:n])
+		op := specOp{kind: opLoad, n: uint8(n), va: va}
+		copy(op.data[:], buf[:n])
+		s.push(op)
+		va += uint64(n)
+		buf = buf[n:]
+	}
+}
+
+// read resolves dst from the overlay (bytes this core stored since its
+// last park) over the shadow heap. The segment never crosses a page.
+// Overlay-covered bytes must not touch the shadow page at all: this core's
+// own replayer may be flushing exactly those logged stores concurrently,
+// and while the overlay would mask the racy value anyway, the read itself
+// would trip the race detector. Uncovered bytes are safe: this core has
+// not stored them since its last park (its replayer will not write them
+// past the park's reply edge), and another core's flush is ordered before
+// our Acquire-park reply by the lock discipline.
+func (s *specCore) read(va uint64, dst []byte) {
+	vpn := vm.VPNOf(va)
+	off := int(va & (memsim.PageBytes - 1))
+	pg := s.sh.page(vpn)
+	if pg == nil {
+		panic(fmt.Sprintf("machine: speculative load from unmapped heap page (va %#x)", va))
+	}
+	ov := s.overlay[vpn]
+	if ov == nil || ov.epoch != s.epoch {
+		copy(dst, pg[off:off+len(dst)])
+		return
+	}
+	for i := range dst {
+		o := off + i
+		if ov.mask[o>>6]&(1<<uint(o&63)) != 0 {
+			dst[i] = ov.data[o]
+		} else {
+			dst[i] = pg[o]
+		}
+	}
+}
+
+// write records src in the overlay. The segment never crosses a page.
+func (s *specCore) write(va uint64, src []byte) {
+	vpn := vm.VPNOf(va)
+	ov := s.overlay[vpn]
+	if ov == nil {
+		ov = &ovPage{epoch: s.epoch}
+		s.overlay[vpn] = ov
+	} else if ov.epoch != s.epoch {
+		ov.mask = [memsim.PageBytes / 64]uint64{}
+		ov.epoch = s.epoch
+	}
+	off := int(va & (memsim.PageBytes - 1))
+	copy(ov.data[off:], src)
+	for i := range src {
+		o := off + i
+		ov.mask[o>>6] |= 1 << uint(o&63)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shadow heap: the run-level functional image of the persistent heap that
+// speculators read and replayers keep current.
+
+// shadowPage is one heap page's program-visible bytes.
+type shadowPage [memsim.PageBytes]byte
+
+// winShadow maps VPN -> shadow page. Page creation is CAS-published;
+// page CONTENT is written only by replayers (each write canonically
+// ordered by the scheduler slot) and read by speculators strictly after a
+// park reply that happens-after the write — race-free for lock-disciplined
+// programs, and -race-clean because the reply channel and scheduler mutex
+// carry the happens-before edges.
+type winShadow struct {
+	pages []atomic.Pointer[shadowPage]
+}
+
+func newWinShadow(maxPages int) *winShadow {
+	return &winShadow{pages: make([]atomic.Pointer[shadowPage], maxPages)}
+}
+
+func (sh *winShadow) page(vpn int) *shadowPage { return sh.pages[vpn].Load() }
+
+func (sh *winShadow) ensure(vpn int) *shadowPage {
+	if pg := sh.pages[vpn].Load(); pg != nil {
+		return pg
+	}
+	pg := new(shadowPage)
+	if sh.pages[vpn].CompareAndSwap(nil, pg) {
+		return pg
+	}
+	return sh.pages[vpn].Load()
+}
+
+func (sh *winShadow) write(va uint64, src []byte) {
+	pg := sh.ensure(vm.VPNOf(va))
+	copy(pg[int(va&(memsim.PageBytes-1)):], src)
+}
+
+// shadowUndo is one transactional store's pre-image, for re-converging the
+// shadow heap at a replayed Abort.
+type shadowUndo struct {
+	pg     *shadowPage
+	off, n int
+	prev   [memsim.LineBytes]byte
+}
+
+func (sh *winShadow) capture(undo []shadowUndo, va uint64, n int) []shadowUndo {
+	pg := sh.ensure(vm.VPNOf(va))
+	off := int(va & (memsim.PageBytes - 1))
+	u := shadowUndo{pg: pg, off: off, n: n}
+	copy(u.prev[:n], pg[off:off+n])
+	return append(undo, u)
+}
+
+// seedShadow builds the run's starting image from the machine's current
+// program-visible heap state. Quiescent-only (Run start, before the core
+// goroutines exist). Value authority per line: the backend's redirect (an
+// SSP page's current-bit copy, else the page-table home frame), then a
+// dirty copy in the owning core's private caches or any L3 copy, then the
+// DRAM buffer tier, then memory — resolved by untimed peeks that leave all
+// simulated state untouched.
+func (m *Machine) seedShadow(sh *winShadow) {
+	pk := m.backend.(txn.Peeker)
+	var line [memsim.LineBytes]byte
+	for _, e := range m.pt.Mapped() {
+		pg := sh.ensure(e.VPN)
+		base := vm.VAOf(e.VPN)
+		for li := 0; li < memsim.PageBytes/memsim.LineBytes; li++ {
+			va := base + uint64(li*memsim.LineBytes)
+			pa, ok := pk.PeekLineAddr(va)
+			if !ok {
+				continue
+			}
+			if !m.caches.PeekLine(pa, line[:]) {
+				if m.bcache != nil {
+					m.bcache.Peek(pa, line[:])
+				} else {
+					m.mem.Peek(pa, line[:])
+				}
+			}
+			copy(pg[li*memsim.LineBytes:], line[:])
+		}
+	}
+}
+
+// ensureZeroed publishes zero shadow pages for VPNs mapped mid-run: a
+// fresh frame's program-visible content is zero.
+func (sh *winShadow) ensureZeroed(first, last int) {
+	for vpn := first; vpn <= last; vpn++ {
+		sh.ensure(vpn)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Replay: the canonical execution.
+
+// replay consumes core c's op log and executes it through the exec* paths
+// under the serial-grant scheduler. It runs on the goroutine that entered
+// the scheduler as core c, so parks inside exec* (lock queues, tickets,
+// window barriers) behave exactly as in serial-grant mode. Between ops it
+// keeps the shadow heap current (stores flush immediately — speculators
+// may read them only after a park ordered behind the owning Lock's
+// release, by which point a conflicting Abort has already been reverted)
+// and cross-checks every speculated load against the canonical value.
+func (m *Machine) replay(c *Core, s *specCore) {
+	var undo []shadowUndo
+	var scratch [memsim.LineBytes]byte
+	for {
+		batch := <-s.ops
+		for i := range batch {
+			op := &batch[i]
+			switch op.kind {
+			case opStore:
+				if c.inTxn {
+					undo = s.sh.capture(undo, op.va, int(op.n))
+				}
+				c.execStoreBytes(op.va, op.data[:op.n])
+				s.sh.write(op.va, op.data[:op.n])
+			case opLoad:
+				c.execLoadBytes(op.va, scratch[:op.n])
+				if !bytes.Equal(scratch[:op.n], op.data[:op.n]) {
+					panic(fmt.Sprintf(
+						"machine: WindowParallel divergence on core %d at va %#x: canonical %x, speculated %x (unsynchronised cross-core sharing? guard shared persistent data with a Lock)",
+						c.id, op.va, scratch[:op.n], op.data[:op.n]))
+				}
+			case opCompute:
+				c.execCompute(engine.Cycles(op.arg))
+			case opBegin:
+				c.execBegin()
+				undo = undo[:0]
+			case opBeginGlobal:
+				c.execBeginGlobal()
+				undo = undo[:0]
+			case opCommit:
+				c.execCommit()
+				undo = undo[:0]
+			case opCommitRelaxed:
+				c.execCommitRelaxed()
+				undo = undo[:0]
+			case opSync:
+				c.execSync()
+			case opRelease:
+				c.execRelease(op.lk)
+			case opSetNow:
+				c.execSetNow(engine.Cycles(op.arg))
+			case opAcquire:
+				c.execAcquire(op.lk)
+				s.reply <- specReply{}
+			case opNow:
+				s.reply <- specReply{t: c.execNow()}
+			case opHardenIdle:
+				s.reply <- specReply{b: c.execHardenIdle()}
+			case opAbort:
+				c.execAbort()
+				for i := len(undo) - 1; i >= 0; i-- {
+					u := &undo[i]
+					copy(u.pg[u.off:u.off+u.n], u.prev[:u.n])
+				}
+				undo = undo[:0]
+				s.reply <- specReply{}
+			case opEnsureMapped:
+				m.ensureMapped(int(op.va), int(op.arg))
+				s.sh.ensureZeroed(int(op.va), int(op.arg))
+				s.reply <- specReply{}
+			case opExternal:
+				c.execBlockExternal(s.wait)
+				s.reply <- specReply{}
+			case opDone:
+				return
+			default:
+				panic("machine: unknown speculative op kind")
+			}
+		}
+	}
+}
+
+// runWinPar is Run's WindowParallel body: 2N goroutines (N speculators, N
+// replayers) against the serial-grant scheduler, which sees exactly N
+// cores — the replayers.
+func (m *Machine) runWinPar(fn func(c *Core)) {
+	sh := newWinShadow(m.layout.Cfg.MaxHeapPages)
+	m.seedShadow(sh)
+	m.sched.start()
+	m.setParallel(true)
+	var wg sync.WaitGroup
+	for _, c := range m.cores {
+		c := c
+		s := &specCore{
+			sh:      sh,
+			ops:     make(chan []specOp, specChanBatches),
+			reply:   make(chan specReply, 1),
+			batch:   make([]specOp, 0, specBatchOps),
+			overlay: make([]*ovPage, m.layout.Cfg.MaxHeapPages),
+		}
+		c.spec = s
+		wg.Add(2)
+		go func() { // replayer: the scheduler-visible "core"
+			defer wg.Done()
+			m.sched.enter(c.id)
+			defer m.sched.exit(c.id)
+			m.replay(c, s)
+		}()
+		go func() { // speculator: the program
+			defer wg.Done()
+			fn(c)
+			s.push(specOp{kind: opDone})
+			s.flush()
+		}()
+	}
+	wg.Wait()
+	for _, c := range m.cores {
+		m.sched.specOps += c.spec.specOps
+		m.sched.specParks += c.spec.specParks
+		c.spec = nil
+	}
+	m.setParallel(false)
+	m.sched.stop()
+}

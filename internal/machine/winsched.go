@@ -80,6 +80,13 @@ type WindowStats struct {
 	// serialised it approaches (N-1)/N of N*wall; its growth with W picks
 	// the default window size (see `sspbench -exp scale`).
 	HostWait time.Duration
+
+	// SpecOps/SpecParks count, under Config.WindowParallel, the operations
+	// the speculators recorded and the parks that re-synchronised them with
+	// canonical replay (winpar.go). Both are deterministic — a pure
+	// function of the program — and zero in serial-grant runs.
+	SpecOps   uint64
+	SpecParks uint64
 }
 
 // BarrierShare returns HostWait as a fraction of cores*wall — the share of
@@ -109,6 +116,11 @@ type winSched struct {
 	grants        uint64
 	barrierStalls uint64
 	hostWait      time.Duration
+
+	// WindowParallel speculation counters, folded in from the per-core
+	// specCores as the run's goroutines join (quiescent writes).
+	specOps   uint64
+	specParks uint64
 }
 
 func newWinSched(m *Machine, w engine.Cycles) *winSched {
@@ -145,6 +157,7 @@ func (s *winSched) start() {
 	}
 	s.windowEnd = (min/s.w + 1) * s.w
 	s.windows, s.grants, s.barrierStalls, s.hostWait = 0, 0, 0, 0
+	s.specOps, s.specParks = 0, 0
 }
 
 // stop disarms the scheduler after the core goroutines join.
@@ -411,5 +424,7 @@ func (s *winSched) snapshot() WindowStats {
 		Grants:        s.grants,
 		BarrierStalls: s.barrierStalls,
 		HostWait:      s.hostWait,
+		SpecOps:       s.specOps,
+		SpecParks:     s.specParks,
 	}
 }

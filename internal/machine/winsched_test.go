@@ -23,7 +23,7 @@ func winConfig(cores int, w engine.Cycles) Config {
 func TestWindowedInterleavingDeterministic(t *testing.T) {
 	run := func() []string {
 		m := New(winConfig(4, 512))
-		m.Heap().EnsureMapped(1, 8)
+		m.Heap().EnsureMapped(nil, 1, 8)
 		var trace []string
 		m.Run(func(c *Core) {
 			for i := 0; i < 40; i++ {
@@ -56,7 +56,7 @@ func TestWindowedInterleavingDeterministic(t *testing.T) {
 func TestWindowedLockHandoffOrder(t *testing.T) {
 	run := func() []int {
 		m := New(winConfig(4, 1024))
-		m.Heap().EnsureMapped(1, 4)
+		m.Heap().EnsureMapped(nil, 1, 4)
 		l := m.NewLock()
 		start := m.MaxClock()
 		var order []int
@@ -93,7 +93,7 @@ func TestWindowedLockHandoffOrder(t *testing.T) {
 // and a free-running machine reports the zero value.
 func TestWindowStats(t *testing.T) {
 	m := New(winConfig(2, 2048))
-	m.Heap().EnsureMapped(1, 4)
+	m.Heap().EnsureMapped(nil, 1, 4)
 	m.Run(func(c *Core) {
 		for i := 0; i < 20; i++ {
 			c.Begin()
@@ -111,7 +111,7 @@ func TestWindowStats(t *testing.T) {
 	}
 
 	free := New(testConfig(SSP, 2))
-	free.Heap().EnsureMapped(1, 2)
+	free.Heap().EnsureMapped(nil, 1, 2)
 	free.Run(func(c *Core) {
 		c.Begin()
 		c.Store64(heapVA(1+c.ID(), 0), 1)
@@ -143,7 +143,7 @@ func TestWindowedMatchesFreeRunningFinalState(t *testing.T) {
 
 	cfg := winConfig(stressCores, 4096)
 	m := New(cfg)
-	m.Heap().EnsureMapped(1, stressCores*stressPagesPer)
+	m.Heap().EnsureMapped(nil, 1, stressCores*stressPagesPer)
 	final := make([]map[uint64]uint64, stressCores)
 	for i := range final {
 		final[i] = map[uint64]uint64{}

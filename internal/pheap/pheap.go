@@ -50,7 +50,11 @@ type Heap struct {
 	// EnsureMapped maps heap pages [first,last] (inclusive VPNs) to frames
 	// outside transactional semantics; mapping an untouched page is
 	// crash-safe (a leaked frame at worst, reclaimed by recovery's sweep).
-	EnsureMapped func(firstVPN, lastVPN int)
+	// tx is the transaction handle the allocator was invoked with (nil from
+	// quiescent setup paths); the machine uses it to route the mapping to
+	// the calling core's canonical execution under WindowParallel, where
+	// frame-allocation order must not depend on the host schedule.
+	EnsureMapped func(tx Tx, firstVPN, lastVPN int)
 }
 
 // MetaVA returns the virtual address of metadata offset off.
@@ -119,7 +123,7 @@ func (h *Heap) bump(tx Tx, size int) uint64 {
 		b += uint64(memsim.PageBytes - rem)
 	}
 	h.checkLimit(tx, b+uint64(size))
-	h.EnsureMapped(vm.VPNOf(b), vm.VPNOf(b+uint64(size)-1))
+	h.EnsureMapped(tx, vm.VPNOf(b), vm.VPNOf(b+uint64(size)-1))
 	tx.Store64(bumpVA, b+uint64(size))
 	return b
 }
@@ -132,7 +136,7 @@ func (h *Heap) bumpPages(tx Tx, pages int) uint64 {
 	}
 	size := uint64(pages) * memsim.PageBytes
 	h.checkLimit(tx, b+size)
-	h.EnsureMapped(vm.VPNOf(b), vm.VPNOf(b+size-1))
+	h.EnsureMapped(tx, vm.VPNOf(b), vm.VPNOf(b+size-1))
 	tx.Store64(bumpVA, b+size)
 	return b
 }

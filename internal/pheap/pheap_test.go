@@ -21,7 +21,7 @@ func (f *fakeTx) Store64(va uint64, v uint64) { f.mem[va] = v }
 func newHeap(t *testing.T) (*Heap, *fakeTx, *[]int) {
 	t.Helper()
 	var mapped []int
-	h := &Heap{EnsureMapped: func(first, last int) {
+	h := &Heap{EnsureMapped: func(_ Tx, first, last int) {
 		for v := first; v <= last; v++ {
 			mapped = append(mapped, v)
 		}

@@ -12,7 +12,7 @@ func TestRelaxedCommitRoundTrip(t *testing.T) {
 	cfg := Config{Backend: SSP, Cores: 1, DurabilityEpoch: 500_000}
 	m := MustNew(cfg)
 	c := m.Core(0)
-	m.Heap().EnsureMapped(1, 2)
+	m.Heap().EnsureMapped(nil, 1, 2)
 	page := uint64(HeapBase) + uint64(PageBytes)
 
 	for i := 0; i < 8; i++ {
@@ -41,7 +41,7 @@ func TestRelaxedCommitRoundTrip(t *testing.T) {
 		t.Fatalf("Restore: %v", err)
 	}
 	c2 := m2.Core(0)
-	m2.Heap().EnsureMapped(1, 2)
+	m2.Heap().EnsureMapped(nil, 1, 2)
 	for i := 0; i < 8; i++ {
 		if got := c2.Load64(page + uint64(i)*8); got != uint64(i+1) {
 			t.Fatalf("synced transaction %d lost or torn: read %#x", i, got)
@@ -59,7 +59,7 @@ func TestRelaxedDisabledIsSynchronous(t *testing.T) {
 	run := func(relaxed bool) (Cycles, uint64, uint64, uint64) {
 		m := MustNew(Config{Backend: SSP, Cores: 1})
 		c := m.Core(0)
-		m.Heap().EnsureMapped(1, 2)
+		m.Heap().EnsureMapped(nil, 1, 2)
 		for i := 0; i < 32; i++ {
 			c.Begin()
 			c.Store64(HeapBase+PageBytes+uint64(i%16)*64, uint64(i))

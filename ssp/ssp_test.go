@@ -46,7 +46,7 @@ func TestConfigOverridesApply(t *testing.T) {
 
 func txnCycles(m *Machine) Cycles {
 	c := m.Core(0)
-	m.Heap().EnsureMapped(1, 1)
+	m.Heap().EnsureMapped(nil, 1, 1)
 	start := c.Now()
 	for i := 0; i < 20; i++ {
 		c.Begin()
